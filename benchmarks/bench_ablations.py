@@ -1,0 +1,314 @@
+"""Ablations of PIBE's design choices (beyond the paper's own tables).
+
+1. **Unlimited promotion targets** (Section 5.3): PIBE promotes every
+   profiled target of a site, unlike stock LLVM's small per-site cap —
+   because a ~2-cycle compare is far cheaper than a ~21-cycle retpoline
+   fallback. Measured: capping promotion at 1 target per site leaves
+   multi-target sites paying the fallback.
+2. **eIBRS vs software mitigation** (Section 6.4): the hardware
+   mitigation is cheaper than unoptimized retpolines here, but PIBE'd
+   retpolines beat it — while eIBRS additionally fails to stop in-kernel
+   training.
+3. **Generality** (Section 6): registering a synthetic path-sensitive
+   CFI as a custom defense, PIBE's elimination reduces its overhead by a
+   large factor too.
+4. **Profile fidelity** (Section 1's AutoFDO motivation): an
+   AutoFDO-style sampled profile steers the optimizations almost as well
+   as exact LBR counting.
+"""
+
+from conftest import emit
+
+from repro.baselines.eibrs import (
+    BTBPoisoningOrigin,
+    EIBRSTimingModel,
+    simulate_eibrs_poisoning,
+)
+from repro.core.config import PibeConfig
+from repro.core.report import build_overhead_report, geomean_overhead
+from repro.engine.interpreter import Interpreter
+from repro.evaluation.formatting import Table, pct
+from repro.hardening.custom import (
+    CustomDefense,
+    CustomHardeningPass,
+    register_defense,
+    registered_defense,
+)
+from repro.hardening.defenses import DefenseConfig
+from repro.workloads.lmbench import TABLE3_BENCHMARKS
+from repro.workloads.base import measure_benchmark
+
+
+def _measure(ctx, config, benches=TABLE3_BENCHMARKS):
+    return ctx.measure(config, benches)
+
+
+def test_ablation_unlimited_promotion_targets(benchmark, eval_ctx):
+    def run():
+        lto = eval_ctx.lto_measurements(TABLE3_BENCHMARKS)
+        unlimited = _measure(
+            eval_ctx,
+            PibeConfig.hardened(
+                DefenseConfig.retpolines_only(), icp_budget=0.99999
+            ),
+        )
+        # stock-LLVM-style cap: 1 promoted target per site — built
+        # manually, the pipeline has no knob for the cap
+        import copy
+
+        from repro.hardening.harden import HardeningPass
+        from repro.passes.icp import IndirectCallPromotion
+        from repro.passes.jumptables import LowerSwitches
+        from repro.profiling.lifting import lift_profile
+
+        module = copy.deepcopy(eval_ctx.kernel)
+        LowerSwitches(allow_jump_tables=False).run(module)
+        lift_profile(module, eval_ctx.profile("lmbench"))
+        IndirectCallPromotion(
+            budget=0.99999, max_targets_per_site=1
+        ).run(module)
+        HardeningPass(DefenseConfig.retpolines_only()).run(module)
+        capped = {
+            b.name: measure_benchmark(
+                module,
+                b,
+                ops=max(
+                    1,
+                    int(b.default_ops * eval_ctx.settings.measure_ops_scale),
+                ),
+                seed=eval_ctx.settings.seed,
+            ).cycles_per_op
+            for b in TABLE3_BENCHMARKS
+        }
+        return lto, unlimited, capped
+
+    lto, unlimited, capped = benchmark.pedantic(run, rounds=1, iterations=1)
+    g_unlimited = build_overhead_report("u", lto, unlimited).geomean
+    g_capped = build_overhead_report("c", lto, capped).geomean
+
+    table = Table(
+        "Ablation: promoted targets per indirect call site",
+        ["configuration", "retpolines geomean overhead"],
+        notes=[
+            "PIBE promotes unlimited targets per site (Section 5.3); "
+            "stock LLVM caps promotion, leaving multi-target sites on "
+            "the retpoline fallback",
+        ],
+    )
+    table.add_row("unlimited (PIBE)", pct(g_unlimited))
+    table.add_row("capped at 1 (stock-LLVM-style)", pct(g_capped))
+    emit(table)
+
+    assert g_unlimited < g_capped  # unlimited promotion wins
+    assert g_capped < 0.5 * build_overhead_report(
+        "r",
+        lto,
+        _measure(eval_ctx, PibeConfig.hardened(DefenseConfig.retpolines_only())),
+    ).geomean + 0.5  # sanity: capped still much better than nothing
+
+
+def test_ablation_eibrs_vs_software(benchmark, eval_ctx):
+    def run():
+        benches = TABLE3_BENCHMARKS
+        lto = eval_ctx.lto_measurements(benches)
+        retp_unopt = _measure(
+            eval_ctx, PibeConfig.hardened(DefenseConfig.retpolines_only())
+        )
+        retp_pibe = _measure(
+            eval_ctx,
+            PibeConfig.hardened(
+                DefenseConfig.retpolines_only(), icp_budget=0.99999
+            ),
+        )
+        # eIBRS: vanilla image, hardware predictor tax
+        vanilla = eval_ctx.variant(PibeConfig.lto_baseline()).module
+        eibrs = {}
+        for bench in benches:
+            model = EIBRSTimingModel(vanilla)
+            interp = Interpreter(
+                vanilla, [model], seed=eval_ctx.settings.seed
+            )
+            ops = max(
+                1, int(bench.default_ops * eval_ctx.settings.measure_ops_scale)
+            )
+            bench.run(interp, ops=ops)
+            eibrs[bench.name] = model.cycles / ops
+        return lto, retp_unopt, retp_pibe, eibrs
+
+    lto, retp_unopt, retp_pibe, eibrs = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    g_retp = build_overhead_report("r", lto, retp_unopt).geomean
+    g_pibe = build_overhead_report("p", lto, retp_pibe).geomean
+    g_eibrs = build_overhead_report("e", lto, eibrs).geomean
+
+    table = Table(
+        "Ablation: eIBRS vs software Spectre V2 mitigation",
+        ["mitigation", "geomean overhead", "stops in-kernel training?"],
+        notes=[
+            "Section 6.4: eIBRS has limitations and does not prevent "
+            "attacks that train on kernel execution",
+        ],
+    )
+    table.add_row("retpolines (no opt)", pct(g_retp), "yes")
+    table.add_row("retpolines + PIBE icp", pct(g_pibe), "yes")
+    table.add_row("eIBRS (hardware)", pct(g_eibrs), "NO")
+    emit(table)
+
+    # hardware beats unoptimized software, PIBE beats both
+    assert g_pibe < g_eibrs < g_retp
+    # ...and eIBRS leaves the same-mode training hole open
+    assert simulate_eibrs_poisoning(BTBPoisoningOrigin.KERNEL_EXECUTION)
+
+
+def test_ablation_custom_path_sensitive_cfi(benchmark, eval_ctx):
+    """PIBE generalizes to research defenses (path-sensitive CFI)."""
+    fwd = registered_defense("pscfi_fwd") or register_defense(
+        CustomDefense(
+            "pscfi_fwd",
+            kind="forward",
+            cycles=35.0,
+            site_expansion_units=4,
+            protects=frozenset({"spectre_v2", "lvi"}),
+        )
+    )
+    bwd = registered_defense("pscfi_ret") or register_defense(
+        CustomDefense(
+            "pscfi_ret",
+            kind="backward",
+            cycles=28.0,
+            site_expansion_units=4,
+            protects=frozenset({"ret2spec", "lvi"}),
+        )
+    )
+
+    def run():
+        import copy
+
+        benches = TABLE3_BENCHMARKS
+        lto_build = eval_ctx.variant(PibeConfig.lto_baseline())
+        pibe_build = eval_ctx.variant(PibeConfig.pibe_baseline())
+        unopt = copy.deepcopy(lto_build.module)
+        opt = copy.deepcopy(pibe_build.module)
+        CustomHardeningPass(forward=fwd, backward=bwd).run(unopt)
+        CustomHardeningPass(forward=fwd, backward=bwd).run(opt)
+        lto = eval_ctx.lto_measurements(benches)
+
+        def measure(module):
+            return {
+                b.name: measure_benchmark(
+                    module,
+                    b,
+                    ops=max(
+                        1,
+                        int(
+                            b.default_ops
+                            * eval_ctx.settings.measure_ops_scale
+                        ),
+                    ),
+                    seed=eval_ctx.settings.seed,
+                ).cycles_per_op
+                for b in benches
+            }
+
+        return lto, measure(unopt), measure(opt)
+
+    lto, unopt, opt = benchmark.pedantic(run, rounds=1, iterations=1)
+    g_unopt = build_overhead_report("u", lto, unopt).geomean
+    g_opt = build_overhead_report("o", lto, opt).geomean
+
+    table = Table(
+        "Ablation: PIBE applied to a custom path-sensitive CFI",
+        ["configuration", "geomean overhead"],
+        notes=[
+            "Section 6: the approach applies to all high-overhead "
+            "defenses, e.g. path-sensitive CFI",
+        ],
+    )
+    table.add_row("pscfi, no optimization", pct(g_unopt))
+    table.add_row("pscfi + PIBE", pct(g_opt))
+    emit(table)
+
+    assert g_unopt > 0.8
+    assert g_opt < g_unopt / 4
+
+
+def test_ablation_sampled_profile_fidelity(benchmark, eval_ctx):
+    """Optimizing with a 1/32-sampled profile recovers most of the win."""
+
+    def run():
+        import copy
+
+        from repro.core.pipeline import PibePipeline
+        from repro.engine.interpreter import Interpreter
+        from repro.profiling.sampling import SamplingProfiler
+        from repro.workloads.lmbench import lmbench_workload
+
+        benches = TABLE3_BENCHMARKS
+        lto = eval_ctx.lto_measurements(benches)
+        all_def = DefenseConfig.all_defenses()
+        unopt = build_overhead_report(
+            "u", lto, eval_ctx.measure(PibeConfig.hardened(all_def), benches)
+        ).geomean
+        exact = build_overhead_report(
+            "e", lto, eval_ctx.measure(PibeConfig.lax(all_def), benches)
+        ).geomean
+
+        # collect a sampled profile and build a variant from it by hand;
+        # the rate scales with the profiling workload so sampling stays
+        # meaningful at the reduced test scale
+        rate = 32 if eval_ctx.settings.profile_ops_scale >= 0.5 else 8
+        profiling_copy = copy.deepcopy(eval_ctx.kernel)
+        sampler = SamplingProfiler(rate=rate)
+        interp = Interpreter(
+            profiling_copy, [sampler], seed=eval_ctx.settings.seed
+        )
+        workload = lmbench_workload(
+            ops_scale=eval_ctx.settings.profile_ops_scale
+        )
+        for bench, ops in workload.components:
+            bench.run(interp, ops=ops)
+        sampled_profile = sampler.finish()
+
+        pipeline = PibePipeline(eval_ctx.kernel)
+        build = pipeline.build_variant(
+            PibeConfig.lax(all_def), sampled_profile
+        )
+        sampled = build_overhead_report(
+            "s",
+            lto,
+            {
+                b.name: measure_benchmark(
+                    build.module,
+                    b,
+                    ops=max(
+                        1,
+                        int(
+                            b.default_ops
+                            * eval_ctx.settings.measure_ops_scale
+                        ),
+                    ),
+                    seed=eval_ctx.settings.seed,
+                ).cycles_per_op
+                for b in benches
+            },
+        ).geomean
+        return unopt, exact, sampled
+
+    unopt, exact, sampled = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        "Ablation: profile fidelity (exact LBR vs AutoFDO-style sampling)",
+        ["profile", "all-defenses geomean overhead"],
+        notes=[
+            "PIBE needs only relative hot-site weights, so sampled "
+            "profiles steer it almost as well (the paper's AutoFDO/"
+            "production-profiling motivation)",
+        ],
+    )
+    table.add_row("none (unoptimized)", pct(unopt))
+    table.add_row("exact (LBR counting)", pct(exact))
+    table.add_row("sampled (AutoFDO-style)", pct(sampled))
+    emit(table)
+
+    assert sampled < unopt / 3   # most of the win survives sampling
+    assert sampled < exact + 0.25

@@ -1,0 +1,20 @@
+"""Figure 1 — the inlining example motivating Rule 3.
+
+``bar`` calls ``foo_1`` (count 1000, InlineCost 12000), ``foo_2`` (500,
+300) and ``foo_3`` (500, 200). The greedy inliner without Rule 3 picks
+the hottest call first and depletes bar's whole Rule 2 budget on foo_1;
+with Rule 3, foo_1 is rejected for its size and foo_2+foo_3 are inlined —
+the same eliminated execution count with budget to spare.
+"""
+
+from conftest import emit
+
+from repro.evaluation.tables import figure1
+
+
+def test_figure01(benchmark):
+    result = benchmark.pedantic(figure1, rounds=1, iterations=1)
+    emit(result.table)
+
+    assert result.inlined_without_rule3 == ["foo_1"]
+    assert result.inlined_with_rule3 == ["foo_2", "foo_3"]

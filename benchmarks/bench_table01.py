@@ -1,0 +1,46 @@
+"""Table 1 — overhead of control-flow-hijacking mitigations in clock ticks
+per direct/indirect/virtual call, plus SPEC-like geometric-mean slowdown.
+
+Paper reference (i7-8700, Clang 10):
+
+    defense                dcall  icall  vcall  cpu2006
+    LLVM-CFI                  2      3      1    -0.4%
+    stackprotector            4      4      4     1.0%
+    safestack                 2      1      1     0.6%
+    LVI-CFI                  11     20     23    29.4%
+    retpolines                1     21     21    16.1%
+    retpolines + LVI-CFI     14     53     54    44.3%
+    return retpolines        16     16     16    23.2%
+    all defenses             32     73     71    62.0%
+"""
+
+from conftest import emit
+
+from repro.evaluation.tables import table1
+
+
+def test_table01(benchmark):
+    result = benchmark.pedantic(
+        table1,
+        kwargs={"iterations": 1000, "spec_iterations": 30},
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.table)
+
+    ticks = result.ticks
+    # transient-defense tick constants recover Table 1
+    assert abs(ticks["retpolines"]["icall"] - 21) <= 1
+    assert abs(ticks["return retpolines"]["dcall"] - 16) <= 1
+    assert abs(ticks["LVI-CFI"]["dcall"] - 11) <= 1
+    assert abs(ticks["LVI-CFI"]["icall"] - 20) <= 1
+    assert ticks["all defenses"]["icall"] >= 60
+
+    # classical defenses are cheap; transient ones are not (the paper's
+    # justification for PIBE's focus)
+    slow = result.spec_slowdowns
+    assert slow["stackprotector"] < 0.08
+    assert slow["LLVM-CFI"] < 0.05
+    assert slow["retpolines"] > 0.08
+    assert slow["all defenses"] > slow["LVI-CFI"] > 0.1
+    assert slow["all defenses"] > 0.35

@@ -1,0 +1,32 @@
+"""Table 6 — LMBench geometric-mean overhead per defense, unoptimized vs
+PIBE's optimal configuration for that defense.
+
+Paper: None 0/-6.6, Retpolines 20.2/1.3, Return retpolines 63.4/3.7,
+LVI-CFI 61.9/1.8, All 149.1/10.6 — "in each case, we reduce overhead by
+more than an order of magnitude, making each defense practical."
+"""
+
+from conftest import emit
+
+from repro.evaluation.tables import table6
+
+
+def test_table06(benchmark, eval_ctx):
+    result = benchmark.pedantic(
+        table6, args=(eval_ctx,), rounds=1, iterations=1
+    )
+    emit(result.table)
+
+    lto, pibe = result.lto_geomeans, result.pibe_geomeans
+    # unoptimized defense cost ordering: all > {retret, LVI} > retpolines
+    assert lto["All"] > lto["Return retpolines"] > lto["Retpolines"]
+    assert lto["All"] > lto["LVI-CFI"] > lto["Retpolines"]
+    # PGO-only baseline speeds up
+    assert pibe["None"] < 0
+    # each defense drops by a large factor under PIBE
+    for defense in ("Retpolines", "Return retpolines", "LVI-CFI"):
+        assert pibe[defense] < 0.10
+        assert pibe[defense] < lto[defense] / 5
+    # comprehensive protection lands near the paper's 10.6%
+    assert pibe["All"] < lto["All"] / 8
+    assert pibe["All"] < 0.25

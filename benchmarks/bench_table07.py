@@ -1,0 +1,44 @@
+"""Table 7 — macrobenchmark throughput degradation (Nginx, Apache,
+DBench) per transient-mitigation configuration, with and without PIBE.
+
+Paper (all-defenses): Nginx -51.7% -> -6.0%, Apache -39.3% -> -7.9%,
+DBench -45.6% -> -6.7%. In some configurations optimized fully-protected
+kernels beat unoptimized retpolines-only ones.
+"""
+
+from conftest import emit
+
+from repro.evaluation.tables import table7
+
+
+def test_table07(benchmark, eval_ctx, fast_mode):
+    result = benchmark.pedantic(
+        table7,
+        args=(eval_ctx,),
+        kwargs={"batches": 10 if fast_mode else 30},
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.table)
+
+    for app in ("Nginx", "Apache", "DBench"):
+        rows = result.degradations[app]
+        unopt_all, pibe_all = rows["w/all-defenses"]
+        # comprehensive defenses cost double-digit throughput unoptimized
+        assert unopt_all < -0.15
+        # PIBE recovers to single digits
+        assert pibe_all > -0.10
+        # retpolines-only costs less than all-defenses
+        assert rows["w/retpolines"][0] > unopt_all
+
+    # Nginx (kernel-bound) suffers more than Apache (userspace-heavy)
+    assert (
+        result.degradations["Nginx"]["w/all-defenses"][0]
+        < result.degradations["Apache"]["w/all-defenses"][0]
+    )
+    # the paper's crossover: an optimized fully-protected kernel can beat
+    # the unoptimized retpolines-only configuration
+    assert (
+        result.degradations["Nginx"]["w/all-defenses"][1]
+        > result.degradations["Nginx"]["w/retpolines"][0]
+    )

@@ -1,0 +1,36 @@
+"""Table 8 — number of indirect-branch gadgets eliminated by PIBE per
+optimization budget.
+
+Paper at 99%/99.9%/99.9999%: promoted weight 98.8/99.9/100%, promoted
+sites 17.2/32.9/89.7%, elided return weight ~94% at every budget, elided
+return sites 13.6/29.7/86.1% — weight saturates early, site counts grow
+with budget.
+"""
+
+from conftest import emit
+
+from repro.evaluation.tables import table8
+
+
+def test_table08(benchmark, eval_ctx):
+    result = benchmark.pedantic(
+        table8, args=(eval_ctx,), rounds=1, iterations=1
+    )
+    emit(result.table)
+
+    budgets = sorted(result.stats)
+    lowest, highest = result.stats[budgets[0]], result.stats[budgets[-1]]
+
+    # weight coverage saturates already at the lowest budget
+    assert lowest.icp_weight_fraction > 0.9
+    assert lowest.return_weight_fraction > 0.7
+    # site counts keep growing with the budget
+    assert highest.icp_sites >= lowest.icp_sites
+    assert highest.return_sites > lowest.return_sites
+    assert highest.icp_targets >= lowest.icp_targets
+    # elided weight fraction stays roughly flat across budgets (paper:
+    # 93.9/93.8/93.7%), because the heuristics block a similar slice
+    spread = abs(
+        highest.return_weight_fraction - lowest.return_weight_fraction
+    )
+    assert spread < 0.15

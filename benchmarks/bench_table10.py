@@ -1,0 +1,32 @@
+"""Table 10 — initial promotion/inlining candidates relative to the total
+number of kernel indirect branches.
+
+Paper: even the most aggressive budget touches only ~3% of the kernel's
+20,927 indirect calls and ~7.5% of its ~133k returns — the algorithms are
+aggressive about hot code, not about the kernel at large.
+"""
+
+from conftest import emit
+
+from repro.evaluation.tables import table10
+
+
+def test_table10(benchmark, eval_ctx, fast_mode):
+    result = benchmark.pedantic(
+        table10, args=(eval_ctx,), rounds=1, iterations=1
+    )
+    emit(result.table)
+
+    budgets = sorted(result.stats)
+    icp_fractions = [result.stats[b].icp_fraction for b in budgets]
+    inline_fractions = [result.stats[b].inline_fraction for b in budgets]
+
+    # candidates grow with budget but stay a minority of all branches
+    assert icp_fractions == sorted(icp_fractions)
+    limit = 0.6 if fast_mode else 0.25
+    assert all(f < limit for f in icp_fractions)
+    assert all(f < limit for f in inline_fractions)
+    # the cold bulk dominates the censuses
+    top = result.stats[budgets[-1]]
+    assert top.total_icalls > 3 * top.icp_candidates
+    assert top.total_returns > 3 * top.inline_candidates

@@ -1,0 +1,38 @@
+"""Table 12 — kernel size and memory usage growth due to the algorithms.
+
+Paper (all-defenses): abs size +8.1/13.8/36.8% across budgets, image size
++4.8/10.3/32.7%, resident code memory moving in page-granular steps,
+slab/dyn usage essentially flat.
+"""
+
+from conftest import emit
+
+from repro.evaluation.tables import table12
+
+
+def test_table12(benchmark, eval_ctx):
+    result = benchmark.pedantic(
+        table12, args=(eval_ctx,), rounds=1, iterations=1
+    )
+    emit(result.table)
+
+    r = result.reports
+    all99 = r["all-defenses @99%"]
+    all999 = r["all-defenses @99.9%"]
+    all_max = r["all-defenses @99.9999%"]
+
+    # growth is monotone in the budget
+    assert all99.abs_size_increase <= all999.abs_size_increase + 0.01
+    assert all999.abs_size_increase <= all_max.abs_size_increase + 0.01
+    # image growth (vs same-defense baseline) stays moderate
+    assert 0.0 < all99.img_size_increase < 0.6
+    # ICP-only (retpolines) growth is tiny (paper 1.6%)
+    assert r["retpolines @99.999%"].abs_size_increase < 0.12
+    # slab barely moves (paper 0.1-0.3%)
+    assert abs(all_max.slab_size_increase) < 0.02
+    # dynamic (stack) usage changes stay small relative to code growth
+    assert abs(all_max.dyn_size_increase) < 0.6
+    # mem size quantized: multiples of the page step
+    from repro.analysis.sizes import MEM_PAGE_BYTES
+
+    assert all_max.text_bytes > 0

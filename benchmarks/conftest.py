@@ -1,0 +1,50 @@
+"""Shared benchmark fixtures.
+
+One :class:`EvalContext` per session: the kernel, profiling runs, built
+variants and per-config measurements are cached, so each table's harness
+only pays for the work unique to it.
+
+Set ``REPRO_BENCH_FAST=1`` to run the whole benchmark suite at reduced
+scale (smaller kernel, fewer profiling iterations) — the shapes still
+hold; absolute census numbers shrink.
+"""
+
+import os
+
+import pytest
+
+from repro.evaluation.harness import EvalContext, EvalSettings
+from repro.kernel.spec import SmallSpec
+
+
+def _settings() -> EvalSettings:
+    if os.environ.get("REPRO_BENCH_FAST"):
+        return EvalSettings(
+            spec=SmallSpec(),
+            profile_iterations=1,
+            profile_ops_scale=0.2,
+            measure_ops_scale=0.15,
+        )
+    return EvalSettings(
+        profile_iterations=3,
+        profile_ops_scale=1.0,
+        measure_ops_scale=0.5,
+    )
+
+
+@pytest.fixture(scope="session")
+def eval_ctx() -> EvalContext:
+    return EvalContext(_settings())
+
+
+@pytest.fixture(scope="session")
+def fast_mode() -> bool:
+    return bool(os.environ.get("REPRO_BENCH_FAST"))
+
+
+def emit(result_table) -> None:
+    """Print a rendered table (visible with ``pytest -s`` and in the
+    captured section of failing runs)."""
+    print()
+    print(result_table.to_text())
+    print()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation.
+
+Equivalent of the artifact's ``run_artifact.sh`` + ``generate_tables.sh``:
+runs the whole experiment matrix and prints each table with the paper's
+reference numbers in the footnotes.
+
+Run:  python examples/full_evaluation.py [--fast]
+
+``--fast`` uses the reduced kernel and scales (minutes -> seconds); the
+full run takes a few minutes.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.evaluation import tables
+from repro.evaluation.harness import EvalContext, EvalSettings
+from repro.kernel.spec import SmallSpec
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fast", action="store_true", help="reduced kernel and scales"
+    )
+    args = parser.parse_args(argv)
+
+    if args.fast:
+        settings = EvalSettings(
+            spec=SmallSpec(),
+            profile_iterations=1,
+            profile_ops_scale=0.2,
+            measure_ops_scale=0.15,
+        )
+    else:
+        settings = EvalSettings()
+    ctx = EvalContext(settings)
+
+    experiments = [
+        ("Figure 1", lambda: tables.figure1()),
+        ("Table 1", lambda: tables.table1()),
+        ("Table 2", lambda: tables.table2(ctx)),
+        ("Table 3", lambda: tables.table3(ctx)),
+        ("Table 4", lambda: tables.table4(ctx)),
+        ("Table 5", lambda: tables.table5(ctx)),
+        ("Table 6", lambda: tables.table6(ctx)),
+        ("Table 7", lambda: tables.table7(ctx)),
+        ("Table 8", lambda: tables.table8(ctx)),
+        ("Table 9", lambda: tables.table9(ctx)),
+        ("Table 10", lambda: tables.table10(ctx)),
+        ("Table 11", lambda: tables.table11(ctx)),
+        ("Table 12", lambda: tables.table12(ctx)),
+        ("Section 8.4", lambda: tables.robustness(ctx)),
+    ]
+
+    total_start = time.perf_counter()
+    for label, run in experiments:
+        start = time.perf_counter()
+        result = run()
+        elapsed = time.perf_counter() - start
+        print(result.table.to_text())
+        print(f"[{label} regenerated in {elapsed:.1f}s]\n")
+    print(
+        f"full evaluation complete in "
+        f"{time.perf_counter() - total_start:.1f}s"
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

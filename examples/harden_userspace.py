@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""PIBE beyond the kernel: hardening a userspace program.
+
+The paper notes the approach "applies equally to other code: hypervisors,
+SGX(-like) enclaves, and user programs" (Section 1). This example runs
+the full profile -> promote -> inline -> harden pipeline on the SPEC-like
+userspace suite and compares per-component slowdowns with and without
+PIBE's elimination passes.
+
+Run:  python examples/harden_userspace.py
+"""
+
+import copy
+import dataclasses
+
+from repro import DefenseConfig, PibeConfig
+from repro.core.pipeline import PibePipeline
+from repro.cpu.costs import DEFAULT_COSTS
+from repro.cpu.timing import TimingModel
+from repro.engine.interpreter import Interpreter
+from repro.profiling.profiler import KernelProfiler
+from repro.workloads.spec import SPEC_COMPONENTS, build_spec_module
+
+USERSPACE_COSTS = dataclasses.replace(DEFAULT_COSTS, kernel_entry=0.0)
+ITERATIONS = 60
+
+
+def run_component(module, name, sink):
+    Interpreter(module, [sink], seed=7).run_function(
+        f"run_{name}", times=ITERATIONS
+    )
+    return sink
+
+
+def cycles(module, name):
+    timing = TimingModel(module, costs=USERSPACE_COSTS, model_icache=False)
+    run_component(module, name, timing)
+    return timing.cycles
+
+
+def main():
+    program = build_spec_module()
+    pipeline = PibePipeline(program)
+
+    # Phase 1: profile every component (userspace PGO run).
+    profiling_build = copy.deepcopy(program)
+    profiler = KernelProfiler(workload="spec")
+    for comp in SPEC_COMPONENTS:
+        run_component(profiling_build, comp.name, profiler)
+    profile = profiler.finish()
+    print(
+        f"profiled {len(profile.direct)} direct / "
+        f"{len(profile.indirect)} indirect sites"
+    )
+
+    # Phase 2: two hardened builds of the program.
+    all_def = DefenseConfig.all_defenses()
+    unopt = pipeline.build_variant(PibeConfig.hardened(all_def))
+    pibe = pipeline.build_variant(
+        PibeConfig.lax(all_def), profile
+    )
+    baseline = pipeline.build_variant(PibeConfig.lto_baseline())
+
+    print(f"\n{'component':12s} {'no opt':>10s} {'PIBE':>10s}")
+    for comp in SPEC_COMPONENTS:
+        base = cycles(baseline.module, comp.name)
+        slow = cycles(unopt.module, comp.name) / base - 1
+        fast = cycles(pibe.module, comp.name) / base - 1
+        print(f"{comp.name:12s} {slow:>10.1%} {fast:>10.1%}")
+
+    icp = pibe.reports["indirect-call-promotion"]
+    inl = pibe.reports["pibe-inliner"]
+    print(
+        f"\nPIBE promoted {icp.promoted_targets} targets and inlined "
+        f"{inl.inlined_sites} call sites in the userspace program —\n"
+        "the same algorithms, no kernel involved."
+    )
+
+
+if __name__ == "__main__":
+    main()

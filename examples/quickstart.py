@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Quickstart: harden a kernel with PIBE in five steps.
+
+1. Build the synthetic kernel (the linked LTO module).
+2. Profile it under a representative workload (LMBench).
+3. Build the unoptimized hardened kernel — comprehensive transient
+   protection, impractical overhead.
+4. Build the PIBE kernel — same protection after profile-guided indirect
+   branch elimination.
+5. Compare latencies.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DefenseConfig,
+    PibeConfig,
+    PibePipeline,
+    build_kernel,
+    kernel_stats,
+    lmbench_workload,
+    measure_benchmark,
+)
+from repro.workloads import BY_NAME
+
+BENCHES = ("null", "read", "write", "open", "pipe", "select_tcp")
+
+
+def measure(module, label):
+    print(f"\n  {label}")
+    results = {}
+    for name in BENCHES:
+        bench = BY_NAME[name]
+        result = measure_benchmark(module, bench, ops=bench.default_ops // 2)
+        results[name] = result.cycles_per_op
+        print(f"    {name:12s} {result.latency_us:8.3f} us/op")
+    return results
+
+
+def main():
+    print("== 1. build the kernel ==")
+    kernel = build_kernel()
+    stats = kernel_stats(kernel)
+    print(
+        f"  {stats.functions} functions, {stats.icall_sites} indirect call "
+        f"sites, {stats.return_sites} returns, {stats.syscalls} syscalls"
+    )
+
+    print("\n== 2. profile under LMBench ==")
+    pipeline = PibePipeline(kernel)
+    profile = pipeline.profile(lmbench_workload(), iterations=3)
+    print(
+        f"  observed {len(profile.direct)} direct and "
+        f"{len(profile.indirect)} indirect hot call sites "
+        f"({profile.total_weight():,} edge executions)"
+    )
+
+    print("\n== 3. comprehensive defenses, no optimization ==")
+    unopt = pipeline.build_variant(
+        PibeConfig.hardened(DefenseConfig.all_defenses())
+    )
+    report = unopt.reports["hardening"]
+    print(
+        f"  protected {report.protected_icalls} indirect calls and "
+        f"{report.protected_rets} returns"
+    )
+
+    print("\n== 4. the same defenses behind PIBE ==")
+    pibe = pipeline.build_variant(
+        PibeConfig.lax(DefenseConfig.all_defenses()), profile
+    )
+    icp = pibe.reports["indirect-call-promotion"]
+    inl = pibe.reports["pibe-inliner"]
+    print(
+        f"  promoted {icp.promoted_targets} targets on "
+        f"{icp.promoted_sites} sites "
+        f"({icp.weight_fraction:.1%} of indirect weight); "
+        f"inlined {inl.inlined_sites} call sites "
+        f"({inl.elided_weight_fraction:.1%} of return weight elided)"
+    )
+
+    print("\n== 5. latency comparison ==")
+    lto = pipeline.build_variant(PibeConfig.lto_baseline())
+    base = measure(lto.module, "vanilla LTO baseline")
+    slow = measure(unopt.module, "all defenses, no optimization")
+    fast = measure(pibe.module, "all defenses + PIBE")
+
+    print("\n  overhead vs baseline:")
+    print(f"    {'bench':12s} {'no opt':>10s} {'PIBE':>10s}")
+    for name in BENCHES:
+        unopt_ovh = slow[name] / base[name] - 1
+        pibe_ovh = fast[name] / base[name] - 1
+        print(f"    {name:12s} {unopt_ovh:+10.1%} {pibe_ovh:+10.1%}")
+
+
+if __name__ == "__main__":
+    main()

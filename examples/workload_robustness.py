@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Workload robustness (paper Section 8.4): what happens when the kernel
+is optimized for the *wrong* workload?
+
+Trains PIBE once on LMBench and once on an ApacheBench-style workload,
+then measures LMBench latency overhead (all defenses enabled) on both,
+alongside the unoptimized kernel and the default-LLVM-inliner baseline.
+Also reports how much optimization-candidate weight the two workloads
+share at a 99% budget (paper: 58% icp / 67% inlining).
+
+Run:  python examples/workload_robustness.py
+"""
+
+from repro import (
+    DefenseConfig,
+    PibeConfig,
+    PibePipeline,
+    build_kernel,
+    geomean_overhead,
+)
+from repro.analysis.robustness import workload_overlap
+from repro.core.report import build_overhead_report
+from repro.workloads import (
+    LMBENCH_BENCHMARKS,
+    apachebench_workload,
+    lmbench_workload,
+    measure_suite,
+)
+
+
+def measure(module):
+    results = measure_suite(module, LMBENCH_BENCHMARKS, ops_scale=0.4)
+    return {name: r.cycles_per_op for name, r in results.items()}
+
+
+def main():
+    kernel = build_kernel()
+    pipeline = PibePipeline(kernel)
+    all_def = DefenseConfig.all_defenses()
+
+    print("profiling with both workloads...")
+    lmbench_profile = pipeline.profile(lmbench_workload(), iterations=3)
+    apache_profile = pipeline.profile(apachebench_workload(), iterations=3)
+
+    overlap = workload_overlap(lmbench_profile, apache_profile, budget=0.99)
+    print(
+        f"candidate-weight overlap at 99% budget: "
+        f"icp {overlap.icp_shared_weight_fraction:.0%}, "
+        f"inlining {overlap.inline_shared_weight_fraction:.0%} "
+        f"(paper: 58% / 67%)"
+    )
+
+    print("\nbuilding variants...")
+    base = measure(
+        pipeline.build_variant(PibeConfig.lto_baseline()).module
+    )
+    rows = [
+        ("unoptimized", PibeConfig.hardened(all_def), None),
+        ("LMBench-trained", PibeConfig.lax(all_def), lmbench_profile),
+        ("Apache-trained", PibeConfig.lax(all_def), apache_profile),
+        (
+            "default LLVM inliner",
+            PibeConfig(
+                defenses=all_def,
+                icp_budget=0.999999,
+                inline_budget=0.999999,
+                use_default_inliner=True,
+            ),
+            lmbench_profile,
+        ),
+    ]
+
+    print(f"\n{'configuration':24s} {'LMBench geomean overhead':>26s}")
+    for label, config, profile in rows:
+        build = pipeline.build_variant(config, profile)
+        geomean = build_overhead_report(
+            label, base, measure(build.module)
+        ).geomean
+        print(f"{label:24s} {geomean:>25.1%}")
+    print(
+        "\npaper: 149.1% unoptimized, 10.6% matched, 22.5% Apache-trained,"
+        "\n       100.2% default inliner — PGO-based hardening survives a"
+        "\n       workload mismatch, and the gain is not 'just inlining'."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setuptools shim for environments without PEP 660 editable-install
+support (no `wheel` package available offline)."""
+
+from setuptools import setup
+
+setup()

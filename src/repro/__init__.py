@@ -1,0 +1,70 @@
+"""repro — a Python reproduction of PIBE (ASPLOS 2021).
+
+PIBE: Practical Kernel Control-Flow Hardening with Profile-Guided Indirect
+Branch Elimination (Duta, Giuffrida, Bos, van der Kouwe).
+
+Quickstart::
+
+    from repro import (
+        PibeConfig, PibePipeline, DefenseConfig,
+        build_kernel, lmbench_workload,
+    )
+
+    kernel = build_kernel()
+    pipeline = PibePipeline(kernel)
+    profile = pipeline.profile(lmbench_workload(), iterations=3)
+    build = pipeline.build_variant(
+        PibeConfig.lax(DefenseConfig.all_defenses()), profile
+    )
+
+See ``examples/`` for complete scenarios and ``benchmarks/`` for the
+harnesses regenerating every table of the paper's evaluation.
+"""
+
+from repro.core import (
+    BuildResult,
+    OverheadReport,
+    PibeConfig,
+    PibePipeline,
+    geomean_overhead,
+    overhead,
+)
+from repro.hardening import Defense, DefenseConfig, HardeningPass
+from repro.kernel import DEFAULT_SPEC, KernelSpec, build_kernel, kernel_stats
+from repro.profiling import EdgeProfile, KernelProfiler, lift_profile
+from repro.workloads import (
+    LMBENCH_BENCHMARKS,
+    apachebench_workload,
+    lmbench_workload,
+    measure_benchmark,
+    measure_suite,
+    profile_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BuildResult",
+    "DEFAULT_SPEC",
+    "Defense",
+    "DefenseConfig",
+    "EdgeProfile",
+    "HardeningPass",
+    "KernelProfiler",
+    "KernelSpec",
+    "LMBENCH_BENCHMARKS",
+    "OverheadReport",
+    "PibeConfig",
+    "PibePipeline",
+    "__version__",
+    "apachebench_workload",
+    "build_kernel",
+    "geomean_overhead",
+    "kernel_stats",
+    "lift_profile",
+    "lmbench_workload",
+    "measure_benchmark",
+    "measure_suite",
+    "overhead",
+    "profile_workload",
+]

@@ -1,0 +1,73 @@
+"""Security, size and robustness analyses behind the evaluation tables."""
+
+from repro.analysis.branchstats import (
+    BranchStats,
+    BranchStatsCollector,
+    collect_branch_stats,
+)
+from repro.analysis.diff import FunctionDelta, ModuleDiff, diff_modules
+from repro.analysis.hotspots import (
+    Hotspot,
+    HotspotProfiler,
+    collect_hotspots,
+    format_hotspots,
+)
+from repro.analysis.gadgets import (
+    CandidateStats,
+    EliminationStats,
+    ForwardEdgeCensus,
+    backward_edge_census,
+    candidate_stats,
+    elimination_stats,
+    forward_edge_census,
+    target_count_distribution,
+)
+from repro.analysis.robustness import (
+    OverlapReport,
+    icp_candidates,
+    inline_candidates,
+    workload_overlap,
+)
+from repro.analysis.sizes import (
+    MEM_PAGE_BYTES,
+    SizeReport,
+    mem_size_bytes,
+    peak_stack_bytes,
+    size_report,
+    slab_size_bytes,
+    text_size_bytes,
+)
+from repro.analysis.stack import StackUsageTracker
+
+__all__ = [
+    "BranchStats",
+    "BranchStatsCollector",
+    "CandidateStats",
+    "EliminationStats",
+    "ForwardEdgeCensus",
+    "FunctionDelta",
+    "Hotspot",
+    "HotspotProfiler",
+    "MEM_PAGE_BYTES",
+    "ModuleDiff",
+    "OverlapReport",
+    "SizeReport",
+    "StackUsageTracker",
+    "backward_edge_census",
+    "candidate_stats",
+    "collect_branch_stats",
+    "collect_hotspots",
+    "diff_modules",
+    "elimination_stats",
+    "format_hotspots",
+    "forward_edge_census",
+    "icp_candidates",
+    "inline_candidates",
+    "mem_size_bytes",
+    "peak_stack_bytes",
+    "size_report",
+    "slab_size_bytes",
+    "target_count_distribution",
+    "text_size_bytes",
+    "workload_overlap",
+]

@@ -1,0 +1,99 @@
+"""Dynamic branch statistics: what a run actually executed.
+
+A trace sink collecting the per-operation branch economics the paper's
+analysis reasons about — dynamic calls/returns per op, the *defended*
+fraction of each (the quantity PIBE minimizes), and predictor hit rates.
+Used by diagnostics and by tests asserting the elimination really happens
+at runtime, not just in static censuses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.trace import TraceSink
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+
+
+@dataclass
+class BranchStats:
+    """Aggregated dynamic branch counts."""
+
+    ops: int = 0
+    calls: int = 0
+    icalls: int = 0
+    defended_icalls: int = 0
+    rets: int = 0
+    defended_rets: int = 0
+    ijumps: int = 0
+
+    @property
+    def calls_per_op(self) -> float:
+        return self.calls / self.ops if self.ops else 0.0
+
+    @property
+    def icalls_per_op(self) -> float:
+        return self.icalls / self.ops if self.ops else 0.0
+
+    @property
+    def rets_per_op(self) -> float:
+        return self.rets / self.ops if self.ops else 0.0
+
+    @property
+    def defended_icall_fraction(self) -> float:
+        return self.defended_icalls / self.icalls if self.icalls else 0.0
+
+    @property
+    def defended_ret_fraction(self) -> float:
+        return self.defended_rets / self.rets if self.rets else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.ops} ops: {self.calls_per_op:.1f} calls/op, "
+            f"{self.icalls_per_op:.1f} icalls/op "
+            f"({self.defended_icall_fraction:.0%} defended), "
+            f"{self.rets_per_op:.1f} rets/op "
+            f"({self.defended_ret_fraction:.0%} defended)"
+        )
+
+
+class BranchStatsCollector(TraceSink):
+    """Trace sink feeding a :class:`BranchStats`."""
+
+    def __init__(self) -> None:
+        self.stats = BranchStats()
+
+    def on_run_start(self, entry: str) -> None:
+        self.stats.ops += 1
+
+    def on_call(
+        self, inst: Instruction, caller: Function, callee: Function
+    ) -> None:
+        self.stats.calls += 1
+
+    def on_icall(
+        self, inst: Instruction, caller: Function, callee: Function
+    ) -> None:
+        self.stats.icalls += 1
+        if inst.defense is not None:
+            self.stats.defended_icalls += 1
+
+    def on_ret(self, inst: Instruction, func: Function) -> None:
+        self.stats.rets += 1
+        if inst.defense is not None:
+            self.stats.defended_rets += 1
+
+    def on_ijump(self, inst: Instruction, func: Function) -> None:
+        self.stats.ijumps += 1
+
+
+def collect_branch_stats(module, syscalls, ops=50, seed=5) -> BranchStats:
+    """Run the given syscalls and return their aggregate branch stats."""
+    from repro.engine.interpreter import Interpreter
+
+    collector = BranchStatsCollector()
+    interpreter = Interpreter(module, [collector], seed=seed)
+    for syscall in syscalls:
+        interpreter.run_syscall(syscall, times=ops)
+    return collector.stats

@@ -1,0 +1,125 @@
+"""Module diffing: what did a transformation pipeline actually change?
+
+Compares two images (e.g. the LTO baseline and a PIBE variant) at the
+function and instruction level — the reproduction's analogue of diffing
+``objdump`` outputs, used by the evaluation's size analysis and by the
+``diff`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.ir.module import Module
+
+
+@dataclass
+class FunctionDelta:
+    """Per-function size change between two images."""
+
+    name: str
+    size_before: int
+    size_after: int
+
+    @property
+    def delta(self) -> int:
+        return self.size_after - self.size_before
+
+
+@dataclass
+class ModuleDiff:
+    """Structural difference between two modules."""
+
+    added_functions: List[str] = field(default_factory=list)
+    removed_functions: List[str] = field(default_factory=list)
+    grown: List[FunctionDelta] = field(default_factory=list)
+    shrunk: List[FunctionDelta] = field(default_factory=list)
+    unchanged: int = 0
+    size_before: int = 0
+    size_after: int = 0
+    #: opcode -> (count before, count after)
+    opcode_counts: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: defense tag -> (sites before, sites after)
+    defense_counts: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def size_delta(self) -> int:
+        return self.size_after - self.size_before
+
+    def summary(self) -> str:
+        lines = [
+            f"size: {self.size_before} -> {self.size_after} instructions "
+            f"({self.size_delta:+d})",
+            f"functions: +{len(self.added_functions)} "
+            f"-{len(self.removed_functions)} "
+            f"grown {len(self.grown)} shrunk {len(self.shrunk)} "
+            f"unchanged {self.unchanged}",
+        ]
+        for opcode, (before, after) in sorted(self.opcode_counts.items()):
+            if before != after:
+                lines.append(f"  {opcode:8s} {before} -> {after}")
+        for tag, (before, after) in sorted(self.defense_counts.items()):
+            lines.append(f"  defense {tag}: {before} -> {after}")
+        top = sorted(self.grown, key=lambda d: -d.delta)[:5]
+        if top:
+            lines.append("largest growth:")
+            for delta in top:
+                lines.append(
+                    f"  @{delta.name}: {delta.size_before} -> "
+                    f"{delta.size_after} ({delta.delta:+d})"
+                )
+        return "\n".join(lines)
+
+
+def _opcode_histogram(module: Module) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for inst in module.instructions():
+        counts[inst.opcode.value] = counts.get(inst.opcode.value, 0) + 1
+    return counts
+
+
+def _defense_histogram(module: Module) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for inst in module.instructions():
+        if inst.defense is not None:
+            counts[inst.defense] = counts.get(inst.defense, 0) + 1
+    return counts
+
+
+def diff_modules(before: Module, after: Module) -> ModuleDiff:
+    """Compute the structural diff from ``before`` to ``after``."""
+    result = ModuleDiff(
+        size_before=before.size(), size_after=after.size()
+    )
+    before_names: Set[str] = set(before.functions)
+    after_names: Set[str] = set(after.functions)
+    result.added_functions = sorted(after_names - before_names)
+    result.removed_functions = sorted(before_names - after_names)
+
+    for name in sorted(before_names & after_names):
+        delta = FunctionDelta(
+            name, before.get(name).size(), after.get(name).size()
+        )
+        if delta.delta > 0:
+            result.grown.append(delta)
+        elif delta.delta < 0:
+            result.shrunk.append(delta)
+        else:
+            result.unchanged += 1
+
+    ops_before = _opcode_histogram(before)
+    ops_after = _opcode_histogram(after)
+    for opcode in sorted(set(ops_before) | set(ops_after)):
+        result.opcode_counts[opcode] = (
+            ops_before.get(opcode, 0),
+            ops_after.get(opcode, 0),
+        )
+    tags_before = _defense_histogram(before)
+    tags_after = _defense_histogram(after)
+    for tag in sorted(set(tags_before) | set(tags_after)):
+        result.defense_counts[tag] = (
+            tags_before.get(tag, 0),
+            tags_after.get(tag, 0),
+        )
+    return result

@@ -1,0 +1,139 @@
+"""Per-function cycle attribution — a ``perf report`` for the simulator.
+
+Attributes every cycle the timing model charges to the function whose
+code was executing (self cycles) and to every frame on the call stack
+(total cycles), so you can see *where* a kernel variant spends its time
+and — comparing variants — where a defense's overhead lands. This is the
+tool that makes statements like "most remaining overhead is return
+retpolines in the uaccess primitives" checkable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cpu.costs import DEFAULT_COSTS, CostModel
+from repro.cpu.timing import TimingModel
+from repro.engine.interpreter import Interpreter
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.module import Module
+
+
+class HotspotProfiler(TimingModel):
+    """Timing model that also attributes cycles to functions.
+
+    ``self_cycles[name]`` — cycles charged while ``name``'s own code ran;
+    ``total_cycles[name]`` — cycles charged while ``name`` was anywhere on
+    the call stack (inclusive time).
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        costs: CostModel = DEFAULT_COSTS,
+        model_icache: bool = True,
+    ) -> None:
+        super().__init__(module, costs=costs, model_icache=model_icache)
+        self.self_cycles: Dict[str, float] = {}
+        self.total_cycles: Dict[str, float] = {}
+        self._frames: List[str] = []
+        self._last_cycles = 0.0
+
+    # -- attribution machinery ------------------------------------------------
+
+    def _attribute(self) -> None:
+        delta = self.cycles - self._last_cycles
+        if delta <= 0:
+            return
+        self._last_cycles = self.cycles
+        if not self._frames:
+            return
+        current = self._frames[-1]
+        self.self_cycles[current] = self.self_cycles.get(current, 0.0) + delta
+        for name in set(self._frames):
+            self.total_cycles[name] = self.total_cycles.get(name, 0.0) + delta
+
+    # -- trace hooks: attribute before stack changes ---------------------------
+
+    def on_run_start(self, entry: str) -> None:
+        super().on_run_start(entry)
+        self._attribute()  # kernel-entry charge lands on the caller side
+        self._frames = []
+
+    def on_enter(self, func: Function) -> None:
+        self._attribute()
+        self._frames.append(func.name)
+        super().on_enter(func)
+        self._attribute()
+
+    def on_mix(self, arith, load, store, cmp, fence, br) -> None:
+        super().on_mix(arith, load, store, cmp, fence, br)
+        self._attribute()
+
+    def on_call(self, inst: Instruction, caller, callee) -> None:
+        super().on_call(inst, caller, callee)
+        self._attribute()
+
+    def on_icall(self, inst: Instruction, caller, callee) -> None:
+        super().on_icall(inst, caller, callee)
+        self._attribute()
+
+    def on_ret(self, inst: Instruction, func: Function) -> None:
+        super().on_ret(inst, func)
+        self._attribute()
+        if self._frames:
+            self._frames.pop()
+
+    def on_ijump(self, inst: Instruction, func: Function) -> None:
+        super().on_ijump(inst, func)
+        self._attribute()
+        if not inst.targets and self._frames:
+            self._frames.pop()  # opaque tail transfer leaves the function
+
+
+@dataclass
+class Hotspot:
+    function: str
+    self_cycles: float
+    total_cycles: float
+    self_fraction: float
+
+
+def collect_hotspots(
+    module: Module,
+    syscalls: List[str],
+    ops: int = 40,
+    seed: int = 5,
+    top: Optional[int] = 15,
+    costs: CostModel = DEFAULT_COSTS,
+) -> List[Hotspot]:
+    """Run the given syscalls and return functions ranked by self cycles."""
+    profiler = HotspotProfiler(module, costs=costs)
+    interpreter = Interpreter(module, [profiler], seed=seed)
+    for syscall in syscalls:
+        interpreter.run_syscall(syscall, times=ops)
+    grand_total = max(sum(profiler.self_cycles.values()), 1e-9)
+    spots = [
+        Hotspot(
+            function=name,
+            self_cycles=cycles,
+            total_cycles=profiler.total_cycles.get(name, cycles),
+            self_fraction=cycles / grand_total,
+        )
+        for name, cycles in profiler.self_cycles.items()
+    ]
+    spots.sort(key=lambda h: -h.self_cycles)
+    return spots[:top] if top else spots
+
+
+def format_hotspots(spots: List[Hotspot]) -> str:
+    """Render a ranked hotspot list as an aligned text table."""
+    lines = [f"{'self%':>7s} {'self cyc':>12s} {'total cyc':>12s}  function"]
+    for spot in spots:
+        lines.append(
+            f"{spot.self_fraction:>7.1%} {spot.self_cycles:>12.0f} "
+            f"{spot.total_cycles:>12.0f}  {spot.function}"
+        )
+    return "\n".join(lines)

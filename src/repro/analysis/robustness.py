@@ -1,0 +1,93 @@
+"""Workload-robustness analysis (paper Section 8.4).
+
+Quantifies how much of one workload's optimization-candidate weight a
+*different* training workload would also have selected — the paper reports
+58% shared indirect-call-promotion weight and 67% shared inlining weight
+between the Apache and LMBench workloads at a 99% budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.profiling.profile_data import EdgeProfile
+
+
+def _budget_prefix(
+    weighted_sites: List[Tuple[int, float]], budget: float
+) -> Set[int]:
+    """Site ids in the hottest prefix covering ``budget`` of total weight."""
+    ordered = sorted(weighted_sites, key=lambda sw: (-sw[1], sw[0]))
+    total = sum(w for _, w in ordered)
+    if total <= 0:
+        return set()
+    limit = total * budget
+    prefix: Set[int] = set()
+    cumulative = 0.0
+    for site, weight in ordered:
+        if cumulative >= limit:
+            break
+        prefix.add(site)
+        cumulative += weight
+    return prefix
+
+
+def icp_candidates(profile: EdgeProfile, budget: float) -> Set[int]:
+    """Indirect sites an ICP pass at ``budget`` would touch."""
+    weighted = [
+        (site, float(sum(targets.values())))
+        for site, targets in profile.indirect.items()
+    ]
+    return _budget_prefix(weighted, budget)
+
+
+def inline_candidates(profile: EdgeProfile, budget: float) -> Set[int]:
+    """Direct sites an inlining pass at ``budget`` would consider."""
+    weighted = [(site, float(count)) for site, count in profile.direct.items()]
+    return _budget_prefix(weighted, budget)
+
+
+@dataclass
+class OverlapReport:
+    """Shared candidate weight between a reference and a foreign profile."""
+
+    budget: float
+    icp_shared_weight_fraction: float
+    inline_shared_weight_fraction: float
+    icp_shared_sites: int
+    inline_shared_sites: int
+
+
+def workload_overlap(
+    reference: EdgeProfile, other: EdgeProfile, budget: float = 0.99
+) -> OverlapReport:
+    """Fraction of the reference workload's candidate weight that the other
+    workload's candidate set covers (the paper's 58% / 67% experiment)."""
+    ref_icp = icp_candidates(reference, budget)
+    oth_icp = icp_candidates(other, budget)
+    ref_inline = inline_candidates(reference, budget)
+    oth_inline = inline_candidates(other, budget)
+
+    def shared_weight(
+        ref_sites: Set[int], other_sites: Set[int], weights: Dict[int, float]
+    ) -> float:
+        total = sum(weights.get(s, 0.0) for s in ref_sites)
+        if total <= 0:
+            return 0.0
+        shared = sum(weights.get(s, 0.0) for s in ref_sites & other_sites)
+        return shared / total
+
+    icp_weights = {
+        site: float(sum(t.values())) for site, t in reference.indirect.items()
+    }
+    inline_weights = {s: float(c) for s, c in reference.direct.items()}
+    return OverlapReport(
+        budget=budget,
+        icp_shared_weight_fraction=shared_weight(ref_icp, oth_icp, icp_weights),
+        inline_shared_weight_fraction=shared_weight(
+            ref_inline, oth_inline, inline_weights
+        ),
+        icp_shared_sites=len(ref_icp & oth_icp),
+        inline_shared_sites=len(ref_inline & oth_inline),
+    )

@@ -1,0 +1,54 @@
+"""Runtime stack-usage observer.
+
+Tracks the live sum of stack frame sizes along the execution path — the
+quantity PIBE's Rule 2 protects: merging too many frames via inlining
+makes hot functions allocate large frames of which each invocation uses
+only a fragment (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from repro.engine.trace import TraceSink
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+
+
+class StackUsageTracker(TraceSink):
+    """Records peak and average stack depth (bytes) across a run."""
+
+    def __init__(self) -> None:
+        self.current_bytes = 0
+        self.peak_bytes = 0
+        self._depth_samples = 0
+        self._depth_total = 0
+        self.max_frames = 0
+        self._frames = 0
+
+    def on_enter(self, func: Function) -> None:
+        self.current_bytes += func.stack_frame_size
+        self._frames += 1
+        if self.current_bytes > self.peak_bytes:
+            self.peak_bytes = self.current_bytes
+        if self._frames > self.max_frames:
+            self.max_frames = self._frames
+        self._depth_total += self.current_bytes
+        self._depth_samples += 1
+
+    def on_ret(self, inst: Instruction, func: Function) -> None:
+        self.current_bytes = max(0, self.current_bytes - func.stack_frame_size)
+        self._frames = max(0, self._frames - 1)
+
+    def on_ijump(self, inst: Instruction, func: Function) -> None:
+        # Opaque tail transfer leaves the function like a return does.
+        if not inst.targets:
+            self.on_ret(inst, func)
+
+    def on_run_start(self, entry: str) -> None:
+        self.current_bytes = 0
+        self._frames = 0
+
+    @property
+    def mean_bytes(self) -> float:
+        if not self._depth_samples:
+            return 0.0
+        return self._depth_total / self._depth_samples

@@ -1,0 +1,37 @@
+"""Comparison baselines: JumpSwitches and RSB refilling."""
+
+from repro.baselines.eibrs import (
+    BTBPoisoningOrigin,
+    EIBRS_MATRIX,
+    EIBRSTimingModel,
+    EIBRSVerdict,
+    eibrs_blocks,
+    simulate_eibrs_poisoning,
+)
+from repro.baselines.jumpswitches import (
+    JumpSwitchParams,
+    JumpSwitchTimingModel,
+)
+from repro.baselines.rsb_refill import (
+    REFILL_COST_CYCLES,
+    RSBAttackScenario,
+    SCENARIO_MATRIX,
+    ScenarioOutcome,
+    simulate_refill_scenario,
+)
+
+__all__ = [
+    "BTBPoisoningOrigin",
+    "EIBRSTimingModel",
+    "EIBRSVerdict",
+    "EIBRS_MATRIX",
+    "JumpSwitchParams",
+    "JumpSwitchTimingModel",
+    "REFILL_COST_CYCLES",
+    "RSBAttackScenario",
+    "SCENARIO_MATRIX",
+    "ScenarioOutcome",
+    "eibrs_blocks",
+    "simulate_eibrs_poisoning",
+    "simulate_refill_scenario",
+]

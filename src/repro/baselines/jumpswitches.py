@@ -1,0 +1,139 @@
+"""JumpSwitches baseline (Amit et al., ATC'19) — paper Section 8.2.
+
+JumpSwitches replace retpolines with *runtime* indirect-call promotion:
+each call site learns its frequent targets and is live-patched into a
+compare-and-direct-call chain; targets outside the learned set fall back
+to a retpoline. Multi-target sites must periodically be downgraded into a
+*learning* retpoline that re-observes targets — the effect the paper
+identifies as JumpSwitches' weakness on LMBench's multi-target call paths
+(Table 4), on top of live-patching synchronization costs (RCU stalls).
+
+We model the mechanism as a timing-level state machine layered on a
+retpolines-hardened kernel: the static image is identical (all icalls
+carry the retpoline tag and remain Spectre-V2 protected), but the dynamic
+cost of each defended indirect call follows the learn/patch/relearn
+life cycle instead of a flat retpoline charge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.cpu.costs import DEFAULT_COSTS, CostModel
+from repro.cpu.timing import TimingModel
+from repro.hardening.defenses import Defense
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.module import Module
+from repro.ir.types import ATTR_VCALL
+
+
+@dataclass(frozen=True)
+class JumpSwitchParams:
+    """Tunables of the runtime promotion mechanism."""
+
+    #: maximum learned targets patched into the inline chain
+    max_inline_targets: int = 6
+    #: invocations spent in learning mode once entered
+    learning_window: int = 16
+    #: a multi-target site is downgraded to learning every N invocations
+    relearn_period: int = 512
+    #: cycles to live-patch a site (amortized RCU synchronization)
+    patch_cost: float = 180.0
+    #: per-check compare cost in the patched chain
+    check_cost: float = 1.2
+
+
+@dataclass
+class _SiteState:
+    learned: List[str] = field(default_factory=list)
+    learning_left: int = 0
+    invocations: int = 0
+    patches: int = 0
+    fallback_hits: int = 0
+
+
+class JumpSwitchTimingModel(TimingModel):
+    """Timing model with runtime-promoted indirect calls.
+
+    Applies to branches tagged with the retpoline defense (the image
+    JumpSwitches runs on); everything else behaves as the base model.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        costs: CostModel = DEFAULT_COSTS,
+        params: JumpSwitchParams = JumpSwitchParams(),
+        model_icache: bool = True,
+    ) -> None:
+        super().__init__(module, costs=costs, model_icache=model_icache)
+        self.params = params
+        self._sites: Dict[int, _SiteState] = {}
+        self.total_patches = 0
+        self.learning_invocations = 0
+
+    def on_icall(
+        self, inst: Instruction, caller: Function, callee: Function
+    ) -> None:
+        tag = inst.defense
+        if tag != Defense.RETPOLINE.value:
+            super().on_icall(inst, caller, callee)
+            return
+
+        self.counters["icalls"] += 1
+        self.counters["defended_icalls"] += 1
+        c = self.costs
+        p = self.params
+        assert inst.site_id is not None
+        state = self._sites.setdefault(inst.site_id, _SiteState())
+        state.invocations += 1
+        if bool(inst.attrs.get(ATTR_VCALL)):
+            self.cycles += c.vcall_extra_load
+
+        # Periodic downgrade of multi-target sites into learning mode.
+        if (
+            len(state.learned) > 1
+            and state.learning_left == 0
+            and state.invocations % p.relearn_period == 0
+        ):
+            state.learned.clear()
+            state.learning_left = p.learning_window
+            state.patches += 1
+            self.total_patches += 1
+            self.cycles += p.patch_cost
+
+        target = callee.name
+        if state.learning_left > 0:
+            # Learning retpoline: full retpoline cost while re-observing.
+            self.learning_invocations += 1
+            self.cycles += c.icall_predicted + c.defense_cost(tag)
+            if target not in state.learned:
+                if len(state.learned) >= p.max_inline_targets:
+                    state.learned.pop(0)
+                state.learned.append(target)
+            state.learning_left -= 1
+            if state.learning_left == 0:
+                state.patches += 1
+                self.total_patches += 1
+                self.cycles += p.patch_cost
+        elif target in state.learned:
+            # Patched chain: one compare per entry ahead of the match.
+            position = state.learned.index(target)
+            self.cycles += p.check_cost * (position + 1) + c.call
+        else:
+            # Miss: retpoline fallback, then learn the new target.
+            state.fallback_hits += 1
+            self.cycles += c.icall_predicted + c.defense_cost(tag)
+            if len(state.learned) >= p.max_inline_targets:
+                state.learned.pop(0)
+            state.learned.append(target)
+            state.patches += 1
+            self.total_patches += 1
+            self.cycles += p.patch_cost
+
+        # The call still pushes a return address.
+        token = next(self._tokens)
+        self._call_stack.append(token)
+        self.rsb.push(token)

@@ -1,0 +1,104 @@
+"""RSB refilling — the kernel's ad-hoc return-stack mitigation
+(paper Section 6.4).
+
+On every context switch the kernel stuffs the RSB with benign entries,
+preventing the *next* thread from consuming entries planted by the
+previous one. The paper's analysis, reproduced here: refilling defends
+the cross-context-reuse scenario only; speculative pollution within the
+victim's own context, direct return-address overwrites, and
+call/ret-breaking constructs still land attacker entries on top of the
+refilled stack. Return retpolines close all of these.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.cpu.rsb import RSB
+
+#: cycles to stuff a 16-entry RSB on context switch (Skylake-era estimate)
+REFILL_COST_CYCLES = 40.0
+
+
+class RSBAttackScenario(enum.Enum):
+    """The RSB-poisoning avenues of Section 2.2."""
+
+    CROSS_CONTEXT_REUSE = "cross_context_reuse"
+    SPECULATIVE_POLLUTION = "speculative_pollution"
+    DIRECT_OVERWRITE = "direct_overwrite"
+    CALL_RET_MISMATCH = "call_ret_mismatch"
+    UNDERFLOW_BTB_FALLBACK = "underflow_btb_fallback"
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    scenario: RSBAttackScenario
+    defended_by_refill: bool
+    defended_by_return_retpoline: bool
+    note: str
+
+
+#: The comparison matrix the paper's Section 6.4 argues in prose.
+SCENARIO_MATRIX: Dict[RSBAttackScenario, ScenarioOutcome] = {
+    RSBAttackScenario.CROSS_CONTEXT_REUSE: ScenarioOutcome(
+        RSBAttackScenario.CROSS_CONTEXT_REUSE,
+        defended_by_refill=True,
+        defended_by_return_retpoline=True,
+        note="refill replaces the previous thread's entries",
+    ),
+    RSBAttackScenario.SPECULATIVE_POLLUTION: ScenarioOutcome(
+        RSBAttackScenario.SPECULATIVE_POLLUTION,
+        defended_by_refill=False,
+        defended_by_return_retpoline=True,
+        note="speculatively pushed entries appear after the refill",
+    ),
+    RSBAttackScenario.DIRECT_OVERWRITE: ScenarioOutcome(
+        RSBAttackScenario.DIRECT_OVERWRITE,
+        defended_by_refill=False,
+        defended_by_return_retpoline=True,
+        note="software-stack overwrite desynchronizes regardless of refill",
+    ),
+    RSBAttackScenario.CALL_RET_MISMATCH: ScenarioOutcome(
+        RSBAttackScenario.CALL_RET_MISMATCH,
+        defended_by_refill=False,
+        defended_by_return_retpoline=True,
+        note="setjmp/longjmp-style constructs break call/ret pairing",
+    ),
+    RSBAttackScenario.UNDERFLOW_BTB_FALLBACK: ScenarioOutcome(
+        RSBAttackScenario.UNDERFLOW_BTB_FALLBACK,
+        defended_by_refill=True,
+        defended_by_return_retpoline=True,
+        note="refill was designed for exactly this case, but many "
+        "processor lines never received the ad-hoc patches",
+    ),
+}
+
+
+def simulate_refill_scenario(scenario: RSBAttackScenario) -> bool:
+    """Drive the RSB model through one scenario under refilling; returns
+    ``True`` if the attacker's entry is what the victim return consumes."""
+    rsb = RSB(capacity=16)
+    attacker = -0xBAD
+
+    if scenario == RSBAttackScenario.CROSS_CONTEXT_REUSE:
+        rsb.poison(attacker)       # planted by the previous thread
+        rsb.refill(filler_token=0)  # context switch refill
+        return rsb.peek() == attacker
+    if scenario == RSBAttackScenario.SPECULATIVE_POLLUTION:
+        rsb.refill(filler_token=0)
+        rsb.poison(attacker)        # speculative calls push after refill
+        return rsb.peek() == attacker
+    if scenario == RSBAttackScenario.DIRECT_OVERWRITE:
+        rsb.refill(filler_token=0)
+        rsb.poison(attacker)        # mirrored overwrite of the return slot
+        return rsb.peek() == attacker
+    if scenario == RSBAttackScenario.CALL_RET_MISMATCH:
+        rsb.refill(filler_token=0)
+        rsb.poison(attacker)
+        return rsb.peek() == attacker
+    if scenario == RSBAttackScenario.UNDERFLOW_BTB_FALLBACK:
+        rsb.refill(filler_token=0)  # no underflow after a refill
+        return False
+    raise ValueError(f"unknown scenario {scenario!r}")

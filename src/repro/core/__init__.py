@@ -1,0 +1,26 @@
+"""PIBE's public driver API."""
+
+from repro.core.config import PibeConfig
+from repro.core.pipeline import BuildResult, PibePipeline
+from repro.core.report import (
+    OverheadReport,
+    OverheadRow,
+    build_overhead_report,
+    format_percent,
+    geomean_overhead,
+    geomean_ratio,
+    overhead,
+)
+
+__all__ = [
+    "BuildResult",
+    "OverheadReport",
+    "OverheadRow",
+    "PibeConfig",
+    "PibePipeline",
+    "build_overhead_report",
+    "format_percent",
+    "geomean_overhead",
+    "geomean_ratio",
+    "overhead",
+]

@@ -1,0 +1,132 @@
+"""The PIBE two-phase driver (paper Section 4).
+
+Phase 1 (:meth:`PibePipeline.profile`): run a representative workload on a
+profiling build and collect edge execution counts.
+
+Phase 2 (:meth:`PibePipeline.build_variant`): on a fresh copy of the
+linked module, lift the profile onto the IR, eliminate the hottest
+indirect branches (ICP, then the security-driven inliner), clean up, and
+harden every remaining indirect branch with the requested defenses.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.config import PibeConfig
+from repro.hardening.harden import HardeningPass
+from repro.ir.module import Module
+from repro.ir.validate import validate_module
+from repro.passes.default_inliner import DefaultInliner
+from repro.passes.icp import IndirectCallPromotion
+from repro.passes.inliner import PibeInliner
+from repro.passes.jumptables import LowerSwitches
+from repro.passes.lto import DeadFunctionElimination, SimplifyCFG
+from repro.passes.manager import ModulePass, PassManager
+from repro.profiling.lifting import lift_profile
+from repro.profiling.profile_data import EdgeProfile
+from repro.workloads.base import Workload, profile_workload
+
+
+@dataclass
+class BuildResult:
+    """A built kernel variant plus per-pass reports."""
+
+    config: PibeConfig
+    module: Module
+    reports: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        return self.config.label()
+
+
+class PibePipeline:
+    """Profile-then-optimize driver over a linked baseline module.
+
+    The baseline module is never mutated: every variant is built on a deep
+    copy, so one profile feeds arbitrarily many configurations (the
+    evaluation sweeps budgets and defense combinations from a single
+    profiling run, like the paper's workflow scripts).
+    """
+
+    def __init__(self, baseline: Module) -> None:
+        validate_module(baseline)
+        self.baseline = baseline
+
+    # -- phase 1: profiling -----------------------------------------------------
+
+    def profile(
+        self,
+        workload: Workload,
+        iterations: int = 11,
+        ops_scale: float = 1.0,
+        seed: int = 3,
+    ) -> EdgeProfile:
+        """Run the profiling build and return merged edge counts."""
+        profiling_build = copy.deepcopy(self.baseline)
+        return profile_workload(
+            profiling_build,
+            workload,
+            iterations=iterations,
+            seed=seed,
+            ops_scale=ops_scale,
+        )
+
+    # -- phase 2: optimization + hardening ----------------------------------------
+
+    def build_variant(
+        self,
+        config: PibeConfig,
+        profile: Optional[EdgeProfile] = None,
+        validate: bool = False,
+    ) -> BuildResult:
+        """Produce one kernel variant.
+
+        ``profile`` is required whenever the config enables ICP or
+        inlining. ``validate`` re-verifies the module after every pass
+        (slower; on for tests, off for benchmark sweeps).
+        """
+        if config.optimized and profile is None:
+            raise ValueError(
+                f"config {config.label()!r} needs a profile for its "
+                "optimization budgets"
+            )
+        module = copy.deepcopy(self.baseline)
+
+        passes: List[ModulePass] = [
+            LowerSwitches(
+                allow_jump_tables=not config.defenses.disables_jump_tables
+            )
+        ]
+        if profile is not None and config.optimized:
+            lift_profile(module, profile)
+            if config.icp_budget is not None:
+                passes.append(IndirectCallPromotion(budget=config.icp_budget))
+            if config.inline_budget is not None:
+                if config.use_default_inliner:
+                    passes.append(DefaultInliner(profile=profile))
+                else:
+                    passes.append(
+                        PibeInliner(
+                            profile,
+                            budget=config.inline_budget,
+                            caller_threshold=config.caller_threshold,
+                            callee_threshold=config.callee_threshold,
+                            lax_heuristics=config.lax_heuristics,
+                        )
+                    )
+            passes.append(SimplifyCFG())
+        if config.run_dce:
+            passes.append(DeadFunctionElimination())
+        passes.append(HardeningPass(config.defenses))
+
+        manager = PassManager(validate_after_each=validate)
+        for pass_ in passes:
+            manager.add(pass_)
+        reports = manager.run(module)
+        if not validate:
+            validate_module(module)
+        return BuildResult(config=config, module=module, reports=reports)

@@ -1,0 +1,89 @@
+"""Overhead arithmetic and result containers for the evaluation."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+
+def overhead(value: float, baseline: float) -> float:
+    """Relative overhead (fraction): positive = slower than baseline."""
+    if baseline == 0:
+        raise ZeroDivisionError("baseline measurement is zero")
+    return value / baseline - 1.0
+
+
+def geomean_ratio(ratios: Iterable[float]) -> float:
+    """Geometric mean of ratios (each > 0)."""
+    values = list(ratios)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    log_sum = 0.0
+    for r in values:
+        if r <= 0:
+            raise ValueError(f"non-positive ratio {r} in geometric mean")
+        log_sum += math.log(r)
+    return math.exp(log_sum / len(values))
+
+
+def geomean_overhead(overheads: Iterable[float]) -> float:
+    """Geometric-mean overhead, the paper's summary statistic: computed
+    over ``1 + overhead`` ratios then shifted back."""
+    return geomean_ratio(1.0 + o for o in overheads) - 1.0
+
+
+@dataclass
+class OverheadRow:
+    """One benchmark's latencies and overhead vs baseline."""
+
+    benchmark: str
+    baseline_value: float
+    value: float
+
+    @property
+    def overhead(self) -> float:
+        return overhead(self.value, self.baseline_value)
+
+
+@dataclass
+class OverheadReport:
+    """Per-benchmark overheads of one configuration vs a baseline."""
+
+    config_label: str
+    rows: List[OverheadRow] = field(default_factory=list)
+
+    def add(self, benchmark: str, baseline_value: float, value: float) -> None:
+        self.rows.append(OverheadRow(benchmark, baseline_value, value))
+
+    def overheads(self) -> Dict[str, float]:
+        return {r.benchmark: r.overhead for r in self.rows}
+
+    @property
+    def geomean(self) -> float:
+        return geomean_overhead(r.overhead for r in self.rows)
+
+    def row(self, benchmark: str) -> OverheadRow:
+        for r in self.rows:
+            if r.benchmark == benchmark:
+                return r
+        raise KeyError(benchmark)
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def build_overhead_report(
+    label: str,
+    baseline: Mapping[str, float],
+    measured: Mapping[str, float],
+    order: Optional[Iterable[str]] = None,
+) -> OverheadReport:
+    """Assemble a report from two {benchmark -> value} mappings."""
+    report = OverheadReport(config_label=label)
+    names = list(order) if order is not None else list(baseline)
+    for name in names:
+        report.add(name, baseline[name], measured[name])
+    return report

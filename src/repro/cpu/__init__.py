@@ -1,0 +1,39 @@
+"""Microarchitectural substrate: predictors, caches, timing, attacks."""
+
+from repro.cpu.attacks import (
+    ALL_ATTACKS,
+    ATTACKER_GADGET,
+    AttackOutcome,
+    LVIAttack,
+    Ret2specAttack,
+    SpectreV2Attack,
+    attack_surface,
+)
+from repro.cpu.btb import BTB
+from repro.cpu.costs import DEFAULT_COSTS, NONTRANSIENT_COSTS, CostModel
+from repro.cpu.icache import ICache
+from repro.cpu.mob import MOB, LoadResult
+from repro.cpu.pht import PHT
+from repro.cpu.rsb import RSB
+from repro.cpu.timing import TimingModel, function_footprint_bytes
+
+__all__ = [
+    "ALL_ATTACKS",
+    "ATTACKER_GADGET",
+    "AttackOutcome",
+    "BTB",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "ICache",
+    "LVIAttack",
+    "LoadResult",
+    "MOB",
+    "NONTRANSIENT_COSTS",
+    "PHT",
+    "RSB",
+    "Ret2specAttack",
+    "SpectreV2Attack",
+    "TimingModel",
+    "attack_surface",
+    "function_footprint_bytes",
+]

@@ -1,0 +1,67 @@
+"""Branch Target Buffer model (paper Section 2.2).
+
+A direct-mapped buffer predicting indirect-branch targets, indexed by the
+low bits of the branch address (we use the site id). Entries can alias —
+and, crucially for Spectre V2, the buffer has no notion of privilege or
+process: an attacker can install ("poison") an entry that a victim branch
+aliasing to the same slot will consume speculatively.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class BTB:
+    """Direct-mapped branch target buffer.
+
+    Parameters
+    ----------
+    num_entries:
+        Slot count; site ids are folded modulo this (aliasing included).
+    """
+
+    def __init__(self, num_entries: int = 4096) -> None:
+        if num_entries <= 0:
+            raise ValueError("BTB must have at least one entry")
+        self.num_entries = num_entries
+        self._slots: Dict[int, str] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _index(self, site_id: int) -> int:
+        return site_id % self.num_entries
+
+    def predict(self, site_id: int) -> Optional[str]:
+        """Predicted target for a branch, or ``None`` (cold slot)."""
+        return self._slots.get(self._index(site_id))
+
+    def access(self, site_id: int, actual_target: str) -> bool:
+        """Predict, record hit/miss, train on the actual outcome.
+
+        Returns ``True`` on a correct prediction.
+        """
+        idx = self._index(site_id)
+        predicted = self._slots.get(idx)
+        correct = predicted == actual_target
+        if correct:
+            self.hits += 1
+        else:
+            self.misses += 1
+        self._slots[idx] = actual_target
+        return correct
+
+    def poison(self, site_id: int, attacker_target: str) -> None:
+        """Spectre V2: install an attacker-chosen target in the victim's
+        aliased slot (trainable from another context on real hardware)."""
+        self._slots[self._index(site_id)] = attacker_target
+
+    def flush(self) -> None:
+        self._slots.clear()
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def __repr__(self) -> str:
+        return f"<BTB entries={self.num_entries} hits={self.hits} misses={self.misses}>"

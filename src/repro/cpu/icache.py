@@ -1,0 +1,102 @@
+"""Instruction-cache locality model.
+
+Inlining trades call/return overhead for code growth; past some point the
+hot working set no longer fits the i-cache and performance degrades — the
+diminishing-returns effect behind the paper's Rules 2 and 3 and the size
+measurements of Table 12. We model this at function granularity: an LRU
+set of function footprints charged on entry, with the per-entry charge
+capped (one invocation touches at most its executed path, not the whole
+body of a huge merged function).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict
+
+
+class ICache:
+    """LRU instruction cache over function footprints.
+
+    Parameters
+    ----------
+    capacity_bytes / line_bytes:
+        Geometry (32 KiB / 64 B by default, Skylake L1i).
+    footprint_of:
+        Callback mapping a function name to its code footprint in bytes
+        (resolved lazily and cached).
+    miss_base / miss_per_line / max_lines_charged:
+        Cost shape of a cold entry.
+    """
+
+    def __init__(
+        self,
+        footprint_of: Callable[[str], int],
+        capacity_bytes: int = 32 * 1024,
+        line_bytes: int = 64,
+        miss_base: float = 12.0,
+        miss_per_line: float = 0.8,
+        max_lines_charged: int = 48,
+    ) -> None:
+        if capacity_bytes <= 0 or line_bytes <= 0:
+            raise ValueError("cache geometry must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.line_bytes = line_bytes
+        self.miss_base = miss_base
+        self.miss_per_line = miss_per_line
+        self.max_lines_charged = max_lines_charged
+        self._footprint_of = footprint_of
+        self._footprints: Dict[str, int] = {}
+        self._resident: "OrderedDict[str, int]" = OrderedDict()
+        self._used_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _footprint(self, name: str) -> int:
+        fp = self._footprints.get(name)
+        if fp is None:
+            fp = max(self._footprint_of(name), self.line_bytes)
+            self._footprints[name] = fp
+        return fp
+
+    def enter(self, name: str) -> float:
+        """Charge for entering function ``name``; returns miss cycles."""
+        if name in self._resident:
+            self._resident.move_to_end(name)
+            self.hits += 1
+            return 0.0
+        self.misses += 1
+        footprint = min(self._footprint(name), self.capacity_bytes)
+        while self._used_bytes + footprint > self.capacity_bytes and self._resident:
+            _evicted, size = self._resident.popitem(last=False)
+            self._used_bytes -= size
+            self.evictions += 1
+        self._resident[name] = footprint
+        self._used_bytes += footprint
+        lines = min(
+            footprint // self.line_bytes + 1, self.max_lines_charged
+        )
+        return self.miss_base + self.miss_per_line * lines
+
+    def invalidate(self) -> None:
+        self._resident.clear()
+        self._used_bytes = 0
+
+    @property
+    def resident_bytes(self) -> int:
+        return self._used_bytes
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"<ICache used={self._used_bytes}/{self.capacity_bytes}B "
+            f"hits={self.hits} misses={self.misses}>"
+        )

@@ -1,0 +1,71 @@
+"""Memory Order Buffer model (paper Section 2.2, LVI background).
+
+The MOB predicts store-to-load dependencies and forwards buffered store
+data to dependent loads. LVI abuses exactly this: when a load *faults* (or
+takes a microcode assist), the CPU may transiently serve it stale or
+attacker-planted data from the MOB's internal buffers — including branch
+targets, turning a faulting ``ret``/``call`` load into a transient jump to
+an attacker value. An LFENCE before the consuming branch forces the load
+to retire first, closing the window.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple
+
+
+class LoadResult(NamedTuple):
+    """Outcome of a (possibly faulting) load through the MOB."""
+
+    value: str
+    transient: bool  # True if the value was injected, not architectural
+
+
+class MOB:
+    """Store buffer with store-to-load forwarding and LVI injection."""
+
+    def __init__(self, capacity: int = 56) -> None:
+        self.capacity = capacity
+        self._buffer: Dict[int, str] = {}
+        self.forwards = 0
+        self.injections = 0
+
+    def store(self, address: int, value: str) -> None:
+        if len(self._buffer) >= self.capacity:
+            # Drain the oldest entry to architectural state (we just drop
+            # it; architectural memory is out of scope for the model).
+            self._buffer.pop(next(iter(self._buffer)))
+        self._buffer[address] = value
+
+    def load(
+        self,
+        address: int,
+        architectural_value: str,
+        faulting: bool = False,
+        fenced: bool = False,
+    ) -> LoadResult:
+        """Perform a load.
+
+        A faulting, unfenced load may transiently consume attacker-planted
+        buffer contents (LVI); a fence forces the architectural value.
+        """
+        if fenced:
+            return LoadResult(architectural_value, transient=False)
+        forwarded = self._buffer.get(address)
+        if forwarded is not None:
+            self.forwards += 1
+            if faulting and forwarded != architectural_value:
+                self.injections += 1
+                return LoadResult(forwarded, transient=True)
+            return LoadResult(forwarded, transient=False)
+        return LoadResult(architectural_value, transient=False)
+
+    def plant(self, address: int, attacker_value: str) -> None:
+        """LVI setup: get attacker data into the forwarding buffers."""
+        self.store(address, attacker_value)
+
+    def __repr__(self) -> str:
+        return (
+            f"<MOB entries={len(self._buffer)} forwards={self.forwards} "
+            f"injections={self.injections}>"
+        )

@@ -1,0 +1,58 @@
+"""Pattern History Table model (paper Section 6.1, Spectre V1 background).
+
+Two-bit saturating counters indexed by branch site. PIBE deliberately does
+not defend conditional branches (static analysis handles Spectre V1), so
+the PHT participates in the attack demonstrations but only contributes an
+averaged misprediction charge to timing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class PHT:
+    """Two-bit saturating-counter branch predictor."""
+
+    STRONG_NOT_TAKEN, WEAK_NOT_TAKEN, WEAK_TAKEN, STRONG_TAKEN = range(4)
+
+    def __init__(self, num_entries: int = 16384) -> None:
+        if num_entries <= 0:
+            raise ValueError("PHT must have at least one entry")
+        self.num_entries = num_entries
+        self._counters: Dict[int, int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _index(self, site: int) -> int:
+        return site % self.num_entries
+
+    def predict(self, site: int) -> bool:
+        """Predicted direction (``True`` = taken)."""
+        return self._counters.get(self._index(site), self.WEAK_TAKEN) >= self.WEAK_TAKEN
+
+    def access(self, site: int, taken: bool) -> bool:
+        """Predict, score, and train. Returns prediction correctness."""
+        idx = self._index(site)
+        counter = self._counters.get(idx, self.WEAK_TAKEN)
+        predicted = counter >= self.WEAK_TAKEN
+        correct = predicted == taken
+        if correct:
+            self.hits += 1
+        else:
+            self.misses += 1
+        if taken:
+            counter = min(counter + 1, self.STRONG_TAKEN)
+        else:
+            counter = max(counter - 1, self.STRONG_NOT_TAKEN)
+        self._counters[idx] = counter
+        return correct
+
+    def poison(self, site: int, direction: bool) -> None:
+        """Spectre V1 training: saturate the victim branch's counter."""
+        self._counters[self._index(site)] = (
+            self.STRONG_TAKEN if direction else self.STRONG_NOT_TAKEN
+        )
+
+    def __repr__(self) -> str:
+        return f"<PHT hits={self.hits} misses={self.misses}>"

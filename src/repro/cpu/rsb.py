@@ -1,0 +1,85 @@
+"""Return Stack Buffer model (paper Section 2.2).
+
+A small per-core LIFO of return addresses (typically 16 entries). ``call``
+pushes; ``ret`` pops and predicts. Misprediction sources modelled:
+
+- **underflow** — deep call chains overflow the buffer, so the outermost
+  returns pop an empty (or stale) stack;
+- **poisoning** — an attacker desynchronizes the RSB from the software
+  stack (Ret2spec/SpectreRSB), e.g. via speculative pollution or reuse
+  across contexts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class RSB:
+    """Bounded return-address stack."""
+
+    def __init__(self, capacity: int = 16) -> None:
+        if capacity <= 0:
+            raise ValueError("RSB capacity must be positive")
+        self.capacity = capacity
+        self._stack: List[int] = []
+        self.hits = 0
+        self.misses = 0
+        self.underflows = 0
+        self.overflow_drops = 0
+
+    def push(self, return_token: int) -> None:
+        """A call executed; push its return address token."""
+        if len(self._stack) >= self.capacity:
+            # Oldest entry falls off the bottom (circular buffer).
+            del self._stack[0]
+            self.overflow_drops += 1
+        self._stack.append(return_token)
+
+    def pop_predict(self, actual_token: int) -> bool:
+        """A return executed; predict from the top of the stack.
+
+        Returns ``True`` if the prediction matches the actual return.
+        """
+        if not self._stack:
+            self.underflows += 1
+            self.misses += 1
+            return False
+        predicted = self._stack.pop()
+        if predicted == actual_token:
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def pop_silent(self) -> Optional[int]:
+        """Pop without scoring — used for defended returns that bypass RSB
+        prediction but still consume stack alignment."""
+        return self._stack.pop() if self._stack else None
+
+    def peek(self) -> Optional[int]:
+        return self._stack[-1] if self._stack else None
+
+    def poison(self, attacker_token: int) -> None:
+        """Ret2spec: plant an attacker-controlled entry on top."""
+        if len(self._stack) >= self.capacity:
+            del self._stack[0]
+        self._stack.append(attacker_token)
+
+    def refill(self, filler_token: int = -1) -> None:
+        """Kernel RSB-refilling mitigation: stuff the buffer with benign
+        entries on context switch (Section 6.4)."""
+        self._stack = [filler_token] * self.capacity
+
+    def flush(self) -> None:
+        self._stack.clear()
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def __repr__(self) -> str:
+        return (
+            f"<RSB depth={len(self._stack)}/{self.capacity} "
+            f"hits={self.hits} misses={self.misses}>"
+        )

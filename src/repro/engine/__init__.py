@@ -1,0 +1,26 @@
+"""Trace-driven IR execution engine."""
+
+from repro.engine.behavior import (
+    LoopState,
+    branch_taken,
+    expected_counts,
+    guard_probabilities,
+    residual_distribution,
+    weighted_choice,
+)
+from repro.engine.interpreter import ExecutionError, ExecutionLimits, Interpreter
+from repro.engine.trace import TraceRecorder, TraceSink
+
+__all__ = [
+    "ExecutionError",
+    "ExecutionLimits",
+    "Interpreter",
+    "LoopState",
+    "TraceRecorder",
+    "TraceSink",
+    "branch_taken",
+    "expected_counts",
+    "guard_probabilities",
+    "residual_distribution",
+    "weighted_choice",
+]

@@ -1,0 +1,110 @@
+"""Stochastic behaviour helpers shared by the interpreter and the ICP pass.
+
+Indirect-call target selection and conditional-branch outcomes are sampled
+from per-instruction ground-truth distributions. Promoted-call guard chains
+(Listing 2) are given the *conditional* probability of matching given that
+no earlier guard matched, so the chain reproduces the original marginal
+target distribution without interpreter special-casing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def weighted_choice(rng: random.Random, dist: Dict[str, int]) -> str:
+    """Pick a key from ``dist`` with probability proportional to its weight."""
+    if not dist:
+        raise ValueError("cannot choose from an empty distribution")
+    total = 0
+    for w in dist.values():
+        if w < 0:
+            raise ValueError("negative weight in distribution")
+        total += w
+    if total <= 0:
+        raise ValueError("distribution has zero total weight")
+    pick = rng.random() * total
+    acc = 0.0
+    last = None
+    for key, weight in dist.items():
+        acc += weight
+        last = key
+        if pick < acc:
+            return key
+    assert last is not None  # floating-point edge: return the final key
+    return last
+
+
+def guard_probabilities(
+    dist: Dict[str, int], promoted: Sequence[str]
+) -> List[Tuple[str, float]]:
+    """Conditional match probability for each guard in a promotion chain.
+
+    For promoted targets ``t1..tk`` (checked in order) over distribution
+    ``dist``, guard ``i`` matches with probability
+    ``w_i / (total - w_1 - ... - w_{i-1})``.
+    """
+    total = float(sum(dist.values()))
+    if total <= 0:
+        raise ValueError("distribution has zero total weight")
+    result: List[Tuple[str, float]] = []
+    remaining = total
+    for target in promoted:
+        weight = float(dist.get(target, 0))
+        p = weight / remaining if remaining > 0 else 0.0
+        result.append((target, min(max(p, 0.0), 1.0)))
+        remaining -= weight
+    return result
+
+
+def residual_distribution(
+    dist: Dict[str, int], promoted: Sequence[str]
+) -> Dict[str, int]:
+    """The target distribution left for the fallback indirect call."""
+    return {t: w for t, w in dist.items() if t not in set(promoted)}
+
+
+def expected_counts(
+    dist: Dict[str, int], invocations: int
+) -> Dict[str, int]:
+    """Expected per-target execution counts over ``invocations`` calls."""
+    total = sum(dist.values())
+    if total <= 0:
+        return {t: 0 for t in dist}
+    return {t: round(invocations * w / total) for t, w in dist.items()}
+
+
+class LoopState:
+    """Per-frame trip-count bookkeeping for deterministic loops."""
+
+    __slots__ = ("counts",)
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+
+    def take_back_edge(self, label: str, trip: int) -> bool:
+        """Whether the loop back-edge at block ``label`` should be taken.
+
+        Returns ``True`` for the first ``trip`` queries, then resets —
+        modelling a loop with a deterministic trip count per entry.
+        """
+        done = self.counts.get(label, 0)
+        if done < trip:
+            self.counts[label] = done + 1
+            return True
+        self.counts[label] = 0
+        return False
+
+
+def branch_taken(
+    rng: random.Random, p_taken: float, loops: Optional[LoopState], label: str, trip: Optional[int]
+) -> bool:
+    """Resolve a conditional branch outcome."""
+    if trip is not None and loops is not None:
+        return loops.take_back_edge(label, trip)
+    if p_taken >= 1.0:
+        return True
+    if p_taken <= 0.0:
+        return False
+    return rng.random() < p_taken

@@ -1,0 +1,248 @@
+"""IR interpreter: executes kernel entry points and streams trace events.
+
+The interpreter is the reproduction's stand-in for running code on real
+hardware. It walks the CFG, samples indirect-call targets and branch
+outcomes from per-instruction behaviour metadata, and notifies trace sinks
+(profiler, timing model) of every control-flow event — the same event
+stream the paper's LBR-based profiler and benchmark harness observe.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional
+
+from repro.engine.behavior import LoopState, branch_taken, weighted_choice
+from repro.engine.trace import TraceSink
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.module import Module
+from repro.ir.types import (
+    ATTR_CASE_WEIGHTS,
+    ATTR_P_TAKEN,
+    ATTR_TARGETS,
+    ATTR_TRIP,
+    Opcode,
+)
+
+
+class ExecutionError(Exception):
+    """Raised when a run violates an interpreter limit or meets bad IR."""
+
+
+class ExecutionLimits:
+    """Safety rails for interpretation."""
+
+    __slots__ = ("max_depth", "max_steps")
+
+    def __init__(self, max_depth: int = 128, max_steps: int = 5_000_000) -> None:
+        self.max_depth = max_depth
+        self.max_steps = max_steps
+
+
+class Interpreter:
+    """Executes module functions, dispatching events to sinks.
+
+    Parameters
+    ----------
+    module:
+        The (possibly transformed/hardened) program.
+    sinks:
+        Trace observers; all receive every event in order.
+    seed:
+        Seed for the behaviour RNG — runs are deterministic per seed.
+    limits:
+        Step/recursion bounds.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        sinks: Iterable[TraceSink] = (),
+        seed: int = 0,
+        limits: Optional[ExecutionLimits] = None,
+        target_stickiness: float = 0.85,
+    ) -> None:
+        self.module = module
+        self.sinks: List[TraceSink] = list(sinks)
+        self.rng = random.Random(seed)
+        self.limits = limits or ExecutionLimits()
+        self._steps = 0
+        # Consecutive invocations of an indirect site tend to hit the same
+        # target (a process reads the same fd type repeatedly); model that
+        # correlation with per-site Markov reuse. The stationary marginal
+        # distribution still matches the site's target weights.
+        if not 0.0 <= target_stickiness < 1.0:
+            raise ValueError("target_stickiness must be in [0, 1)")
+        self.target_stickiness = target_stickiness
+        self._last_target: Dict[int, str] = {}
+
+    def add_sink(self, sink: TraceSink) -> None:
+        self.sinks.append(sink)
+
+    # -- public entry points --------------------------------------------------
+
+    def run_syscall(self, syscall: str, times: int = 1) -> None:
+        """Invoke a syscall handler ``times`` times (one userspace op each)."""
+        handler = self.module.syscalls.get(syscall)
+        if handler is None:
+            raise ExecutionError(f"unknown syscall {syscall!r}")
+        self.run_function(handler, times=times)
+
+    def run_function(self, name: str, times: int = 1) -> None:
+        if name not in self.module:
+            raise ExecutionError(f"unknown function {name!r}")
+        func = self.module.get(name)
+        for _ in range(times):
+            self._steps = 0
+            for sink in self.sinks:
+                sink.on_run_start(name)
+            self._execute(func, depth=0)
+            for sink in self.sinks:
+                sink.on_run_end(name)
+
+    # -- core execution loop -----------------------------------------------------
+
+    def _execute(self, func: Function, depth: int) -> None:
+        if depth > self.limits.max_depth:
+            raise ExecutionError(
+                f"call depth exceeded {self.limits.max_depth} in @{func.name}"
+            )
+        for sink in self.sinks:
+            sink.on_enter(func)
+
+        blocks = func.blocks
+        block = func.entry
+        loops = LoopState()
+        rng = self.rng
+        sinks = self.sinks
+        # straight-line mix accumulators
+        n_arith = n_load = n_store = n_cmp = n_fence = n_br = 0
+
+        def flush() -> None:
+            nonlocal n_arith, n_load, n_store, n_cmp, n_fence, n_br
+            if n_arith or n_load or n_store or n_cmp or n_fence or n_br:
+                for sink in sinks:
+                    sink.on_mix(n_arith, n_load, n_store, n_cmp, n_fence, n_br)
+                n_arith = n_load = n_store = n_cmp = n_fence = n_br = 0
+
+        while True:
+            self._steps += len(block.instructions)
+            if self._steps > self.limits.max_steps:
+                raise ExecutionError(
+                    f"step limit {self.limits.max_steps} exceeded "
+                    f"(runaway loop in @{func.name}?)"
+                )
+            next_label: Optional[str] = None
+            returned = False
+            for inst in block.instructions:
+                op = inst.opcode
+                if op is Opcode.ARITH:
+                    n_arith += 1
+                elif op is Opcode.LOAD:
+                    n_load += 1
+                elif op is Opcode.STORE:
+                    n_store += 1
+                elif op is Opcode.CMP:
+                    n_cmp += 1
+                elif op is Opcode.FENCE:
+                    n_fence += 1
+                elif op is Opcode.CALL:
+                    flush()
+                    callee = self.module.functions.get(inst.callee)
+                    if callee is None:
+                        raise ExecutionError(
+                            f"call to undefined @{inst.callee} "
+                            f"in @{func.name}"
+                        )
+                    for sink in sinks:
+                        sink.on_call(inst, func, callee)
+                    self._execute(callee, depth + 1)
+                elif op is Opcode.ICALL:
+                    flush()
+                    dist = inst.attrs.get(ATTR_TARGETS)
+                    if not dist:
+                        raise ExecutionError(
+                            f"icall without targets in @{func.name}"
+                        )
+                    site = inst.site_id
+                    last = self._last_target.get(site) if site is not None else None
+                    if (
+                        last is not None
+                        and last in dist
+                        and rng.random() < self.target_stickiness
+                    ):
+                        target = last
+                    else:
+                        target = weighted_choice(rng, dist)
+                    if site is not None:
+                        self._last_target[site] = target
+                    callee = self.module.functions.get(target)
+                    if callee is None:
+                        raise ExecutionError(
+                            f"icall resolved to undefined @{target} "
+                            f"in @{func.name}"
+                        )
+                    for sink in sinks:
+                        sink.on_icall(inst, func, callee)
+                    self._execute(callee, depth + 1)
+                elif op is Opcode.RET:
+                    flush()
+                    for sink in sinks:
+                        sink.on_ret(inst, func)
+                    returned = True
+                    break
+                elif op is Opcode.JMP:
+                    next_label = inst.targets[0]
+                    break
+                elif op is Opcode.BR:
+                    n_br += 1
+                    taken = branch_taken(
+                        rng,
+                        inst.attrs.get(ATTR_P_TAKEN, 0.5),
+                        loops,
+                        block.label,
+                        inst.attrs.get(ATTR_TRIP),
+                    )
+                    next_label = inst.targets[0] if taken else inst.targets[1]
+                    break
+                elif op is Opcode.SWITCH:
+                    flush()
+                    next_label = self._pick_case(inst)
+                    break
+                elif op is Opcode.IJUMP:
+                    flush()
+                    for sink in sinks:
+                        sink.on_ijump(inst, func)
+                    if inst.targets:
+                        # jump table: pick a case and continue intra-function
+                        next_label = self._pick_case(inst)
+                    else:
+                        # opaque indirect tail transfer (inline asm)
+                        returned = True
+                    break
+                else:  # pragma: no cover - exhaustive over Opcode
+                    raise ExecutionError(f"unhandled opcode {op!r}")
+            else:
+                # fell off an unterminated block
+                raise ExecutionError(
+                    f"block {block.label!r} in @{func.name} is unterminated"
+                )
+            if returned:
+                return
+            if next_label is None:
+                raise ExecutionError(
+                    f"terminator of {block.label!r} in @{func.name} "
+                    "yielded no successor"
+                )
+            block = blocks[next_label]
+
+    def _pick_case(self, inst: Instruction) -> str:
+        weights = inst.attrs.get(ATTR_CASE_WEIGHTS)
+        if weights:
+            dist = {
+                label: int(w * 1000) + 1
+                for label, w in zip(inst.targets, weights)
+            }
+            return weighted_choice(self.rng, dist)
+        return self.rng.choice(list(inst.targets))

@@ -1,0 +1,82 @@
+"""Execution-trace observer interface.
+
+The interpreter streams events to any number of sinks instead of building a
+trace in memory: the profiler (:mod:`repro.profiling`) and the cycle-level
+timing model (:mod:`repro.cpu.timing`) are both sinks, mirroring how the
+paper's profiling binary and benchmark runs consume the same execution.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+
+
+class TraceSink:
+    """Base sink: all callbacks default to no-ops; override what you need."""
+
+    def on_enter(self, func: Function) -> None:
+        """A function body is entered (call target or entry invocation)."""
+
+    def on_mix(
+        self, arith: int, load: int, store: int, cmp: int, fence: int, br: int
+    ) -> None:
+        """A batch of straight-line instructions executed."""
+
+    def on_call(
+        self, inst: Instruction, caller: Function, callee: Function
+    ) -> None:
+        """A direct call executed."""
+
+    def on_icall(
+        self, inst: Instruction, caller: Function, callee: Function
+    ) -> None:
+        """An indirect call executed; ``callee`` is the resolved target."""
+
+    def on_ret(self, inst: Instruction, func: Function) -> None:
+        """A return executed in ``func``."""
+
+    def on_ijump(self, inst: Instruction, func: Function) -> None:
+        """An indirect jump (lowered jump table) executed."""
+
+    def on_run_start(self, entry: str) -> None:
+        """A new top-level invocation begins (kernel entry from userspace)."""
+
+    def on_run_end(self, entry: str) -> None:
+        """The top-level invocation returned to userspace."""
+
+
+class TraceRecorder(TraceSink):
+    """Records a full event list — used by tests and debugging only."""
+
+    def __init__(self) -> None:
+        self.events: List[Tuple] = []
+
+    def on_enter(self, func: Function) -> None:
+        self.events.append(("enter", func.name))
+
+    def on_mix(self, arith, load, store, cmp, fence, br) -> None:
+        self.events.append(("mix", arith, load, store, cmp, fence, br))
+
+    def on_call(self, inst, caller, callee) -> None:
+        self.events.append(("call", inst.site_id, caller.name, callee.name))
+
+    def on_icall(self, inst, caller, callee) -> None:
+        self.events.append(("icall", inst.site_id, caller.name, callee.name))
+
+    def on_ret(self, inst, func) -> None:
+        self.events.append(("ret", func.name))
+
+    def on_ijump(self, inst, func) -> None:
+        self.events.append(("ijump", func.name))
+
+    def on_run_start(self, entry: str) -> None:
+        self.events.append(("run_start", entry))
+
+    def on_run_end(self, entry: str) -> None:
+        self.events.append(("run_end", entry))
+
+    def of_kind(self, kind: str) -> List[Tuple]:
+        return [e for e in self.events if e[0] == kind]

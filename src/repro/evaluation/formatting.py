@@ -1,0 +1,65 @@
+"""Plain-text table rendering for the evaluation harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+@dataclass
+class Table:
+    """A titled grid of cells with optional footnotes."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        row = [str(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def to_text(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells: Sequence[str]) -> str:
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        lines = [self.title, "=" * len(self.title), fmt(self.headers)]
+        lines.append("-" * len(lines[-1]))
+        lines.extend(fmt(row) for row in self.rows)
+        for note in self.notes:
+            lines.append(f"* {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_text()
+
+
+def fmt_budget(budget: float) -> str:
+    """Format an optimization budget: 0.99 -> '99%', 0.999999 -> '99.9999%'."""
+    text = f"{budget * 100:.6f}".rstrip("0").rstrip(".")
+    return text + "%"
+
+
+def pct(value: float, digits: int = 1, signed: bool = False) -> str:
+    """Format a fraction as a percentage cell."""
+    sign = "+" if signed and value > 0 else ""
+    return f"{sign}{value * 100:.{digits}f}%"
+
+
+def us(value_cycles_per_op: float, clock_hz: float = 3.7e9) -> str:
+    """Format cycles/op as microseconds at the nominal clock."""
+    return f"{value_cycles_per_op / clock_hz * 1e6:.3f}"
+
+
+def ticks(value: float) -> str:
+    """Format a cycle count as a whole-tick cell (Table 1 style)."""
+    return f"{value:.0f}"

@@ -1,0 +1,155 @@
+"""Evaluation harness: builds, profiles and measures kernel variants with
+caching, so the per-table generators (and the pytest benchmarks wrapping
+them) share one kernel, one profiling run and one measurement per
+configuration.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.baselines.jumpswitches import JumpSwitchParams, JumpSwitchTimingModel
+from repro.core.config import PibeConfig
+from repro.core.pipeline import BuildResult, PibePipeline
+from repro.engine.interpreter import Interpreter
+from repro.hardening.defenses import DefenseConfig
+from repro.kernel.generator import build_kernel
+from repro.kernel.spec import DEFAULT_SPEC, KernelSpec
+from repro.profiling.profile_data import EdgeProfile
+from repro.workloads.apachebench import apachebench_workload
+from repro.workloads.base import Benchmark, measure_benchmark
+from repro.workloads.lmbench import LMBENCH_BENCHMARKS, lmbench_workload
+
+
+@dataclass(frozen=True)
+class EvalSettings:
+    """Scale knobs shared by every experiment."""
+
+    spec: KernelSpec = DEFAULT_SPEC
+    profile_iterations: int = 3
+    profile_ops_scale: float = 1.0
+    measure_ops_scale: float = 0.5
+    seed: int = 7
+
+    @classmethod
+    def fast(cls) -> "EvalSettings":
+        """Reduced scale for tests."""
+        return cls(
+            profile_iterations=1,
+            profile_ops_scale=0.3,
+            measure_ops_scale=0.15,
+        )
+
+
+class EvalContext:
+    """Caches the kernel, profiles, built variants and measurements."""
+
+    def __init__(self, settings: Optional[EvalSettings] = None) -> None:
+        self.settings = settings or EvalSettings()
+        self.kernel = build_kernel(self.settings.spec)
+        self.pipeline = PibePipeline(self.kernel)
+        self._profiles: Dict[str, EdgeProfile] = {}
+        self._variants: Dict[str, BuildResult] = {}
+        self._measurements: Dict[str, Dict[str, float]] = {}
+
+    # -- profiles -----------------------------------------------------------
+
+    def profile(self, workload_name: str = "lmbench") -> EdgeProfile:
+        cached = self._profiles.get(workload_name)
+        if cached is not None:
+            return cached
+        if workload_name == "lmbench":
+            workload = lmbench_workload()
+        elif workload_name == "apache":
+            workload = apachebench_workload()
+        else:
+            raise ValueError(f"unknown workload {workload_name!r}")
+        profile = self.pipeline.profile(
+            workload,
+            iterations=self.settings.profile_iterations,
+            ops_scale=self.settings.profile_ops_scale,
+            seed=self.settings.seed,
+        )
+        self._profiles[workload_name] = profile
+        return profile
+
+    # -- variants -------------------------------------------------------------
+
+    def variant(
+        self, config: PibeConfig, workload_name: str = "lmbench"
+    ) -> BuildResult:
+        key = f"{config.label()}@{workload_name if config.optimized else '-'}"
+        cached = self._variants.get(key)
+        if cached is not None:
+            return cached
+        profile = self.profile(workload_name) if config.optimized else None
+        build = self.pipeline.build_variant(config, profile)
+        self._variants[key] = build
+        return build
+
+    # -- measurements -------------------------------------------------------------
+
+    def measure(
+        self,
+        config: PibeConfig,
+        benches: Sequence[Benchmark] = tuple(LMBENCH_BENCHMARKS),
+        workload_name: str = "lmbench",
+    ) -> Dict[str, float]:
+        """Per-benchmark cycles/op for a configuration (cached)."""
+        bench_key = ",".join(b.name for b in benches)
+        key = f"{config.label()}@{workload_name if config.optimized else '-'}|{bench_key}"
+        cached = self._measurements.get(key)
+        if cached is not None:
+            return cached
+        build = self.variant(config, workload_name)
+        results: Dict[str, float] = {}
+        for bench in benches:
+            ops = max(1, int(bench.default_ops * self.settings.measure_ops_scale))
+            result = measure_benchmark(
+                build.module, bench, ops=ops, seed=self.settings.seed
+            )
+            results[bench.name] = result.cycles_per_op
+        self._measurements[key] = results
+        return results
+
+    def measure_jumpswitches(
+        self,
+        benches: Sequence[Benchmark] = tuple(LMBENCH_BENCHMARKS),
+        params: JumpSwitchParams = JumpSwitchParams(),
+    ) -> Dict[str, float]:
+        """JumpSwitches baseline: retpolines image, runtime promotion."""
+        bench_key = ",".join(b.name for b in benches)
+        key = f"jumpswitches|{bench_key}"
+        cached = self._measurements.get(key)
+        if cached is not None:
+            return cached
+        build = self.variant(
+            PibeConfig.hardened(DefenseConfig.retpolines_only())
+        )
+        results: Dict[str, float] = {}
+        for bench in benches:
+            ops = max(1, int(bench.default_ops * self.settings.measure_ops_scale))
+            timing = JumpSwitchTimingModel(build.module, params=params)
+            interpreter = Interpreter(
+                build.module, [timing], seed=self.settings.seed
+            )
+            bench.run(interpreter, ops=ops)
+            results[bench.name] = timing.cycles / ops
+        self._measurements[key] = results
+        return results
+
+    # -- common baselines ---------------------------------------------------------
+
+    def lto_measurements(
+        self, benches: Sequence[Benchmark] = tuple(LMBENCH_BENCHMARKS)
+    ) -> Dict[str, float]:
+        return self.measure(PibeConfig.lto_baseline(), benches)
+
+
+@functools.lru_cache(maxsize=2)
+def get_context(fast: bool = False) -> EvalContext:
+    """Process-wide shared context (benchmarks in one pytest session reuse
+    the same kernel/profile/measurement caches)."""
+    return EvalContext(EvalSettings.fast() if fast else EvalSettings())

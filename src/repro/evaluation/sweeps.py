@@ -1,0 +1,90 @@
+"""Budget-sweep utility: the overhead-vs-budget curve behind Table 5.
+
+``budget_sweep`` measures a defense configuration across an arbitrary
+grid of optimization budgets — the tool a user reaches for when picking a
+budget for their own workload (the paper's Section 5.2 notes no single
+threshold is uniformly optimal across kernel paths, which is exactly what
+the per-bench columns of the sweep expose).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import PibeConfig
+from repro.core.report import build_overhead_report
+from repro.evaluation.formatting import Table, fmt_budget, pct
+from repro.evaluation.harness import EvalContext
+from repro.hardening.defenses import DefenseConfig
+from repro.workloads.base import Benchmark
+from repro.workloads.lmbench import LMBENCH_BENCHMARKS
+
+#: The grid the paper's evaluation spans.
+DEFAULT_BUDGETS = (0.9, 0.99, 0.999, 0.9999, 0.999999)
+
+
+@dataclass
+class SweepPoint:
+    budget: float
+    geomean: float
+    overheads: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class SweepResult:
+    defenses_label: str
+    baseline_geomean: float  # unoptimized overhead for reference
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def geomeans(self) -> Dict[float, float]:
+        return {p.budget: p.geomean for p in self.points}
+
+    def to_table(self) -> Table:
+        table = Table(
+            f"Budget sweep: {self.defenses_label}",
+            ["budget", "geomean overhead"],
+            notes=[
+                f"unoptimized reference: {pct(self.baseline_geomean)}"
+            ],
+        )
+        for point in self.points:
+            table.add_row(fmt_budget(point.budget), pct(point.geomean))
+        return table
+
+
+def budget_sweep(
+    ctx: EvalContext,
+    defenses: DefenseConfig,
+    budgets: Sequence[float] = DEFAULT_BUDGETS,
+    benches: Optional[Sequence[Benchmark]] = None,
+    lax_heuristics: bool = False,
+) -> SweepResult:
+    """Measure geomean overhead at each budget (ICP and inlining swept
+    together, as in Table 5)."""
+    benches = tuple(benches) if benches is not None else tuple(LMBENCH_BENCHMARKS)
+    lto = ctx.lto_measurements(benches)
+    unopt = build_overhead_report(
+        "unopt", lto, ctx.measure(PibeConfig.hardened(defenses), benches)
+    ).geomean
+    result = SweepResult(
+        defenses_label=defenses.label(), baseline_geomean=unopt
+    )
+    for budget in budgets:
+        config = PibeConfig.hardened(
+            defenses,
+            icp_budget=budget,
+            inline_budget=budget,
+            lax_heuristics=lax_heuristics,
+        )
+        report = build_overhead_report(
+            config.label(), lto, ctx.measure(config, benches)
+        )
+        result.points.append(
+            SweepPoint(
+                budget=budget,
+                geomean=report.geomean,
+                overheads=report.overheads(),
+            )
+        )
+    return result

@@ -1,0 +1,197 @@
+"""Reproduction scorecard: measured results vs the paper's reference
+values, with explicit tolerance semantics.
+
+Every expectation states what the paper reports, what band we accept
+(the substrate is a simulator — see docs/calibration.md), and how the
+measured value is extracted from a table result. ``validate_all`` runs
+the full evaluation and grades it; ``generate_report.py`` can append the
+scorecard, and a test asserts the reproduction stays within bands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.evaluation.formatting import Table, pct
+from repro.evaluation.harness import EvalContext
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """One paper claim and the band we accept for it."""
+
+    name: str
+    paper_value: float
+    low: float
+    high: float
+    extract: Callable[[EvalContext], float]
+    unit: str = "fraction"
+
+    def check(self, ctx: EvalContext) -> "ExpectationResult":
+        measured = self.extract(ctx)
+        return ExpectationResult(
+            expectation=self,
+            measured=measured,
+            passed=self.low <= measured <= self.high,
+        )
+
+
+@dataclass
+class ExpectationResult:
+    expectation: Expectation
+    measured: float
+    passed: bool
+
+
+def _fmt(value: float, unit: str) -> str:
+    return pct(value) if unit == "fraction" else f"{value:.1f}"
+
+
+# -- extraction helpers (lazy imports keep module load light) -----------------
+
+
+def _table5_geomean(column: str):
+    def extract(ctx: EvalContext) -> float:
+        from repro.evaluation.tables import table5
+
+        return table5(ctx).geomeans[column]
+
+    return extract
+
+
+def _table6_geomean(row: str, side: str):
+    def extract(ctx: EvalContext) -> float:
+        from repro.evaluation.tables import table6
+
+        result = table6(ctx)
+        values = (
+            result.lto_geomeans if side == "lto" else result.pibe_geomeans
+        )
+        return values[row]
+
+    return extract
+
+
+def _table3_geomean(column: str):
+    def extract(ctx: EvalContext) -> float:
+        from repro.evaluation.tables import table3
+
+        return table3(ctx).geomeans[column]
+
+    return extract
+
+
+def _robustness(attr: str):
+    def extract(ctx: EvalContext) -> float:
+        from repro.evaluation.tables import robustness
+
+        return getattr(robustness(ctx), attr)
+
+    return extract
+
+
+def _ticks(config_label: str, kind: str):
+    def extract(ctx: EvalContext) -> float:
+        from repro.workloads.microbench import measure_ticks
+        from repro.evaluation.tables import TABLE1_CONFIGS
+
+        config = dict(TABLE1_CONFIGS)[config_label]
+        return measure_ticks(config, kind, iterations=500)
+
+    return extract
+
+
+#: The reproduction's headline claims. Bands are wide enough to absorb
+#: simulator-vs-silicon differences but tight enough that a broken
+#: algorithm fails them (full-scale settings assumed).
+EXPECTATIONS: List[Expectation] = [
+    Expectation(
+        "Table 1: retpoline icall ticks",
+        paper_value=21.0, low=19.0, high=23.0,
+        extract=_ticks("retpolines", "icall"), unit="ticks",
+    ),
+    Expectation(
+        "Table 1: return retpoline ticks",
+        paper_value=16.0, low=14.0, high=18.0,
+        extract=_ticks("return retpolines", "dcall"), unit="ticks",
+    ),
+    Expectation(
+        "Table 5: all defenses, no optimization",
+        paper_value=1.491, low=1.0, high=2.6,
+        extract=_table5_geomean("no opt"),
+    ),
+    Expectation(
+        "Table 5: all defenses, lax heuristics",
+        paper_value=0.106, low=0.02, high=0.25,
+        extract=_table5_geomean("lax heuristics"),
+    ),
+    Expectation(
+        "Table 3: unoptimized retpolines",
+        paper_value=0.202, low=0.08, high=0.40,
+        extract=_table3_geomean("retpolines"),
+    ),
+    Expectation(
+        "Table 3: retpolines + icp 99.999%",
+        paper_value=0.013, low=-0.06, high=0.08,
+        extract=_table3_geomean("icp 99.999%"),
+    ),
+    Expectation(
+        "Table 6: PGO-only speedup",
+        paper_value=-0.066, low=-0.20, high=-0.01,
+        extract=_table6_geomean("None", "pibe"),
+    ),
+    Expectation(
+        "Table 6: LVI-CFI unoptimized",
+        paper_value=0.619, low=0.35, high=1.0,
+        extract=_table6_geomean("LVI-CFI", "lto"),
+    ),
+    Expectation(
+        "Sec 8.4: Apache-trained overhead",
+        paper_value=0.225, low=0.08, high=0.60,
+        extract=_robustness("mismatched_geomean"),
+    ),
+    Expectation(
+        "Sec 8.4: default-inliner overhead",
+        paper_value=1.002, low=0.25, high=2.0,
+        extract=_robustness("default_inliner_geomean"),
+    ),
+]
+
+
+@dataclass
+class Scorecard:
+    results: List[ExpectationResult]
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for r in self.results if r.passed)
+
+    @property
+    def all_passed(self) -> bool:
+        return self.passed == len(self.results)
+
+    def to_table(self) -> Table:
+        table = Table(
+            f"Reproduction scorecard: {self.passed}/{len(self.results)} "
+            "within band",
+            ["claim", "paper", "band", "measured", "ok"],
+        )
+        for result in self.results:
+            exp = result.expectation
+            table.add_row(
+                exp.name,
+                _fmt(exp.paper_value, exp.unit),
+                f"[{_fmt(exp.low, exp.unit)}, {_fmt(exp.high, exp.unit)}]",
+                _fmt(result.measured, exp.unit),
+                "yes" if result.passed else "NO",
+            )
+        return table
+
+
+def validate_all(
+    ctx: EvalContext, expectations: Optional[List[Expectation]] = None
+) -> Scorecard:
+    """Evaluate every expectation (reusing the context's caches)."""
+    expectations = expectations if expectations is not None else EXPECTATIONS
+    return Scorecard([exp.check(ctx) for exp in expectations])

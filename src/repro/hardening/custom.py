@@ -1,0 +1,167 @@
+"""Custom defense registration (paper Sections 6 and 6.3).
+
+PIBE "is not limited to these defenses and applies to all defenses that
+have high overheads" — the paper explicitly suggests precise high-overhead
+research defenses such as path-sensitive CFI. This module is that
+extension point: register a defense with its per-branch cycle cost, static
+expansion and protection properties, and the whole pipeline (hardening,
+timing, size model, attack census) picks it up.
+
+Example — a path-sensitive CFI that checks a hash of the taken path on
+every indirect transfer::
+
+    pscfi_fwd = CustomDefense(
+        name="pscfi_fwd", kind="forward", cycles=35.0,
+        site_expansion_units=4,
+        protects={"spectre_v2", "lvi"},
+    )
+    pscfi_ret = CustomDefense(
+        name="pscfi_ret", kind="backward", cycles=28.0,
+        site_expansion_units=4,
+        protects={"ret2spec", "lvi"},
+    )
+    register_defense(pscfi_fwd)
+    register_defense(pscfi_ret)
+    CustomHardeningPass(forward=pscfi_fwd, backward=pscfi_ret).run(module)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional
+
+from repro.hardening.harden import HardenReport
+from repro.ir.module import Module
+from repro.ir.types import ATTR_ASM_SITE, FunctionAttr, Opcode
+from repro.passes.manager import ModulePass
+
+#: Attack vectors a defense can protect against (must match
+#: :data:`repro.cpu.attacks.ALL_ATTACKS` vector names).
+KNOWN_VECTORS = frozenset({"spectre_v2", "ret2spec", "lvi"})
+
+
+@dataclass(frozen=True)
+class CustomDefense:
+    """A user-defined per-branch defense lowering."""
+
+    #: unique tag recorded on protected instructions
+    name: str
+    #: "forward" (icalls/ijumps) or "backward" (returns)
+    kind: str
+    #: flat extra cycles per protected branch
+    cycles: float
+    #: static lowered-instruction growth per protected site
+    site_expansion_units: int = 0
+    #: attack vectors this lowering defeats
+    protects: FrozenSet[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("forward", "backward"):
+            raise ValueError(f"kind must be forward/backward, got {self.kind!r}")
+        unknown = set(self.protects) - KNOWN_VECTORS
+        if unknown:
+            raise ValueError(f"unknown attack vectors: {sorted(unknown)}")
+        if self.cycles < 0:
+            raise ValueError("cycles must be non-negative")
+
+
+_REGISTRY: Dict[str, CustomDefense] = {}
+
+
+def register_defense(defense: CustomDefense) -> CustomDefense:
+    """Add a defense to the global registry (idempotent per name+spec)."""
+    existing = _REGISTRY.get(defense.name)
+    if existing is not None and existing != defense:
+        raise ValueError(
+            f"defense {defense.name!r} already registered with a "
+            "different specification"
+        )
+    _REGISTRY[defense.name] = defense
+    return defense
+
+
+def registered_defense(name: str) -> Optional[CustomDefense]:
+    """Look up a registered defense by tag name."""
+    return _REGISTRY.get(name)
+
+
+def clear_registry() -> None:
+    """Remove all custom defenses (test isolation)."""
+    _REGISTRY.clear()
+
+
+def custom_defense_cost(tag: str) -> Optional[float]:
+    """Cycle cost of a registered custom defense tag, if any."""
+    defense = _REGISTRY.get(tag)
+    return defense.cycles if defense is not None else None
+
+
+def custom_expansion_units(tag: str) -> Optional[int]:
+    """Static expansion units of a registered custom defense tag."""
+    defense = _REGISTRY.get(tag)
+    return defense.site_expansion_units if defense is not None else None
+
+
+def custom_tag_protects(tag: str, vector: str) -> bool:
+    """Whether a registered custom tag defeats the given attack vector."""
+    defense = _REGISTRY.get(tag)
+    return defense is not None and vector in defense.protects
+
+
+class CustomHardeningPass(ModulePass):
+    """Tag branches with registered custom defenses.
+
+    Same coverage rules as the stock :class:`HardeningPass`: inline-asm
+    functions and asm sites cannot be instrumented on the forward edge;
+    boot-only returns are exempt.
+    """
+
+    name = "custom-hardening"
+
+    def __init__(
+        self,
+        forward: Optional[CustomDefense] = None,
+        backward: Optional[CustomDefense] = None,
+    ) -> None:
+        if forward is not None and forward.kind != "forward":
+            raise ValueError("forward defense must have kind='forward'")
+        if backward is not None and backward.kind != "backward":
+            raise ValueError("backward defense must have kind='backward'")
+        for defense in (forward, backward):
+            if defense is not None and registered_defense(defense.name) is None:
+                register_defense(defense)
+        self.forward = forward
+        self.backward = backward
+
+    def run(self, module: Module) -> HardenReport:
+        label = "+".join(
+            d.name for d in (self.forward, self.backward) if d is not None
+        )
+        report = HardenReport(config_label=label or "custom-none")
+        for func in module:
+            instrumentable = func.is_instrumentable
+            boot_only = func.has_attr(FunctionAttr.BOOT_ONLY)
+            for inst in func.instructions():
+                if inst.opcode == Opcode.ICALL:
+                    asm_site = bool(inst.attrs.get(ATTR_ASM_SITE))
+                    if instrumentable and not asm_site and self.forward:
+                        inst.defense = self.forward.name
+                        report.protected_icalls += 1
+                    else:
+                        report.vulnerable_icalls += 1
+                elif inst.opcode == Opcode.RET:
+                    if boot_only:
+                        report.boot_only_rets += 1
+                    elif self.backward:
+                        inst.defense = self.backward.name
+                        report.protected_rets += 1
+                    else:
+                        report.vulnerable_rets += 1
+                elif inst.opcode == Opcode.IJUMP:
+                    if instrumentable and self.forward and inst.targets:
+                        inst.defense = self.forward.name
+                        report.protected_ijumps += 1
+                    else:
+                        report.vulnerable_ijumps += 1
+        module.metadata["custom_defenses"] = label
+        return report

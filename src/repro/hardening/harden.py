@@ -1,0 +1,108 @@
+"""The hardening pass: tag every remaining indirect branch with its defense.
+
+Runs after PIBE's elimination passes (Section 4): whatever indirect calls
+and returns are still present get the lowering selected by the
+:class:`~repro.hardening.defenses.DefenseConfig`. The pass reproduces the
+paper's coverage gaps faithfully (Section 8.6):
+
+- inline-assembly functions (the paravirt hypercall layer) cannot be
+  auto-instrumented — their indirect calls stay vulnerable (Table 11);
+- boot-only returns are exempt: code that only runs during early boot is
+  not attackable past that stage;
+- indirect jumps surviving jump-table disabling (again inline asm) stay
+  vulnerable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.hardening.defenses import Defense, DefenseConfig
+from repro.ir.module import Module
+from repro.ir.types import ATTR_ASM_SITE, FunctionAttr, Opcode
+from repro.passes.manager import ModulePass
+
+#: Module metadata key recording the applied configuration.
+METADATA_KEY = "defense_config"
+
+
+@dataclass
+class HardenReport:
+    """Forward/backward edge coverage census (Tables 11 and 12 inputs)."""
+
+    config_label: str = ""
+    protected_icalls: int = 0
+    vulnerable_icalls: int = 0
+    protected_rets: int = 0
+    vulnerable_rets: int = 0
+    boot_only_rets: int = 0
+    vulnerable_ijumps: int = 0
+    protected_ijumps: int = 0
+    #: per-defense-tag count of instrumented sites
+    sites_by_defense: Dict[str, int] = field(default_factory=dict)
+
+    def _bump(self, defense: Defense) -> None:
+        self.sites_by_defense[defense.value] = (
+            self.sites_by_defense.get(defense.value, 0) + 1
+        )
+
+
+class HardeningPass(ModulePass):
+    """Apply a :class:`DefenseConfig` to every instrumentable branch."""
+
+    name = "hardening"
+
+    def __init__(self, config: DefenseConfig) -> None:
+        self.config = config
+
+    def run(self, module: Module) -> HardenReport:
+        report = HardenReport(config_label=self.config.label())
+        fwd = self.config.forward_defense()
+        bwd = self.config.backward_defense()
+
+        for func in module:
+            instrumentable = func.is_instrumentable
+            boot_only = func.has_attr(FunctionAttr.BOOT_ONLY)
+            for inst in func.instructions():
+                if inst.opcode == Opcode.ICALL:
+                    asm_site = bool(inst.attrs.get(ATTR_ASM_SITE))
+                    if instrumentable and not asm_site and fwd is not None:
+                        inst.defense = fwd.value
+                        report.protected_icalls += 1
+                        report._bump(fwd)
+                    else:
+                        report.vulnerable_icalls += 1
+                elif inst.opcode == Opcode.RET:
+                    # Returns are protectable even in assembly functions
+                    # (objtool-style return-thunk patching); only boot-only
+                    # code is exempt (Section 8.6).
+                    if boot_only:
+                        report.boot_only_rets += 1
+                    elif bwd is not None:
+                        inst.defense = bwd.value
+                        report.protected_rets += 1
+                        report._bump(bwd)
+                    else:
+                        report.vulnerable_rets += 1
+                elif inst.opcode == Opcode.IJUMP:
+                    # Jump-table IJUMPs only exist when jump tables were
+                    # allowed (no transient defenses); opaque asm IJUMPs can
+                    # never be instrumented.
+                    if instrumentable and fwd is not None and inst.targets:
+                        inst.defense = fwd.value
+                        report.protected_ijumps += 1
+                        report._bump(fwd)
+                    else:
+                        report.vulnerable_ijumps += 1
+
+        module.metadata[METADATA_KEY] = self.config
+        return report
+
+
+def applied_config(module: Module) -> DefenseConfig:
+    """The defense configuration a module was hardened with (or none)."""
+    config = module.metadata.get(METADATA_KEY)
+    if isinstance(config, DefenseConfig):
+        return config
+    return DefenseConfig.none()

@@ -1,0 +1,141 @@
+"""Assembly-level lowerings of each defense (paper Listings 4–7).
+
+Two consumers:
+
+- golden tests assert the emitted sequences match the paper's listings;
+- the size model (Table 12) uses per-site expansion units — the extra
+  lowered instructions a defense adds at a branch site — plus shared thunk
+  sizes emitted once per image.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.hardening.defenses import Defense
+from repro.ir.instruction import Instruction
+from repro.ir.types import Opcode
+
+#: x86 sequence of each shared thunk (emitted once per image).
+THUNK_BODIES: Dict[Defense, List[str]] = {
+    Defense.RETPOLINE: [
+        "__llvm_retpoline_r11:",
+        "  callq jump",
+        "loop: pause",
+        "  lfence",
+        "  jmp loop",
+        "  nopl 0x0(%rax)",
+        "jump: mov %r11, (%rsp)",
+        "  retq",
+    ],
+    Defense.LVI_CFI_FWD: [
+        "__x86_indirect_thunk_r11:",
+        "  lfence",
+        "  jmpq *%r11",
+    ],
+    Defense.FENCED_RETPOLINE: [
+        "__llvm_retpoline_r11:",
+        "  callq jump",
+        "loop: pause",
+        "  lfence",
+        "  jmp loop",
+        "  nopl 0x0(%rax)",
+        "jump: mov %r11, (%rsp)",
+        "  notq (%rsp)",
+        "  notq (%rsp)",
+        "  lfence",
+        "  retq",
+    ],
+}
+
+#: Inline sequence substituted at each protected branch site.
+SITE_SEQUENCES: Dict[Defense, List[str]] = {
+    Defense.RETPOLINE: ["call __llvm_retpoline_r11"],
+    Defense.LVI_CFI_FWD: ["call __x86_indirect_thunk_r11"],
+    Defense.FENCED_RETPOLINE: ["call __llvm_retpoline_r11"],
+    # Listing 6: LVI backward-edge hardening replaces the ret.
+    Defense.LVI_CFI_RET: ["pop %rcx", "lfence", "jmpq *%rcx"],
+    # Return retpoline: Listing 4 without the leading call, inlined at the
+    # original location of the return instruction (Section 6.1).
+    Defense.RET_RETPOLINE: [
+        "callq jump",
+        "loop: pause",
+        "  lfence",
+        "  jmp loop",
+        "jump: lea 8(%rsp), %rsp",
+        "  retq",
+    ],
+    Defense.RET_RETPOLINE_LVI: [
+        "callq jump",
+        "loop: pause",
+        "  lfence",
+        "  jmp loop",
+        "jump: lea 8(%rsp), %rsp",
+        "  notq (%rsp)",
+        "  notq (%rsp)",
+        "  lfence",
+        "  retq",
+    ],
+}
+
+#: Per-site static expansion in lowered-instruction units (net of the
+#: instruction replaced). Forward-edge thunk calls replace the indirect
+#: call 1:1; backward-edge sequences are inlined at every return.
+SITE_EXPANSION_UNITS: Dict[Defense, int] = {
+    Defense.RETPOLINE: 0,
+    Defense.LVI_CFI_FWD: 0,
+    Defense.FENCED_RETPOLINE: 0,
+    Defense.LVI_CFI_RET: 2,
+    Defense.RET_RETPOLINE: 5,
+    Defense.RET_RETPOLINE_LVI: 8,
+}
+
+#: Shared thunk sizes in instruction units (once per image).
+THUNK_UNITS: Dict[Defense, int] = {
+    Defense.RETPOLINE: 7,
+    Defense.LVI_CFI_FWD: 2,
+    Defense.FENCED_RETPOLINE: 10,
+}
+
+
+def lower_branch(inst: Instruction) -> List[str]:
+    """Emit the assembly for a (possibly hardened) branch instruction."""
+    tag = inst.defense
+    if tag is None:
+        if inst.opcode == Opcode.ICALL:
+            return ["callq *%r11"]
+        if inst.opcode == Opcode.RET:
+            return ["retq"]
+        if inst.opcode == Opcode.IJUMP:
+            return ["jmpq *%rax"]
+        raise ValueError(f"{inst!r} is not a lowerable branch")
+    return list(SITE_SEQUENCES[Defense(tag)])
+
+
+def site_expansion_units(inst: Instruction) -> int:
+    """Static size growth (instruction units) a branch's defense adds."""
+    tag = inst.defense
+    if tag is None:
+        return 0
+    try:
+        return SITE_EXPANSION_UNITS[Defense(tag)]
+    except ValueError:
+        from repro.hardening.custom import custom_expansion_units
+
+        units = custom_expansion_units(tag)
+        if units is not None:
+            return units
+        raise KeyError(f"unknown defense tag {tag!r}") from None
+
+
+def required_thunks(tags: List[str]) -> List[Defense]:
+    """Shared thunks an image needs given the branch tags present."""
+    needed = []
+    for defense in (
+        Defense.RETPOLINE,
+        Defense.LVI_CFI_FWD,
+        Defense.FENCED_RETPOLINE,
+    ):
+        if defense.value in tags:
+            needed.append(defense)
+    return needed

@@ -1,0 +1,39 @@
+"""Miniature LLVM-like IR: the substrate PIBE's passes operate on."""
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.builder import IRBuilder, build_leaf
+from repro.ir.callgraph import CallEdge, CallGraph
+from repro.ir.clone import InlineResult, clone_function, inline_call
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.module import FunctionPointerTable, Module
+from repro.ir.parser import ParseError, dump_module, parse_instruction, parse_module
+from repro.ir.printer import format_function, format_instruction, format_module
+from repro.ir.types import FunctionAttr, Opcode
+from repro.ir.validate import ValidationError, validate_module
+
+__all__ = [
+    "BasicBlock",
+    "CallEdge",
+    "CallGraph",
+    "Function",
+    "FunctionAttr",
+    "FunctionPointerTable",
+    "IRBuilder",
+    "InlineResult",
+    "Instruction",
+    "Module",
+    "Opcode",
+    "ParseError",
+    "ValidationError",
+    "build_leaf",
+    "clone_function",
+    "dump_module",
+    "format_function",
+    "format_instruction",
+    "format_module",
+    "inline_call",
+    "parse_instruction",
+    "parse_module",
+    "validate_module",
+]

@@ -1,0 +1,76 @@
+"""Basic blocks: labelled straight-line instruction sequences ending in a
+terminator. Successor edges are encoded on the terminator instruction."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.ir.instruction import Instruction
+from repro.ir.types import Opcode
+
+
+class BasicBlock:
+    """A labelled sequence of instructions with a single terminator."""
+
+    __slots__ = ("label", "instructions")
+
+    def __init__(
+        self, label: str, instructions: Optional[Iterable[Instruction]] = None
+    ) -> None:
+        self.label = label
+        self.instructions: List[Instruction] = (
+            list(instructions) if instructions is not None else []
+        )
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        """The block's terminator, or ``None`` if the block is unterminated
+        (legal only mid-construction)."""
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def successors(self) -> Tuple[str, ...]:
+        term = self.terminator
+        if term is None or term.opcode in (Opcode.RET, Opcode.IJUMP):
+            return ()
+        return term.targets
+
+    def body(self) -> List[Instruction]:
+        """All instructions except the terminator."""
+        if self.terminator is not None:
+            return self.instructions[:-1]
+        return list(self.instructions)
+
+    # -- mutation -------------------------------------------------------------
+
+    def append(self, inst: Instruction) -> Instruction:
+        if self.terminator is not None:
+            raise ValueError(
+                f"block {self.label!r} is already terminated; cannot append"
+            )
+        self.instructions.append(inst)
+        return inst
+
+    def replace(self, index: int, new_insts: Iterable[Instruction]) -> None:
+        """Replace the instruction at ``index`` with a sequence."""
+        self.instructions[index : index + 1] = list(new_insts)
+
+    def clone(self, new_label: str) -> "BasicBlock":
+        return BasicBlock(
+            new_label, [inst.clone() for inst in self.instructions]
+        )
+
+    # -- iteration -------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock {self.label} [{len(self.instructions)} insts]>"

@@ -1,0 +1,167 @@
+"""Fluent construction helper for IR functions.
+
+The builder keeps an insertion point (a block) and offers one method per
+opcode, so generator code reads like a linear assembly listing::
+
+    b = IRBuilder(func)
+    b.arith(3)
+    b.load()
+    b.call("vfs_read", num_args=3)
+    b.ret()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.types import (
+    ATTR_ASM_SITE,
+    ATTR_CASE_WEIGHTS,
+    ATTR_FPTR_TABLE,
+    ATTR_P_TAKEN,
+    ATTR_TARGETS,
+    ATTR_TRIP,
+    ATTR_VCALL,
+    Opcode,
+)
+
+
+class IRBuilder:
+    """Appends instructions at a movable insertion point."""
+
+    def __init__(self, func: Function, label: str = "entry") -> None:
+        self.func = func
+        if label in func.blocks:
+            self.block: BasicBlock = func.blocks[label]
+        else:
+            self.block = func.new_block(label)
+
+    # -- insertion point management ---------------------------------------
+
+    def new_block(self, label: str) -> BasicBlock:
+        """Create a new block (without moving the insertion point)."""
+        return self.func.new_block(self.func.unique_label(label))
+
+    def set_block(self, block: BasicBlock) -> None:
+        self.block = block
+
+    def at(self, block: BasicBlock) -> "IRBuilder":
+        self.block = block
+        return self
+
+    # -- straight-line instructions -----------------------------------------
+
+    def _emit(self, inst: Instruction) -> Instruction:
+        return self.block.append(inst)
+
+    def arith(self, count: int = 1) -> None:
+        """Emit ``count`` generic computation instructions."""
+        for _ in range(count):
+            self._emit(Instruction(Opcode.ARITH))
+
+    def cmp(self) -> Instruction:
+        return self._emit(Instruction(Opcode.CMP))
+
+    def load(self, count: int = 1) -> None:
+        for _ in range(count):
+            self._emit(Instruction(Opcode.LOAD))
+
+    def store(self, count: int = 1) -> None:
+        for _ in range(count):
+            self._emit(Instruction(Opcode.STORE))
+
+    def fence(self) -> Instruction:
+        return self._emit(Instruction(Opcode.FENCE))
+
+    def call(self, callee: str, num_args: int = 0) -> Instruction:
+        return self._emit(
+            Instruction(Opcode.CALL, callee=callee, num_args=num_args)
+        )
+
+    def icall(
+        self,
+        targets: Dict[str, int],
+        num_args: int = 0,
+        fptr_table: Optional[str] = None,
+        vcall: bool = False,
+        asm: bool = False,
+    ) -> Instruction:
+        """Emit an indirect call whose ground-truth target distribution is
+        ``targets`` (callee name -> relative weight). ``asm`` marks the
+        site as inline assembly (not hardenable)."""
+        attrs: Dict[str, Any] = {ATTR_TARGETS: dict(targets)}
+        if fptr_table is not None:
+            attrs[ATTR_FPTR_TABLE] = fptr_table
+        if vcall:
+            attrs[ATTR_VCALL] = True
+        if asm:
+            attrs[ATTR_ASM_SITE] = True
+        return self._emit(
+            Instruction(Opcode.ICALL, num_args=num_args, attrs=attrs)
+        )
+
+    # -- terminators --------------------------------------------------------
+
+    def jmp(self, target: str) -> Instruction:
+        return self._emit(Instruction(Opcode.JMP, targets=(target,)))
+
+    def br(
+        self,
+        taken: str,
+        fallthrough: str,
+        p_taken: float = 0.5,
+        trip: Optional[int] = None,
+    ) -> Instruction:
+        """Conditional branch. ``trip`` makes it a deterministic loop
+        back-edge executing the taken path ``trip`` times per entry."""
+        attrs: Dict[str, Any] = {ATTR_P_TAKEN: p_taken}
+        if trip is not None:
+            attrs[ATTR_TRIP] = trip
+        return self._emit(
+            Instruction(Opcode.BR, targets=(taken, fallthrough), attrs=attrs)
+        )
+
+    def switch(
+        self, cases: Sequence[str], weights: Optional[Sequence[float]] = None
+    ) -> Instruction:
+        attrs: Dict[str, Any] = {}
+        if weights is not None:
+            if len(weights) != len(cases):
+                raise ValueError("switch weights must match case count")
+            attrs[ATTR_CASE_WEIGHTS] = list(weights)
+        return self._emit(
+            Instruction(Opcode.SWITCH, targets=tuple(cases), attrs=attrs)
+        )
+
+    def ijump(self) -> Instruction:
+        return self._emit(Instruction(Opcode.IJUMP))
+
+    def ret(self) -> Instruction:
+        return self._emit(Instruction(Opcode.RET))
+
+
+def build_leaf(
+    name: str,
+    work: int = 4,
+    loads: int = 1,
+    stores: int = 1,
+    num_params: int = 1,
+    subsystem: str = "",
+    attrs=None,
+) -> Function:
+    """Construct a simple leaf function: compute, touch memory, return."""
+    func = Function(
+        name,
+        num_params=num_params,
+        subsystem=subsystem,
+        attrs=set(attrs) if attrs else None,
+    )
+    b = IRBuilder(func)
+    b.arith(work)
+    b.load(loads)
+    b.store(stores)
+    b.ret()
+    return func

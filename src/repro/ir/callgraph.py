@@ -1,0 +1,114 @@
+"""Static call graph construction over a module.
+
+Nodes are function names; edges carry the call sites realizing them.
+Indirect edges are derived from each ICALL's ground-truth target set (what
+a points-to analysis would conservatively produce for the real kernel).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, List, NamedTuple, Optional, Set, Tuple
+
+from repro.ir.instruction import Instruction
+from repro.ir.module import Module
+from repro.ir.types import ATTR_TARGETS, Opcode
+
+
+class CallEdge(NamedTuple):
+    """One static call-graph edge."""
+
+    caller: str
+    callee: str
+    site_id: int
+    indirect: bool
+
+
+class CallGraph:
+    """Adjacency view of a module's calls, with reverse edges."""
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self.edges: List[CallEdge] = []
+        #: caller name -> outgoing edges
+        self.out_edges: Dict[str, List[CallEdge]] = defaultdict(list)
+        #: callee name -> incoming edges
+        self.in_edges: Dict[str, List[CallEdge]] = defaultdict(list)
+        #: site id -> (function name, instruction)
+        self.sites: Dict[int, Tuple[str, Instruction]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for func in self.module:
+            for inst in func.call_sites():
+                assert inst.site_id is not None
+                self.sites[inst.site_id] = (func.name, inst)
+                if inst.opcode == Opcode.CALL:
+                    self._add_edge(func.name, inst.callee, inst.site_id, False)
+                else:
+                    for target in inst.attrs.get(ATTR_TARGETS, {}):
+                        self._add_edge(func.name, target, inst.site_id, True)
+
+    def _add_edge(
+        self, caller: str, callee: Optional[str], site_id: int, indirect: bool
+    ) -> None:
+        if callee is None or callee not in self.module:
+            return
+        edge = CallEdge(caller, callee, site_id, indirect)
+        self.edges.append(edge)
+        self.out_edges[caller].append(edge)
+        self.in_edges[callee].append(edge)
+
+    # -- queries -----------------------------------------------------------
+
+    def callees(self, name: str) -> Set[str]:
+        return {e.callee for e in self.out_edges.get(name, ())}
+
+    def callers(self, name: str) -> Set[str]:
+        return {e.caller for e in self.in_edges.get(name, ())}
+
+    def site_location(self, site_id: int) -> Tuple[str, Instruction]:
+        return self.sites[site_id]
+
+    def reachable_from(self, roots: List[str]) -> Set[str]:
+        """Functions transitively reachable from ``roots``."""
+        seen: Set[str] = set()
+        stack = [r for r in roots if r in self.module]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(self.callees(name) - seen)
+        return seen
+
+    def bottom_up_order(self) -> List[str]:
+        """Functions ordered callees-before-callers (SCCs broken by name),
+        the traversal order of LLVM's default inliner (Section 8.4)."""
+        order: List[str] = []
+        state: Dict[str, int] = {}  # 0 = visiting, 1 = done
+
+        for root in sorted(self.module.functions):
+            if root in state:
+                continue
+            stack: List[Tuple[str, Iterator[str]]] = [
+                (root, iter(sorted(self.callees(root))))
+            ]
+            state[root] = 0
+            while stack:
+                name, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    if nxt not in state:
+                        state[nxt] = 0
+                        stack.append((nxt, iter(sorted(self.callees(nxt)))))
+                        advanced = True
+                        break
+                if not advanced:
+                    stack.pop()
+                    state[name] = 1
+                    order.append(name)
+        return order
+
+    def __repr__(self) -> str:
+        return f"<CallGraph nodes={len(self.module)} edges={len(self.edges)}>"

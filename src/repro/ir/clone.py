@@ -1,0 +1,127 @@
+"""Function-body cloning and call-site splicing — the mechanical half of
+inlining (the policy half lives in :mod:`repro.passes.inliner`).
+
+``inline_call`` performs the transformation of Listing 1: the call site is
+replaced by a jump into a freshly cloned copy of the callee's CFG, and every
+``ret`` in the clone becomes a jump to the continuation block holding the
+caller's remaining instructions. The call *and* the callee's returns
+disappear from the dynamic path — eliminating one forward edge (if the call
+was promoted from an indirect one) and one backward edge per execution.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, NamedTuple
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.types import Opcode
+
+_inline_counter = itertools.count(1)
+
+
+class InlineResult(NamedTuple):
+    """Outcome of one inlining operation.
+
+    Attributes
+    ----------
+    new_call_sites:
+        Clones of the callee's call instructions now living in the caller,
+        mapped from the *original* site id they were cloned from.
+    continuation_label:
+        Label of the block holding the caller's post-call instructions.
+    cloned_labels:
+        Labels of the callee-body blocks spliced into the caller.
+    """
+
+    new_call_sites: Dict[int, List[Instruction]]
+    continuation_label: str
+    cloned_labels: List[str]
+
+
+def clone_function(func: Function, new_name: str) -> Function:
+    """Deep-copy an entire function under a new name."""
+    new = Function(
+        new_name,
+        num_params=func.num_params,
+        attrs=set(func.attrs),
+        stack_frame_size=func.stack_frame_size,
+        subsystem=func.subsystem,
+    )
+    for block in func.blocks.values():
+        new.add_block(block.clone(block.label))
+    new.entry_label = func.entry_label
+    return new
+
+
+def inline_call(
+    caller: Function,
+    block_label: str,
+    inst_index: int,
+    callee: Function,
+) -> InlineResult:
+    """Splice ``callee``'s body over the call at
+    ``caller.blocks[block_label].instructions[inst_index]``.
+
+    The callee is left untouched (its blocks are cloned). Raises
+    ``ValueError`` if the indicated instruction is not a direct call to
+    ``callee``.
+    """
+    block = caller.blocks[block_label]
+    call = block.instructions[inst_index]
+    if call.opcode != Opcode.CALL or call.callee != callee.name:
+        raise ValueError(
+            f"instruction {call!r} is not a direct call to @{callee.name}"
+        )
+    if not callee.blocks:
+        raise ValueError(f"cannot inline empty function @{callee.name}")
+
+    serial = next(_inline_counter)
+    prefix = f"inl{serial}."
+
+    # 1. Split the caller block: everything after the call moves to a
+    #    continuation block; the call itself is dropped.
+    cont_label = caller.unique_label(f"{prefix}cont")
+    continuation = BasicBlock(cont_label, block.instructions[inst_index + 1 :])
+    del block.instructions[inst_index:]
+
+    # 2. Clone callee blocks under renamed labels.
+    label_map: Dict[str, str] = {
+        old: caller.unique_label(prefix + old) for old in callee.blocks
+    }
+    new_call_sites: Dict[int, List[Instruction]] = {}
+    cloned_labels: List[str] = []
+    cloned_blocks: List[BasicBlock] = []
+    for old_label, old_block in callee.blocks.items():
+        new_block = BasicBlock(label_map[old_label])
+        for inst in old_block.instructions:
+            clone = inst.clone()
+            clone.retarget(label_map)
+            if clone.opcode == Opcode.RET:
+                # Backward-edge elimination: ret -> jmp continuation.
+                clone = Instruction(Opcode.JMP, targets=(cont_label,))
+            elif clone.is_call:
+                assert inst.site_id is not None
+                new_call_sites.setdefault(inst.site_id, []).append(clone)
+            new_block.instructions.append(clone)
+        cloned_blocks.append(new_block)
+        cloned_labels.append(new_block.label)
+
+    # 3. Wire caller block -> cloned entry, register new blocks.
+    assert callee.entry_label is not None
+    block.instructions.append(
+        Instruction(Opcode.JMP, targets=(label_map[callee.entry_label],))
+    )
+    for new_block in cloned_blocks:
+        caller.add_block(new_block)
+    caller.add_block(continuation)
+
+    # Inlining merges the callee's frame into the caller's. Stack coloring
+    # reuses most of the absorbed slots, but imperfectly — long merged call
+    # chains defeat the coloring allocator, the stack-frame growth behind
+    # the paper's Rule 2 rationale (Section 5.2).
+    caller.stack_frame_size += max(callee.stack_frame_size // 4, 8)
+
+    return InlineResult(new_call_sites, cont_label, cloned_labels)

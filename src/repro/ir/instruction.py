@@ -1,0 +1,142 @@
+"""IR instruction objects.
+
+Every call-like instruction carries a globally unique, stable ``site_id``
+assigned at construction time. Profiling keys edge counts by site id, which
+is how profiles survive code motion: when the inliner clones an instruction
+the clone receives a *fresh* id plus a ``cloned_from`` provenance attribute,
+mirroring the paper's unique edge identifiers that map binary profiles back
+to IR call sites (Section 7).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.ir.types import CALLS, INDIRECT_BRANCHES, TERMINATORS, Opcode
+
+_site_counter: Iterator[int] = itertools.count(1)
+_max_issued = 0
+
+
+def _next_site_id() -> int:
+    global _max_issued
+    value = next(_site_counter)
+    if value <= _max_issued:
+        # ids below the reservation mark were claimed by a parsed module
+        value = _max_issued + 1
+    _max_issued = value
+    return value
+
+
+def reserve_site_ids(up_to: int) -> None:
+    """Mark every id <= ``up_to`` as taken.
+
+    The textual IR parser restores the site ids recorded in a dump so
+    profiles keyed on them stay valid; reserving the range keeps freshly
+    built instructions from colliding with restored ids.
+    """
+    global _max_issued
+    if up_to > _max_issued:
+        _max_issued = up_to
+
+
+class Instruction:
+    """A single IR instruction.
+
+    Parameters
+    ----------
+    opcode:
+        The :class:`~repro.ir.types.Opcode` of this instruction.
+    callee:
+        Target function name for ``CALL`` instructions.
+    targets:
+        Successor block labels for terminators (``JMP``/``BR``/``SWITCH``).
+    num_args:
+        Argument count for call instructions (feeds InlineCost).
+    attrs:
+        Free-form attribute dictionary (see :mod:`repro.ir.types`).
+    """
+
+    __slots__ = ("opcode", "callee", "targets", "num_args", "attrs", "site_id")
+
+    def __init__(
+        self,
+        opcode: Opcode,
+        callee: Optional[str] = None,
+        targets: Tuple[str, ...] = (),
+        num_args: int = 0,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.opcode = opcode
+        self.callee = callee
+        self.targets = tuple(targets)
+        self.num_args = num_args
+        self.attrs: Dict[str, Any] = attrs if attrs is not None else {}
+        if opcode in CALLS:
+            self.site_id: Optional[int] = _next_site_id()
+        else:
+            self.site_id = None
+
+    # -- classification helpers -------------------------------------------
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.opcode in TERMINATORS
+
+    @property
+    def is_call(self) -> bool:
+        return self.opcode in CALLS
+
+    @property
+    def is_indirect_branch(self) -> bool:
+        return self.opcode in INDIRECT_BRANCHES
+
+    @property
+    def defense(self) -> Optional[str]:
+        """Name of the defense lowering applied to this branch, if any."""
+        return self.attrs.get("defense")
+
+    @defense.setter
+    def defense(self, value: Optional[str]) -> None:
+        if value is None:
+            self.attrs.pop("defense", None)
+        else:
+            self.attrs["defense"] = value
+
+    # -- structural operations ---------------------------------------------
+
+    def clone(self, fresh_site_id: bool = True) -> "Instruction":
+        """Deep-copy this instruction.
+
+        Call instructions get a fresh ``site_id`` and record their origin in
+        ``attrs['cloned_from']`` so inherited profile weights can be traced.
+        """
+        new = Instruction.__new__(Instruction)
+        new.opcode = self.opcode
+        new.callee = self.callee
+        new.targets = self.targets
+        new.num_args = self.num_args
+        new.attrs = dict(self.attrs)
+        if self.site_id is not None and fresh_site_id:
+            new.site_id = _next_site_id()
+            new.attrs.setdefault("cloned_from", self.site_id)
+        else:
+            new.site_id = self.site_id
+        return new
+
+    def retarget(self, mapping: Dict[str, str]) -> None:
+        """Rewrite successor labels through ``mapping`` (used when cloning
+        blocks into a new function during inlining)."""
+        if self.targets:
+            self.targets = tuple(mapping.get(t, t) for t in self.targets)
+
+    def __repr__(self) -> str:
+        parts = [self.opcode.value]
+        if self.callee is not None:
+            parts.append(self.callee)
+        if self.targets:
+            parts.append("->" + ",".join(self.targets))
+        if self.site_id is not None:
+            parts.append(f"#{self.site_id}")
+        return f"<{' '.join(parts)}>"

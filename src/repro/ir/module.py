@@ -1,0 +1,137 @@
+"""IR modules: the whole-program unit PIBE's link-time passes operate on.
+
+A module holds every function plus the function-pointer tables that give
+rise to the kernel's indirect calls (``file_operations``-style op vectors)
+and the syscall table that names userspace-reachable entry points.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.types import Opcode
+
+
+class FunctionPointerTable:
+    """A named table of function pointers (e.g. a ``file_operations``).
+
+    Indirect call sites reference a table by name; the interpreter and the
+    profile lifter use the table to resolve/validate indirect targets.
+    """
+
+    __slots__ = ("name", "entries")
+
+    def __init__(self, name: str, entries: Optional[List[str]] = None) -> None:
+        self.name = name
+        self.entries: List[str] = list(entries) if entries else []
+
+    def add(self, function_name: str) -> None:
+        if function_name not in self.entries:
+            self.entries.append(function_name)
+
+    def __contains__(self, function_name: str) -> bool:
+        return function_name in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        return f"<FPTable {self.name} [{len(self.entries)} entries]>"
+
+
+class Module:
+    """A linked whole-program IR module."""
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        self.fptr_tables: Dict[str, FunctionPointerTable] = {}
+        #: syscall name -> handler function name
+        self.syscalls: Dict[str, str] = {}
+        #: free-form module metadata (e.g. applied hardening configuration)
+        self.metadata: Dict[str, object] = {}
+
+    # -- functions -----------------------------------------------------------
+
+    def add_function(self, func: Function) -> Function:
+        if func.name in self.functions:
+            raise ValueError(f"duplicate function {func.name!r}")
+        self.functions[func.name] = func
+        return func
+
+    def get(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise KeyError(f"no function named {name!r} in module") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.functions
+
+    def __iter__(self) -> Iterator[Function]:
+        return iter(self.functions.values())
+
+    def __len__(self) -> int:
+        return len(self.functions)
+
+    # -- tables / entry points -------------------------------------------------
+
+    def add_fptr_table(self, table: FunctionPointerTable) -> FunctionPointerTable:
+        if table.name in self.fptr_tables:
+            raise ValueError(f"duplicate fptr table {table.name!r}")
+        self.fptr_tables[table.name] = table
+        return table
+
+    def register_syscall(self, syscall: str, handler: str) -> None:
+        if handler not in self.functions:
+            raise KeyError(f"syscall handler {handler!r} not in module")
+        self.syscalls[syscall] = handler
+
+    def syscall_handler(self, syscall: str) -> Function:
+        return self.get(self.syscalls[syscall])
+
+    # -- whole-module queries ----------------------------------------------------
+
+    def instructions(self) -> Iterator[Instruction]:
+        for func in self.functions.values():
+            yield from func.instructions()
+
+    def indirect_call_sites(self) -> Iterator[Instruction]:
+        for inst in self.instructions():
+            if inst.opcode == Opcode.ICALL:
+                yield inst
+
+    def return_sites(self) -> Iterator[Instruction]:
+        for inst in self.instructions():
+            if inst.opcode == Opcode.RET:
+                yield inst
+
+    def indirect_jump_sites(self) -> Iterator[Instruction]:
+        for inst in self.instructions():
+            if inst.opcode == Opcode.IJUMP:
+                yield inst
+
+    def size(self) -> int:
+        """Total static instruction count across all functions."""
+        return sum(f.size() for f in self.functions.values())
+
+    def size_bytes(self) -> int:
+        """Estimated image text size in bytes."""
+        from repro.ir.types import INSTRUCTION_SIZE_BYTES
+
+        return self.size() * INSTRUCTION_SIZE_BYTES
+
+    def find_call_site(self, site_id: int) -> Optional[Instruction]:
+        """Linear scan for a call site by id (test/debug helper)."""
+        for inst in self.instructions():
+            if inst.site_id == site_id:
+                return inst
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"<Module {self.name} functions={len(self.functions)} "
+            f"size={self.size()}>"
+        )

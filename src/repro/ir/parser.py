@@ -1,0 +1,374 @@
+"""Textual IR parser — the inverse of :mod:`repro.ir.printer`.
+
+Parses the `.ll`-flavoured dump format so modules can be stored as text,
+edited by hand for tests, and round-tripped:
+
+    ; module demo: 2 functions
+    @ops = fptr_table [helper]
+
+    define @helper(1 params) {
+    entry:
+      arith
+      ret
+    }
+
+    define @main(0 params) [noinline] {
+    entry:
+      call @helper(1 args) !count=42
+      icall *ptr(2 args) ;; may-target ['helper'] !vp=[('helper', 7)]
+      br then, else
+    then:
+      ret
+    else:
+      ret
+    }
+
+The parser accepts everything the printer emits (including defense tags,
+promotion markers, and value-profile metadata) plus ``syscall`` directive
+lines for entry points.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Optional, Tuple
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.module import FunctionPointerTable, Module
+from repro.ir.types import (
+    ATTR_ASM_SITE,
+    ATTR_CASE_WEIGHTS,
+    ATTR_EDGE_COUNT,
+    ATTR_P_TAKEN,
+    ATTR_PROMOTED,
+    ATTR_TARGETS,
+    ATTR_TRIP,
+    ATTR_VALUE_PROFILE,
+    ATTR_VCALL,
+    FunctionAttr,
+    Opcode,
+)
+
+
+class ParseError(Exception):
+    """Malformed textual IR; message includes the offending line."""
+
+    def __init__(self, line_no: int, line: str, reason: str) -> None:
+        super().__init__(f"line {line_no}: {reason}: {line.strip()!r}")
+        self.line_no = line_no
+        self.line = line
+        self.reason = reason
+
+
+_TABLE_RE = re.compile(r"^@(\w+)\s*=\s*fptr_table\s*\[(.*)\]$")
+_DEFENSES_RE = re.compile(
+    r"^defenses\s+retpolines=([01])\s+ret_retpolines=([01])\s+lvi_cfi=([01])"
+    r"(?:\s+nontransient=\[([^\]]*)\])?$"
+)
+_SYSCALL_RE = re.compile(r"^syscall\s+(\w+)\s*->\s*@(\w+)$")
+_DEFINE_RE = re.compile(
+    r"^define\s+@([\w.]+)\((\d+)\s+params\)(?:\s+\[([^\]]*)\])?\s*\{$"
+)
+_LABEL_RE = re.compile(r"^([\w.\-]+):$")
+_CALL_RE = re.compile(r"^call\s+@([\w.]+)\((\d+)\s+args\)(.*)$")
+_ICALL_RE = re.compile(
+    r"^icall\s+\*ptr\((\d+)\s+args\)\s*;;\s*may-target\s*"
+    r"(\[[^\]]*\]|\{[^}]*\})(.*)$"
+)
+_BR_RE = re.compile(r"^br\s+([\w.\-]+),\s*([\w.\-]+)(.*)$")
+_IJUMP_TABLE_RE = re.compile(r"^ijump\s+\[([^\]]*)\](.*)$")
+_P_RE = re.compile(r"!p=([0-9.eE+\-]+)")
+_TRIP_RE = re.compile(r"!trip=(\d+)")
+_WEIGHTS_RE = re.compile(r"!weights=(\[[^\]]*\])")
+_JMP_RE = re.compile(r"^jmp\s+([\w.\-]+)(.*)$")
+_SWITCH_RE = re.compile(r"^switch\s+\[([^\]]*)\](.*)$")
+_SITE_RE = re.compile(r";;\s*site\s+\d+")
+_COUNT_RE = re.compile(r"!count=(\d+)")
+_VP_RE = re.compile(r"!vp=(\[.*?\])(?:\s|$|;)")
+_DEFENSE_RE = re.compile(r"!defense=([\w]+)")
+
+_SIMPLE_OPCODES = {
+    "arith": Opcode.ARITH,
+    "cmp": Opcode.CMP,
+    "load": Opcode.LOAD,
+    "store": Opcode.STORE,
+    "fence": Opcode.FENCE,
+    "ret": Opcode.RET,
+    "ijump": Opcode.IJUMP,
+}
+
+_ATTRS_BY_VALUE = {attr.value: attr for attr in FunctionAttr}
+
+
+def _strip_site_comment(text: str) -> str:
+    return _SITE_RE.sub("", text).strip()
+
+
+def _parse_metadata(inst: Instruction, trailer: str) -> None:
+    count = _COUNT_RE.search(trailer)
+    if count:
+        inst.attrs[ATTR_EDGE_COUNT] = int(count.group(1))
+    if "!promoted" in trailer:
+        inst.attrs[ATTR_PROMOTED] = True
+    vp = _VP_RE.search(trailer)
+    if vp:
+        pairs = ast.literal_eval(vp.group(1))
+        inst.attrs[ATTR_VALUE_PROFILE] = [
+            (str(name), int(c)) for name, c in pairs
+        ]
+    defense = _DEFENSE_RE.search(trailer)
+    if defense:
+        inst.defense = defense.group(1)
+
+
+_SITE_VALUE_RE = re.compile(r";;\s*site\s+(\d+)")
+
+
+def parse_instruction(text: str, line_no: int = 0) -> Instruction:
+    """Parse one instruction line (without indentation).
+
+    A trailing ``;; site N`` comment restores the instruction's original
+    site id (keeping profiles keyed on it valid); the global id counter
+    is advanced past every restored id.
+    """
+    site_match = _SITE_VALUE_RE.search(text)
+    restored_site = int(site_match.group(1)) if site_match else None
+    text = _strip_site_comment(text.strip())
+    inst = _parse_instruction_body(text, line_no)
+    if restored_site is not None and inst.is_call:
+        from repro.ir.instruction import reserve_site_ids
+
+        inst.site_id = restored_site
+        reserve_site_ids(restored_site)
+    return inst
+
+
+def _parse_instruction_body(text: str, line_no: int) -> Instruction:
+
+    match = _CALL_RE.match(text)
+    if match:
+        inst = Instruction(
+            Opcode.CALL, callee=match.group(1), num_args=int(match.group(2))
+        )
+        _parse_metadata(inst, match.group(3))
+        return inst
+
+    match = _ICALL_RE.match(text)
+    if match:
+        targets = ast.literal_eval(match.group(2))
+        if isinstance(targets, dict):
+            dist = {str(t): int(w) for t, w in targets.items()}
+        else:
+            dist = {str(t): 1 for t in targets}
+        inst = Instruction(
+            Opcode.ICALL,
+            num_args=int(match.group(1)),
+            attrs={ATTR_TARGETS: dist},
+        )
+        trailer = match.group(3)
+        _parse_metadata(inst, trailer)
+        if "!vcall" in trailer:
+            inst.attrs[ATTR_VCALL] = True
+        if "!asm" in trailer:
+            inst.attrs[ATTR_ASM_SITE] = True
+        return inst
+
+    match = _BR_RE.match(text)
+    if match:
+        trailer = match.group(3)
+        attrs = {}
+        p_match = _P_RE.search(trailer)
+        if p_match:
+            attrs[ATTR_P_TAKEN] = float(p_match.group(1))
+        trip_match = _TRIP_RE.search(trailer)
+        if trip_match:
+            attrs[ATTR_TRIP] = int(trip_match.group(1))
+        inst = Instruction(
+            Opcode.BR, targets=(match.group(1), match.group(2)), attrs=attrs
+        )
+        _parse_metadata(inst, trailer)
+        return inst
+
+    match = _IJUMP_TABLE_RE.match(text)
+    if match:
+        cases = tuple(
+            c.strip() for c in match.group(1).split(",") if c.strip()
+        )
+        trailer = match.group(2)
+        attrs = {}
+        weights = _WEIGHTS_RE.search(trailer)
+        if weights:
+            attrs[ATTR_CASE_WEIGHTS] = list(ast.literal_eval(weights.group(1)))
+        inst = Instruction(Opcode.IJUMP, targets=cases, attrs=attrs)
+        _parse_metadata(inst, trailer)
+        return inst
+
+    match = _JMP_RE.match(text)
+    if match:
+        inst = Instruction(Opcode.JMP, targets=(match.group(1),))
+        _parse_metadata(inst, match.group(2))
+        return inst
+
+    match = _SWITCH_RE.match(text)
+    if match:
+        cases = tuple(
+            c.strip() for c in match.group(1).split(",") if c.strip()
+        )
+        trailer = match.group(2)
+        attrs = {}
+        weights = _WEIGHTS_RE.search(trailer)
+        if weights:
+            attrs[ATTR_CASE_WEIGHTS] = list(ast.literal_eval(weights.group(1)))
+        inst = Instruction(Opcode.SWITCH, targets=cases, attrs=attrs)
+        _parse_metadata(inst, trailer)
+        return inst
+
+    head = text.split()[0] if text.split() else ""
+    opcode = _SIMPLE_OPCODES.get(head)
+    if opcode is not None:
+        inst = Instruction(opcode)
+        _parse_metadata(inst, text[len(head):])
+        return inst
+
+    raise ParseError(line_no, text, "unrecognized instruction")
+
+
+def parse_module(text: str, name: str = "parsed") -> Module:
+    """Parse a full textual module dump."""
+    module = Module(name=name)
+    current_function: Optional[Function] = None
+    current_block: Optional[BasicBlock] = None
+    pending_tables: List[Tuple[int, str, List[str]]] = []
+    pending_syscalls: List[Tuple[int, str, str]] = []
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("; module"):
+            match = re.match(r"^; module (\S+):", line)
+            if match:
+                module.name = match.group(1)
+            continue
+        if line.startswith(";"):
+            continue
+
+        match = _TABLE_RE.match(line)
+        if match:
+            entries = [
+                e.strip() for e in match.group(2).split(",") if e.strip()
+            ]
+            pending_tables.append((line_no, match.group(1), entries))
+            continue
+
+        match = _SYSCALL_RE.match(line)
+        if match:
+            pending_syscalls.append((line_no, match.group(1), match.group(2)))
+            continue
+
+        match = _DEFENSES_RE.match(line)
+        if match:
+            from repro.hardening.defenses import (
+                DefenseConfig,
+                NonTransientDefense,
+            )
+            from repro.hardening.harden import METADATA_KEY
+
+            nontransient = frozenset(
+                NonTransientDefense(token.strip())
+                for token in (match.group(4) or "").split(",")
+                if token.strip()
+            )
+            module.metadata[METADATA_KEY] = DefenseConfig(
+                retpolines=match.group(1) == "1",
+                ret_retpolines=match.group(2) == "1",
+                lvi_cfi=match.group(3) == "1",
+                nontransient=nontransient,
+            )
+            continue
+
+        match = _DEFINE_RE.match(line)
+        if match:
+            if current_function is not None:
+                raise ParseError(line_no, line, "nested function definition")
+            attrs = set()
+            if match.group(3):
+                for token in match.group(3).split():
+                    attr = _ATTRS_BY_VALUE.get(token)
+                    if attr is None:
+                        raise ParseError(
+                            line_no, line, f"unknown attribute {token!r}"
+                        )
+                    attrs.add(attr)
+            current_function = Function(
+                match.group(1), num_params=int(match.group(2)), attrs=attrs
+            )
+            current_block = None
+            continue
+
+        if line == "}":
+            if current_function is None:
+                raise ParseError(line_no, line, "unmatched closing brace")
+            module.add_function(current_function)
+            current_function = None
+            current_block = None
+            continue
+
+        match = _LABEL_RE.match(line)
+        if match and current_function is not None:
+            current_block = BasicBlock(match.group(1))
+            current_function.add_block(current_block)
+            continue
+
+        if current_function is None:
+            raise ParseError(line_no, line, "instruction outside function")
+        if current_block is None:
+            raise ParseError(line_no, line, "instruction before block label")
+        current_block.instructions.append(parse_instruction(line, line_no))
+
+    if current_function is not None:
+        raise ParseError(0, "", "unterminated function definition")
+
+    for line_no, table_name, entries in pending_tables:
+        module.add_fptr_table(FunctionPointerTable(table_name, entries))
+    for line_no, syscall, handler in pending_syscalls:
+        if handler not in module:
+            raise ParseError(
+                line_no, f"syscall {syscall}", f"unknown handler @{handler}"
+            )
+        module.register_syscall(syscall, handler)
+    return module
+
+
+def dump_module(module: Module) -> str:
+    """Serialize a module to parseable text: printer output plus syscall
+    directives and the applied defense configuration."""
+    from repro.ir.printer import format_module
+
+    lines = [format_module(module)]
+    if module.syscalls:
+        lines.append("")
+        for syscall, handler in module.syscalls.items():
+            lines.append(f"syscall {syscall} -> @{handler}")
+
+    from repro.hardening.harden import METADATA_KEY
+
+    config = module.metadata.get(METADATA_KEY)
+    if config is not None and (
+        getattr(config, "any_transient", False)
+        or getattr(config, "nontransient", None)
+    ):
+        nontransient = ",".join(
+            sorted(d.value for d in config.nontransient)
+        )
+        lines.append("")
+        lines.append(
+            f"defenses retpolines={int(config.retpolines)} "
+            f"ret_retpolines={int(config.ret_retpolines)} "
+            f"lvi_cfi={int(config.lvi_cfi)}"
+            + (f" nontransient=[{nontransient}]" if nontransient else "")
+        )
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Textual IR printer — an LLVM-`.ll`-flavoured dump for debugging and for
+golden tests of transformations."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.module import Module
+from repro.ir.types import (
+    ATTR_ASM_SITE,
+    ATTR_CASE_WEIGHTS,
+    ATTR_EDGE_COUNT,
+    ATTR_P_TAKEN,
+    ATTR_PROMOTED,
+    ATTR_TARGETS,
+    ATTR_TRIP,
+    ATTR_VALUE_PROFILE,
+    ATTR_VCALL,
+    Opcode,
+)
+
+
+def format_instruction(inst: Instruction) -> str:
+    """Render one instruction in the textual IR syntax."""
+    op = inst.opcode
+    if op == Opcode.CALL:
+        text = f"call @{inst.callee}({inst.num_args} args)"
+        if ATTR_PROMOTED in inst.attrs:
+            text += " !promoted"
+        if ATTR_EDGE_COUNT in inst.attrs:
+            text += f" !count={inst.attrs[ATTR_EDGE_COUNT]}"
+    elif op == Opcode.ICALL:
+        targets = inst.attrs.get(ATTR_TARGETS, {})
+        dist = {t: targets[t] for t in sorted(targets)}
+        text = f"icall *ptr({inst.num_args} args) ;; may-target {dist}"
+        if inst.attrs.get(ATTR_VCALL):
+            text += " !vcall"
+        if inst.attrs.get(ATTR_ASM_SITE):
+            text += " !asm"
+        vp = inst.attrs.get(ATTR_VALUE_PROFILE)
+        if vp:
+            text += f" !vp={vp}"
+    elif op == Opcode.BR:
+        text = f"br {inst.targets[0]}, {inst.targets[1]}"
+        p_taken = inst.attrs.get(ATTR_P_TAKEN)
+        if p_taken is not None and p_taken != 0.5:
+            text += f" !p={p_taken!r}"
+        trip = inst.attrs.get(ATTR_TRIP)
+        if trip is not None:
+            text += f" !trip={trip}"
+    elif op == Opcode.JMP:
+        text = f"jmp {inst.targets[0]}"
+    elif op == Opcode.SWITCH:
+        text = f"switch [{', '.join(inst.targets)}]"
+        weights = inst.attrs.get(ATTR_CASE_WEIGHTS)
+        if weights:
+            text += f" !weights={list(weights)!r}"
+    elif op == Opcode.IJUMP and inst.targets:
+        text = f"ijump [{', '.join(inst.targets)}]"
+        weights = inst.attrs.get(ATTR_CASE_WEIGHTS)
+        if weights:
+            text += f" !weights={list(weights)!r}"
+    else:
+        text = op.value
+    if inst.defense:
+        text += f" !defense={inst.defense}"
+    if inst.site_id is not None:
+        text += f" ;; site {inst.site_id}"
+    return text
+
+
+def format_function(func: Function) -> str:
+    """Render one function definition in the textual IR syntax."""
+    lines: List[str] = []
+    attrs = " ".join(sorted(a.value for a in func.attrs))
+    header = f"define @{func.name}({func.num_params} params)"
+    if attrs:
+        header += f" [{attrs}]"
+    lines.append(header + " {")
+    for block in func.blocks.values():
+        lines.append(f"{block.label}:")
+        for inst in block:
+            lines.append(f"  {format_instruction(inst)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module, max_functions: int = 0) -> str:
+    """Render a whole module (optionally truncated to the first N
+    functions for debugging dumps)."""
+    lines = [f"; module {module.name}: {len(module)} functions"]
+    for table in module.fptr_tables.values():
+        lines.append(f"@{table.name} = fptr_table [{', '.join(table.entries)}]")
+    names = list(module.functions)
+    if max_functions:
+        names = names[:max_functions]
+    for name in names:
+        lines.append("")
+        lines.append(format_function(module.functions[name]))
+    return "\n".join(lines)

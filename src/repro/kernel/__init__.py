@@ -1,0 +1,19 @@
+"""Synthetic Linux-like kernel: the program PIBE optimizes and hardens."""
+
+from repro.kernel.generator import KernelStats, build_kernel, kernel_stats
+from repro.kernel.helpers import Body, define, leaf, ops_table, table_dist
+from repro.kernel.spec import DEFAULT_SPEC, KernelSpec, SmallSpec
+
+__all__ = [
+    "Body",
+    "DEFAULT_SPEC",
+    "KernelSpec",
+    "KernelStats",
+    "SmallSpec",
+    "build_kernel",
+    "define",
+    "kernel_stats",
+    "leaf",
+    "ops_table",
+    "table_dist",
+]

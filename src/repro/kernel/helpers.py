@@ -1,0 +1,174 @@
+"""Body-construction helpers shared by the subsystem builders.
+
+A thin structured layer over :class:`~repro.ir.builder.IRBuilder` adding
+the patterns kernel code is made of: work/memory mixes, bounded loops,
+conditional slow paths, and indirect calls through op tables.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.module import FunctionPointerTable, Module
+from repro.ir.types import FunctionAttr
+
+
+class Body:
+    """Structured function-body writer."""
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        self.b = IRBuilder(func)
+
+    # -- primitive mixes ------------------------------------------------------
+
+    def work(self, arith: int = 2, loads: int = 1, stores: int = 0) -> "Body":
+        self.b.arith(arith)
+        if loads:
+            self.b.load(loads)
+        if stores:
+            self.b.store(stores)
+        return self
+
+    def call(self, callee: str, args: int = 1) -> "Body":
+        self.b.call(callee, num_args=args)
+        return self
+
+    def icall(
+        self,
+        dist: Dict[str, int],
+        args: int = 1,
+        table: Optional[str] = None,
+        vcall: bool = False,
+        asm: bool = False,
+    ) -> "Body":
+        self.b.icall(dist, num_args=args, fptr_table=table, vcall=vcall, asm=asm)
+        return self
+
+    def fence(self) -> "Body":
+        self.b.fence()
+        return self
+
+    # -- control structure -------------------------------------------------------
+
+    def loop(self, trips: int, body: Callable[["Body"], None]) -> "Body":
+        """Execute ``body`` exactly ``trips`` times (``trips >= 1``)."""
+        if trips < 1:
+            raise ValueError("loop trips must be >= 1")
+        head = self.b.new_block("loop")
+        after = self.b.new_block("after")
+        self.b.jmp(head.label)
+        self.b.set_block(head)
+        body(self)
+        # First entry runs the body once; trips-1 back edges re-run it.
+        self.b.br(head.label, after.label, trip=trips - 1)
+        self.b.set_block(after)
+        return self
+
+    def maybe(
+        self,
+        probability: float,
+        then: Callable[["Body"], None],
+        otherwise: Optional[Callable[["Body"], None]] = None,
+    ) -> "Body":
+        """Conditionally execute ``then`` with the given probability
+        (kernel slow paths: lock contention, cache-cold lookups...)."""
+        then_block = self.b.new_block("then")
+        else_block = self.b.new_block("else")
+        join = self.b.new_block("join")
+        self.b.cmp()
+        self.b.br(then_block.label, else_block.label, p_taken=probability)
+        self.b.set_block(then_block)
+        then(self)
+        self.b.jmp(join.label)
+        self.b.set_block(else_block)
+        if otherwise is not None:
+            otherwise(self)
+        self.b.jmp(join.label)
+        self.b.set_block(join)
+        return self
+
+    def switch(
+        self,
+        arms: Sequence[Tuple[float, Callable[["Body"], None]]],
+    ) -> "Body":
+        """Multiway dispatch: each arm is (weight, body). Lowered later to a
+        jump table or cmp chain by :class:`LowerSwitches`."""
+        if not arms:
+            raise ValueError("switch needs at least one arm")
+        join = self.b.new_block("join")
+        case_blocks = [self.b.new_block(f"case{i}") for i in range(len(arms))]
+        self.b.switch(
+            [blk.label for blk in case_blocks],
+            weights=[w for w, _ in arms],
+        )
+        for blk, (_, body) in zip(case_blocks, arms):
+            self.b.set_block(blk)
+            body(self)
+            self.b.jmp(join.label)
+        self.b.set_block(join)
+        return self
+
+    def done(self) -> Function:
+        self.b.ret()
+        return self.func
+
+
+def define(
+    module: Module,
+    name: str,
+    subsystem: str,
+    params: int = 1,
+    frame: int = 32,
+    attrs: Optional[Sequence[FunctionAttr]] = None,
+) -> Body:
+    """Create and register a function, returning its body writer."""
+    func = Function(
+        name,
+        num_params=params,
+        attrs=set(attrs) if attrs else None,
+        stack_frame_size=frame,
+        subsystem=subsystem,
+    )
+    module.add_function(func)
+    return Body(func)
+
+
+def leaf(
+    module: Module,
+    name: str,
+    subsystem: str,
+    work: int = 4,
+    loads: int = 1,
+    stores: int = 1,
+    params: int = 1,
+    attrs: Optional[Sequence[FunctionAttr]] = None,
+) -> Function:
+    """A simple compute-and-return helper."""
+    body = define(module, name, subsystem, params=params, attrs=attrs)
+    body.work(arith=work, loads=loads, stores=stores)
+    return body.done()
+
+
+def ops_table(
+    module: Module, name: str, entries: Sequence[str]
+) -> FunctionPointerTable:
+    """Register a function-pointer op table (``file_operations`` style)."""
+    table = FunctionPointerTable(name, list(entries))
+    module.add_fptr_table(table)
+    return table
+
+
+def table_dist(
+    module: Module, table_name: str, weights: Dict[str, int]
+) -> Dict[str, int]:
+    """Validate that a target distribution only names table entries."""
+    table = module.fptr_tables[table_name]
+    for target in weights:
+        if target not in table:
+            raise KeyError(
+                f"{target!r} is not an entry of op table {table_name!r}"
+            )
+    return dict(weights)

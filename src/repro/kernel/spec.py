@@ -1,0 +1,89 @@
+"""Kernel-generation parameters.
+
+All knobs for the synthetic kernel live here so the statistical shape of
+the generated call graph (hot-path depth, indirect-call fan-out, cold code
+bulk) can be tuned in one place. Defaults are calibrated so the evaluation
+reproduces the paper's ordering and rough magnitudes: per-op syscall paths
+with tens of dynamic calls, a handful of indirect calls, heavy-tailed
+indirect-branch weights, and a large body of cold driver code that inflates
+the static branch census without ever executing (Tables 10–12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Size/shape parameters for :func:`repro.kernel.generator.build_kernel`."""
+
+    #: RNG seed — two builds with the same spec are identical.
+    seed: int = 2021
+
+    # -- cold code bulk (drivers, unused filesystems, protocols) -----------
+    #: number of cold driver "modules"
+    num_drivers: int = 110
+    #: functions per driver (mean; actual count varies per driver)
+    driver_functions_mean: int = 26
+    #: fraction of driver functions containing an indirect call
+    driver_icall_fraction: float = 0.35
+    #: fraction of driver functions containing a switch statement
+    driver_switch_fraction: float = 0.12
+    #: ops-table entries exported per driver
+    driver_ops_entries: int = 4
+
+    # -- paravirt / inline assembly (Table 11's vulnerable residue) ---------
+    #: hypercall wrappers implemented as inline assembly (not hardenable)
+    num_paravirt_calls: int = 12
+    #: opaque inline-assembly indirect jumps
+    num_asm_ijumps: int = 5
+
+    # -- boot-only code ------------------------------------------------------
+    num_boot_functions: int = 36
+
+    # -- hot-path shape -------------------------------------------------------
+    #: path components walked by open/stat (link_path_walk loop)
+    path_walk_components: int = 3
+    #: file descriptors scanned per select() call
+    select_file_fds: int = 16
+    select_tcp_fds: int = 48
+    #: pages touched per mmap call
+    mmap_pages: int = 4
+    #: copy loop iterations inside copy_to/from_user per op
+    copy_user_chunks: int = 2
+    #: descriptor-table entries duplicated by fork
+    fork_files: int = 6
+    #: VMAs duplicated by fork
+    fork_vmas: int = 5
+    #: argv pages processed by exec
+    exec_pages: int = 4
+    #: TCP segments emitted per send
+    tcp_segments: int = 2
+
+    # -- misc structure ---------------------------------------------------------
+    #: entries in the syscall dispatch switch (jump-table candidate)
+    syscall_switch_arms: int = 12
+    #: LSM modules stacked on each security hook
+    lsm_modules: int = 2
+    #: filesystems registered on the VFS tables
+    filesystems: int = 4
+    #: IRQ handler slots on the shared interrupt line
+    irq_handlers: int = 4
+
+
+#: Default specification used by the evaluation.
+DEFAULT_SPEC = KernelSpec()
+
+
+@dataclass(frozen=True)
+class SmallSpec(KernelSpec):
+    """A reduced kernel for fast unit tests."""
+
+    num_drivers: int = 8
+    driver_functions_mean: int = 10
+    num_boot_functions: int = 6
+    num_paravirt_calls: int = 4
+    num_asm_ijumps: int = 2
+    select_file_fds: int = 4
+    select_tcp_fds: int = 6

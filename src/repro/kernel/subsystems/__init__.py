@@ -1,0 +1,16 @@
+"""Synthetic kernel subsystem builders."""
+
+from repro.kernel.subsystems import (  # noqa: F401
+    block,
+    boot,
+    drivers,
+    entry,
+    ipc,
+    mm,
+    net,
+    sched,
+    signal,
+    timers,
+    vfs,
+    workqueue,
+)

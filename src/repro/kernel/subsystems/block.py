@@ -1,0 +1,136 @@
+"""Block layer: bio submission, I/O schedulers, completion callbacks.
+
+The LMBench latency workloads run on cached/tmpfs paths, so this layer is
+mostly *cold* at runtime — but it is a major contributor to the kernel's
+static indirect-branch census (request-queue ops, elevator ops, per-bio
+completion callbacks), exactly the population Tables 10–12 count. The
+writeback path is reachable from the filesystems' dirty-balancing slow
+path, so a sliver of it warms up under write-heavy workloads.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.module import Module
+from repro.kernel.helpers import define, leaf, ops_table
+from repro.kernel.spec import KernelSpec
+
+SUBSYSTEM = "block"
+
+ELEVATORS = ("mq_deadline", "kyber", "bfq")
+
+
+def build(module: Module, spec: KernelSpec, rng: random.Random) -> None:
+    _build_bio(module, spec)
+    _build_elevators(module, spec)
+    _build_request_queue(module, spec)
+    _build_writeback(module, spec)
+
+
+def _build_bio(module: Module, spec: KernelSpec) -> None:
+    body = define(module, "bio_alloc", SUBSYSTEM, params=2, frame=48)
+    body.call("kmalloc", args=2)
+    body.work(arith=4, stores=3)
+    body.done()
+
+    body = define(module, "bio_put", SUBSYSTEM, params=1, frame=16)
+    body.work(arith=2, loads=1)
+    body.call("kfree", args=1)
+    body.done()
+
+    # Per-bio completion callbacks: classic indirect calls.
+    for name in ("end_bio_write", "end_bio_read", "end_bio_sync"):
+        body = define(module, name, SUBSYSTEM, params=1, frame=32)
+        body.work(arith=4, loads=2, stores=2)
+        body.call("wake_up_common", args=2)
+        body.done()
+    ops_table(
+        module,
+        "bio_end_io_ops",
+        ["end_bio_write", "end_bio_read", "end_bio_sync"],
+    )
+
+    body = define(module, "bio_endio", SUBSYSTEM, params=1, frame=32)
+    body.work(arith=2, loads=2)
+    body.icall(
+        {"end_bio_write": 5, "end_bio_read": 4, "end_bio_sync": 1},
+        args=1,
+        table="bio_end_io_ops",
+    )
+    body.call("bio_put", args=1)
+    body.done()
+
+
+def _build_elevators(module: Module, spec: KernelSpec) -> None:
+    for elevator in ELEVATORS:
+        body = define(
+            module, f"{elevator}_insert_request", SUBSYSTEM, params=2, frame=64
+        )
+        body.call("spin_lock_irqsave", args=1)
+        body.work(arith=8, loads=4, stores=3)
+        body.call("spin_unlock_irqrestore", args=1)
+        body.done()
+
+        body = define(
+            module, f"{elevator}_dispatch", SUBSYSTEM, params=1, frame=64
+        )
+        body.work(arith=10, loads=5, stores=2)
+        body.done()
+
+    ops_table(
+        module,
+        "elevator_insert_ops",
+        [f"{e}_insert_request" for e in ELEVATORS],
+    )
+    ops_table(
+        module, "elevator_dispatch_ops", [f"{e}_dispatch" for e in ELEVATORS]
+    )
+
+
+def _build_request_queue(module: Module, spec: KernelSpec) -> None:
+    leaf(module, "nvme_queue_rq", SUBSYSTEM, work=12, loads=5, stores=5, params=2)
+    leaf(module, "scsi_queue_rq", SUBSYSTEM, work=15, loads=6, stores=5, params=2)
+    ops_table(module, "blk_mq_queue_rq_ops", ["nvme_queue_rq", "scsi_queue_rq"])
+
+    body = define(module, "blk_mq_submit_bio", SUBSYSTEM, params=1, frame=96)
+    body.call("bio_alloc", args=2)
+    body.icall(
+        {
+            "mq_deadline_insert_request": 7,
+            "kyber_insert_request": 2,
+            "bfq_insert_request": 1,
+        },
+        args=2,
+        table="elevator_insert_ops",
+    )
+    body.icall(
+        {"nvme_queue_rq": 9, "scsi_queue_rq": 1},
+        args=2,
+        table="blk_mq_queue_rq_ops",
+    )
+    body.done()
+
+    body = define(module, "blk_mq_complete_request", SUBSYSTEM, params=1, frame=48)
+    body.work(arith=4, loads=3)
+    body.call("bio_endio", args=1)
+    body.done()
+
+
+def _build_writeback(module: Module, spec: KernelSpec) -> None:
+    body = define(module, "write_cache_pages", SUBSYSTEM, params=2, frame=96)
+    body.loop(
+        3,
+        lambda b: (
+            b.work(arith=6, loads=3, stores=2),
+            b.call("blk_mq_submit_bio", args=1),
+        ),
+    )
+    body.done()
+
+    body = define(module, "wb_workfn", SUBSYSTEM, params=1, frame=96)
+    body.call("write_cache_pages", args=2)
+    body.call("blk_mq_complete_request", args=1)
+    body.done()
+    # Rooted via the writeback work item table (queued by dirty balancing).
+    ops_table(module, "wb_work_ops", ["wb_workfn"])

@@ -1,0 +1,56 @@
+"""Boot-only initialization code (``__init`` sections).
+
+These functions run once during early boot and are unmapped afterwards;
+the paper's security analysis exempts their backward edges from transient
+hardening (Section 8.6). They reference driver probe functions, keeping
+the cold driver bulk rooted against dead-code elimination the same way
+``initcall`` tables do in the real kernel.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.module import Module
+from repro.ir.types import FunctionAttr
+from repro.kernel.helpers import define
+from repro.kernel.spec import KernelSpec
+
+SUBSYSTEM = "init"
+
+
+def build(module: Module, spec: KernelSpec, rng: random.Random) -> None:
+    probes = sorted(
+        name for name in module.functions if name.endswith("_probe")
+    )
+    initcalls = []
+    for i in range(spec.num_boot_functions):
+        name = f"init_stage_{i}"
+        body = define(
+            module,
+            name,
+            SUBSYSTEM,
+            params=0,
+            attrs=[FunctionAttr.BOOT_ONLY],
+        )
+        body.work(
+            arith=rng.randint(4, 12),
+            loads=rng.randint(1, 4),
+            stores=rng.randint(1, 4),
+        )
+        body.call("kmalloc", args=2)
+        if probes:
+            body.call(probes[i % len(probes)], args=2)
+        body.done()
+        initcalls.append(name)
+
+    body = define(
+        module,
+        "start_kernel",
+        SUBSYSTEM,
+        params=0,
+        attrs=[FunctionAttr.BOOT_ONLY, FunctionAttr.NOINLINE],
+    )
+    for name in initcalls:
+        body.call(name, args=0)
+    body.done()

@@ -1,0 +1,133 @@
+"""Cold driver bulk.
+
+The Linux kernel's static indirect-branch census is dominated by code the
+workload never executes — drivers, unused filesystems, protocol modules.
+This builder generates that bulk: per-driver op tables (probe/ioctl/etc.),
+internal helper calls, indirect completion callbacks, and ioctl switch
+statements (the jump-table candidates behind the vanilla kernel's ~1400
+vulnerable indirect jumps). None of it runs under the evaluation
+workloads, which is exactly the point: Table 10's "candidates vs total
+indirect branches" contrast and Table 11's census need the denominator.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.ir.module import Module
+from repro.kernel.helpers import define, leaf, ops_table
+from repro.kernel.spec import KernelSpec
+
+SUBSYSTEM = "drivers"
+
+_HELPERS = ("kmalloc", "kfree", "memcpy_kernel", "memset_kernel",
+            "spin_lock", "spin_unlock", "mutex_lock", "mutex_unlock")
+
+
+def build(module: Module, spec: KernelSpec, rng: random.Random) -> None:
+    irq_entries: List[str] = []
+    for d in range(spec.num_drivers):
+        names = _build_driver(module, spec, rng, d)
+        irq_entries.extend(names)
+    # A shared interrupt line dispatches indirectly to a few handlers.
+    if irq_entries:
+        handlers = irq_entries[: spec.irq_handlers]
+        ops_table(module, "irq_handler_ops", handlers)
+        body = define(module, "handle_irq_event", SUBSYSTEM, params=1, frame=48)
+        body.work(arith=3, loads=2)
+        body.icall({h: 1 for h in handlers}, args=1, table="irq_handler_ops")
+        body.done()
+        ops_table(module, "irq_chip_ops", ["handle_irq_event"])
+
+
+def _build_driver(
+    module: Module, spec: KernelSpec, rng: random.Random, index: int
+) -> List[str]:
+    """Emit one driver module; returns its exported irq handler names."""
+    prefix = f"drv{index}"
+    count = max(4, int(rng.gauss(spec.driver_functions_mean, 4)))
+
+    # Completion callbacks invoked indirectly throughout the driver.
+    callback = f"{prefix}_complete"
+    leaf(module, callback, SUBSYSTEM, work=4, loads=2, stores=2, params=1)
+    callback_err = f"{prefix}_complete_err"
+    leaf(module, callback_err, SUBSYSTEM, work=3, loads=1, stores=2, params=1)
+    ops_table(module, f"{prefix}_callback_ops", [callback, callback_err])
+
+    # Internal helpers the ops functions call.
+    internals: List[str] = []
+    for i in range(max(2, count - spec.driver_ops_entries - 2)):
+        name = f"{prefix}_helper_{i}"
+        body = define(module, name, SUBSYSTEM, params=rng.randint(1, 3),
+                      frame=16 + 16 * rng.randint(0, 3))
+        body.work(
+            arith=rng.randint(2, 10),
+            loads=rng.randint(1, 4),
+            stores=rng.randint(0, 3),
+        )
+        if internals and rng.random() < 0.5:
+            body.call(rng.choice(internals), args=rng.randint(1, 3))
+        if rng.random() < 0.3:
+            body.call(rng.choice(_HELPERS), args=2)
+        if rng.random() < spec.driver_icall_fraction:
+            body.icall(
+                {callback: 3, callback_err: 1},
+                args=1,
+                table=f"{prefix}_callback_ops",
+            )
+        body.done()
+        internals.append(name)
+
+    # Exported ops: probe / remove / ioctl / irq handler.
+    ops: List[str] = []
+    probe = f"{prefix}_probe"
+    body = define(module, probe, SUBSYSTEM, params=2, frame=96)
+    body.call("kmalloc", args=2)
+    for _ in range(rng.randint(1, 3)):
+        if internals:
+            body.call(rng.choice(internals), args=2)
+    body.work(arith=5, loads=2, stores=3)
+    body.done()
+    ops.append(probe)
+
+    remove = f"{prefix}_remove"
+    body = define(module, remove, SUBSYSTEM, params=1, frame=48)
+    if internals:
+        body.call(rng.choice(internals), args=1)
+    body.call("kfree", args=1)
+    body.done()
+    ops.append(remove)
+
+    ioctl = f"{prefix}_ioctl"
+    body = define(module, ioctl, SUBSYSTEM, params=3, frame=64)
+    body.work(arith=2, loads=1)
+    if spec.driver_switch_fraction > 0 and rng.random() < min(
+        1.0, spec.driver_switch_fraction * 6
+    ):
+        arms = [
+            (1.0, _make_arm(internals, rng))
+            for _ in range(rng.randint(4, 9))
+        ]
+        body.switch(arms)
+    body.done()
+    ops.append(ioctl)
+
+    irq = f"{prefix}_irq_handler"
+    body = define(module, irq, SUBSYSTEM, params=1, frame=48)
+    body.work(arith=4, loads=3, stores=1)
+    if rng.random() < spec.driver_icall_fraction * 4:
+        body.icall({callback: 1}, args=1, table=f"{prefix}_callback_ops")
+    body.done()
+    ops.append(irq)
+
+    ops_table(module, f"{prefix}_ops", ops[: spec.driver_ops_entries])
+    return [irq]
+
+
+def _make_arm(internals: List[str], rng: random.Random):
+    if internals and rng.random() < 0.6:
+        target = rng.choice(internals)
+        return lambda b: b.call(target, args=2)
+    n = rng.randint(1, 4)
+    return lambda b: b.work(arith=n, loads=1)

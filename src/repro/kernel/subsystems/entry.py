@@ -1,0 +1,323 @@
+"""Core kernel plumbing: shared helpers every subsystem leans on.
+
+This is where the synthetic kernel gets its realistic *backward-edge*
+weight: tiny, extremely hot helpers (locking, RCU, uaccess, slab) called
+from every path. Each dynamic call contributes one return the paper's
+return retpolines must otherwise pay for — exactly the weight PIBE's
+inliner is designed to elide.
+
+Also defines:
+
+- the LSM security-hook layer — stacks of single-target indirect calls,
+  matching the paper's observation (Table 4) that most kernel indirect
+  call sites have exactly one observed target;
+- the paravirt hypercall wrappers (inline assembly, not hardenable — the
+  vulnerable indirect calls of Table 11);
+- opaque assembly trampolines (the five vulnerable indirect jumps);
+- the syscall dispatch switch (a jump-table candidate).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.ir.module import Module
+from repro.ir.types import FunctionAttr
+from repro.kernel.helpers import define, leaf, ops_table
+from repro.kernel.spec import KernelSpec
+
+SUBSYSTEM = "core"
+
+#: LSM hook points wired through the stacked-module tables.
+LSM_HOOKS = (
+    "file_permission",
+    "file_open",
+    "task_create",
+    "socket_sendmsg",
+    "mmap_region",
+    "signal_deliver",
+)
+
+_LSM_MODULE_NAMES = ("capability", "selinux", "yama", "lockdown", "apparmor")
+
+
+def lsm_table_name(hook: str) -> str:
+    return f"lsm_{hook}_hooks"
+
+
+def security_hook_name(hook: str) -> str:
+    return f"security_{hook}"
+
+
+def build(module: Module, spec: KernelSpec, rng: random.Random) -> None:
+    _build_primitives(module, spec)
+    _build_uaccess(module, spec)
+    _build_lsm(module, spec)
+    _build_paravirt(module, spec, rng)
+    _build_trampolines(module, spec)
+    _build_null_syscalls(module, spec)
+    _build_dispatch(module, spec)
+
+
+# -- locking / RCU / slab -----------------------------------------------------
+
+
+def _build_primitives(module: Module, spec: KernelSpec) -> None:
+    leaf(module, "get_current", SUBSYSTEM, work=1, loads=1, stores=0, params=0)
+    leaf(module, "preempt_disable", SUBSYSTEM, work=1, loads=0, stores=1, params=0)
+    leaf(module, "preempt_enable", SUBSYSTEM, work=1, loads=1, stores=1, params=0)
+
+    # Paravirt-backed IRQ control used by the spinlock fast path: the
+    # wrappers themselves are built in _build_paravirt, forward-declared
+    # here by name.
+    body = define(module, "spin_lock", SUBSYSTEM, params=1, frame=16)
+    body.call("preempt_disable", args=0)
+    body.work(arith=2, loads=1, stores=1)
+    body.maybe(0.02, lambda b: b.work(arith=8, loads=2))  # contention spin
+    body.done()
+
+    body = define(module, "spin_unlock", SUBSYSTEM, params=1, frame=16)
+    body.work(arith=1, loads=0, stores=1)
+    body.call("preempt_enable", args=0)
+    body.done()
+
+    body = define(module, "spin_lock_irqsave", SUBSYSTEM, params=1, frame=16)
+    body.call("pv_irq_save", args=0)
+    body.work(arith=2, loads=1, stores=1)
+    body.done()
+
+    body = define(module, "spin_unlock_irqrestore", SUBSYSTEM, params=1, frame=16)
+    body.work(arith=1, stores=1)
+    body.call("pv_irq_restore", args=1)
+    body.done()
+
+    leaf(module, "rcu_read_lock", SUBSYSTEM, work=1, loads=0, stores=1, params=0)
+    leaf(module, "rcu_read_unlock", SUBSYSTEM, work=1, loads=0, stores=1, params=0)
+
+    body = define(module, "mutex_lock", SUBSYSTEM, params=1, frame=24)
+    body.work(arith=2, loads=1, stores=1)
+    body.maybe(0.03, lambda b: b.call("mutex_lock_slowpath", args=1))
+    body.done()
+    body = define(module, "mutex_lock_slowpath", SUBSYSTEM, params=1, frame=48)
+    body.call("spin_lock", args=1)
+    body.work(arith=6, loads=2, stores=2)
+    body.call("spin_unlock", args=1)
+    body.done()
+    body = define(module, "mutex_unlock", SUBSYSTEM, params=1, frame=16)
+    body.work(arith=2, loads=1, stores=1)
+    body.done()
+
+    # Slab allocator fast path with occasional refill.
+    body = define(module, "kmem_cache_refill", SUBSYSTEM, params=2, frame=64)
+    body.call("spin_lock_irqsave", args=1)
+    body.work(arith=10, loads=4, stores=4)
+    body.call("spin_unlock_irqrestore", args=1)
+    body.done()
+    body = define(module, "kmalloc", SUBSYSTEM, params=2, frame=32)
+    body.work(arith=3, loads=2, stores=1)
+    body.maybe(0.05, lambda b: b.call("kmem_cache_refill", args=2))
+    body.done()
+    body = define(module, "kfree", SUBSYSTEM, params=1, frame=16)
+    body.work(arith=2, loads=1, stores=1)
+    body.done()
+
+    # String/memory primitives are hand-written assembly in the real
+    # kernel: callable and return-thunk-protectable, but never inlinable —
+    # a permanent source of defended hot returns (Table 9's "other").
+    leaf(
+        module, "memset_kernel", SUBSYSTEM, work=6, loads=0, stores=4,
+        params=2, attrs=[FunctionAttr.NOINLINE],
+    )
+    leaf(
+        module, "memcpy_kernel", SUBSYSTEM, work=4, loads=3, stores=3,
+        params=3, attrs=[FunctionAttr.NOINLINE],
+    )
+
+    # File-descriptor table access.
+    body = define(module, "fdget", SUBSYSTEM, params=1, frame=16)
+    body.call("rcu_read_lock", args=0)
+    body.work(arith=2, loads=2)
+    body.done()
+    body = define(module, "fdput", SUBSYSTEM, params=1, frame=16)
+    body.work(arith=1, loads=1)
+    body.call("rcu_read_unlock", args=0)
+    body.done()
+
+    # Wait-queue machinery (used by pipes, sockets, poll).
+    leaf(module, "default_wake_function", SUBSYSTEM, work=4, loads=2, stores=2, params=2)
+    leaf(module, "autoremove_wake_function", SUBSYSTEM, work=5, loads=2, stores=2, params=2)
+    ops_table(
+        module,
+        "wait_queue_funcs",
+        ["default_wake_function", "autoremove_wake_function"],
+    )
+    body = define(module, "wake_up_common", SUBSYSTEM, params=2, frame=40)
+    body.call("spin_lock_irqsave", args=1)
+    body.icall(
+        {"default_wake_function": 7, "autoremove_wake_function": 3},
+        args=2,
+        table="wait_queue_funcs",
+    )
+    body.call("spin_unlock_irqrestore", args=1)
+    body.done()
+
+
+# -- user memory access ---------------------------------------------------------
+
+
+def _build_uaccess(module: Module, spec: KernelSpec) -> None:
+    leaf(module, "stac", SUBSYSTEM, work=1, loads=0, stores=0, params=0)
+    leaf(module, "clac", SUBSYSTEM, work=1, loads=0, stores=0, params=0)
+
+    # uaccess primitives: rep-movs assembly with fixup tables in the
+    # real kernel — noinline for the same reason as memcpy above.
+    for name in ("copy_to_user", "copy_from_user"):
+        body = define(
+            module, name, SUBSYSTEM, params=3, frame=32,
+            attrs=[FunctionAttr.NOINLINE],
+        )
+        body.call("stac", args=0)
+        body.loop(
+            spec.copy_user_chunks,
+            lambda b: b.work(arith=2, loads=2, stores=2),
+        )
+        body.call("clac", args=0)
+        body.done()
+
+    body = define(
+        module, "strncpy_from_user", SUBSYSTEM, params=3, frame=32,
+        attrs=[FunctionAttr.NOINLINE],
+    )
+    body.call("stac", args=0)
+    body.loop(2, lambda b: b.work(arith=3, loads=2, stores=1))
+    body.call("clac", args=0)
+    body.done()
+
+
+# -- LSM security hooks -----------------------------------------------------------
+
+
+def _build_lsm(module: Module, spec: KernelSpec) -> None:
+    modules = _LSM_MODULE_NAMES[: max(1, spec.lsm_modules)]
+    for hook in LSM_HOOKS:
+        entries: List[str] = []
+        for mod in modules:
+            name = f"lsm_{mod}_{hook}"
+            leaf(module, name, "security", work=3, loads=2, stores=0, params=2)
+            entries.append(name)
+        ops_table(module, lsm_table_name(hook), entries)
+        body = define(module, security_hook_name(hook), "security", params=2)
+        body.work(arith=1, loads=1)
+        # The hook list is walked module by module: each step is an
+        # indirect call with a single runtime target.
+        for name in entries:
+            body.icall({name: 1}, args=2, table=lsm_table_name(hook))
+        body.done()
+
+
+# -- paravirt (inline assembly, not hardenable) ------------------------------------
+
+
+def _build_paravirt(module: Module, spec: KernelSpec, rng: random.Random) -> None:
+    # The first five are referenced from hot paths and always built.
+    pv_names = [
+        "pv_irq_save",
+        "pv_irq_restore",
+        "pv_read_cr2",
+        "pv_flush_tlb",
+        "pv_load_tls",
+        "pv_write_msr",
+        "pv_read_msr",
+        "pv_set_pte",
+        "pv_cpuid",
+        "pv_io_delay",
+        "pv_wbinvd",
+        "pv_swapgs",
+    ][: max(spec.num_paravirt_calls, 5)]
+
+    native_entries = []
+    for pv in pv_names:
+        native = pv.replace("pv_", "native_")
+        leaf(module, native, "paravirt", work=2, loads=1, stores=1, params=1)
+        native_entries.append(native)
+    ops_table(module, "pv_ops", native_entries)
+
+    for pv, native in zip(pv_names, native_entries):
+        # The paravirt dispatch is an inline-assembly macro expanded into
+        # ordinary (inlinable) wrapper functions: LLVM cannot retpoline the
+        # memory-indirect hypercall (Table 11's vulnerable indirect calls),
+        # and inlining the wrapper duplicates the vulnerable site — exactly
+        # how the paper's count grows with the optimization budget.
+        body = define(module, pv, "paravirt", params=1)
+        body.work(arith=1, loads=1)
+        body.icall({native: 1}, args=1, table="pv_ops", asm=True)
+        body.done()
+
+    # Root the wrappers not referenced from hot paths (the real pv_ops
+    # structure references every operation).
+    ops_table(module, "pv_wrapper_table", pv_names)
+
+
+# -- opaque assembly trampolines ------------------------------------------------------
+
+
+def _build_trampolines(module: Module, spec: KernelSpec) -> None:
+    names = []
+    for i in range(spec.num_asm_ijumps):
+        body = define(
+            module,
+            f"asm_trampoline_{i}",
+            "asm",
+            params=0,
+            attrs=[FunctionAttr.INLINE_ASM, FunctionAttr.NOINLINE],
+        )
+        body.work(arith=1, loads=1)
+        body.b.ijump()  # opaque register jump; never a ret
+        # (no .done(): the ijump terminates the function)
+        names.append(f"asm_trampoline_{i}")
+    # Entry-trampoline vector keeps them in the image (like the IDT/entry
+    # stubs referencing the real kernel's asm trampolines).
+    ops_table(module, "asm_entry_vector", names)
+
+
+# -- trivial syscalls -------------------------------------------------------------------
+
+
+def _build_null_syscalls(module: Module, spec: KernelSpec) -> None:
+    body = define(
+        module,
+        "sys_getppid",
+        SUBSYSTEM,
+        params=0,
+        attrs=[FunctionAttr.SYSCALL_ENTRY],
+    )
+    body.call("get_current", args=0)
+    body.work(arith=2, loads=2)
+    body.done()
+    module.register_syscall("getppid", "sys_getppid")
+
+
+# -- syscall dispatch table ----------------------------------------------------------------
+
+
+def _build_dispatch(module: Module, spec: KernelSpec) -> None:
+    """The syscall-number dispatch switch — the kernel's most prominent
+    jump-table candidate. Workloads invoke handlers directly (the dispatch
+    cost is folded into the kernel-entry constant), but the switch exists
+    in the image and shows up in the vanilla kernel's vulnerable
+    indirect-jump census."""
+    body = define(
+        module,
+        "do_syscall_64",
+        SUBSYSTEM,
+        params=1,
+        attrs=[FunctionAttr.SYSCALL_ENTRY, FunctionAttr.NOINLINE],
+    )
+    body.work(arith=2, loads=1)
+    arms = [
+        (1.0, lambda b: b.work(arith=2, loads=1))
+        for _ in range(spec.syscall_switch_arms)
+    ]
+    body.switch(arms)
+    body.done()

@@ -1,0 +1,92 @@
+"""Pipes and the AF_UNIX rendezvous paths used by the ``pipe`` and
+``af_unix`` latency benches: a write into one end, a wake-up through the
+wait-queue indirect call, and a read from the other."""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.module import Module
+from repro.ir.types import FunctionAttr
+from repro.kernel.helpers import define, leaf
+from repro.kernel.spec import KernelSpec
+
+SUBSYSTEM = "ipc"
+
+
+def build(module: Module, spec: KernelSpec, rng: random.Random) -> None:
+    _build_pipe(module, spec)
+    _build_syscalls(module, spec)
+
+
+def _build_pipe(module: Module, spec: KernelSpec) -> None:
+    body = define(module, "pipe_write", SUBSYSTEM, params=3, frame=64)
+    body.call("mutex_lock", args=1)
+    body.call("copy_from_user", args=3)
+    body.work(arith=3, loads=1, stores=2)
+    body.call("wake_up_common", args=2)
+    body.call("mutex_unlock", args=1)
+    body.done()
+
+    body = define(module, "pipe_read", SUBSYSTEM, params=3, frame=64)
+    body.call("mutex_lock", args=1)
+    body.work(arith=3, loads=2)
+    body.call("copy_to_user", args=3)
+    body.call("wake_up_common", args=2)
+    body.call("mutex_unlock", args=1)
+    body.done()
+
+    leaf(module, "pipe_poll", SUBSYSTEM, work=3, loads=2, params=2)
+
+    body = define(module, "alloc_pipe_info", SUBSYSTEM, params=0, frame=64)
+    body.call("kmalloc", args=2)
+    body.call("kmalloc", args=2)
+    body.call("memset_kernel", args=2)
+    body.done()
+
+
+def _build_syscalls(module: Module, spec: KernelSpec) -> None:
+    # One pipe latency operation: write one token, context-switch, read it.
+    body = define(
+        module,
+        "sys_pipe_pingpong",
+        SUBSYSTEM,
+        params=2,
+        attrs=[FunctionAttr.SYSCALL_ENTRY],
+    )
+    body.call("fdget", args=1)
+    body.call("pipe_write", args=3)
+    body.call("fdput", args=1)
+    body.call("__schedule", args=0)
+    body.call("fdget", args=1)
+    body.call("pipe_read", args=3)
+    body.call("fdput", args=1)
+    body.done()
+    module.register_syscall("pipe", "sys_pipe_pingpong")
+
+    # AF_UNIX round trip: send + wake + schedule + recv, dispatched through
+    # a site whose targets are dominated by the unix protocol ops.
+    body = define(
+        module,
+        "sys_af_unix_pingpong",
+        SUBSYSTEM,
+        params=2,
+        attrs=[FunctionAttr.SYSCALL_ENTRY],
+    )
+    body.call("fdget", args=1)
+    body.icall(
+        {"unix_stream_sendmsg": 95, "tcp_sendmsg": 3, "udp_sendmsg": 2},
+        args=3,
+        table="proto_sendmsg_ops",
+    )
+    body.call("fdput", args=1)
+    body.call("__schedule", args=0)
+    body.call("fdget", args=1)
+    body.icall(
+        {"unix_stream_recvmsg": 95, "tcp_recvmsg": 3, "udp_recvmsg": 2},
+        args=3,
+        table="proto_recvmsg_ops",
+    )
+    body.call("fdput", args=1)
+    body.done()
+    module.register_syscall("af_unix", "sys_af_unix_pingpong")

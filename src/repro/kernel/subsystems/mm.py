@@ -1,0 +1,132 @@
+"""Memory management: mmap, page-fault handling, and VMA machinery.
+
+Page faults enter through an exception vector rather than a syscall, but
+exercise the same instrumented kernel code (the ``page_fault`` LMBench
+latency bench); we register the fault handler as an entry point alongside
+the syscalls.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.module import Module
+from repro.ir.types import FunctionAttr
+from repro.kernel.helpers import define, leaf, ops_table
+from repro.kernel.spec import KernelSpec
+from repro.kernel.subsystems.entry import security_hook_name
+
+SUBSYSTEM = "mm"
+
+FAULT_DIST = {"filemap_fault": 55, "shmem_fault": 25, "anon_fault": 20}
+
+
+def build(module: Module, spec: KernelSpec, rng: random.Random) -> None:
+    _build_vma(module, spec)
+    _build_fault_handlers(module, spec)
+    _build_mmap(module, spec)
+    _build_page_fault(module, spec)
+
+
+def _build_vma(module: Module, spec: KernelSpec) -> None:
+    body = define(module, "vma_find", SUBSYSTEM, params=2, frame=32)
+    body.work(arith=4, loads=4)  # maple-tree walk
+    body.done()
+
+    body = define(module, "vma_alloc", SUBSYSTEM, params=1, frame=32)
+    body.call("kmalloc", args=2)
+    body.call("memset_kernel", args=2)
+    body.done()
+
+    body = define(module, "vma_link", SUBSYSTEM, params=2, frame=48)
+    body.call("spin_lock", args=1)
+    body.work(arith=5, loads=2, stores=3)
+    body.call("spin_unlock", args=1)
+    body.done()
+
+    leaf(module, "arch_get_unmapped_area", SUBSYSTEM, work=5, loads=2, params=3)
+    leaf(module, "shmem_get_unmapped_area", SUBSYSTEM, work=6, loads=2, params=3)
+    ops_table(
+        module,
+        "get_unmapped_area_ops",
+        ["arch_get_unmapped_area", "shmem_get_unmapped_area"],
+    )
+
+
+def _build_fault_handlers(module: Module, spec: KernelSpec) -> None:
+    body = define(module, "filemap_fault", SUBSYSTEM, params=2, frame=64)
+    body.work(arith=4, loads=3)
+    body.maybe(0.08, lambda b: b.work(arith=15, loads=8, stores=4))  # readahead
+    body.done()
+
+    body = define(module, "shmem_fault", SUBSYSTEM, params=2, frame=64)
+    body.work(arith=3, loads=2)
+    body.maybe(0.1, lambda b: b.call("kmalloc", args=2))
+    body.done()
+
+    body = define(module, "anon_fault", SUBSYSTEM, params=2, frame=48)
+    body.call("kmalloc", args=2)
+    body.call("memset_kernel", args=2)
+    body.done()
+
+    ops_table(module, "vm_fault_ops", list(FAULT_DIST))
+
+
+def _build_mmap(module: Module, spec: KernelSpec) -> None:
+    mmap_file_dist = {"ext4_mmap_prepare": 7, "shmem_mmap_prepare": 3}
+    leaf(module, "ext4_mmap_prepare", SUBSYSTEM, work=5, loads=2, stores=1, params=2)
+    leaf(module, "shmem_mmap_prepare", SUBSYSTEM, work=5, loads=2, stores=1, params=2)
+    ops_table(
+        module, "file_mmap_ops", ["ext4_mmap_prepare", "shmem_mmap_prepare"]
+    )
+
+    body = define(module, "do_mmap", SUBSYSTEM, params=3, frame=96)
+    body.work(arith=30, loads=10, stores=6)  # flags validation, merge scan
+    body.call(security_hook_name("mmap_region"), args=2)
+    body.icall(
+        {"arch_get_unmapped_area": 8, "shmem_get_unmapped_area": 2},
+        args=3,
+        table="get_unmapped_area_ops",
+    )
+    body.call("vma_alloc", args=1)
+    body.icall(mmap_file_dist, args=2, table="file_mmap_ops")
+    body.call("vma_link", args=2)
+    body.done()
+
+    body = define(
+        module,
+        "sys_mmap",
+        SUBSYSTEM,
+        params=3,
+        attrs=[FunctionAttr.SYSCALL_ENTRY],
+    )
+    body.call("fdget", args=1)
+    body.call("mutex_lock", args=1)  # mmap_lock
+    body.call("do_mmap", args=3)
+    body.call("mutex_unlock", args=1)
+    body.call("fdput", args=1)
+    # Touch the first pages (LMBench's mmap bench walks the mapping).
+    body.loop(spec.mmap_pages, lambda b: b.call("handle_mm_fault", args=2))
+    body.done()
+    module.register_syscall("mmap", "sys_mmap")
+
+
+def _build_page_fault(module: Module, spec: KernelSpec) -> None:
+    body = define(module, "handle_mm_fault", SUBSYSTEM, params=2, frame=96)
+    body.call("vma_find", args=2)
+    body.work(arith=12, loads=6)  # page-table walk
+    body.icall(FAULT_DIST, args=2, table="vm_fault_ops")
+    body.work(arith=3, loads=1, stores=2)  # PTE install
+    body.done()
+
+    body = define(
+        module,
+        "do_page_fault",
+        SUBSYSTEM,
+        params=2,
+        attrs=[FunctionAttr.SYSCALL_ENTRY],
+    )
+    body.call("pv_read_cr2", args=0)
+    body.call("handle_mm_fault", args=2)
+    body.done()
+    module.register_syscall("page_fault", "do_page_fault")

@@ -1,0 +1,380 @@
+"""Networking stack: sockets, TCP/UDP/UNIX protocol ops, poll/select.
+
+This subsystem supplies the indirect-branch-dense paths that dominate the
+paper's worst microbenchmarks: ``select_tcp`` loops an indirect poll call
+over every watched descriptor (567% overhead under unoptimized
+all-defenses, Table 5), and TCP transmit descends through protocol and
+device op tables.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.module import Module
+from repro.ir.types import FunctionAttr
+from repro.kernel.helpers import define, leaf, ops_table
+from repro.kernel.spec import KernelSpec
+from repro.kernel.subsystems.entry import security_hook_name
+
+SUBSYSTEM = "net"
+
+PROTO_SENDMSG = {"tcp_sendmsg": 55, "udp_sendmsg": 25, "unix_stream_sendmsg": 20}
+PROTO_RECVMSG = {"tcp_recvmsg": 55, "udp_recvmsg": 25, "unix_stream_recvmsg": 20}
+PROTO_POLL = {"tcp_poll": 70, "udp_poll": 15, "unix_poll": 15}
+
+
+def build(module: Module, spec: KernelSpec, rng: random.Random) -> None:
+    _build_skb(module, spec)
+    _build_device_layer(module, spec)
+    _build_protocols(module, spec)
+    _build_socket_layer(module, spec)
+    _build_syscalls(module, spec)
+
+
+# -- socket buffers ------------------------------------------------------------
+
+
+def _build_skb(module: Module, spec: KernelSpec) -> None:
+    body = define(module, "alloc_skb", SUBSYSTEM, params=2, frame=48)
+    body.call("kmalloc", args=2)
+    body.call("memset_kernel", args=2)
+    body.work(arith=3, stores=2)
+    body.done()
+
+    body = define(module, "kfree_skb", SUBSYSTEM, params=1, frame=16)
+    body.work(arith=2, loads=1)
+    body.call("kfree", args=1)
+    body.done()
+
+    body = define(module, "skb_copy_datagram_from_user", SUBSYSTEM, params=3, frame=48)
+    body.call("copy_from_user", args=3)
+    body.work(arith=2, stores=1)
+    body.done()
+
+    body = define(module, "skb_copy_datagram_to_user", SUBSYSTEM, params=3, frame=48)
+    body.call("copy_to_user", args=3)
+    body.work(arith=2, loads=1)
+    body.done()
+
+
+# -- device layer ----------------------------------------------------------------
+
+
+def _build_device_layer(module: Module, spec: KernelSpec) -> None:
+    body = define(module, "loopback_xmit", SUBSYSTEM, params=2, frame=48)
+    body.work(arith=4, loads=2, stores=2)
+    body.call("netif_rx_internal", args=1)
+    body.done()
+
+    leaf(module, "veth_xmit", SUBSYSTEM, work=6, loads=3, stores=3, params=2)
+    ops_table(module, "ndo_start_xmit_ops", ["loopback_xmit", "veth_xmit"])
+
+    body = define(module, "netif_rx_internal", SUBSYSTEM, params=1, frame=48)
+    body.work(arith=4, loads=2, stores=2)
+    body.call("spin_lock", args=1)
+    body.work(arith=2, stores=1)
+    body.call("spin_unlock", args=1)
+    body.done()
+
+    body = define(module, "dev_queue_xmit", SUBSYSTEM, params=2, frame=64)
+    body.work(arith=3, loads=2)
+    body.icall({"loopback_xmit": 9, "veth_xmit": 1}, args=2, table="ndo_start_xmit_ops")
+    body.done()
+
+
+# -- protocol implementations --------------------------------------------------------
+
+
+def _build_protocols(module: Module, spec: KernelSpec) -> None:
+    # Routing layer: every emitted packet leaves through dst->output.
+    body = define(module, "ip_output", SUBSYSTEM, params=2, frame=48)
+    body.work(arith=3, loads=2)
+    body.call("dev_queue_xmit", args=2)
+    body.done()
+    leaf(module, "ip_mc_output", SUBSYSTEM, work=4, loads=2, stores=1, params=2)
+    ops_table(module, "dst_output_ops", ["ip_output", "ip_mc_output"])
+
+    # IP layer shared by TCP/UDP.
+    body = define(module, "ip_queue_xmit", SUBSYSTEM, params=2, frame=64)
+    body.work(arith=5, loads=3, stores=2)
+    body.icall(
+        {"ip_output": 49, "ip_mc_output": 1}, args=2, table="dst_output_ops"
+    )
+    body.done()
+
+    # -- TCP --
+    body = define(module, "tcp_write_xmit", SUBSYSTEM, params=2, frame=96)
+    body.loop(
+        spec.tcp_segments,
+        lambda b: (
+            b.work(arith=5, loads=3, stores=2),
+            b.call("ip_queue_xmit", args=2),
+        ),
+    )
+    body.done()
+
+    body = define(module, "tcp_sendmsg", SUBSYSTEM, params=3, frame=96)
+    body.call("mutex_lock", args=1)
+    body.work(arith=40, loads=14, stores=8)  # segmentation, cong. control
+    body.call("alloc_skb", args=2)
+    body.call("skb_copy_datagram_from_user", args=3)
+    body.call("tcp_write_xmit", args=2)
+    body.call("mutex_unlock", args=1)
+    body.done()
+
+    body = define(module, "tcp_recvmsg", SUBSYSTEM, params=3, frame=96)
+    body.call("mutex_lock", args=1)
+    body.work(arith=30, loads=12, stores=6)  # receive-queue walk
+    body.call("skb_copy_datagram_to_user", args=3)
+    body.call("kfree_skb", args=1)
+    body.call("mutex_unlock", args=1)
+    body.done()
+
+    body = define(module, "tcp_poll", SUBSYSTEM, params=2, frame=32)
+    body.work(arith=4, loads=3)
+    body.done()
+
+    body = define(module, "tcp_v4_connect", SUBSYSTEM, params=3, frame=96)
+    body.work(arith=45, loads=15, stores=10)  # route lookup, hash insert
+    body.call("ip_queue_xmit", args=2)  # SYN
+    body.call("mod_timer", args=2)
+    body.done()
+
+    body = define(module, "tcp_v4_do_rcv", SUBSYSTEM, params=2, frame=64)
+    body.work(arith=6, loads=4, stores=2)
+    body.call("wake_up_common", args=2)
+    body.done()
+
+    # -- UDP --
+    body = define(module, "udp_sendmsg", SUBSYSTEM, params=3, frame=64)
+    body.call("alloc_skb", args=2)
+    body.call("skb_copy_datagram_from_user", args=3)
+    body.call("ip_queue_xmit", args=2)
+    body.done()
+
+    body = define(module, "udp_recvmsg", SUBSYSTEM, params=3, frame=64)
+    body.work(arith=3, loads=2)
+    body.call("skb_copy_datagram_to_user", args=3)
+    body.call("kfree_skb", args=1)
+    body.done()
+
+    leaf(module, "udp_poll", SUBSYSTEM, work=3, loads=2, params=2)
+
+    # -- AF_UNIX --
+    body = define(module, "unix_stream_sendmsg", SUBSYSTEM, params=3, frame=64)
+    body.call("mutex_lock", args=1)
+    body.call("alloc_skb", args=2)
+    body.call("skb_copy_datagram_from_user", args=3)
+    body.call("wake_up_common", args=2)
+    body.call("mutex_unlock", args=1)
+    body.done()
+
+    body = define(module, "unix_stream_recvmsg", SUBSYSTEM, params=3, frame=64)
+    body.call("mutex_lock", args=1)
+    body.call("skb_copy_datagram_to_user", args=3)
+    body.call("kfree_skb", args=1)
+    body.call("mutex_unlock", args=1)
+    body.done()
+
+    leaf(module, "unix_poll", SUBSYSTEM, work=3, loads=2, params=2)
+
+    ops_table(
+        module, "proto_sendmsg_ops", list(PROTO_SENDMSG)
+    )
+    ops_table(
+        module, "proto_recvmsg_ops", list(PROTO_RECVMSG)
+    )
+    ops_table(module, "proto_poll_ops", list(PROTO_POLL))
+    ops_table(
+        module,
+        "proto_connect_ops",
+        ["tcp_v4_connect", "unix_connect_stub"],
+    )
+    leaf(module, "unix_connect_stub", SUBSYSTEM, work=5, loads=2, stores=2, params=3)
+
+
+# -- generic socket layer ----------------------------------------------------------
+
+
+def _build_socket_layer(module: Module, spec: KernelSpec) -> None:
+    body = define(module, "sock_sendmsg", SUBSYSTEM, params=3, frame=48)
+    body.call(security_hook_name("socket_sendmsg"), args=2)
+    body.icall(PROTO_SENDMSG, args=3, table="proto_sendmsg_ops")
+    body.done()
+
+    body = define(module, "sock_recvmsg", SUBSYSTEM, params=3, frame=48)
+    body.work(arith=2, loads=1)
+    body.icall(PROTO_RECVMSG, args=3, table="proto_recvmsg_ops")
+    body.done()
+
+    body = define(module, "sock_poll", SUBSYSTEM, params=2, frame=32)
+    body.work(arith=1, loads=1)
+    body.icall(PROTO_POLL, args=2, table="proto_poll_ops")
+    body.done()
+
+    # file_operations glue: sockets read/written through the VFS.
+    body = define(module, "sock_read_iter", SUBSYSTEM, params=3, frame=48)
+    body.call("sock_recvmsg", args=3)
+    body.done()
+
+    body = define(module, "sock_write_iter", SUBSYSTEM, params=3, frame=48)
+    body.call("sock_sendmsg", args=3)
+    body.done()
+
+
+# -- syscalls -------------------------------------------------------------------------
+
+
+def _build_syscalls(module: Module, spec: KernelSpec) -> None:
+    for syscall, handler, op in (
+        ("sendto", "sys_sendto", "sock_sendmsg"),
+        ("recvfrom", "sys_recvfrom", "sock_recvmsg"),
+    ):
+        body = define(
+            module,
+            handler,
+            SUBSYSTEM,
+            params=3,
+            attrs=[FunctionAttr.SYSCALL_ENTRY],
+        )
+        body.call("fdget", args=1)
+        body.call(op, args=3)
+        body.call("fdput", args=1)
+        body.done()
+        module.register_syscall(syscall, handler)
+
+    body = define(
+        module,
+        "sys_connect",
+        SUBSYSTEM,
+        params=3,
+        attrs=[FunctionAttr.SYSCALL_ENTRY],
+    )
+    body.call("fdget", args=1)
+    body.call("kmalloc", args=2)  # sockaddr copy buffer
+    body.call("copy_from_user", args=3)
+    body.icall(
+        {"tcp_v4_connect": 9, "unix_connect_stub": 1},
+        args=3,
+        table="proto_connect_ops",
+    )
+    body.call("kfree", args=1)
+    body.call("fdput", args=1)
+    body.done()
+    module.register_syscall("connect", "sys_connect")
+    # LMBench's tcp_conn bench measures exactly this path.
+    module.register_syscall("tcp_conn", "sys_connect")
+
+    # Protocol-family ping-pong fast paths: distinct indirect call sites
+    # whose runtime target mix is dominated by one protocol (the socket
+    # type the bench uses) with minority traffic from others — yielding
+    # the multi-target value profiles of Table 4.
+    body = define(
+        module,
+        "sys_tcp_pingpong",
+        SUBSYSTEM,
+        params=2,
+        attrs=[FunctionAttr.SYSCALL_ENTRY],
+    )
+    body.call("fdget", args=1)
+    body.icall(
+        {"tcp_sendmsg": 94, "unix_stream_sendmsg": 4, "udp_sendmsg": 2},
+        args=3,
+        table="proto_sendmsg_ops",
+    )
+    body.call("tcp_v4_do_rcv", args=2)
+    body.icall(
+        {"tcp_recvmsg": 94, "unix_stream_recvmsg": 4, "udp_recvmsg": 2},
+        args=3,
+        table="proto_recvmsg_ops",
+    )
+    body.call("fdput", args=1)
+    body.done()
+    module.register_syscall("tcp", "sys_tcp_pingpong")
+
+    body = define(
+        module,
+        "sys_udp_pingpong",
+        SUBSYSTEM,
+        params=2,
+        attrs=[FunctionAttr.SYSCALL_ENTRY],
+    )
+    body.call("fdget", args=1)
+    body.icall(
+        {"udp_sendmsg": 95, "tcp_sendmsg": 3, "unix_stream_sendmsg": 2},
+        args=3,
+        table="proto_sendmsg_ops",
+    )
+    body.icall(
+        {"udp_recvmsg": 95, "tcp_recvmsg": 3, "unix_stream_recvmsg": 2},
+        args=3,
+        table="proto_recvmsg_ops",
+    )
+    body.call("fdput", args=1)
+    body.done()
+    module.register_syscall("udp", "sys_udp_pingpong")
+
+    # select/poll: the fd-scan loops.
+    vfs_poll_dist = {
+        "ext4_file_poll": 60,
+        "tmpfs_file_poll": 20,
+        "pipe_poll": 12,
+        "sock_poll": 8,
+    }
+    body = define(module, "vfs_poll", SUBSYSTEM, params=2, frame=32)
+    body.work(arith=1, loads=1)
+    body.icall(vfs_poll_dist, args=2, table="file_poll_ops")
+    body.done()
+
+    body = define(module, "do_select_files", SUBSYSTEM, params=3, frame=128)
+    body.work(arith=4, loads=2, stores=2)
+    body.loop(
+        spec.select_file_fds,
+        lambda b: (b.call("fdget", args=1), b.call("vfs_poll", args=2), b.call("fdput", args=1)),
+    )
+    body.call("copy_to_user", args=3)
+    body.done()
+
+    body = define(
+        module,
+        "sys_select_file",
+        SUBSYSTEM,
+        params=3,
+        attrs=[FunctionAttr.SYSCALL_ENTRY],
+    )
+    body.call("copy_from_user", args=3)
+    body.call("do_select_files", args=3)
+    body.done()
+    module.register_syscall("select_file", "sys_select_file")
+
+    # The select fast path resolves its struct files once up front; the
+    # per-fd loop is almost pure indirect dispatch (file->poll ->
+    # sock_poll -> proto poll), which is why retpolines more than double
+    # this bench in the paper (Table 3: select_tcp +146.5%).
+    sock_poll_dist = {"sock_poll": 1}
+    body = define(module, "do_select_tcp", SUBSYSTEM, params=3, frame=128)
+    body.call("fdget", args=1)
+    body.work(arith=4, loads=2, stores=2)
+    body.loop(
+        spec.select_tcp_fds,
+        lambda b: (
+            b.work(arith=1, loads=1),
+            b.icall(sock_poll_dist, args=2, table="file_poll_ops"),
+        ),
+    )
+    body.call("fdput", args=1)
+    body.call("copy_to_user", args=3)
+    body.done()
+
+    body = define(
+        module,
+        "sys_select_tcp",
+        SUBSYSTEM,
+        params=3,
+        attrs=[FunctionAttr.SYSCALL_ENTRY],
+    )
+    body.call("copy_from_user", args=3)
+    body.call("do_select_tcp", args=3)
+    body.done()
+    module.register_syscall("select_tcp", "sys_select_tcp")

@@ -1,0 +1,241 @@
+"""Scheduler and process lifecycle: fork/exec/exit, context switch.
+
+The ``fork/*`` LMBench benches are the deep-call-chain stressors: process
+duplication walks file tables and VMA lists, exercises the scheduler-class
+op tables, and (in the exec/shell variants) loads a new image. These
+chains are deep enough to overflow a 16-entry RSB, reproducing the
+return-misprediction behaviour the backward-edge analysis cares about.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.module import Module
+from repro.ir.types import FunctionAttr
+from repro.kernel.helpers import define, leaf, ops_table
+from repro.kernel.spec import KernelSpec
+from repro.kernel.subsystems.entry import security_hook_name
+
+SUBSYSTEM = "sched"
+
+PICK_NEXT_DIST = {"pick_next_task_fair": 85, "pick_next_task_rt": 5, "pick_next_task_idle": 10}
+
+
+def build(module: Module, spec: KernelSpec, rng: random.Random) -> None:
+    _build_sched_classes(module, spec)
+    _build_context_switch(module, spec)
+    _build_fork(module, spec)
+    _build_exec(module, spec)
+    _build_exit(module, spec)
+    _build_composite_syscalls(module, spec)
+
+
+def _build_sched_classes(module: Module, spec: KernelSpec) -> None:
+    for cls in ("fair", "rt", "idle"):
+        leaf(module, f"pick_next_task_{cls}", SUBSYSTEM, work=6, loads=4, params=1)
+        leaf(module, f"enqueue_task_{cls}", SUBSYSTEM, work=5, loads=2, stores=3, params=2)
+        leaf(module, f"dequeue_task_{cls}", SUBSYSTEM, work=5, loads=2, stores=3, params=2)
+    ops_table(
+        module, "sched_pick_next_ops", [f"pick_next_task_{c}" for c in ("fair", "rt", "idle")]
+    )
+    ops_table(
+        module, "sched_enqueue_ops", [f"enqueue_task_{c}" for c in ("fair", "rt", "idle")]
+    )
+    ops_table(
+        module, "sched_dequeue_ops", [f"dequeue_task_{c}" for c in ("fair", "rt", "idle")]
+    )
+
+
+def _build_context_switch(module: Module, spec: KernelSpec) -> None:
+    body = define(module, "switch_mm", SUBSYSTEM, params=2, frame=48)
+    body.call("pv_flush_tlb", args=0)
+    body.work(arith=4, loads=2, stores=2)
+    body.done()
+
+    body = define(module, "switch_to", SUBSYSTEM, params=2, frame=64)
+    body.call("pv_load_tls", args=1)
+    body.work(arith=6, loads=3, stores=3)
+    body.done()
+
+    body = define(
+        module,
+        "__schedule",
+        SUBSYSTEM,
+        params=0,
+        frame=128,
+        attrs=[FunctionAttr.NOINLINE],  # like the real __schedule (notrace)
+    )
+    body.call("spin_lock", args=1)  # rq lock
+    body.work(arith=30, loads=10, stores=6)  # rq bookkeeping, clock update
+    body.icall(PICK_NEXT_DIST, args=1, table="sched_pick_next_ops")
+    body.call("switch_mm", args=2)
+    body.call("switch_to", args=2)
+    body.call("spin_unlock", args=1)
+    body.done()
+
+    body = define(module, "wake_up_new_task", SUBSYSTEM, params=1, frame=64)
+    body.call("spin_lock", args=1)
+    body.icall(
+        {"enqueue_task_fair": 9, "enqueue_task_rt": 1},
+        args=2,
+        table="sched_enqueue_ops",
+    )
+    body.call("spin_unlock", args=1)
+    body.done()
+
+
+def _build_fork(module: Module, spec: KernelSpec) -> None:
+    body = define(module, "dup_task_struct", SUBSYSTEM, params=1, frame=96)
+    body.call("kmalloc", args=2)
+    body.call("memcpy_kernel", args=3)
+    body.work(arith=4, stores=2)
+    body.done()
+
+    body = define(module, "copy_files", SUBSYSTEM, params=2, frame=96)
+    body.call("kmalloc", args=2)
+    body.call("spin_lock", args=1)
+    body.loop(spec.fork_files, lambda b: b.work(arith=3, loads=2, stores=2))
+    body.call("spin_unlock", args=1)
+    body.done()
+
+    body = define(module, "copy_one_vma", SUBSYSTEM, params=2, frame=64)
+    body.call("vma_alloc", args=1)
+    body.call("memcpy_kernel", args=3)
+    body.call("vma_link", args=2)
+    body.done()
+
+    body = define(module, "dup_mmap", SUBSYSTEM, params=2, frame=128)
+    body.call("mutex_lock", args=1)
+    body.loop(spec.fork_vmas, lambda b: b.call("copy_one_vma", args=2))
+    body.call("mutex_unlock", args=1)
+    body.done()
+
+    body = define(module, "sched_fork", SUBSYSTEM, params=1, frame=48)
+    body.work(arith=5, loads=2, stores=3)
+    body.done()
+
+    body = define(module, "copy_process", SUBSYSTEM, params=2, frame=160)
+    body.work(arith=45, loads=15, stores=12)  # task_struct setup
+    body.call(security_hook_name("task_create"), args=2)
+    body.call("dup_task_struct", args=1)
+    body.call("copy_files", args=2)
+    body.call("dup_mmap", args=2)
+    body.call("sched_fork", args=1)
+    body.work(arith=6, loads=3, stores=3)
+    body.done()
+
+    body = define(module, "kernel_clone", SUBSYSTEM, params=2, frame=96)
+    body.call("copy_process", args=2)
+    body.call("wake_up_new_task", args=1)
+    body.done()
+
+
+def _build_exec(module: Module, spec: KernelSpec) -> None:
+    body = define(module, "flush_old_exec", SUBSYSTEM, params=1, frame=64)
+    body.call("mutex_lock", args=1)
+    body.work(arith=5, loads=2, stores=3)
+    body.call("mutex_unlock", args=1)
+    body.done()
+
+    body = define(module, "load_elf_binary", SUBSYSTEM, params=2, frame=160)
+    body.call("flush_old_exec", args=1)
+    body.work(arith=90, loads=25, stores=15)  # ELF header/phdr parsing
+    body.loop(
+        spec.exec_pages,
+        lambda b: (b.call("do_mmap", args=3), b.call("handle_mm_fault", args=2)),
+    )
+    body.work(arith=8, loads=4, stores=3)
+    body.done()
+
+    leaf(module, "load_script_stub", SUBSYSTEM, work=6, loads=3, params=2)
+    ops_table(module, "binfmt_ops", ["load_elf_binary", "load_script_stub"])
+
+    body = define(module, "bprm_execve", SUBSYSTEM, params=2, frame=128)
+    body.call("getname", args=1)
+    body.call("do_filp_open", args=2)
+    body.icall({"load_elf_binary": 9, "load_script_stub": 1}, args=2, table="binfmt_ops")
+    body.call("putname", args=1)
+    body.done()
+
+
+def _build_exit(module: Module, spec: KernelSpec) -> None:
+    body = define(module, "exit_files", SUBSYSTEM, params=1, frame=64)
+    body.call("spin_lock", args=1)
+    body.loop(spec.fork_files, lambda b: b.work(arith=2, loads=2, stores=1))
+    body.call("spin_unlock", args=1)
+    body.done()
+
+    body = define(module, "exit_mm", SUBSYSTEM, params=1, frame=64)
+    body.call("mutex_lock", args=1)
+    body.loop(spec.fork_vmas, lambda b: b.call("kfree", args=1))
+    body.call("mutex_unlock", args=1)
+    body.done()
+
+    body = define(module, "do_exit", SUBSYSTEM, params=1, frame=96)
+    body.call("exit_files", args=1)
+    body.call("exit_mm", args=1)
+    body.icall(
+        {"dequeue_task_fair": 9, "dequeue_task_rt": 1},
+        args=2,
+        table="sched_dequeue_ops",
+    )
+    body.call("kfree", args=1)
+    body.done()
+
+    body = define(module, "do_wait", SUBSYSTEM, params=2, frame=96)
+    body.work(arith=4, loads=3)
+    body.call("__schedule", args=0)
+    body.work(arith=3, loads=2, stores=1)
+    body.done()
+
+
+def _build_composite_syscalls(module: Module, spec: KernelSpec) -> None:
+    """LMBench's fork benches measure a whole create/run/reap cycle."""
+    body = define(
+        module,
+        "sys_fork_exit",
+        SUBSYSTEM,
+        params=0,
+        attrs=[FunctionAttr.SYSCALL_ENTRY],
+    )
+    body.call("kernel_clone", args=2)
+    body.call("__schedule", args=0)
+    body.call("do_exit", args=1)
+    body.call("do_wait", args=2)
+    body.done()
+    module.register_syscall("fork_exit", "sys_fork_exit")
+
+    body = define(
+        module,
+        "sys_fork_exec",
+        SUBSYSTEM,
+        params=0,
+        attrs=[FunctionAttr.SYSCALL_ENTRY],
+    )
+    body.call("kernel_clone", args=2)
+    body.call("__schedule", args=0)
+    body.call("bprm_execve", args=2)
+    body.call("do_exit", args=1)
+    body.call("do_wait", args=2)
+    body.done()
+    module.register_syscall("fork_exec", "sys_fork_exec")
+
+    body = define(
+        module,
+        "sys_fork_shell",
+        SUBSYSTEM,
+        params=0,
+        attrs=[FunctionAttr.SYSCALL_ENTRY],
+    )
+    # /bin/sh -c: two fork/exec cycles plus shell startup file activity.
+    body.call("kernel_clone", args=2)
+    body.call("__schedule", args=0)
+    body.call("bprm_execve", args=2)
+    body.call("kernel_clone", args=2)
+    body.call("bprm_execve", args=2)
+    body.loop(3, lambda b: (b.call("fdget", args=1), b.call("vfs_read", args=3), b.call("fdput", args=1)))
+    body.call("do_exit", args=1)
+    body.call("do_wait", args=2)
+    body.done()
+    module.register_syscall("fork_shell", "sys_fork_shell")

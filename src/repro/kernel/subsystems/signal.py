@@ -1,0 +1,74 @@
+"""Signal delivery: ``sigaction`` installation and dispatch-to-handler
+(the ``sig_install`` / ``sig_dispatch`` latency benches)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.module import Module
+from repro.ir.types import FunctionAttr
+from repro.kernel.helpers import define, leaf
+from repro.kernel.spec import KernelSpec
+from repro.kernel.subsystems.entry import security_hook_name
+
+SUBSYSTEM = "signal"
+
+
+def build(module: Module, spec: KernelSpec, rng: random.Random) -> None:
+    body = define(module, "sigaction_copy", SUBSYSTEM, params=2, frame=48)
+    body.call("copy_from_user", args=3)
+    body.work(arith=2, stores=2)
+    body.done()
+
+    body = define(
+        module,
+        "sys_sigaction",
+        SUBSYSTEM,
+        params=3,
+        attrs=[FunctionAttr.SYSCALL_ENTRY],
+    )
+    body.call("sigaction_copy", args=2)
+    body.call("spin_lock", args=1)  # sighand lock
+    body.work(arith=3, loads=2, stores=2)
+    body.call("spin_unlock", args=1)
+    body.done()
+    module.register_syscall("sig_install", "sys_sigaction")
+
+    leaf(module, "recalc_sigpending", SUBSYSTEM, work=3, loads=2, stores=1, params=1)
+
+    body = define(module, "send_signal_locked", SUBSYSTEM, params=2, frame=64)
+    body.call("kmalloc", args=2)  # sigqueue entry
+    body.work(arith=4, loads=2, stores=3)
+    body.call("recalc_sigpending", args=1)
+    body.call("wake_up_common", args=2)
+    body.done()
+
+    body = define(module, "get_signal", SUBSYSTEM, params=1, frame=96)
+    body.call("spin_lock", args=1)
+    body.work(arith=20, loads=8, stores=3)  # pending-set scan
+    body.call("kfree", args=1)  # dequeued sigqueue entry
+    body.call("spin_unlock", args=1)
+    body.done()
+
+    body = define(module, "setup_rt_frame", SUBSYSTEM, params=2, frame=96)
+    body.call(security_hook_name("signal_deliver"), args=2)
+    body.call("copy_to_user", args=3)  # signal frame
+    body.work(arith=4, stores=3)
+    body.done()
+
+    # One sig_dispatch operation: kill(self) + deliver + sigreturn.
+    body = define(
+        module,
+        "sys_sig_dispatch",
+        SUBSYSTEM,
+        params=2,
+        attrs=[FunctionAttr.SYSCALL_ENTRY],
+    )
+    body.call("spin_lock", args=1)
+    body.call("send_signal_locked", args=2)
+    body.call("spin_unlock", args=1)
+    body.call("get_signal", args=1)
+    body.call("setup_rt_frame", args=2)
+    body.call("copy_from_user", args=3)  # sigreturn restores context
+    body.done()
+    module.register_syscall("sig_dispatch", "sys_sig_dispatch")

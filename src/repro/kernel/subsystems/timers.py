@@ -1,0 +1,45 @@
+"""Timer wheel and softirq machinery: timer callbacks are classic
+indirect calls (``timer->function``), exercised by TCP connection setup
+and periodically by the tick."""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.module import Module
+from repro.kernel.helpers import define, leaf, ops_table
+from repro.kernel.spec import KernelSpec
+
+SUBSYSTEM = "time"
+
+TIMER_DIST = {"tcp_write_timer": 4, "tcp_delack_timer": 4, "process_timeout": 2}
+
+
+def build(module: Module, spec: KernelSpec, rng: random.Random) -> None:
+    leaf(module, "tcp_write_timer", SUBSYSTEM, work=5, loads=3, stores=2, params=1)
+    leaf(module, "tcp_delack_timer", SUBSYSTEM, work=5, loads=3, stores=2, params=1)
+    body = define(module, "process_timeout", SUBSYSTEM, params=1, frame=32)
+    body.call("wake_up_common", args=2)
+    body.done()
+    ops_table(module, "timer_fn_ops", list(TIMER_DIST))
+
+    body = define(module, "mod_timer", SUBSYSTEM, params=2, frame=48)
+    body.call("spin_lock_irqsave", args=1)
+    body.work(arith=4, loads=2, stores=2)
+    body.call("spin_unlock_irqrestore", args=1)
+    body.done()
+
+    body = define(module, "expire_timers", SUBSYSTEM, params=1, frame=64)
+    body.work(arith=3, loads=2)
+    body.icall(TIMER_DIST, args=1, table="timer_fn_ops")
+    body.done()
+
+    body = define(module, "run_timer_softirq", SUBSYSTEM, params=0, frame=64)
+    body.call("spin_lock_irqsave", args=1)
+    body.maybe(0.3, lambda b: b.call("expire_timers", args=1))
+    body.call("spin_unlock_irqrestore", args=1)
+    body.done()
+
+    # The softirq vector roots the timer machinery in the image even though
+    # the latency workloads rarely take the tick path.
+    ops_table(module, "softirq_vec", ["run_timer_softirq"])

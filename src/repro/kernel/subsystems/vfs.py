@@ -1,0 +1,329 @@
+"""Virtual filesystem layer: read/write/open/stat paths and the
+``file_operations``-style op tables that generate the kernel's hottest
+indirect calls (the paper's motivating example: "most applications will
+read/write files", Section 8.4).
+
+Filesystem diversity gives indirect sites their multi-target value
+profiles: ``vfs_read``'s dispatch sees every registered implementation,
+weighted by how the workload uses fd types (Table 4's target-count
+distribution).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.module import Module
+from repro.ir.types import FunctionAttr
+from repro.kernel.helpers import define, leaf, ops_table
+from repro.kernel.spec import KernelSpec
+from repro.kernel.subsystems.entry import security_hook_name
+
+SUBSYSTEM = "fs"
+
+#: filesystems registered on the VFS (first N per spec.filesystems).
+FILESYSTEMS = ("ext4", "tmpfs", "proc", "btrfs", "xfs")
+
+#: Weights of fd types as the workloads exercise them.
+READ_DIST = {"ext4": 55, "tmpfs": 18, "proc": 2}
+WRITE_DIST = {"ext4": 50, "tmpfs": 22, "proc": 1}
+
+
+def build(module: Module, spec: KernelSpec, rng: random.Random) -> None:
+    filesystems = FILESYSTEMS[: max(1, spec.filesystems)]
+    _build_dcache(module, spec)
+    _build_fs_implementations(module, spec, filesystems)
+    _build_tables(module, spec, filesystems)
+    _build_read_write(module, spec, filesystems)
+    _build_open(module, spec, filesystems)
+    _build_stat(module, spec, filesystems)
+
+
+# -- dentry cache / path walking -------------------------------------------------
+
+
+def _build_dcache(module: Module, spec: KernelSpec) -> None:
+    leaf(module, "d_hash", SUBSYSTEM, work=4, loads=1, stores=0, params=2)
+    leaf(module, "dput", SUBSYSTEM, work=2, loads=1, stores=1, params=1)
+    leaf(module, "path_put", SUBSYSTEM, work=2, loads=1, stores=1, params=1)
+
+    body = define(module, "d_lookup_fast", SUBSYSTEM, params=2, frame=32)
+    body.call("rcu_read_lock", args=0)
+    body.call("d_hash", args=2)
+    body.work(arith=3, loads=3)
+    body.call("rcu_read_unlock", args=0)
+    body.done()
+
+    body = define(module, "d_lookup_slow", SUBSYSTEM, params=2, frame=64)
+    body.call("spin_lock", args=1)
+    body.call("d_hash", args=2)
+    body.work(arith=8, loads=4, stores=2)
+    body.call("spin_unlock", args=1)
+    body.done()
+
+    body = define(module, "getname", SUBSYSTEM, params=1, frame=32)
+    body.call("kmalloc", args=2)
+    body.call("strncpy_from_user", args=3)
+    body.done()
+
+    body = define(module, "putname", SUBSYSTEM, params=1, frame=16)
+    body.call("kfree", args=1)
+    body.done()
+
+
+# -- per-filesystem implementations -----------------------------------------------
+
+
+def _build_fs_implementations(
+    module: Module, spec: KernelSpec, filesystems
+) -> None:
+    for fs in filesystems:
+        # read_iter: page-cache fetch + copy to userspace.
+        body = define(module, f"{fs}_file_read_iter", SUBSYSTEM, params=3, frame=64)
+        body.work(arith=14, loads=6, stores=2)
+        body.call(f"{fs}_get_folio", args=2)
+        body.call("copy_to_user", args=3)
+        body.work(arith=2, loads=1, stores=1)
+        body.done()
+
+        body = define(module, f"{fs}_get_folio", SUBSYSTEM, params=2, frame=48)
+        body.work(arith=4, loads=3)
+        body.maybe(0.04, lambda b: b.work(arith=12, loads=6, stores=2))  # miss
+        body.done()
+
+        body = define(module, f"{fs}_file_write_iter", SUBSYSTEM, params=3, frame=64)
+        body.work(arith=14, loads=5, stores=4)
+        body.call("copy_from_user", args=3)
+        body.call(f"{fs}_get_folio", args=2)
+        body.work(arith=3, loads=1, stores=3)
+        body.maybe(0.05, lambda b: b.call(f"{fs}_balance_dirty", args=1))
+        body.done()
+
+        body = define(module, f"{fs}_balance_dirty", SUBSYSTEM, params=1, frame=32)
+        body.work(arith=6, loads=3, stores=2)
+        # past the dirty threshold, kick the writeback workqueue
+        body.maybe(0.2, lambda b: b.call("queue_work", args=2))
+        body.done()
+
+        body = define(module, f"{fs}_lookup", SUBSYSTEM, params=2, frame=48)
+        body.work(arith=5, loads=3)
+        body.call("d_hash", args=2)
+        body.done()
+
+        body = define(module, f"{fs}_file_open", SUBSYSTEM, params=2, frame=48)
+        body.work(arith=4, loads=2, stores=2)
+        body.call("kmalloc", args=2)
+        body.done()
+
+        body = define(module, f"{fs}_getattr", SUBSYSTEM, params=2, frame=32)
+        body.work(arith=4, loads=3)
+        body.done()
+
+        leaf(module, f"{fs}_file_poll", SUBSYSTEM, work=3, loads=2, params=2)
+        leaf(module, f"{fs}_release", SUBSYSTEM, work=3, loads=1, stores=1, params=1)
+
+
+def _build_tables(module: Module, spec: KernelSpec, filesystems) -> None:
+    ops_table(
+        module,
+        "file_read_ops",
+        [f"{fs}_file_read_iter" for fs in filesystems]
+        + ["pipe_read", "sock_read_iter"],
+    )
+    ops_table(
+        module,
+        "file_write_ops",
+        [f"{fs}_file_write_iter" for fs in filesystems]
+        + ["pipe_write", "sock_write_iter"],
+    )
+    ops_table(
+        module, "inode_lookup_ops", [f"{fs}_lookup" for fs in filesystems]
+    )
+    ops_table(
+        module, "file_open_ops", [f"{fs}_file_open" for fs in filesystems]
+    )
+    ops_table(
+        module, "inode_getattr_ops", [f"{fs}_getattr" for fs in filesystems]
+    )
+    ops_table(
+        module,
+        "file_poll_ops",
+        [f"{fs}_file_poll" for fs in filesystems]
+        + ["pipe_poll", "sock_poll"],
+    )
+
+
+# -- read / write syscalls -------------------------------------------------------------
+
+
+def _build_read_write(module: Module, spec: KernelSpec, filesystems) -> None:
+    active = [fs for fs in filesystems if fs in READ_DIST]
+
+    read_dist = {
+        f"{fs}_file_read_iter": READ_DIST[fs] for fs in active
+    }
+    read_dist["pipe_read"] = 9
+    read_dist["sock_read_iter"] = 7
+
+    leaf(module, "rw_verify_area", SUBSYSTEM, work=3, loads=2, params=3)
+    leaf(module, "file_pos_read", SUBSYSTEM, work=2, loads=2, params=1)
+    leaf(module, "file_pos_write", SUBSYSTEM, work=2, loads=1, stores=1, params=2)
+
+    body = define(module, "vfs_read", SUBSYSTEM, params=3, frame=48)
+    body.call("rw_verify_area", args=3)
+    body.call(security_hook_name("file_permission"), args=2)
+    body.call("file_pos_read", args=1)
+    body.work(arith=2, loads=2)
+    body.icall(read_dist, args=3, table="file_read_ops")
+    body.call("file_pos_write", args=2)
+    body.work(arith=1, stores=1)
+    body.done()
+
+    body = define(
+        module,
+        "sys_read",
+        SUBSYSTEM,
+        params=3,
+        attrs=[FunctionAttr.SYSCALL_ENTRY],
+    )
+    body.call("fdget", args=1)
+    body.call("vfs_read", args=3)
+    body.call("fdput", args=1)
+    body.done()
+    module.register_syscall("read", "sys_read")
+
+    write_dist = {
+        f"{fs}_file_write_iter": WRITE_DIST[fs]
+        for fs in filesystems
+        if fs in WRITE_DIST
+    }
+    write_dist["pipe_write"] = 9
+    write_dist["sock_write_iter"] = 7
+
+    body = define(module, "vfs_write", SUBSYSTEM, params=3, frame=48)
+    body.call("rw_verify_area", args=3)
+    body.call(security_hook_name("file_permission"), args=2)
+    body.call("file_pos_read", args=1)
+    body.work(arith=2, loads=2)
+    body.icall(write_dist, args=3, table="file_write_ops")
+    body.call("file_pos_write", args=2)
+    body.work(arith=1, stores=1)
+    body.done()
+
+    body = define(
+        module,
+        "sys_write",
+        SUBSYSTEM,
+        params=3,
+        attrs=[FunctionAttr.SYSCALL_ENTRY],
+    )
+    body.call("fdget", args=1)
+    body.call("vfs_write", args=3)
+    body.call("fdput", args=1)
+    body.done()
+    module.register_syscall("write", "sys_write")
+
+
+# -- open ------------------------------------------------------------------------------
+
+
+def _build_open(module: Module, spec: KernelSpec, filesystems) -> None:
+    lookup_dist = {f"{fs}_lookup": w for fs, w in
+                   zip(filesystems, (70, 20, 6, 3, 1))}
+    open_dist = {f"{fs}_file_open": w for fs, w in
+                 zip(filesystems, (70, 20, 6, 3, 1))}
+
+    body = define(module, "walk_component", SUBSYSTEM, params=2, frame=48)
+    body.call("d_lookup_fast", args=2)
+    body.maybe(
+        0.15,
+        lambda b: (
+            b.call("d_lookup_slow", args=2),
+            b.icall(lookup_dist, args=2, table="inode_lookup_ops"),
+        ),
+    )
+    body.work(arith=2, loads=1)
+    body.done()
+
+    body = define(module, "link_path_walk", SUBSYSTEM, params=2, frame=96)
+    body.work(arith=3, loads=2)
+    body.loop(
+        spec.path_walk_components,
+        lambda b: b.call("walk_component", args=2),
+    )
+    body.done()
+
+    body = define(module, "do_filp_open", SUBSYSTEM, params=2, frame=96)
+    body.work(arith=18, loads=6, stores=3)  # nameidata setup, O_* flags
+    body.call("link_path_walk", args=2)
+    body.call(security_hook_name("file_open"), args=2)
+    body.icall(open_dist, args=2, table="file_open_ops")
+    body.work(arith=3, loads=2, stores=2)
+    body.done()
+
+    body = define(module, "fd_install", SUBSYSTEM, params=2, frame=16)
+    body.call("spin_lock", args=1)
+    body.work(arith=2, stores=2)
+    body.call("spin_unlock", args=1)
+    body.done()
+
+    body = define(
+        module,
+        "sys_openat",
+        SUBSYSTEM,
+        params=3,
+        attrs=[FunctionAttr.SYSCALL_ENTRY],
+    )
+    body.call("getname", args=1)
+    body.call("do_filp_open", args=2)
+    body.call("fd_install", args=2)
+    body.call("putname", args=1)
+    body.done()
+    module.register_syscall("open", "sys_openat")
+
+
+# -- stat / fstat -----------------------------------------------------------------------
+
+
+def _build_stat(module: Module, spec: KernelSpec, filesystems) -> None:
+    getattr_dist = {f"{fs}_getattr": w for fs, w in
+                    zip(filesystems, (70, 20, 6, 3, 1))}
+
+    body = define(module, "vfs_getattr", SUBSYSTEM, params=2, frame=48)
+    body.work(arith=2, loads=2)
+    body.icall(getattr_dist, args=2, table="inode_getattr_ops")
+    body.done()
+
+    body = define(module, "cp_new_stat", SUBSYSTEM, params=2, frame=64)
+    body.work(arith=4, loads=2, stores=2)
+    body.call("copy_to_user", args=3)
+    body.done()
+
+    body = define(
+        module,
+        "sys_stat",
+        SUBSYSTEM,
+        params=2,
+        attrs=[FunctionAttr.SYSCALL_ENTRY],
+    )
+    body.call("getname", args=1)
+    body.call("link_path_walk", args=2)
+    body.call("vfs_getattr", args=2)
+    body.call("cp_new_stat", args=2)
+    body.call("putname", args=1)
+    body.done()
+    module.register_syscall("stat", "sys_stat")
+
+    body = define(
+        module,
+        "sys_fstat",
+        SUBSYSTEM,
+        params=2,
+        attrs=[FunctionAttr.SYSCALL_ENTRY],
+    )
+    body.call("fdget", args=1)
+    body.call("vfs_getattr", args=2)
+    body.call("cp_new_stat", args=2)
+    body.call("fdput", args=1)
+    body.done()
+    module.register_syscall("fstat", "sys_fstat")

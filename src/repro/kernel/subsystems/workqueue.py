@@ -1,0 +1,97 @@
+"""Workqueues and epoll: deferred-work and event-multiplexing machinery.
+
+Both are indirect-call factories in the real kernel: every queued work
+item is a ``work->func`` indirect call, and every epoll-watched file is
+polled through ``file->f_op->poll``. The workqueue machinery executes a
+little under the timer tick path; epoll contributes mostly static census
+mass alongside the select() paths the latency benches use.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.module import Module
+from repro.kernel.helpers import define, ops_table
+from repro.kernel.spec import KernelSpec
+
+SUBSYSTEM = "workqueue"
+
+WORK_FUNCTIONS = {
+    "vmstat_update_work": 4,
+    "cache_reap_work": 3,
+    "console_flush_work": 2,
+    "wb_workfn": 1,
+}
+
+
+def build(module: Module, spec: KernelSpec, rng: random.Random) -> None:
+    _build_workqueue(module, spec)
+    _build_epoll(module, spec)
+
+
+def _build_workqueue(module: Module, spec: KernelSpec) -> None:
+    for name in list(WORK_FUNCTIONS):
+        if name in module:
+            continue  # wb_workfn comes from the block layer
+        body = define(module, name, SUBSYSTEM, params=1, frame=48)
+        body.work(arith=8, loads=4, stores=3)
+        body.done()
+    ops_table(module, "work_fn_ops", list(WORK_FUNCTIONS))
+
+    body = define(module, "queue_work", SUBSYSTEM, params=2, frame=48)
+    body.call("spin_lock_irqsave", args=1)
+    body.work(arith=3, stores=2)
+    body.call("wake_up_common", args=2)
+    body.call("spin_unlock_irqrestore", args=1)
+    body.done()
+
+    body = define(module, "process_one_work", SUBSYSTEM, params=1, frame=64)
+    body.work(arith=3, loads=2)
+    body.icall(dict(WORK_FUNCTIONS), args=1, table="work_fn_ops")
+    body.done()
+
+    body = define(module, "worker_thread", SUBSYSTEM, params=1, frame=96)
+    body.call("process_one_work", args=1)
+    body.call("__schedule", args=0)
+    body.done()
+    ops_table(module, "kthread_ops", ["worker_thread"])
+
+
+def _build_epoll(module: Module, spec: KernelSpec) -> None:
+    body = define(module, "ep_item_poll", SUBSYSTEM, params=2, frame=32)
+    body.work(arith=1, loads=1)
+    body.icall(
+        {
+            "sock_poll": 6,
+            "pipe_poll": 2,
+            "ext4_file_poll": 1,
+            "tmpfs_file_poll": 1,
+        },
+        args=2,
+        table="file_poll_ops",
+    )
+    body.done()
+
+    body = define(module, "ep_poll_callback", SUBSYSTEM, params=2, frame=48)
+    body.call("spin_lock_irqsave", args=1)
+    body.work(arith=4, stores=2)
+    body.call("wake_up_common", args=2)
+    body.call("spin_unlock_irqrestore", args=1)
+    body.done()
+    ops_table(module, "epoll_wait_queue_ops", ["ep_poll_callback"])
+
+    body = define(module, "do_epoll_wait", SUBSYSTEM, params=3, frame=128)
+    body.call("spin_lock", args=1)
+    body.loop(4, lambda b: b.call("ep_item_poll", args=2))
+    body.call("spin_unlock", args=1)
+    body.call("copy_to_user", args=3)
+    body.done()
+
+    body = define(module, "do_epoll_ctl", SUBSYSTEM, params=3, frame=96)
+    body.call("copy_from_user", args=3)
+    body.call("kmalloc", args=2)
+    body.call("ep_item_poll", args=2)
+    body.work(arith=6, loads=3, stores=3)
+    body.done()
+    ops_table(module, "epoll_entry_ops", ["do_epoll_wait", "do_epoll_ctl"])

@@ -1,0 +1,114 @@
+"""LLVM-style bottom-up PGO inliner — the baseline of Section 8.4.
+
+The default inliner walks the call graph bottom-up (callees before callers)
+and inlines a site whenever the callee's InlineCost fits a size threshold,
+bumped for profile-hot sites. Its inlining order is *irrespective of
+profiling weight*: within a caller, sites are visited in program order, so
+earlier cold inlining can consume the caller's growth budget and inhibit
+more beneficial hot inlining — the instability PIBE's hottest-first queue
+avoids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ir.clone import inline_call
+from repro.ir.module import Module
+from repro.ir.types import ATTR_EDGE_COUNT, FunctionAttr, Opcode
+from repro.ir.callgraph import CallGraph
+from repro.passes.inline_cost import InlineCostCache
+from repro.passes.manager import ModulePass
+from repro.profiling.profile_data import EdgeProfile
+
+
+@dataclass
+class DefaultInlineReport:
+    inlined_sites: int = 0
+    inlined_weight: int = 0
+    returns_elided_sites: int = 0
+    visited_sites: int = 0
+
+
+class DefaultInliner(ModulePass):
+    """Bottom-up size-threshold inliner.
+
+    Parameters
+    ----------
+    profile:
+        Used only to classify sites as hot (count > 0) — mirroring LLVM's
+        hot-callsite threshold bump, not PIBE's weight ordering.
+    cold_threshold:
+        InlineCost limit for unprofiled sites (LLVM default inline
+        threshold neighbourhood).
+    hot_threshold:
+        InlineCost limit for profile-hot sites (LLVM's hot threshold,
+        3,000).
+    caller_growth_limit:
+        Stop growing a caller past this InlineCost.
+    """
+
+    name = "default-inliner"
+
+    def __init__(
+        self,
+        profile: Optional[EdgeProfile] = None,
+        cold_threshold: int = 45,
+        hot_threshold: int = 90,
+        caller_growth_limit: int = 2_400,
+    ) -> None:
+        # LLVM's default inline threshold is 225 (scaled ~5x down to 45 for
+        # the synthetic kernel's smaller functions); the paper notes the
+        # default inliner's decisions are made "solely based on size
+        # complexity and inline hints", so the profile-hot bonus is modest.
+        self.profile = profile
+        self.cold_threshold = cold_threshold
+        self.hot_threshold = hot_threshold
+        self.caller_growth_limit = caller_growth_limit
+
+    def run(self, module: Module) -> DefaultInlineReport:
+        report = DefaultInlineReport()
+        costs = InlineCostCache()
+        order = CallGraph(module).bottom_up_order()
+
+        for caller_name in order:
+            caller = module.functions.get(caller_name)
+            if caller is None or caller.has_attr(FunctionAttr.OPTNONE):
+                continue
+            # Visit sites in program order (repeatedly, since inlining
+            # introduces new sites mid-block).
+            progress = True
+            while progress:
+                progress = False
+                for block in list(caller.blocks.values()):
+                    for idx, inst in enumerate(block.instructions):
+                        if inst.opcode != Opcode.CALL:
+                            continue
+                        callee = module.functions.get(inst.callee or "")
+                        if (
+                            callee is None
+                            or callee.name == caller.name
+                            or not callee.is_inlinable
+                            or callee.is_recursive()
+                        ):
+                            continue
+                        report.visited_sites += 1
+                        weight = inst.attrs.get(ATTR_EDGE_COUNT, 0)
+                        threshold = (
+                            self.hot_threshold if weight > 0 else self.cold_threshold
+                        )
+                        if costs.cost(callee) > threshold:
+                            continue
+                        if costs.cost(caller) > self.caller_growth_limit:
+                            continue
+                        inline_call(caller, block.label, idx, callee)
+                        costs.invalidate(caller.name)
+                        report.inlined_sites += 1
+                        report.inlined_weight += weight
+                        report.returns_elided_sites += len(callee.returns())
+                        progress = True
+                        break
+                    if progress:
+                        break
+        return report

@@ -1,0 +1,313 @@
+"""PIBE's profile-guided greedy inliner (paper Section 5.2).
+
+Inlining here is a *security* transformation: every inlined call removes a
+backward edge (the callee's return) from the dynamic path, which would
+otherwise need costly transient-execution hardening. The algorithm:
+
+Rule 1 — inline only hot call sites: a budget selects the hottest call
+sites covering the requested percentage of cumulative execution count;
+sites are processed hottest-first from a priority queue so cold inlining
+can never block hot inlining.
+
+Rule 2 — avoid excessive complexity in the caller: skip a site when the
+caller's InlineCost exceeds a threshold (12,000), preventing poor stack
+frame utilization from long merged call chains.
+
+Rule 3 — skip callees whose own complexity exceeds a lower threshold
+(3,000), so one big callee cannot deplete the caller's budget that many
+small ones could use (Figure 1).
+
+After inlining a call with execution count ``ε`` into a caller, the
+callee's own call sites appear in the caller; each inherits a count equal
+to its count in the callee scaled by ``ε / invocations(callee)`` —
+Scheifler-style constant-ratio inheritance — and re-enters the queue if it
+still qualifies as hot.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.module import Module
+from repro.ir.clone import inline_call
+from repro.ir.types import (
+    ATTR_EDGE_COUNT,
+    ATTR_VALUE_PROFILE,
+    FunctionAttr,
+    Opcode,
+)
+from repro.passes.inline_cost import (
+    DEFAULT_CALLEE_THRESHOLD,
+    DEFAULT_CALLER_THRESHOLD,
+    InlineCostCache,
+)
+from repro.passes.manager import ModulePass
+from repro.profiling.profile_data import EdgeProfile
+
+
+@dataclass
+class InlineReport:
+    """Inlining statistics backing Tables 8, 9 and 10."""
+
+    budget: float
+    #: total profiled direct-call weight in the module (post-ICP)
+    total_profiled_weight: int = 0
+    #: number of profiled direct call sites
+    total_profiled_sites: int = 0
+    #: weight of the initial hot candidate set (Table 9 "Ovr.")
+    candidate_weight: int = 0
+    #: initial hot candidate sites (Table 10 "Candidates")
+    candidate_sites: int = 0
+    inlined_sites: int = 0
+    inlined_weight: int = 0
+    #: static return instructions elided (became jumps) — Table 8
+    returns_elided_sites: int = 0
+    #: dynamic return weight elided — Table 8
+    returns_elided_weight: int = 0
+    blocked_rule2_weight: int = 0
+    blocked_rule2_sites: int = 0
+    blocked_rule3_weight: int = 0
+    blocked_rule3_sites: int = 0
+    blocked_other_weight: int = 0
+    blocked_other_sites: int = 0
+    #: blocked sites per caller subsystem (Table 9 discussion)
+    blocked_by_subsystem: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def elided_weight_fraction(self) -> float:
+        if not self.candidate_weight:
+            return 0.0
+        return self.returns_elided_weight / self.candidate_weight
+
+    @property
+    def blocked_weight(self) -> int:
+        return (
+            self.blocked_rule2_weight
+            + self.blocked_rule3_weight
+            + self.blocked_other_weight
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable digest (used by the CLI)."""
+        return (
+            f"inlined {self.inlined_sites} sites "
+            f"({self.elided_weight_fraction:.1%} of return weight elided); "
+            f"blocked weight: rule2={self.blocked_rule2_weight} "
+            f"rule3={self.blocked_rule3_weight} "
+            f"other={self.blocked_other_weight}"
+        )
+
+
+class PibeInliner(ModulePass):
+    """The profile-guided indirect-branch-eliminating inliner.
+
+    Parameters
+    ----------
+    profile:
+        Edge profile providing function invocation counts for the
+        constant-ratio inheritance heuristic.
+    budget:
+        Fraction (0..1] of cumulative direct-call weight to attempt.
+    caller_threshold / callee_threshold:
+        Rule 2 / Rule 3 complexity limits.
+    lax_heuristics:
+        Paper's best configuration: run at a very high budget while
+        disabling Rules 2 and 3 for sites hot enough to fit a 99% budget
+        (where the size heuristics were measured to be counterproductive).
+    max_operations:
+        Safety valve against runaway re-queueing.
+    """
+
+    name = "pibe-inliner"
+
+    def __init__(
+        self,
+        profile: EdgeProfile,
+        budget: float = 0.999,
+        caller_threshold: int = DEFAULT_CALLER_THRESHOLD,
+        callee_threshold: int = DEFAULT_CALLEE_THRESHOLD,
+        lax_heuristics: bool = False,
+        lax_budget: float = 0.99,
+        max_operations: int = 500_000,
+    ) -> None:
+        if not 0.0 < budget <= 1.0:
+            raise ValueError(f"budget must be in (0, 1], got {budget}")
+        self.profile = profile
+        self.budget = budget
+        self.caller_threshold = caller_threshold
+        self.callee_threshold = callee_threshold
+        self.lax_heuristics = lax_heuristics
+        self.lax_budget = lax_budget
+        self.max_operations = max_operations
+
+    # -- candidate gathering -------------------------------------------------
+
+    @staticmethod
+    def _profiled_sites(module: Module) -> List[Tuple[int, int, str]]:
+        """(weight, site_id, caller) for every profiled direct call."""
+        sites: List[Tuple[int, int, str]] = []
+        for func in module:
+            for inst in func.call_sites():
+                if inst.opcode != Opcode.CALL:
+                    continue
+                weight = inst.attrs.get(ATTR_EDGE_COUNT, 0)
+                if weight > 0:
+                    assert inst.site_id is not None
+                    sites.append((weight, inst.site_id, func.name))
+        return sites
+
+    # -- main driver -----------------------------------------------------------
+
+    def run(self, module: Module) -> InlineReport:
+        report = InlineReport(budget=self.budget)
+        sites = sorted(
+            self._profiled_sites(module), key=lambda s: (-s[0], s[1])
+        )
+        report.total_profiled_sites = len(sites)
+        report.total_profiled_weight = sum(w for w, _, _ in sites)
+
+        limit = report.total_profiled_weight * self.budget
+        lax_limit = report.total_profiled_weight * self.lax_budget
+        candidates: List[Tuple[int, int, str]] = []
+        cumulative = 0
+        cutoff_weight = 0
+        lax_cutoff_weight = 0
+        for weight, site_id, caller in sites:
+            if cumulative >= limit:
+                break
+            candidates.append((weight, site_id, caller))
+            cutoff_weight = weight
+            if cumulative < lax_limit:
+                lax_cutoff_weight = weight
+            cumulative += weight
+        report.candidate_sites = len(candidates)
+        report.candidate_weight = sum(w for w, _, _ in candidates)
+
+        costs = InlineCostCache()
+        invocations: Dict[str, int] = defaultdict(
+            int, dict(self.profile.invocations)
+        )
+        counter = itertools.count()
+        heap: List[Tuple[int, int, int, str]] = [
+            (-w, next(counter), sid, caller) for w, sid, caller in candidates
+        ]
+        heapq.heapify(heap)
+        operations = 0
+
+        while heap and operations < self.max_operations:
+            neg_weight, _, site_id, caller_name = heapq.heappop(heap)
+            weight = -neg_weight
+            operations += 1
+            caller = module.functions.get(caller_name)
+            if caller is None:
+                continue
+            located = self._locate(caller, site_id)
+            if located is None:
+                continue  # site disappeared under a previous transformation
+            block_label, idx = located
+            inst = caller.blocks[block_label].instructions[idx]
+            callee_name = inst.callee
+            assert callee_name is not None
+            callee = module.functions.get(callee_name)
+
+            lax = self.lax_heuristics and weight >= lax_cutoff_weight > 0
+
+            # -- "other" blockers (optnone / noinline / recursion / asm) --
+            if (
+                callee is None
+                or callee_name == caller_name
+                or not callee.is_inlinable
+                or caller.has_attr(FunctionAttr.OPTNONE)
+                or callee.is_recursive()
+            ):
+                report.blocked_other_weight += weight
+                report.blocked_other_sites += 1
+                self._note_block(report, caller)
+                continue
+
+            # -- Rule 2: caller complexity -------------------------------
+            if not lax and costs.cost(caller) > self.caller_threshold:
+                report.blocked_rule2_weight += weight
+                report.blocked_rule2_sites += 1
+                self._note_block(report, caller)
+                continue
+
+            # -- Rule 3: callee complexity -------------------------------
+            if not lax and costs.cost(callee) > self.callee_threshold:
+                report.blocked_rule3_weight += weight
+                report.blocked_rule3_sites += 1
+                self._note_block(report, caller)
+                continue
+
+            result = inline_call(caller, block_label, idx, callee)
+            costs.invalidate(caller_name)
+            report.inlined_sites += 1
+            report.inlined_weight += weight
+            report.returns_elided_sites += len(callee.returns())
+            report.returns_elided_weight += weight
+
+            # Constant-ratio inheritance for the callee's own call sites.
+            callee_invocations = max(invocations.get(callee_name, 0), weight, 1)
+            ratio = weight / callee_invocations
+            for clones in result.new_call_sites.values():
+                for clone in clones:
+                    self._inherit_counts(clone, ratio)
+                    if (
+                        clone.opcode == Opcode.CALL
+                        and clone.attrs.get(ATTR_EDGE_COUNT, 0) >= max(cutoff_weight, 1)
+                    ):
+                        # Clones whose callee can never be inlined would be
+                        # re-blocked on every pop, double-counting blocked
+                        # weight; their original site was already accounted.
+                        clone_callee = module.functions.get(clone.callee or "")
+                        if (
+                            clone_callee is None
+                            or not clone_callee.is_inlinable
+                            or clone_callee.is_recursive()
+                        ):
+                            continue
+                        assert clone.site_id is not None
+                        new_weight = clone.attrs[ATTR_EDGE_COUNT]
+                        heapq.heappush(
+                            heap,
+                            (-new_weight, next(counter), clone.site_id, caller_name),
+                        )
+            invocations[callee_name] = max(
+                invocations.get(callee_name, 0) - weight, 0
+            )
+
+        return report
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _locate(func: Function, site_id: int) -> Optional[Tuple[str, int]]:
+        for block in func.blocks.values():
+            for idx, inst in enumerate(block.instructions):
+                if inst.site_id == site_id:
+                    return block.label, idx
+        return None
+
+    @staticmethod
+    def _inherit_counts(clone: Instruction, ratio: float) -> None:
+        """Scale a cloned call site's profile metadata by the edge ratio."""
+        if ATTR_EDGE_COUNT in clone.attrs:
+            clone.attrs[ATTR_EDGE_COUNT] = int(clone.attrs[ATTR_EDGE_COUNT] * ratio)
+        if ATTR_VALUE_PROFILE in clone.attrs:
+            clone.attrs[ATTR_VALUE_PROFILE] = [
+                (target, int(count * ratio))
+                for target, count in clone.attrs[ATTR_VALUE_PROFILE]
+            ]
+
+    @staticmethod
+    def _note_block(report: InlineReport, caller: Function) -> None:
+        key = caller.subsystem or "unknown"
+        report.blocked_by_subsystem[key] = (
+            report.blocked_by_subsystem.get(key, 0) + 1
+        )

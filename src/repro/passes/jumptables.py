@@ -1,0 +1,126 @@
+"""Jump-table lowering (paper Section 5.1).
+
+Compilers lower multiway branches (``switch``) either to a bounds-checked
+indirect jump through a jump table — fast, but transiently hijackable since
+speculation can bypass the bounds check — or to a compare-and-branch chain.
+When retpolines or LVI defenses are enabled, LLVM disables jump-table
+generation; PIBE adopts the same behaviour (as does JumpSwitches).
+
+``LowerSwitches(allow_jump_tables=True)`` produces IJUMPs (the vanilla
+kernel's 1432 vulnerable indirect jumps); ``False`` produces cmp chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.module import Module
+from repro.ir.types import (
+    ATTR_CASE_WEIGHTS,
+    ATTR_P_TAKEN,
+    FunctionAttr,
+    Opcode,
+)
+from repro.passes.manager import ModulePass
+
+#: Below this many cases a compiler emits a cmp chain anyway.
+JUMP_TABLE_MIN_CASES = 4
+
+
+@dataclass
+class SwitchLoweringReport:
+    switches_seen: int = 0
+    jump_tables_emitted: int = 0
+    cmp_chains_emitted: int = 0
+
+
+class LowerSwitches(ModulePass):
+    """Lower every SWITCH to a jump table (IJUMP) or a cmp chain."""
+
+    name = "lower-switches"
+
+    def __init__(self, allow_jump_tables: bool) -> None:
+        self.allow_jump_tables = allow_jump_tables
+
+    def run(self, module: Module) -> SwitchLoweringReport:
+        report = SwitchLoweringReport()
+        for func in module:
+            self._lower_function(func, report)
+        return report
+
+    def _lower_function(
+        self, func: Function, report: SwitchLoweringReport
+    ) -> None:
+        # Snapshot: lowering adds blocks.
+        for block in list(func.blocks.values()):
+            term = block.terminator
+            if term is None or term.opcode != Opcode.SWITCH:
+                continue
+            report.switches_seen += 1
+            use_table = (
+                self.allow_jump_tables
+                and len(term.targets) >= JUMP_TABLE_MIN_CASES
+                and not func.has_attr(FunctionAttr.INLINE_ASM)
+            )
+            if use_table:
+                self._to_jump_table(block, term)
+                report.jump_tables_emitted += 1
+            else:
+                self._to_cmp_chain(func, block, term)
+                report.cmp_chains_emitted += 1
+
+    @staticmethod
+    def _to_jump_table(block: BasicBlock, term: Instruction) -> None:
+        """Bounds check + indirect jump through the table."""
+        weights = term.attrs.get(ATTR_CASE_WEIGHTS)
+        lowered = Instruction(
+            Opcode.IJUMP,
+            targets=term.targets,
+            attrs={ATTR_CASE_WEIGHTS: weights} if weights else {},
+        )
+        # cmp models the bounds check; load models the table fetch.
+        block.instructions[-1:] = [
+            Instruction(Opcode.CMP),
+            Instruction(Opcode.LOAD),
+            lowered,
+        ]
+
+    @staticmethod
+    def _to_cmp_chain(
+        func: Function, block: BasicBlock, term: Instruction
+    ) -> None:
+        """cmp/br ladder over the cases (last case is the fallthrough)."""
+        cases: List[str] = list(term.targets)
+        weights = term.attrs.get(ATTR_CASE_WEIGHTS) or [1.0] * len(cases)
+        del block.instructions[-1]
+        if len(cases) == 1:
+            block.instructions.append(
+                Instruction(Opcode.JMP, targets=(cases[0],))
+            )
+            return
+        remaining = float(sum(weights))
+        current = block
+        for i, case in enumerate(cases[:-1]):
+            p = weights[i] / remaining if remaining > 0 else 0.0
+            remaining -= weights[i]
+            is_last_guard = i == len(cases) - 2
+            if is_last_guard:
+                next_label = cases[-1]
+            else:
+                nxt = BasicBlock(func.unique_label(f"{block.label}.sw{i}"))
+                func.add_block(nxt)
+                next_label = nxt.label
+            current.instructions.append(Instruction(Opcode.CMP))
+            current.instructions.append(
+                Instruction(
+                    Opcode.BR,
+                    targets=(case, next_label),
+                    attrs={ATTR_P_TAKEN: min(max(p, 0.0), 1.0)},
+                )
+            )
+            if not is_last_guard:
+                current = func.blocks[next_label]

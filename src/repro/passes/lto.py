@@ -1,0 +1,124 @@
+"""Link-time cleanup passes: the optimization substrate PIBE's pipeline
+(Section 8.1) runs alongside its own transformations.
+
+- :class:`DeadFunctionElimination` drops functions unreachable from any
+  root (syscall handlers, fptr-table entries, boot/init code) — inlining
+  can fully absorb small helpers and leave their bodies dead.
+- :class:`SimplifyCFG` merges trivially chained blocks left behind by
+  inlining/ICP splicing (a block whose only terminator is a jump to a
+  block with a single predecessor), shrinking image size like LLVM's
+  simplifycfg.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from repro.ir.callgraph import CallGraph
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.types import FunctionAttr, Opcode
+from repro.passes.manager import ModulePass
+
+
+@dataclass
+class DCEReport:
+    removed_functions: int = 0
+    removed_instructions: int = 0
+
+
+class DeadFunctionElimination(ModulePass):
+    """Remove functions unreachable from the module's roots."""
+
+    name = "dead-function-elimination"
+
+    def run(self, module: Module) -> DCEReport:
+        report = DCEReport()
+        roots: List[str] = list(module.syscalls.values())
+        for table in module.fptr_tables.values():
+            roots.extend(table.entries)
+        for func in module:
+            if func.has_attr(FunctionAttr.BOOT_ONLY) or func.has_attr(
+                FunctionAttr.SYSCALL_ENTRY
+            ):
+                roots.append(func.name)
+        reachable = CallGraph(module).reachable_from(roots)
+        for name in list(module.functions):
+            if name not in reachable:
+                report.removed_instructions += module.functions[name].size()
+                del module.functions[name]
+                report.removed_functions += 1
+        return report
+
+
+@dataclass
+class SimplifyCFGReport:
+    merged_blocks: int = 0
+
+
+class SimplifyCFG(ModulePass):
+    """Merge single-predecessor jump-chained blocks."""
+
+    name = "simplify-cfg"
+
+    def run(self, module: Module) -> SimplifyCFGReport:
+        report = SimplifyCFGReport()
+        for func in module:
+            report.merged_blocks += self._simplify(func)
+        return report
+
+    @staticmethod
+    def _predecessor_counts(func: Function) -> Dict[str, int]:
+        counts: Dict[str, int] = defaultdict(int)
+        for block in func.blocks.values():
+            for succ in set(block.successors):
+                counts[succ] += 1
+            term = block.terminator
+            if term is not None and term.opcode == Opcode.IJUMP:
+                for succ in set(term.targets):
+                    counts[succ] += 1
+        return counts
+
+    def _simplify(self, func: Function) -> int:
+        merged = 0
+        changed = True
+        while changed:
+            changed = False
+            preds = self._predecessor_counts(func)
+            for block in list(func.blocks.values()):
+                term = block.terminator
+                if term is None or term.opcode != Opcode.JMP:
+                    continue
+                succ_label = term.targets[0]
+                if succ_label == block.label:
+                    continue
+                if preds.get(succ_label, 0) != 1:
+                    continue
+                if succ_label == func.entry_label:
+                    continue
+                succ = func.blocks[succ_label]
+                block.instructions[-1:] = succ.instructions
+                del func.blocks[succ_label]
+                merged += 1
+                changed = True
+                break
+        return merged
+
+
+def mergeable_pairs(func: Function) -> Set[str]:
+    """Labels of blocks that SimplifyCFG would merge away (inspection aid)."""
+    preds = SimplifyCFG._predecessor_counts(func)
+    result: Set[str] = set()
+    for block in func.blocks.values():
+        term = block.terminator
+        if (
+            term is not None
+            and term.opcode == Opcode.JMP
+            and term.targets[0] != block.label
+            and preds.get(term.targets[0], 0) == 1
+            and term.targets[0] != func.entry_label
+        ):
+            result.add(term.targets[0])
+    return result

@@ -1,0 +1,24 @@
+"""Profiling phase: LBR-style edge collection and profile lifting."""
+
+from repro.profiling.lbr import BranchRecord, LBRBuffer
+from repro.profiling.lifting import (
+    LiftReport,
+    clear_profile_metadata,
+    lift_profile,
+    provenance_chain,
+)
+from repro.profiling.profile_data import EdgeProfile
+from repro.profiling.profiler import KernelProfiler
+from repro.profiling.sampling import SamplingProfiler
+
+__all__ = [
+    "BranchRecord",
+    "EdgeProfile",
+    "KernelProfiler",
+    "LBRBuffer",
+    "LiftReport",
+    "SamplingProfiler",
+    "clear_profile_metadata",
+    "lift_profile",
+    "provenance_chain",
+]

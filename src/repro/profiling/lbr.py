@@ -1,0 +1,80 @@
+"""Last Branch Record (LBR) buffer model.
+
+The paper's profiler uses the CPU's LBR feature: a small ring of recent
+branch records drained by the monitoring instrumentation (Section 7). We
+model the same structure — a bounded ring of ``BranchRecord`` entries with a
+drain callback — so the profiler aggregates through the identical
+batch-drain path the real instrumentation uses, including record loss when
+draining is disabled (useful for testing robustness to partial profiles).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, NamedTuple, Optional
+
+
+class BranchRecord(NamedTuple):
+    """One retired-branch record: which site, what it targeted, how."""
+
+    site_id: int
+    target: str
+    indirect: bool
+
+
+class LBRBuffer:
+    """Bounded ring of branch records with batch drain.
+
+    Parameters
+    ----------
+    capacity:
+        Ring size; Intel LBR is 16 or 32 entries depending on generation.
+    on_drain:
+        Callback receiving the batch whenever the ring fills (or on an
+        explicit :meth:`drain`).
+    drop_on_overflow:
+        If ``True`` and no drain callback is installed, old records are
+        overwritten silently (hardware behaviour without a PMI handler).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 32,
+        on_drain: Optional[Callable[[List[BranchRecord]], None]] = None,
+        drop_on_overflow: bool = False,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("LBR capacity must be positive")
+        self.capacity = capacity
+        self.on_drain = on_drain
+        self.drop_on_overflow = drop_on_overflow
+        self._ring: List[BranchRecord] = []
+        self.records_seen = 0
+        self.records_dropped = 0
+
+    def push(self, record: BranchRecord) -> None:
+        self.records_seen += 1
+        self._ring.append(record)
+        if self.on_drain is not None:
+            if len(self._ring) >= self.capacity:
+                self.drain()
+        elif self.drop_on_overflow:
+            if len(self._ring) > self.capacity:
+                self._ring.pop(0)
+                self.records_dropped += 1
+        # otherwise keep growing; an explicit drain() will flush
+
+    def drain(self) -> List[BranchRecord]:
+        """Flush and return all buffered records (delivering to callback)."""
+        batch, self._ring = self._ring, []
+        if self.on_drain is not None and batch:
+            self.on_drain(batch)
+        return batch
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __repr__(self) -> str:
+        return (
+            f"<LBRBuffer {len(self._ring)}/{self.capacity} "
+            f"seen={self.records_seen} dropped={self.records_dropped}>"
+        )

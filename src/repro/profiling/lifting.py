@@ -1,0 +1,95 @@
+"""Profile lifting: map binary-level edge counts back onto IR call sites.
+
+The paper's instrumentation assigns each call-graph edge a unique identifier
+that survives code motion, then "lifts" the binary profile to LLVM-IR
+metadata: direct sites receive an execution count, indirect sites receive
+value-profile metadata — a list of ``(target name, count)`` tuples
+(Section 7). We reproduce exactly that: after lifting, every profiled call
+instruction carries ``!count`` / ``!vp`` attributes that the optimization
+passes consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple
+
+from repro.ir.instruction import Instruction
+from repro.ir.module import Module
+from repro.ir.types import (
+    ATTR_CLONED_FROM,
+    ATTR_EDGE_COUNT,
+    ATTR_VALUE_PROFILE,
+    Opcode,
+)
+from repro.profiling.profile_data import EdgeProfile
+
+
+class LiftReport(NamedTuple):
+    """Summary of one lifting pass."""
+
+    direct_annotated: int
+    indirect_annotated: int
+    stale_direct: int
+    stale_indirect: int
+
+
+def lift_profile(module: Module, profile: EdgeProfile) -> LiftReport:
+    """Attach profile metadata to the module's call sites.
+
+    Sites present in the profile but absent from the module (stale ids, e.g.
+    from code removed between profiling and optimization) are counted and
+    skipped — the tolerance to code change the paper's identifier scheme
+    provides.
+    """
+    sites: Dict[int, Instruction] = {}
+    for func in module:
+        for inst in func.call_sites():
+            assert inst.site_id is not None
+            sites[inst.site_id] = inst
+
+    direct_annotated = 0
+    for site_id, count in profile.direct.items():
+        inst = sites.get(site_id)
+        if inst is None or inst.opcode != Opcode.CALL:
+            continue
+        inst.attrs[ATTR_EDGE_COUNT] = count
+        direct_annotated += 1
+
+    indirect_annotated = 0
+    for site_id in profile.indirect:
+        inst = sites.get(site_id)
+        if inst is None or inst.opcode != Opcode.ICALL:
+            continue
+        inst.attrs[ATTR_VALUE_PROFILE] = profile.value_profile(site_id)
+        indirect_annotated += 1
+
+    stale_direct = len(profile.direct) - direct_annotated
+    stale_indirect = len(profile.indirect) - indirect_annotated
+    return LiftReport(
+        direct_annotated, indirect_annotated, stale_direct, stale_indirect
+    )
+
+
+def clear_profile_metadata(module: Module) -> int:
+    """Strip lifted metadata (used when re-profiling); returns sites touched."""
+    touched = 0
+    for inst in module.instructions():
+        removed = False
+        for key in (ATTR_EDGE_COUNT, ATTR_VALUE_PROFILE):
+            if key in inst.attrs:
+                del inst.attrs[key]
+                removed = True
+        if removed:
+            touched += 1
+    return touched
+
+
+def provenance_chain(inst: Instruction) -> List[int]:
+    """Site-id provenance of a (possibly repeatedly cloned) instruction."""
+    chain: List[int] = []
+    if inst.site_id is not None:
+        chain.append(inst.site_id)
+    origin = inst.attrs.get(ATTR_CLONED_FROM)
+    if origin is not None:
+        chain.append(origin)
+    return chain

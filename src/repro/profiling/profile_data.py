@@ -1,0 +1,135 @@
+"""Edge-profile data model.
+
+An :class:`EdgeProfile` is what PIBE's profiling phase produces: execution
+counts for every direct call-graph edge, value profiles (per-target counts)
+for every indirect call site, and per-function invocation counts. Profiles
+are mergeable (the paper aggregates 11 LMBench iterations) and serializable
+to plain dictionaries for storage.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+
+class EdgeProfile:
+    """Aggregated call-edge execution counts from one or more profiling runs."""
+
+    def __init__(self, workload: str = "") -> None:
+        self.workload = workload
+        self.runs = 0
+        #: direct call site id -> execution count
+        self.direct: Dict[int, int] = defaultdict(int)
+        #: indirect call site id -> {target function name -> count}
+        self.indirect: Dict[int, Dict[str, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        #: function name -> invocation count
+        self.invocations: Dict[str, int] = defaultdict(int)
+
+    # -- recording ---------------------------------------------------------
+
+    def record_direct(self, site_id: int, count: int = 1) -> None:
+        self.direct[site_id] += count
+
+    def record_indirect(self, site_id: int, target: str, count: int = 1) -> None:
+        self.indirect[site_id][target] += count
+
+    def record_invocation(self, func_name: str, count: int = 1) -> None:
+        self.invocations[func_name] += count
+
+    # -- aggregation ----------------------------------------------------------
+
+    def merge(self, other: "EdgeProfile") -> "EdgeProfile":
+        """Accumulate ``other``'s counts into this profile (in place)."""
+        for site, count in other.direct.items():
+            self.direct[site] += count
+        for site, targets in other.indirect.items():
+            mine = self.indirect[site]
+            for target, count in targets.items():
+                mine[target] += count
+        for name, count in other.invocations.items():
+            self.invocations[name] += count
+        self.runs += max(other.runs, 1)
+        return self
+
+    # -- queries ------------------------------------------------------------
+
+    def direct_weight(self, site_id: int) -> int:
+        return self.direct.get(site_id, 0)
+
+    def indirect_site_weight(self, site_id: int) -> int:
+        return sum(self.indirect.get(site_id, {}).values())
+
+    def value_profile(self, site_id: int) -> List[Tuple[str, int]]:
+        """(target, count) tuples for a site, hottest first (Section 7)."""
+        targets = self.indirect.get(site_id, {})
+        return sorted(targets.items(), key=lambda kv: (-kv[1], kv[0]))
+
+    def total_direct_weight(self) -> int:
+        return sum(self.direct.values())
+
+    def total_indirect_weight(self) -> int:
+        return sum(
+            count
+            for targets in self.indirect.values()
+            for count in targets.values()
+        )
+
+    def total_weight(self) -> int:
+        return self.total_direct_weight() + self.total_indirect_weight()
+
+    def hottest_direct(self) -> List[Tuple[int, int]]:
+        """Direct sites as (site_id, count), hottest first."""
+        return sorted(self.direct.items(), key=lambda kv: (-kv[1], kv[0]))
+
+    def hottest_indirect(self) -> List[Tuple[int, int]]:
+        """Indirect sites as (site_id, total count), hottest first."""
+        weights = {
+            site: sum(targets.values())
+            for site, targets in self.indirect.items()
+        }
+        return sorted(weights.items(), key=lambda kv: (-kv[1], kv[0]))
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "workload": self.workload,
+            "runs": self.runs,
+            "direct": {str(k): v for k, v in self.direct.items()},
+            "indirect": {
+                str(site): dict(targets)
+                for site, targets in self.indirect.items()
+            },
+            "invocations": dict(self.invocations),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "EdgeProfile":
+        profile = cls(workload=data.get("workload", ""))
+        profile.runs = int(data.get("runs", 0))
+        for site, count in data.get("direct", {}).items():
+            profile.direct[int(site)] = int(count)
+        for site, targets in data.get("indirect", {}).items():
+            for target, count in targets.items():
+                profile.indirect[int(site)][target] = int(count)
+        for name, count in data.get("invocations", {}).items():
+            profile.invocations[name] = int(count)
+        return profile
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "EdgeProfile":
+        return cls.from_dict(json.loads(text))
+
+    def __repr__(self) -> str:
+        return (
+            f"<EdgeProfile {self.workload!r} runs={self.runs} "
+            f"direct_sites={len(self.direct)} "
+            f"indirect_sites={len(self.indirect)}>"
+        )

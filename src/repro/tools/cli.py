@@ -1,0 +1,377 @@
+"""Command-line toolchain — the reproduction's equivalent of the PIBE
+artifact's workflow scripts (``compile_install_kernel.py``,
+``run_artifact.sh``, ``generate_tables.sh``).
+
+Usage::
+
+    python -m repro build-kernel -o kernel.ir
+    python -m repro stats -k kernel.ir
+    python -m repro profile -k kernel.ir -w lmbench -o profile.json
+    python -m repro optimize -k kernel.ir -p profile.json \\
+        --defenses all --lax -o hardened.ir
+    python -m repro benchmark -k hardened.ir --baseline kernel.ir
+    python -m repro attack -k hardened.ir
+    python -m repro evaluate --fast
+
+Kernels are stored as textual IR (site ids included, so profiles taken
+on a dump remain valid after reloading); profiles are stored as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.core.config import PibeConfig
+from repro.core.pipeline import PibePipeline
+from repro.core.report import build_overhead_report
+from repro.cpu.attacks import ALL_ATTACKS, attack_surface
+from repro.hardening.defenses import DefenseConfig
+from repro.hardening.harden import applied_config
+from repro.ir.module import Module
+from repro.ir.parser import dump_module, parse_module
+from repro.kernel.generator import build_kernel, kernel_stats
+from repro.kernel.spec import DEFAULT_SPEC, KernelSpec, SmallSpec
+from repro.profiling.profile_data import EdgeProfile
+from repro.workloads.apachebench import apachebench_workload
+from repro.workloads.base import measure_suite
+from repro.workloads.lmbench import (
+    LMBENCH_BENCHMARKS,
+    TABLE3_BENCHMARKS,
+    lmbench_workload,
+)
+
+DEFENSE_CHOICES = {
+    "none": DefenseConfig.none,
+    "retpolines": DefenseConfig.retpolines_only,
+    "ret-retpolines": DefenseConfig.ret_retpolines_only,
+    "lvi": DefenseConfig.lvi_only,
+    "all": DefenseConfig.all_defenses,
+}
+
+SUITES = {
+    "lmbench": LMBENCH_BENCHMARKS,
+    "table3": TABLE3_BENCHMARKS,
+}
+
+
+def _load_kernel(args) -> Module:
+    if getattr(args, "kernel", None):
+        text = Path(args.kernel).read_text()
+        return parse_module(text)
+    spec: KernelSpec = SmallSpec() if args.small else DEFAULT_SPEC
+    if args.seed is not None:
+        import dataclasses
+
+        spec = dataclasses.replace(spec, seed=args.seed)
+    return build_kernel(spec)
+
+
+def _write_or_print(text: str, output: Optional[str]) -> None:
+    if output:
+        Path(output).write_text(text)
+        print(f"wrote {output} ({len(text.splitlines())} lines)")
+    else:
+        print(text)
+
+
+def _add_kernel_args(parser, required_file=False) -> None:
+    parser.add_argument(
+        "-k",
+        "--kernel",
+        help="textual IR file; omitted -> build the default synthetic kernel",
+        required=required_file,
+    )
+    parser.add_argument(
+        "--small", action="store_true", help="use the reduced test kernel"
+    )
+    parser.add_argument("--seed", type=int, default=None)
+
+
+# -- subcommands ------------------------------------------------------------
+
+
+def cmd_build_kernel(args) -> int:
+    """Build (or load) a kernel and dump it as textual IR."""
+    module = _load_kernel(args)
+    _write_or_print(dump_module(module), args.output)
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Print the static census and attack surface of an image."""
+    module = _load_kernel(args)
+    stats = kernel_stats(module)
+    print(f"module {module.name}")
+    for key, value in stats.as_dict().items():
+        print(f"  {key:16s} {value}")
+    config = applied_config(module)
+    print(f"  defenses         {config.label()}")
+    print(f"  attack surface   {attack_surface(module)}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Run the profiling phase and write the edge profile as JSON."""
+    module = _load_kernel(args)
+    if args.workload == "lmbench":
+        workload = lmbench_workload(ops_scale=args.ops_scale)
+    else:
+        workload = apachebench_workload(ops_scale=args.ops_scale)
+    pipeline = PibePipeline(module)
+    profile = pipeline.profile(workload, iterations=args.iterations)
+    Path(args.output).write_text(profile.to_json())
+    print(
+        f"profiled {len(profile.direct)} direct / "
+        f"{len(profile.indirect)} indirect sites over "
+        f"{profile.runs} iteration(s); wrote {args.output}"
+    )
+    return 0
+
+
+def cmd_optimize(args) -> int:
+    """Optimize and harden a kernel according to the flags."""
+    module = _load_kernel(args)
+    profile = None
+    if args.profile:
+        profile = EdgeProfile.from_json(Path(args.profile).read_text())
+    config = PibeConfig(
+        defenses=DEFENSE_CHOICES[args.defenses](),
+        icp_budget=args.icp_budget,
+        inline_budget=args.inline_budget,
+        lax_heuristics=args.lax,
+        use_default_inliner=args.default_inliner,
+    )
+    build = PibePipeline(module).build_variant(config, profile)
+    _write_or_print(dump_module(build.module), args.output)
+    for name, report in build.reports.items():
+        summary = getattr(report, "summary", None)
+        print(f"[{name}] {summary() if callable(summary) else report}")
+    return 0
+
+
+def cmd_benchmark(args) -> int:
+    """Measure suite latencies (and overheads vs a baseline image)."""
+    module = _load_kernel(args)
+    benches = SUITES[args.suite]
+    results = measure_suite(module, benches, ops_scale=args.ops_scale)
+    measured = {name: r.cycles_per_op for name, r in results.items()}
+
+    baseline = None
+    if args.baseline:
+        base_module = parse_module(Path(args.baseline).read_text())
+        base_results = measure_suite(
+            base_module, benches, ops_scale=args.ops_scale
+        )
+        baseline = {name: r.cycles_per_op for name, r in base_results.items()}
+
+    print(f"{'bench':14s} {'latency (us)':>14s}" + ("  overhead" if baseline else ""))
+    for bench in benches:
+        row = f"{bench.name:14s} {results[bench.name].latency_us:>14.3f}"
+        if baseline:
+            overhead = measured[bench.name] / baseline[bench.name] - 1
+            row += f" {overhead:>9.1%}"
+        print(row)
+    if baseline:
+        report = build_overhead_report("cli", baseline, measured)
+        print(f"{'geomean':14s} {'':>14s} {report.geomean:>9.1%}")
+    return 0
+
+
+def cmd_attack(args) -> int:
+    """Census and simulate transient attacks against an image."""
+    module = _load_kernel(args)
+    print(f"defenses applied: {applied_config(module).label()}")
+    for attack in ALL_ATTACKS:
+        if args.vector != "all" and attack.vector != args.vector:
+            continue
+        sites = attack.hijackable_sites(module)
+        print(f"\n{attack.vector}: {len(sites)} hijackable site(s)")
+        for func_name, inst in sites[: args.limit]:
+            outcome = attack.attempt(module, func_name, inst)
+            verdict = "HIJACKED" if outcome.success else "defended"
+            print(f"  [{verdict}] @{func_name}: {outcome.detail}")
+        if len(sites) > args.limit:
+            print(f"  ... and {len(sites) - args.limit} more")
+    return 0
+
+
+def cmd_hotspots(args) -> int:
+    """Per-function cycle attribution over chosen syscalls."""
+    from repro.analysis.hotspots import collect_hotspots, format_hotspots
+
+    module = _load_kernel(args)
+    syscalls = args.syscall or ["read", "write", "open", "pipe"]
+    for syscall in syscalls:
+        if syscall not in module.syscalls:
+            print(f"unknown syscall {syscall!r}", file=sys.stderr)
+            return 2
+    spots = collect_hotspots(
+        module, syscalls, ops=args.ops, top=args.top
+    )
+    print(f"hotspots over {syscalls} x{args.ops} ops:")
+    print(format_hotspots(spots))
+    return 0
+
+
+def cmd_diff(args) -> int:
+    """Structural diff between two dumped images."""
+    from repro.analysis.diff import diff_modules
+
+    before = parse_module(Path(args.before).read_text())
+    after = parse_module(Path(args.after).read_text())
+    print(diff_modules(before, after).summary())
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    """Regenerate the paper's tables (all or selected)."""
+    # Local import: the evaluation stack is heavy.
+    from repro.evaluation import tables
+    from repro.evaluation.harness import EvalContext, EvalSettings
+
+    if args.fast:
+        settings = EvalSettings(
+            spec=SmallSpec(),
+            profile_iterations=1,
+            profile_ops_scale=0.2,
+            measure_ops_scale=0.15,
+        )
+    else:
+        settings = EvalSettings()
+    ctx = EvalContext(settings)
+    generators = {
+        "figure1": lambda: tables.figure1(),
+        "table1": lambda: tables.table1(),
+        "table2": lambda: tables.table2(ctx),
+        "table3": lambda: tables.table3(ctx),
+        "table4": lambda: tables.table4(ctx),
+        "table5": lambda: tables.table5(ctx),
+        "table6": lambda: tables.table6(ctx),
+        "table7": lambda: tables.table7(ctx),
+        "table8": lambda: tables.table8(ctx),
+        "table9": lambda: tables.table9(ctx),
+        "table10": lambda: tables.table10(ctx),
+        "table11": lambda: tables.table11(ctx),
+        "table12": lambda: tables.table12(ctx),
+        "robustness": lambda: tables.robustness(ctx),
+    }
+    chosen = args.experiment or list(generators)
+    for name in chosen:
+        if name not in generators:
+            print(f"unknown experiment {name!r}", file=sys.stderr)
+            return 2
+        result = generators[name]()
+        print(result.table.to_text())
+        print()
+    return 0
+
+
+# -- argument wiring ----------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PIBE reproduction toolchain",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("build-kernel", help="build and dump the synthetic kernel")
+    _add_kernel_args(p)
+    p.add_argument("-o", "--output", help="output .ir file (default: stdout)")
+    p.set_defaults(func=cmd_build_kernel)
+
+    p = sub.add_parser("stats", help="static census of a kernel image")
+    _add_kernel_args(p)
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("profile", help="run the profiling phase")
+    _add_kernel_args(p)
+    p.add_argument(
+        "-w", "--workload", choices=("lmbench", "apache"), default="lmbench"
+    )
+    p.add_argument("--iterations", type=int, default=3)
+    p.add_argument("--ops-scale", type=float, default=1.0)
+    p.add_argument("-o", "--output", required=True, help="profile JSON path")
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("optimize", help="optimize and harden a kernel")
+    _add_kernel_args(p)
+    p.add_argument("-p", "--profile", help="profile JSON from `profile`")
+    p.add_argument(
+        "--defenses", choices=sorted(DEFENSE_CHOICES), default="all"
+    )
+    p.add_argument("--icp-budget", type=float, default=None)
+    p.add_argument("--inline-budget", type=float, default=None)
+    p.add_argument("--lax", action="store_true", help="lax size heuristics")
+    p.add_argument(
+        "--default-inliner",
+        action="store_true",
+        help="use the LLVM-style bottom-up inliner baseline",
+    )
+    p.add_argument("-o", "--output", help="output .ir file (default: stdout)")
+    p.set_defaults(func=cmd_optimize)
+
+    p = sub.add_parser("benchmark", help="measure latencies (and overheads)")
+    _add_kernel_args(p)
+    p.add_argument("--baseline", help="baseline kernel .ir for overheads")
+    p.add_argument("--suite", choices=sorted(SUITES), default="lmbench")
+    p.add_argument("--ops-scale", type=float, default=0.5)
+    p.set_defaults(func=cmd_benchmark)
+
+    p = sub.add_parser("attack", help="simulate transient attacks on an image")
+    _add_kernel_args(p)
+    p.add_argument(
+        "--vector",
+        choices=("all", "spectre_v2", "ret2spec", "lvi"),
+        default="all",
+    )
+    p.add_argument("--limit", type=int, default=3, help="attempts to show")
+    p.set_defaults(func=cmd_attack)
+
+    p = sub.add_parser("hotspots", help="per-function cycle attribution")
+    _add_kernel_args(p)
+    p.add_argument(
+        "-s", "--syscall", action="append",
+        help="syscalls to drive (repeatable; default: read/write/open/pipe)",
+    )
+    p.add_argument("--ops", type=int, default=40)
+    p.add_argument("--top", type=int, default=15)
+    p.set_defaults(func=cmd_hotspots)
+
+    p = sub.add_parser("diff", help="structural diff between two images")
+    p.add_argument("before", help="baseline .ir file")
+    p.add_argument("after", help="transformed .ir file")
+    p.set_defaults(func=cmd_diff)
+
+    p = sub.add_parser("evaluate", help="regenerate the paper's tables")
+    p.add_argument("--fast", action="store_true")
+    p.add_argument(
+        "-e",
+        "--experiment",
+        action="append",
+        help="which experiment(s); default: all (e.g. -e table5 -e table6)",
+    )
+    p.set_defaults(func=cmd_evaluate)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout consumer (e.g. `head`) went away; exit quietly like a
+        # well-behaved unix tool
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0

@@ -1,0 +1,55 @@
+"""Dynamic branch statistics."""
+
+from repro.analysis.branchstats import BranchStats, collect_branch_stats
+from repro.hardening.defenses import DefenseConfig
+from repro.hardening.harden import HardeningPass
+
+import copy
+
+
+def test_stats_on_vanilla_kernel(small_kernel):
+    stats = collect_branch_stats(small_kernel, ["read"], ops=30)
+    assert stats.ops == 30
+    assert stats.calls_per_op > 5
+    assert stats.icalls_per_op > 1
+    assert stats.rets_per_op >= stats.calls_per_op
+    assert stats.defended_icall_fraction == 0.0
+    assert stats.defended_ret_fraction == 0.0
+
+
+def test_defended_fractions_on_hardened_kernel(small_kernel):
+    hardened = copy.deepcopy(small_kernel)
+    HardeningPass(DefenseConfig.all_defenses()).run(hardened)
+    stats = collect_branch_stats(hardened, ["read"], ops=30)
+    # every non-asm branch execution is defended
+    assert stats.defended_ret_fraction == 1.0
+    assert stats.defended_icall_fraction > 0.5
+
+
+def test_pibe_reduces_defended_executions(
+    hardened_build, unoptimized_hardened_build
+):
+    syscalls = ["read", "write", "pipe"]
+    unopt = collect_branch_stats(
+        unoptimized_hardened_build.module, syscalls, ops=25
+    )
+    opt = collect_branch_stats(hardened_build.module, syscalls, ops=25)
+    assert opt.defended_rets < unopt.defended_rets * 0.4
+    assert opt.rets_per_op < unopt.rets_per_op
+
+
+def test_summary_text():
+    stats = BranchStats(
+        ops=10, calls=100, icalls=20, defended_icalls=10, rets=110,
+        defended_rets=110,
+    )
+    text = stats.summary()
+    assert "10 ops" in text
+    assert "50% defended" in text
+    assert "100% defended" in text
+
+
+def test_empty_stats_have_zero_rates():
+    stats = BranchStats()
+    assert stats.calls_per_op == 0.0
+    assert stats.defended_ret_fraction == 0.0

@@ -1,0 +1,72 @@
+"""Module diffing."""
+
+from repro.analysis.diff import diff_modules
+from repro.hardening.defenses import DefenseConfig
+from repro.hardening.harden import HardeningPass
+from repro.ir.builder import IRBuilder, build_leaf
+from repro.ir.function import Function
+from repro.ir.module import Module
+
+import copy
+
+
+def _module():
+    module = Module("m")
+    module.add_function(build_leaf("leaf", work=3))
+    func = Function("f")
+    b = IRBuilder(func)
+    b.call("leaf")
+    b.ret()
+    module.add_function(func)
+    return module
+
+
+def test_identical_modules_diff_clean():
+    module = _module()
+    diff = diff_modules(module, copy.deepcopy(module))
+    assert diff.size_delta == 0
+    assert diff.added_functions == []
+    assert diff.removed_functions == []
+    assert diff.grown == [] and diff.shrunk == []
+    assert diff.unchanged == 2
+
+
+def test_added_and_removed_functions():
+    before = _module()
+    after = copy.deepcopy(before)
+    after.add_function(build_leaf("newcomer"))
+    del after.functions["leaf"]
+    diff = diff_modules(before, after)
+    assert diff.added_functions == ["newcomer"]
+    assert diff.removed_functions == ["leaf"]
+
+
+def test_growth_and_shrinkage_tracked():
+    before = _module()
+    after = copy.deepcopy(before)
+    after.get("f").entry.instructions.insert(
+        0, after.get("leaf").entry.instructions[0].clone()
+    )
+    del after.get("leaf").entry.instructions[0]
+    diff = diff_modules(before, after)
+    assert [d.name for d in diff.grown] == ["f"]
+    assert [d.name for d in diff.shrunk] == ["leaf"]
+    assert diff.grown[0].delta == 1
+    assert diff.size_delta == 0
+
+
+def test_defense_counts_in_diff():
+    before = _module()
+    after = copy.deepcopy(before)
+    HardeningPass(DefenseConfig.all_defenses()).run(after)
+    diff = diff_modules(before, after)
+    assert diff.defense_counts["ret_retpoline_lvi"] == (0, 2)
+
+
+def test_summary_mentions_key_facts():
+    before = _module()
+    after = copy.deepcopy(before)
+    after.add_function(build_leaf("extra", work=50))
+    text = diff_modules(before, after).summary()
+    assert "size:" in text
+    assert "+1" in text

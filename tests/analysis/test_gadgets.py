@@ -1,0 +1,109 @@
+"""Gadget census analyses (Tables 4, 8, 10, 11)."""
+
+import pytest
+
+from repro.analysis.gadgets import (
+    backward_edge_census,
+    candidate_stats,
+    elimination_stats,
+    forward_edge_census,
+    target_count_distribution,
+)
+from repro.hardening.defenses import DefenseConfig
+from repro.hardening.harden import HardeningPass
+from repro.ir.builder import IRBuilder, build_leaf
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.types import FunctionAttr
+from repro.passes.icp import ICPReport
+from repro.passes.inliner import InlineReport
+from repro.profiling.profile_data import EdgeProfile
+
+
+def test_target_count_distribution_buckets():
+    profile = EdgeProfile()
+    profile.record_indirect(1, "a", 1)
+    profile.record_indirect(2, "a", 1)
+    profile.record_indirect(2, "b", 1)
+    for i in range(8):
+        profile.record_indirect(3, f"t{i}", 1)
+    dist = target_count_distribution(profile)
+    assert dist["1"] == 1
+    assert dist["2"] == 1
+    assert dist[">6"] == 1
+    assert sum(dist.values()) == 3
+
+
+def test_elimination_stats_combines_reports():
+    icp = ICPReport(budget=0.99)
+    icp.promoted_weight, icp.total_weight = 99, 100
+    icp.promoted_sites, icp.total_sites = 5, 10
+    icp.promoted_targets, icp.total_targets = 7, 20
+    inline = InlineReport(budget=0.99)
+    inline.returns_elided_weight = 930
+    inline.candidate_weight = 1000
+    inline.returns_elided_sites = 42
+    stats = elimination_stats(0.99, icp, inline, total_return_sites=200)
+    assert stats.icp_weight_fraction == pytest.approx(0.99)
+    assert stats.icp_sites_fraction == pytest.approx(0.5)
+    assert stats.return_weight_fraction == pytest.approx(0.93)
+    assert stats.return_sites_fraction == pytest.approx(0.21)
+
+
+def test_candidate_stats_fractions():
+    icp = ICPReport(budget=0.99)
+    icp.promoted_sites = 6
+    inline = InlineReport(budget=0.99)
+    inline.candidate_sites = 15
+    stats = candidate_stats(0.99, 200, 1000, icp, inline)
+    assert stats.icp_fraction == pytest.approx(0.03)
+    assert stats.inline_fraction == pytest.approx(0.015)
+
+
+def _census_module():
+    module = Module("m")
+    module.add_function(build_leaf("t"))
+    normal = Function("normal")
+    b = IRBuilder(normal)
+    b.icall({"t": 1})
+    b.ret()
+    module.add_function(normal)
+    asm = Function("asm_wrap")
+    b = IRBuilder(asm)
+    b.icall({"t": 1}, asm=True)
+    b.ret()
+    module.add_function(asm)
+    boot = Function("boot", attrs={FunctionAttr.BOOT_ONLY})
+    b = IRBuilder(boot)
+    b.icall({"t": 1})
+    b.ret()
+    module.add_function(boot)
+    return module
+
+
+def test_forward_edge_census_all_defenses():
+    module = _census_module()
+    HardeningPass(DefenseConfig.all_defenses()).run(module)
+    census = forward_edge_census(module)
+    assert census.defended_icalls == 2  # normal + boot (tagged anyway)
+    assert census.vulnerable_icalls == 1  # the asm site
+    assert census.vulnerable_ijumps == 0
+    assert census.total_icalls == 3
+
+
+def test_forward_edge_census_retpolines_only_not_lvi_safe():
+    module = _census_module()
+    HardeningPass(DefenseConfig.retpolines_only()).run(module)
+    census = forward_edge_census(module)
+    # plain retpolines are not LVI-safe: counted vulnerable in the
+    # comprehensive census
+    assert census.defended_icalls == 0
+
+
+def test_backward_edge_census():
+    module = _census_module()
+    HardeningPass(DefenseConfig.all_defenses()).run(module)
+    census = backward_edge_census(module)
+    assert census["vulnerable"] == 0
+    assert census["boot_only"] == 1
+    assert census["protected"] == 3  # t, normal, asm_wrap

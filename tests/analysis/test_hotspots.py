@@ -1,0 +1,72 @@
+"""Per-function cycle attribution."""
+
+import copy
+
+import pytest
+
+from repro.analysis.hotspots import collect_hotspots, format_hotspots
+from repro.hardening.defenses import DefenseConfig
+from repro.hardening.harden import HardeningPass
+
+
+def test_self_cycles_sum_close_to_total(small_kernel):
+    spots = collect_hotspots(small_kernel, ["read"], ops=20, top=None)
+    assert spots
+    # every executed function appears; fractions sum to 1
+    total_fraction = sum(s.self_fraction for s in spots)
+    assert total_fraction == pytest.approx(1.0, abs=1e-6)
+
+
+def test_entry_point_dominates_inclusive_time(small_kernel):
+    spots = collect_hotspots(small_kernel, ["read"], ops=20, top=None)
+    by_name = {s.function: s for s in spots}
+    entry = by_name["sys_read"]
+    # almost all cycles happen somewhere under sys_read
+    grand_self = sum(s.self_cycles for s in spots)
+    assert entry.total_cycles > 0.9 * grand_self
+    # ...but its own body is small
+    assert entry.self_cycles < entry.total_cycles
+
+
+def test_total_at_least_self(small_kernel):
+    for spot in collect_hotspots(small_kernel, ["open"], ops=10, top=None):
+        assert spot.total_cycles >= spot.self_cycles - 1e-9
+
+
+def test_hardening_overhead_lands_on_hot_helpers(small_kernel):
+    """Under return retpolines, the extra cycles concentrate in the
+    functions that return most often — the paper's core observation."""
+    hardened = copy.deepcopy(small_kernel)
+    HardeningPass(DefenseConfig.ret_retpolines_only()).run(hardened)
+    base = {
+        s.function: s.self_cycles
+        for s in collect_hotspots(small_kernel, ["read"], ops=30, top=None)
+    }
+    slow = {
+        s.function: s.self_cycles
+        for s in collect_hotspots(hardened, ["read"], ops=30, top=None)
+    }
+    growth = {
+        name: slow.get(name, 0) - base.get(name, 0) for name in base
+    }
+    # the leaf helpers (frequent returns) gained the most cycles
+    top_gainers = sorted(growth, key=growth.get, reverse=True)[:8]
+    assert any(
+        name in top_gainers
+        for name in ("rcu_read_lock", "rcu_read_unlock", "stac", "clac",
+                     "copy_to_user", "preempt_disable", "preempt_enable")
+    )
+
+
+def test_top_parameter_limits_rows(small_kernel):
+    spots = collect_hotspots(small_kernel, ["read"], ops=5, top=3)
+    assert len(spots) == 3
+    # ranked by self cycles
+    assert spots[0].self_cycles >= spots[1].self_cycles >= spots[2].self_cycles
+
+
+def test_format_hotspots(small_kernel):
+    spots = collect_hotspots(small_kernel, ["read"], ops=5, top=4)
+    text = format_hotspots(spots)
+    assert "self%" in text
+    assert spots[0].function in text

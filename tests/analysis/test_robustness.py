@@ -1,0 +1,62 @@
+"""Workload-overlap analysis (Section 8.4)."""
+
+import pytest
+
+from repro.analysis.robustness import (
+    icp_candidates,
+    inline_candidates,
+    workload_overlap,
+)
+from repro.profiling.profile_data import EdgeProfile
+
+
+def _profile(direct, indirect=None):
+    p = EdgeProfile()
+    for site, count in direct.items():
+        p.record_direct(site, count)
+    for site, targets in (indirect or {}).items():
+        for t, c in targets.items():
+            p.record_indirect(site, t, c)
+    return p
+
+
+def test_budget_prefix_selection():
+    p = _profile({1: 900, 2: 90, 3: 10})
+    assert inline_candidates(p, 0.9) == {1}
+    assert inline_candidates(p, 0.99) == {1, 2}
+    assert inline_candidates(p, 1.0) == {1, 2, 3}
+
+
+def test_icp_candidates_use_site_totals():
+    p = _profile({}, {1: {"a": 50, "b": 50}, 2: {"c": 1}})
+    assert icp_candidates(p, 0.9) == {1}
+
+
+def test_empty_profile_has_no_candidates():
+    p = EdgeProfile()
+    assert inline_candidates(p, 0.99) == set()
+    assert icp_candidates(p, 0.99) == set()
+
+
+def test_identical_workloads_fully_overlap():
+    p = _profile({1: 100, 2: 50}, {3: {"a": 10}})
+    report = workload_overlap(p, p, budget=0.99)
+    assert report.inline_shared_weight_fraction == pytest.approx(1.0)
+    assert report.icp_shared_weight_fraction == pytest.approx(1.0)
+
+
+def test_disjoint_workloads_share_nothing():
+    ref = _profile({1: 100}, {10: {"a": 5}})
+    other = _profile({2: 100}, {20: {"b": 5}})
+    report = workload_overlap(ref, other, budget=0.99)
+    assert report.inline_shared_weight_fraction == 0.0
+    assert report.icp_shared_weight_fraction == 0.0
+
+
+def test_partial_overlap_weighted_by_reference():
+    ref = _profile({1: 80, 2: 20})
+    other = _profile({1: 50, 3: 50})
+    report = workload_overlap(ref, other, budget=1.0)
+    # only site 1 shared; it carries 80% of the reference weight
+    assert report.inline_shared_weight_fraction == pytest.approx(0.8)
+    assert report.inline_shared_sites == 1

@@ -1,0 +1,60 @@
+"""Runtime stack-usage tracking."""
+
+from repro.analysis.stack import StackUsageTracker
+from repro.engine.interpreter import Interpreter
+from repro.ir.builder import IRBuilder, build_leaf
+from repro.ir.function import Function
+from repro.ir.module import Module
+
+
+def _chain_module(frames):
+    """f0 -> f1 -> ... -> fn, each with the given frame size."""
+    module = Module("m")
+    names = [f"f{i}" for i in range(len(frames))]
+    for i, (name, frame) in enumerate(zip(names, frames)):
+        func = Function(name, stack_frame_size=frame)
+        b = IRBuilder(func)
+        if i + 1 < len(names):
+            b.call(names[i + 1])
+        b.ret()
+        module.add_function(func)
+    return module
+
+
+def test_peak_is_sum_of_chain_frames():
+    module = _chain_module([100, 50, 25])
+    tracker = StackUsageTracker()
+    Interpreter(module, [tracker]).run_function("f0")
+    assert tracker.peak_bytes == 175
+    assert tracker.max_frames == 3
+    assert tracker.current_bytes == 0  # fully unwound
+
+
+def test_peak_persists_across_runs():
+    module = _chain_module([100, 50])
+    tracker = StackUsageTracker()
+    interp = Interpreter(module, [tracker])
+    interp.run_function("f0", times=3)
+    assert tracker.peak_bytes == 150
+    assert tracker.mean_bytes > 0
+
+
+def test_run_start_resets_current_depth():
+    module = _chain_module([80])
+    tracker = StackUsageTracker()
+    tracker.current_bytes = 999  # stale state
+    Interpreter(module, [tracker]).run_function("f0")
+    assert tracker.peak_bytes == 80
+
+
+def test_opaque_ijump_unwinds_like_ret():
+    module = Module("m")
+    func = Function("asmish", stack_frame_size=64)
+    b = IRBuilder(func)
+    b.arith(1)
+    b.ijump()
+    module.add_function(func)
+    tracker = StackUsageTracker()
+    Interpreter(module, [tracker]).run_function("asmish", times=2)
+    assert tracker.peak_bytes == 64
+    assert tracker.current_bytes == 0

@@ -1,0 +1,92 @@
+"""eIBRS hardware-mitigation baseline (Section 6.4)."""
+
+import dataclasses
+
+from repro.baselines.eibrs import (
+    BTBPoisoningOrigin,
+    EIBRS_MATRIX,
+    EIBRSTimingModel,
+    eibrs_blocks,
+    simulate_eibrs_poisoning,
+)
+from repro.cpu.costs import DEFAULT_COSTS
+from repro.cpu.timing import TimingModel
+from repro.engine.interpreter import Interpreter
+from repro.ir.builder import IRBuilder, build_leaf
+from repro.ir.function import Function
+from repro.ir.module import Module
+
+NO_ENTRY = dataclasses.replace(DEFAULT_COSTS, kernel_entry=0.0)
+
+
+def test_matrix_covers_all_origins():
+    assert set(EIBRS_MATRIX) == set(BTBPoisoningOrigin)
+
+
+def test_cross_mode_training_blocked():
+    assert eibrs_blocks(BTBPoisoningOrigin.USERSPACE)
+    assert eibrs_blocks(BTBPoisoningOrigin.GUEST)
+    assert not simulate_eibrs_poisoning(BTBPoisoningOrigin.USERSPACE)
+    assert not simulate_eibrs_poisoning(BTBPoisoningOrigin.GUEST)
+
+
+def test_in_kernel_training_bypasses_eibrs():
+    """The paper's caveat: eIBRS does not prevent attacks that train on
+    kernel execution — retpolines (and PIBE) still matter on new CPUs."""
+    assert not eibrs_blocks(BTBPoisoningOrigin.KERNEL_EXECUTION)
+    assert simulate_eibrs_poisoning(BTBPoisoningOrigin.KERNEL_EXECUTION)
+
+
+def _module():
+    module = Module("m")
+    module.add_function(build_leaf("t", work=2))
+    func = Function("f")
+    b = IRBuilder(func)
+    b.icall({"t": 1})
+    b.ret()
+    module.add_function(func)
+    return module
+
+
+def test_eibrs_taxes_indirect_branches():
+    module = _module()
+
+    def run(model):
+        Interpreter(module, [model], seed=1).run_function("f", times=20)
+        return model.cycles
+
+    base = run(TimingModel(module, costs=NO_ENTRY, model_icache=False))
+    eibrs = run(EIBRSTimingModel(module, costs=NO_ENTRY, model_icache=False))
+    # 1 icall and 2 rets per run, at the module's tax constants
+    import pytest
+
+    from repro.baselines.eibrs import EIBRS_ICALL_TAX, EIBRS_RET_TAX
+
+    assert eibrs - base == pytest.approx(
+        20 * (EIBRS_ICALL_TAX + 2 * EIBRS_RET_TAX)
+    )
+
+
+def test_eibrs_cheaper_than_retpolines_but_weaker():
+    """eIBRS costs less than software retpolines on this workload, but
+    leaves same-mode training open — the trade-off of Section 6.4."""
+    from repro.hardening.defenses import DefenseConfig
+    from repro.hardening.harden import HardeningPass
+
+    module = _module()
+    retpolined = _module()
+    HardeningPass(DefenseConfig.retpolines_only()).run(retpolined)
+
+    def run(model, mod):
+        Interpreter(mod, [model], seed=1).run_function("f", times=50)
+        return model.cycles
+
+    eibrs = run(
+        EIBRSTimingModel(module, costs=NO_ENTRY, model_icache=False), module
+    )
+    retp = run(
+        TimingModel(retpolined, costs=NO_ENTRY, model_icache=False),
+        retpolined,
+    )
+    assert eibrs < retp
+    assert simulate_eibrs_poisoning(BTBPoisoningOrigin.KERNEL_EXECUTION)

@@ -1,0 +1,112 @@
+"""JumpSwitches runtime-promotion baseline."""
+
+from repro.baselines.jumpswitches import JumpSwitchParams, JumpSwitchTimingModel
+from repro.cpu.costs import DEFAULT_COSTS
+from repro.cpu.timing import TimingModel
+from repro.engine.interpreter import Interpreter
+from repro.hardening.defenses import DefenseConfig
+from repro.hardening.harden import HardeningPass
+from repro.ir.builder import IRBuilder, build_leaf
+from repro.ir.function import Function
+from repro.ir.module import Module
+
+import dataclasses
+
+NO_ENTRY = dataclasses.replace(DEFAULT_COSTS, kernel_entry=0.0)
+
+
+def _retpolined_module(targets):
+    module = Module("m")
+    for name in targets:
+        module.add_function(build_leaf(name, work=2))
+    func = Function("f")
+    b = IRBuilder(func)
+    b.icall(targets)
+    b.ret()
+    module.add_function(func)
+    HardeningPass(DefenseConfig.retpolines_only()).run(module)
+    return module
+
+
+def _run(module, model, times, seed=4):
+    Interpreter(module, [model], seed=seed).run_function("f", times=times)
+    return model
+
+
+def test_single_target_site_beats_retpolines():
+    module = _retpolined_module({"only": 1})
+    js = _run(
+        module,
+        JumpSwitchTimingModel(module, costs=NO_ENTRY, model_icache=False),
+        times=500,
+    )
+    retp = _run(
+        module,
+        TimingModel(module, costs=NO_ENTRY, model_icache=False),
+        times=500,
+    )
+    # after the initial learn+patch, every call is a cheap compare
+    assert js.cycles < retp.cycles
+    assert js.total_patches >= 1
+
+
+def test_multi_target_relearning_penalty():
+    params = JumpSwitchParams(relearn_period=64, learning_window=8)
+    multi = _retpolined_module({"a": 1, "b": 1, "c": 1})
+    js = _run(
+        multi,
+        JumpSwitchTimingModel(
+            multi, costs=NO_ENTRY, params=params, model_icache=False
+        ),
+        times=2000,
+    )
+    # periodic downgrades happened and retpoline-mode calls were paid
+    assert js.total_patches > 2
+    assert js.learning_invocations > 0
+
+
+def test_single_target_site_never_relearns():
+    params = JumpSwitchParams(relearn_period=64, learning_window=8)
+    module = _retpolined_module({"only": 1})
+    js = _run(
+        module,
+        JumpSwitchTimingModel(
+            module, costs=NO_ENTRY, params=params, model_icache=False
+        ),
+        times=2000,
+    )
+    # one learning phase at startup, then stable
+    assert js.learning_invocations <= params.learning_window
+
+
+def test_fallback_on_unlearned_target():
+    params = JumpSwitchParams(max_inline_targets=1, relearn_period=10**9)
+    module = _retpolined_module({"a": 1, "b": 1})
+    js = _run(
+        module,
+        JumpSwitchTimingModel(
+            module, costs=NO_ENTRY, params=params, model_icache=False
+        ),
+        times=500,
+    )
+    site_state = next(iter(js._sites.values()))
+    # with capacity 1, the sticky-but-alternating targets keep missing
+    assert site_state.fallback_hits > 0
+
+
+def test_unprotected_icalls_use_base_model():
+    module = Module("m")
+    module.add_function(build_leaf("t"))
+    func = Function("f")
+    b = IRBuilder(func)
+    b.icall({"t": 1})
+    b.ret()
+    module.add_function(func)  # no hardening at all
+    js = _run(
+        module,
+        JumpSwitchTimingModel(module, costs=NO_ENTRY, model_icache=False),
+        times=100,
+    )
+    assert js.total_patches == 0
+    assert js.counters["defended_icalls"] == 0
+    assert js.btb.accesses == 100

@@ -1,0 +1,33 @@
+"""RSB refilling scenario matrix (Section 6.4)."""
+
+from repro.baselines.rsb_refill import (
+    RSBAttackScenario,
+    SCENARIO_MATRIX,
+    simulate_refill_scenario,
+)
+
+
+def test_matrix_covers_all_scenarios():
+    assert set(SCENARIO_MATRIX) == set(RSBAttackScenario)
+
+
+def test_return_retpolines_defend_everything():
+    assert all(
+        outcome.defended_by_return_retpoline
+        for outcome in SCENARIO_MATRIX.values()
+    )
+
+
+def test_refill_only_defends_some_scenarios():
+    defended = {
+        s for s, o in SCENARIO_MATRIX.items() if o.defended_by_refill
+    }
+    assert RSBAttackScenario.CROSS_CONTEXT_REUSE in defended
+    assert RSBAttackScenario.SPECULATIVE_POLLUTION not in defended
+    assert RSBAttackScenario.DIRECT_OVERWRITE not in defended
+
+
+def test_simulation_agrees_with_matrix():
+    for scenario, outcome in SCENARIO_MATRIX.items():
+        attack_lands = simulate_refill_scenario(scenario)
+        assert attack_lands == (not outcome.defended_by_refill), scenario

@@ -1,0 +1,59 @@
+"""Shared fixtures: a small kernel, its profile, and pipeline artifacts.
+
+Session-scoped where safe (treated as read-only by tests) so the suite
+stays fast; tests that mutate modules build their own copies.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.core.config import PibeConfig
+from repro.core.pipeline import PibePipeline
+from repro.hardening.defenses import DefenseConfig
+from repro.kernel.generator import build_kernel
+from repro.kernel.spec import SmallSpec
+from repro.workloads.lmbench import lmbench_workload
+
+
+@pytest.fixture(scope="session")
+def small_kernel():
+    """A reduced synthetic kernel (read-only; copy before mutating)."""
+    return build_kernel(SmallSpec())
+
+
+@pytest.fixture(scope="session")
+def small_pipeline(small_kernel):
+    return PibePipeline(small_kernel)
+
+
+@pytest.fixture(scope="session")
+def small_profile(small_pipeline):
+    """LMBench profile of the small kernel (1 quick iteration)."""
+    return small_pipeline.profile(
+        lmbench_workload(ops_scale=0.02), iterations=1
+    )
+
+
+@pytest.fixture(scope="session")
+def hardened_build(small_pipeline, small_profile):
+    """PIBE-optimized all-defenses build of the small kernel."""
+    return small_pipeline.build_variant(
+        PibeConfig.lax(DefenseConfig.all_defenses()), small_profile
+    )
+
+
+@pytest.fixture(scope="session")
+def unoptimized_hardened_build(small_pipeline):
+    """All defenses, no PGO."""
+    return small_pipeline.build_variant(
+        PibeConfig.hardened(DefenseConfig.all_defenses())
+    )
+
+
+@pytest.fixture
+def kernel_copy(small_kernel):
+    """A private deep copy of the small kernel, safe to mutate."""
+    return copy.deepcopy(small_kernel)

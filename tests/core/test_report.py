@@ -1,0 +1,62 @@
+"""Overhead arithmetic."""
+
+import pytest
+
+from repro.core.report import (
+    OverheadReport,
+    build_overhead_report,
+    format_percent,
+    geomean_overhead,
+    geomean_ratio,
+    overhead,
+)
+
+
+def test_overhead_fraction():
+    assert overhead(120.0, 100.0) == pytest.approx(0.2)
+    assert overhead(80.0, 100.0) == pytest.approx(-0.2)
+    with pytest.raises(ZeroDivisionError):
+        overhead(1.0, 0.0)
+
+
+def test_geomean_ratio():
+    assert geomean_ratio([2.0, 8.0]) == pytest.approx(4.0)
+    with pytest.raises(ValueError):
+        geomean_ratio([])
+    with pytest.raises(ValueError):
+        geomean_ratio([1.0, -0.5])
+
+
+def test_geomean_overhead_matches_paper_convention():
+    # geometric mean over (1 + overhead) ratios
+    assert geomean_overhead([0.0, 0.0]) == pytest.approx(0.0)
+    assert geomean_overhead([1.0, 0.0]) == pytest.approx(2**0.5 - 1)
+    assert geomean_overhead([-0.1, 0.1]) == pytest.approx(
+        (0.9 * 1.1) ** 0.5 - 1
+    )
+
+
+def test_report_rows_and_geomean():
+    report = OverheadReport("cfg")
+    report.add("a", 100.0, 150.0)
+    report.add("b", 100.0, 100.0)
+    assert report.overheads() == {
+        "a": pytest.approx(0.5),
+        "b": pytest.approx(0.0),
+    }
+    assert report.geomean == pytest.approx(1.5**0.5 - 1)
+    assert report.row("a").overhead == pytest.approx(0.5)
+    with pytest.raises(KeyError):
+        report.row("missing")
+
+
+def test_build_overhead_report_order():
+    baseline = {"x": 10.0, "y": 20.0}
+    measured = {"x": 11.0, "y": 30.0}
+    report = build_overhead_report("c", baseline, measured, order=["y", "x"])
+    assert [r.benchmark for r in report.rows] == ["y", "x"]
+
+
+def test_format_percent():
+    assert format_percent(0.123) == "12.3%"
+    assert format_percent(-0.05, digits=0) == "-5%"

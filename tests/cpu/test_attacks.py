@@ -1,0 +1,120 @@
+"""Transient attack simulations against hardened and vanilla images."""
+
+from repro.cpu.attacks import (
+    ALL_ATTACKS,
+    ATTACKER_GADGET,
+    LVIAttack,
+    Ret2specAttack,
+    SpectreV2Attack,
+    attack_surface,
+)
+from repro.hardening.defenses import DefenseConfig
+from repro.hardening.harden import HardeningPass
+from repro.ir.builder import IRBuilder, build_leaf
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.types import FunctionAttr
+
+
+def _module(harden=None, asm_icall=False, boot=False):
+    module = Module("m")
+    module.add_function(build_leaf("t"))
+    attrs = {FunctionAttr.BOOT_ONLY} if boot else None
+    func = Function("victim", attrs=attrs)
+    b = IRBuilder(func)
+    b.icall({"t": 1}, asm=asm_icall)
+    b.ret()
+    module.add_function(func)
+    if harden is not None:
+        HardeningPass(harden).run(module)
+    return module
+
+
+def test_spectre_v2_succeeds_on_vanilla():
+    module = _module()
+    attack = SpectreV2Attack()
+    sites = attack.hijackable_sites(module)
+    assert len(sites) == 1
+    func, inst = sites[0]
+    outcome = attack.attempt(module, func, inst)
+    assert outcome.success
+    assert outcome.speculative_target == ATTACKER_GADGET
+
+
+def test_spectre_v2_defeated_by_retpolines():
+    module = _module(harden=DefenseConfig.retpolines_only())
+    attack = SpectreV2Attack()
+    assert attack.hijackable_sites(module) == []
+    func = module.get("victim")
+    icall = next(i for i in func.call_sites())
+    outcome = attack.attempt(module, "victim", icall)
+    assert not outcome.success
+    assert "capture loop" in outcome.detail
+
+
+def test_lvi_forward_thunk_still_v2_vulnerable():
+    # the paper: LVI-CFI introduces an indirect jump that the BTB predicts
+    module = _module(harden=DefenseConfig.lvi_only())
+    assert len(SpectreV2Attack().hijackable_sites(module)) == 1
+    assert LVIAttack().hijackable_sites(module) == []
+
+
+def test_ret2spec_on_vanilla_and_defended():
+    vanilla = _module()
+    attack = Ret2specAttack()
+    sites = attack.hijackable_sites(vanilla)
+    assert len(sites) == 2  # both functions' rets
+    outcome = attack.attempt(vanilla, *sites[0])
+    assert outcome.success
+
+    defended = _module(harden=DefenseConfig.ret_retpolines_only())
+    assert attack.hijackable_sites(defended) == []
+
+
+def test_ret2spec_rsb_refill_does_not_stop_in_context_pollution():
+    vanilla = _module()
+    attack = Ret2specAttack()
+    func, inst = attack.hijackable_sites(vanilla)[0]
+    outcome = attack.attempt(vanilla, func, inst, rsb_refilled=True)
+    # refilling happens at context switch; the speculative plant lands after
+    assert outcome.success
+
+
+def test_lvi_attack_and_fences():
+    vanilla = _module()
+    attack = LVIAttack()
+    sites = attack.hijackable_sites(vanilla)
+    assert len(sites) == 3  # icall + 2 rets
+    assert attack.attempt(vanilla, *sites[0]).success
+
+    defended = _module(harden=DefenseConfig.all_defenses())
+    assert attack.hijackable_sites(defended) == []
+    func = defended.get("victim")
+    icall = next(i for i in func.call_sites())
+    outcome = attack.attempt(defended, "victim", icall)
+    assert not outcome.success
+    assert "LFENCE" in outcome.detail
+
+
+def test_asm_icall_remains_hijackable_under_all_defenses():
+    module = _module(harden=DefenseConfig.all_defenses(), asm_icall=True)
+    assert len(SpectreV2Attack().hijackable_sites(module)) == 1
+    assert len(LVIAttack().hijackable_sites(module)) == 1
+
+
+def test_boot_only_code_exempt_from_census():
+    module = _module(boot=True)
+    assert SpectreV2Attack().hijackable_sites(module) == []
+
+
+def test_attack_surface_summary():
+    vanilla = _module()
+    surface = attack_surface(vanilla)
+    assert surface == {"spectre_v2": 1, "ret2spec": 2, "lvi": 3}
+    hardened = _module(harden=DefenseConfig.all_defenses())
+    assert attack_surface(hardened) == {
+        "spectre_v2": 0,
+        "ret2spec": 0,
+        "lvi": 0,
+    }
+    assert {a.vector for a in ALL_ATTACKS} == set(surface)

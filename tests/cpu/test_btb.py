@@ -1,0 +1,57 @@
+"""Branch Target Buffer model."""
+
+import pytest
+
+from repro.cpu.btb import BTB
+
+
+def test_requires_positive_size():
+    with pytest.raises(ValueError):
+        BTB(num_entries=0)
+
+
+def test_cold_miss_then_hit():
+    btb = BTB()
+    assert btb.access(10, "f") is False  # cold
+    assert btb.access(10, "f") is True   # trained
+    assert btb.hits == 1 and btb.misses == 1
+
+
+def test_target_change_mispredicts_once():
+    btb = BTB()
+    btb.access(10, "f")
+    btb.access(10, "f")
+    assert btb.access(10, "g") is False
+    assert btb.access(10, "g") is True
+
+
+def test_aliasing_between_sites():
+    btb = BTB(num_entries=8)
+    btb.access(1, "f")
+    # site 9 aliases to slot 1 and evicts the prediction
+    assert btb.access(9, "g") is False
+    assert btb.access(1, "f") is False  # poisoned by the alias
+    assert btb.predict(9) == "f"
+
+
+def test_poisoning_installs_attacker_target():
+    btb = BTB()
+    btb.access(10, "victim_target")
+    btb.poison(10, "gadget")
+    assert btb.predict(10) == "gadget"
+    # victim's next run consumes the poisoned entry (a mispredict)
+    assert btb.access(10, "victim_target") is False
+
+
+def test_flush_clears_predictions():
+    btb = BTB()
+    btb.access(10, "f")
+    btb.flush()
+    assert btb.predict(10) is None
+
+
+def test_access_counter():
+    btb = BTB()
+    for i in range(5):
+        btb.access(i, "f")
+    assert btb.accesses == 5

@@ -1,0 +1,49 @@
+"""Cost-model constants and lookups."""
+
+import pytest
+
+from repro.cpu.costs import DEFAULT_COSTS, NONTRANSIENT_COSTS, CostModel
+from repro.hardening.defenses import Defense, NonTransientDefense
+
+
+def test_table1_defense_constants():
+    c = DEFAULT_COSTS
+    assert c.defense_cost(Defense.RETPOLINE.value) == 21.0
+    assert c.defense_cost(Defense.RET_RETPOLINE.value) == 16.0
+    assert c.defense_cost(Defense.LVI_CFI_RET.value) == 11.0
+    assert c.defense_cost(Defense.LVI_CFI_FWD.value) == 9.0
+    # combined lowerings cost more than either component alone
+    assert c.defense_cost(Defense.FENCED_RETPOLINE.value) > c.defense_cost(
+        Defense.RETPOLINE.value
+    )
+    assert c.defense_cost(
+        Defense.RET_RETPOLINE_LVI.value
+    ) > c.defense_cost(Defense.RET_RETPOLINE.value)
+
+
+def test_unknown_defense_tag_raises():
+    with pytest.raises(KeyError, match="unknown defense tag"):
+        DEFAULT_COSTS.defense_cost("bogus")
+
+
+def test_nontransient_costs_match_table1():
+    c = DEFAULT_COSTS
+    assert c.nontransient_cost(NonTransientDefense.LLVM_CFI, "icall") == 3.0
+    assert (
+        c.nontransient_cost(NonTransientDefense.STACKPROTECTOR, "dcall") == 4.0
+    )
+    assert c.nontransient_cost(NonTransientDefense.SAFESTACK, "vcall") == 1.0
+    assert set(NONTRANSIENT_COSTS) == set(NonTransientDefense)
+
+
+def test_model_is_frozen():
+    with pytest.raises(Exception):
+        DEFAULT_COSTS.call = 99.0
+
+
+def test_custom_model_overrides():
+    import dataclasses
+
+    model = dataclasses.replace(DEFAULT_COSTS, kernel_entry=0.0)
+    assert model.kernel_entry == 0.0
+    assert model.call == DEFAULT_COSTS.call

@@ -1,0 +1,80 @@
+"""Instruction-cache LRU model."""
+
+import pytest
+
+from repro.cpu.icache import ICache
+
+
+def _cache(footprints, **kw):
+    return ICache(footprint_of=lambda name: footprints[name], **kw)
+
+
+def test_bad_geometry_rejected():
+    with pytest.raises(ValueError):
+        _cache({}, capacity_bytes=0)
+
+
+def test_first_entry_misses_then_hits():
+    cache = _cache({"f": 512})
+    assert cache.enter("f") > 0
+    assert cache.enter("f") == 0.0
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_miss_cost_scales_with_footprint_up_to_cap():
+    cache = _cache(
+        {"small": 64, "big": 64 * 40, "huge": 64 * 1000},
+        miss_base=10.0,
+        miss_per_line=1.0,
+        max_lines_charged=48,
+    )
+    small = cache.enter("small")
+    cache.invalidate()
+    big = cache.enter("big")
+    cache.invalidate()
+    huge = cache.enter("huge")
+    assert small < big
+    # charge capped: one invocation touches at most its executed path
+    assert huge <= 10.0 + 48.0
+
+
+def test_capacity_pressure_evicts_lru():
+    cache = _cache(
+        {"a": 512, "b": 512, "c": 512}, capacity_bytes=1024
+    )
+    cache.enter("a")
+    cache.enter("b")
+    cache.enter("c")  # evicts a
+    assert cache.evictions >= 1
+    assert cache.enter("b") == 0.0  # still resident (recently used)
+    assert cache.enter("a") > 0.0   # was evicted
+
+
+def test_working_set_that_fits_stops_missing():
+    cache = _cache({f"f{i}": 256 for i in range(8)}, capacity_bytes=4096)
+    for _ in range(5):
+        for i in range(8):
+            cache.enter(f"f{i}")
+    assert cache.misses == 8  # only the cold pass
+    assert cache.miss_rate() == pytest.approx(8 / 40)
+
+
+def test_thrashing_working_set_keeps_missing():
+    cache = _cache({f"f{i}": 600 for i in range(8)}, capacity_bytes=1024)
+    for _ in range(3):
+        for i in range(8):
+            cache.enter(f"f{i}")
+    assert cache.miss_rate() == 1.0
+
+
+def test_oversized_function_clamped_to_capacity():
+    cache = _cache({"mega": 10**6}, capacity_bytes=4096)
+    cache.enter("mega")
+    assert cache.resident_bytes <= 4096
+
+
+def test_invalidate_resets_residency():
+    cache = _cache({"f": 128})
+    cache.enter("f")
+    cache.invalidate()
+    assert cache.enter("f") > 0

@@ -1,0 +1,47 @@
+"""Memory Order Buffer: forwarding and LVI injection."""
+
+from repro.cpu.mob import MOB
+
+
+def test_store_to_load_forwarding():
+    mob = MOB()
+    mob.store(0x10, "value")
+    result = mob.load(0x10, architectural_value="value")
+    assert result.value == "value"
+    assert not result.transient
+    assert mob.forwards == 1
+
+
+def test_faulting_load_consumes_injected_value():
+    mob = MOB()
+    mob.plant(0x10, "attacker")
+    result = mob.load(0x10, architectural_value="legit", faulting=True)
+    assert result.transient
+    assert result.value == "attacker"
+    assert mob.injections == 1
+
+
+def test_fence_blocks_injection():
+    mob = MOB()
+    mob.plant(0x10, "attacker")
+    result = mob.load(
+        0x10, architectural_value="legit", faulting=True, fenced=True
+    )
+    assert not result.transient
+    assert result.value == "legit"
+
+
+def test_non_faulting_load_is_architectural():
+    mob = MOB()
+    result = mob.load(0x20, architectural_value="legit")
+    assert result.value == "legit"
+    assert not result.transient
+
+
+def test_capacity_eviction():
+    mob = MOB(capacity=2)
+    mob.store(1, "a")
+    mob.store(2, "b")
+    mob.store(3, "c")  # evicts address 1
+    assert mob.load(1, architectural_value="arch").value == "arch"
+    assert mob.load(3, architectural_value="arch").value == "c"

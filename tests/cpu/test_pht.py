@@ -1,0 +1,45 @@
+"""Pattern History Table two-bit counters."""
+
+import pytest
+
+from repro.cpu.pht import PHT
+
+
+def test_requires_positive_size():
+    with pytest.raises(ValueError):
+        PHT(num_entries=0)
+
+
+def test_learns_biased_branch():
+    pht = PHT()
+    for _ in range(4):
+        pht.access(5, taken=True)
+    assert pht.predict(5) is True
+    assert pht.access(5, taken=True) is True
+
+
+def test_two_bit_hysteresis():
+    pht = PHT()
+    for _ in range(4):
+        pht.access(5, taken=True)  # saturate STRONG_TAKEN
+    # a single not-taken flips to WEAK_TAKEN, still predicting taken
+    pht.access(5, taken=False)
+    assert pht.predict(5) is True
+    pht.access(5, taken=False)
+    assert pht.predict(5) is False
+
+
+def test_poison_saturates_direction():
+    pht = PHT()
+    for _ in range(4):
+        pht.access(5, taken=False)
+    pht.poison(5, direction=True)
+    assert pht.predict(5) is True
+
+
+def test_hit_miss_counters():
+    pht = PHT()
+    pht.access(1, taken=True)   # default WEAK_TAKEN predicts taken: hit
+    pht.access(1, taken=False)  # now strongly taken-ish: miss
+    assert pht.hits == 1
+    assert pht.misses == 1

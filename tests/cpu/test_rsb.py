@@ -1,0 +1,69 @@
+"""Return Stack Buffer model."""
+
+import pytest
+
+from repro.cpu.rsb import RSB
+
+
+def test_requires_positive_capacity():
+    with pytest.raises(ValueError):
+        RSB(capacity=0)
+
+
+def test_balanced_call_ret_predicts():
+    rsb = RSB()
+    rsb.push(1)
+    rsb.push(2)
+    assert rsb.pop_predict(2) is True
+    assert rsb.pop_predict(1) is True
+    assert rsb.misses == 0
+
+
+def test_underflow_mispredicts():
+    rsb = RSB()
+    assert rsb.pop_predict(1) is False
+    assert rsb.underflows == 1
+
+
+def test_overflow_drops_oldest_and_causes_outer_misses():
+    rsb = RSB(capacity=4)
+    for token in range(6):
+        rsb.push(token)
+    assert rsb.overflow_drops == 2
+    # inner 4 returns predict correctly...
+    for token in (5, 4, 3, 2):
+        assert rsb.pop_predict(token) is True
+    # ...the two outermost were dropped
+    assert rsb.pop_predict(1) is False
+    assert rsb.pop_predict(0) is False
+
+
+def test_poison_plants_attacker_entry():
+    rsb = RSB()
+    rsb.push(1)
+    rsb.poison(-99)
+    assert rsb.peek() == -99
+    assert rsb.pop_predict(1) is False  # victim consumes the plant
+
+
+def test_refill_overwrites_everything():
+    rsb = RSB(capacity=4)
+    rsb.poison(-99)
+    rsb.refill(filler_token=0)
+    assert rsb.depth == 4
+    assert rsb.peek() == 0
+
+
+def test_pop_silent_does_not_score():
+    rsb = RSB()
+    rsb.push(7)
+    assert rsb.pop_silent() == 7
+    assert rsb.pop_silent() is None
+    assert rsb.hits == 0 and rsb.misses == 0
+
+
+def test_flush():
+    rsb = RSB()
+    rsb.push(1)
+    rsb.flush()
+    assert rsb.depth == 0

@@ -1,0 +1,184 @@
+"""Trace-driven cycle model behaviour."""
+
+import dataclasses
+
+import pytest
+
+from repro.cpu.costs import DEFAULT_COSTS
+from repro.cpu.timing import TimingModel, function_footprint_bytes
+from repro.engine.interpreter import Interpreter
+from repro.hardening.defenses import Defense, DefenseConfig, NonTransientDefense
+from repro.hardening.harden import HardeningPass
+from repro.ir.builder import IRBuilder, build_leaf
+from repro.ir.function import Function
+from repro.ir.module import Module
+
+NO_ENTRY = dataclasses.replace(DEFAULT_COSTS, kernel_entry=0.0)
+
+
+def _module(icall_targets=None):
+    module = Module("m")
+    module.add_function(build_leaf("leaf", work=2, loads=0, stores=0))
+    func = Function("f")
+    b = IRBuilder(func)
+    b.arith(2)
+    b.call("leaf", num_args=0)
+    if icall_targets:
+        b.icall(icall_targets)
+    b.ret()
+    module.add_function(func)
+    return module
+
+
+def _cycles(module, times=1, seed=0, costs=NO_ENTRY, icache=False):
+    timing = TimingModel(module, costs=costs, model_icache=icache)
+    Interpreter(module, [timing], seed=seed).run_function("f", times=times)
+    return timing
+
+
+def test_straight_line_cost_accounting():
+    module = Module("m")
+    func = Function("f")
+    b = IRBuilder(func)
+    b.arith(3)
+    b.load(2)
+    b.store(1)
+    b.cmp()
+    b.ret()
+    module.add_function(func)
+    timing = _cycles(module)
+    c = NO_ENTRY
+    expected = 3 * c.arith + 2 * c.load + 1 * c.store + c.cmp + c.ret
+    assert timing.cycles == pytest.approx(expected)
+
+
+def test_kernel_entry_charged_per_operation():
+    module = _module()
+    with_entry = TimingModel(module, costs=DEFAULT_COSTS, model_icache=False)
+    Interpreter(module, [with_entry], seed=0).run_function("f", times=10)
+    without = _cycles(module, times=10)
+    delta = with_entry.cycles - without.cycles
+    assert delta == pytest.approx(10 * DEFAULT_COSTS.kernel_entry)
+
+
+def test_defended_ret_costs_flat_extra():
+    plain = _module()
+    hardened = _module()
+    HardeningPass(DefenseConfig.ret_retpolines_only()).run(hardened)
+    base = _cycles(plain, times=10).cycles
+    defended = _cycles(hardened, times=10).cycles
+    # 2 rets per run (f + leaf), 16 extra cycles each
+    assert defended - base == pytest.approx(10 * 2 * 16.0)
+
+
+def test_defended_icall_skips_btb():
+    plain = _module(icall_targets={"leaf": 1})
+    hardened = _module(icall_targets={"leaf": 1})
+    HardeningPass(DefenseConfig.retpolines_only()).run(hardened)
+    t_plain = _cycles(plain, times=50)
+    t_hard = _cycles(hardened, times=50)
+    assert t_hard.counters["defended_icalls"] == 50
+    assert t_plain.btb.accesses == 50
+    assert t_hard.btb.accesses == 0
+
+
+def test_btb_miss_penalty_on_cold_icall():
+    module = _module(icall_targets={"leaf": 1})
+    timing = _cycles(module, times=3)
+    # one cold miss, then hits
+    assert timing.btb.misses == 1
+    assert timing.btb.hits == 2
+
+
+def test_rsb_stays_synced_for_defended_rets():
+    module = _module()
+    HardeningPass(DefenseConfig.all_defenses()).run(module)
+    timing = _cycles(module, times=5)
+    assert timing.rsb.misses == 0  # silent pops keep alignment
+
+
+def test_nontransient_ambient_costs():
+    plain = _module()
+    hardened = _module()
+    HardeningPass(
+        DefenseConfig(
+            nontransient=frozenset({NonTransientDefense.STACKPROTECTOR})
+        )
+    ).run(hardened)
+    base = _cycles(plain, times=10).cycles
+    protected = _cycles(hardened, times=10).cycles
+    # one direct call per run, +4 ticks each
+    assert protected - base == pytest.approx(10 * 4.0)
+
+
+def test_vcall_extra_load_charged():
+    module = Module("m")
+    module.add_function(build_leaf("leaf", work=1, loads=0, stores=0))
+    func = Function("f")
+    b = IRBuilder(func)
+    b.icall({"leaf": 1}, vcall=True)
+    b.ret()
+    module.add_function(func)
+    v = _cycles(module, times=10).cycles
+
+    module2 = Module("m2")
+    module2.add_function(build_leaf("leaf", work=1, loads=0, stores=0))
+    func2 = Function("f")
+    b = IRBuilder(func2)
+    b.icall({"leaf": 1}, vcall=False)
+    b.ret()
+    module2.add_function(func2)
+    plain = _cycles(module2, times=10).cycles
+    assert v - plain == pytest.approx(10 * NO_ENTRY.vcall_extra_load)
+
+
+def test_footprint_includes_defense_expansion():
+    module = _module()
+    func = module.get("f")
+    before = function_footprint_bytes(func)
+    ret = func.returns()[0]
+    ret.defense = Defense.RET_RETPOLINE.value
+    after = function_footprint_bytes(func)
+    assert after == before + 5 * 5  # 5 expansion units
+
+
+def test_icache_charges_on_function_entry():
+    module = _module()
+    with_icache = _cycles(module, times=5, icache=True)
+    without = _cycles(module, times=5, icache=False)
+    assert with_icache.cycles > without.cycles
+    assert with_icache.icache is not None
+    assert with_icache.icache.misses >= 2  # f and leaf cold entries
+
+
+def test_counters_track_event_kinds():
+    module = _module(icall_targets={"leaf": 1})
+    timing = _cycles(module, times=7)
+    assert timing.counters["calls"] == 7
+    assert timing.counters["icalls"] == 7
+    assert timing.counters["rets"] == 21  # f + leaf(direct) + leaf(icall)
+    assert timing.ops == 7
+    assert timing.cycles_per_op == timing.cycles / 7
+
+
+def test_defense_cycles_accounting():
+    from repro.hardening.defenses import Defense
+
+    module = _module(icall_targets={"leaf": 1})
+    HardeningPass(DefenseConfig.all_defenses()).run(module)
+    timing = _cycles(module, times=10)
+    charged = timing.defense_cycles_charged
+    # 3 rets/run at the combined cost, 1 icall/run at the fenced cost
+    assert charged[Defense.RET_RETPOLINE_LVI.value] == pytest.approx(
+        10 * 3 * 30.0
+    )
+    assert charged[Defense.FENCED_RETPOLINE.value] == pytest.approx(
+        10 * 40.0
+    )
+    assert timing.total_defense_cycles == pytest.approx(10 * (90 + 40))
+
+
+def test_unprotected_run_charges_no_defense_cycles():
+    timing = _cycles(_module(), times=5)
+    assert timing.defense_cycles_charged == {}
+    assert timing.total_defense_cycles == 0.0

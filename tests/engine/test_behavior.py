@@ -1,0 +1,94 @@
+"""Behaviour helpers: weighted choice, guard probabilities, loop state."""
+
+import random
+
+import pytest
+
+from repro.engine.behavior import (
+    LoopState,
+    branch_taken,
+    expected_counts,
+    guard_probabilities,
+    residual_distribution,
+    weighted_choice,
+)
+
+
+def test_weighted_choice_respects_weights():
+    rng = random.Random(1)
+    dist = {"a": 90, "b": 10}
+    picks = [weighted_choice(rng, dist) for _ in range(2000)]
+    frac_a = picks.count("a") / len(picks)
+    assert 0.85 < frac_a < 0.95
+
+
+def test_weighted_choice_single_key():
+    rng = random.Random(0)
+    assert weighted_choice(rng, {"only": 5}) == "only"
+
+
+def test_weighted_choice_rejects_bad_input():
+    rng = random.Random(0)
+    with pytest.raises(ValueError, match="empty"):
+        weighted_choice(rng, {})
+    with pytest.raises(ValueError, match="zero total"):
+        weighted_choice(rng, {"a": 0})
+    with pytest.raises(ValueError, match="negative"):
+        weighted_choice(rng, {"a": -1, "b": 2})
+
+
+def test_guard_probabilities_are_conditional():
+    dist = {"a": 50, "b": 30, "c": 20}
+    guards = guard_probabilities(dist, ["a", "b"])
+    assert guards[0] == ("a", pytest.approx(0.5))
+    # P(b | not a) = 30 / 50
+    assert guards[1] == ("b", pytest.approx(0.6))
+
+
+def test_guard_probabilities_full_promotion_ends_at_one():
+    dist = {"a": 50, "b": 50}
+    guards = guard_probabilities(dist, ["a", "b"])
+    assert guards[1][1] == pytest.approx(1.0)
+
+
+def test_guard_probability_for_unobserved_target_is_zero():
+    guards = guard_probabilities({"a": 10}, ["ghost"])
+    assert guards[0] == ("ghost", 0.0)
+
+
+def test_guard_probabilities_reject_zero_total():
+    with pytest.raises(ValueError, match="zero total"):
+        guard_probabilities({"a": 0}, ["a"])
+
+
+def test_residual_distribution():
+    dist = {"a": 5, "b": 3, "c": 2}
+    assert residual_distribution(dist, ["a"]) == {"b": 3, "c": 2}
+    assert residual_distribution(dist, ["a", "b", "c"]) == {}
+
+
+def test_expected_counts_rounding():
+    assert expected_counts({"a": 2, "b": 1}, 300) == {"a": 200, "b": 100}
+    assert expected_counts({"a": 0}, 100) == {"a": 0}
+
+
+def test_loop_state_trip_semantics():
+    loops = LoopState()
+    takes = [loops.take_back_edge("L", 3) for _ in range(4)]
+    # taken exactly 3 times, then reset
+    assert takes == [True, True, True, False]
+    # next loop entry starts fresh
+    assert loops.take_back_edge("L", 3) is True
+
+
+def test_branch_taken_extremes_deterministic():
+    rng = random.Random(0)
+    assert branch_taken(rng, 1.0, None, "b", None) is True
+    assert branch_taken(rng, 0.0, None, "b", None) is False
+
+
+def test_branch_taken_with_trip_uses_loop_state():
+    rng = random.Random(0)
+    loops = LoopState()
+    outcomes = [branch_taken(rng, 0.5, loops, "b", 2) for _ in range(3)]
+    assert outcomes == [True, True, False]

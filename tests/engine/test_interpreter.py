@@ -1,0 +1,211 @@
+"""Interpreter semantics: control flow, loops, events, limits."""
+
+import pytest
+
+from repro.engine.interpreter import ExecutionError, ExecutionLimits, Interpreter
+from repro.engine.trace import TraceRecorder
+from repro.ir.builder import IRBuilder, build_leaf
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.module import Module
+from repro.ir.types import Opcode
+
+
+def _run(module, entry, times=1, seed=0, **kw):
+    recorder = TraceRecorder()
+    Interpreter(module, [recorder], seed=seed, **kw).run_function(entry, times)
+    return recorder
+
+
+def test_straight_line_mix_events():
+    module = Module("m")
+    func = Function("f")
+    b = IRBuilder(func)
+    b.arith(2)
+    b.load(1)
+    b.store(1)
+    b.ret()
+    module.add_function(func)
+    rec = _run(module, "f")
+    assert rec.of_kind("mix") == [("mix", 2, 1, 1, 0, 0, 0)]
+    assert rec.of_kind("ret") == [("ret", "f")]
+    assert rec.events[0] == ("run_start", "f")
+    assert rec.events[-1] == ("run_end", "f")
+
+
+def test_direct_call_nesting_order():
+    module = Module("m")
+    module.add_function(build_leaf("leaf", work=1, loads=0, stores=0))
+    func = Function("f")
+    b = IRBuilder(func)
+    b.call("leaf")
+    b.ret()
+    module.add_function(func)
+    rec = _run(module, "f")
+    kinds = [e[0] for e in rec.events]
+    assert kinds == [
+        "run_start", "enter", "call", "enter", "mix", "ret", "ret", "run_end",
+    ]
+
+
+def test_icall_resolves_single_target():
+    module = Module("m")
+    module.add_function(build_leaf("only"))
+    func = Function("f")
+    b = IRBuilder(func)
+    b.icall({"only": 1})
+    b.ret()
+    module.add_function(func)
+    rec = _run(module, "f", times=5)
+    icalls = rec.of_kind("icall")
+    assert len(icalls) == 5
+    assert all(e[3] == "only" for e in icalls)
+
+
+def test_icall_marginal_distribution_with_stickiness():
+    module = Module("m")
+    module.add_function(build_leaf("a"))
+    module.add_function(build_leaf("b"))
+    func = Function("f")
+    b = IRBuilder(func)
+    b.icall({"a": 3, "b": 1})
+    b.ret()
+    module.add_function(func)
+    rec = _run(module, "f", times=4000, seed=3)
+    targets = [e[3] for e in rec.of_kind("icall")]
+    frac_a = targets.count("a") / len(targets)
+    # sticky Markov reuse keeps the stationary marginal at the weights
+    assert 0.65 < frac_a < 0.85
+
+
+def test_loop_trip_counts():
+    module = Module("m")
+    func = Function("f")
+    b = IRBuilder(func)
+    head = b.new_block("head")
+    after = b.new_block("after")
+    b.jmp(head.label)
+    b.at(head).arith(1)
+    b.at(head).br(head.label, after.label, trip=4)
+    b.at(after).ret()
+    module.add_function(func)
+    rec = _run(module, "f")
+    total_arith = sum(e[1] for e in rec.of_kind("mix"))
+    assert total_arith == 5  # first entry + 4 back edges
+
+
+def test_deterministic_branch_probabilities():
+    module = Module("m")
+    func = Function("f")
+    b = IRBuilder(func)
+    then = b.new_block("then")
+    other = b.new_block("other")
+    b.br(then.label, other.label, p_taken=1.0)
+    b.at(then).arith(7)
+    b.at(then).ret()
+    b.at(other).arith(1)
+    b.at(other).ret()
+    module.add_function(func)
+    rec = _run(module, "f")
+    assert sum(e[1] for e in rec.of_kind("mix")) == 7
+
+
+def test_switch_dispatch():
+    module = Module("m")
+    func = Function("f")
+    b = IRBuilder(func)
+    c0 = b.new_block("c0")
+    c1 = b.new_block("c1")
+    b.switch([c0.label, c1.label], weights=[1.0, 0.0])
+    b.at(c0).arith(2)
+    b.at(c0).ret()
+    b.at(c1).arith(9)
+    b.at(c1).ret()
+    module.add_function(func)
+    rec = _run(module, "f", times=10)
+    assert sum(e[1] for e in rec.of_kind("mix")) == 20
+
+
+def test_opaque_ijump_acts_as_transfer_out():
+    module = Module("m")
+    func = Function("f")
+    b = IRBuilder(func)
+    b.arith(1)
+    b.ijump()
+    module.add_function(func)
+    rec = _run(module, "f")
+    assert rec.of_kind("ijump") == [("ijump", "f")]
+    assert rec.of_kind("ret") == []
+
+
+def test_jump_table_ijump_continues_in_function():
+    module = Module("m")
+    func = Function("f")
+    b = IRBuilder(func)
+    case = b.new_block("case")
+    block = func.entry
+    block.append(Instruction(Opcode.IJUMP, targets=(case.label,)))
+    b.at(case).arith(3)
+    b.at(case).ret()
+    module.add_function(func)
+    rec = _run(module, "f")
+    assert len(rec.of_kind("ijump")) == 1
+    assert sum(e[1] for e in rec.of_kind("mix")) == 3
+
+
+def test_unknown_function_raises():
+    module = Module("m")
+    with pytest.raises(ExecutionError, match="unknown function"):
+        Interpreter(module).run_function("ghost")
+
+
+def test_unknown_syscall_raises():
+    module = Module("m")
+    with pytest.raises(ExecutionError, match="unknown syscall"):
+        Interpreter(module).run_syscall("ghost")
+
+
+def test_depth_limit_enforced():
+    module = Module("m")
+    func = Function("f")
+    b = IRBuilder(func)
+    b.call("f")
+    b.ret()
+    module.add_function(func)
+    interp = Interpreter(module, limits=ExecutionLimits(max_depth=10))
+    with pytest.raises(ExecutionError, match="depth exceeded"):
+        interp.run_function("f")
+
+
+def test_step_limit_enforced():
+    module = Module("m")
+    func = Function("f")
+    b = IRBuilder(func)
+    head = b.new_block("head")
+    b.jmp(head.label)
+    b.at(head).arith(1)
+    b.at(head).jmp(head.label)  # infinite loop
+    module.add_function(func)
+    interp = Interpreter(module, limits=ExecutionLimits(max_steps=1000))
+    with pytest.raises(ExecutionError, match="step limit"):
+        interp.run_function("f")
+
+
+def test_bad_stickiness_rejected():
+    module = Module("m")
+    with pytest.raises(ValueError, match="stickiness"):
+        Interpreter(module, target_stickiness=1.0)
+
+
+def test_same_seed_reproduces_trace():
+    module = Module("m")
+    module.add_function(build_leaf("a"))
+    module.add_function(build_leaf("b"))
+    func = Function("f")
+    b = IRBuilder(func)
+    b.icall({"a": 1, "b": 1})
+    b.ret()
+    module.add_function(func)
+    rec1 = _run(module, "f", times=50, seed=99)
+    rec2 = _run(module, "f", times=50, seed=99)
+    assert rec1.events == rec2.events

@@ -1,0 +1,73 @@
+"""Trace sink interface and recorder."""
+
+from repro.engine.interpreter import Interpreter
+from repro.engine.trace import TraceRecorder, TraceSink
+from repro.ir.builder import IRBuilder, build_leaf
+from repro.ir.function import Function
+from repro.ir.module import Module
+
+
+def _module():
+    module = Module("m")
+    module.add_function(build_leaf("leaf", work=1, loads=0, stores=0))
+    func = Function("f")
+    b = IRBuilder(func)
+    b.call("leaf")
+    b.icall({"leaf": 1})
+    b.ijump()
+    module.add_function(func)
+    return module
+
+
+def test_base_sink_callbacks_are_noops():
+    """A sink that overrides nothing can observe any run unharmed."""
+    module = _module()
+    Interpreter(module, [TraceSink()], seed=0).run_function("f", times=3)
+
+
+def test_recorder_captures_every_event_kind():
+    module = _module()
+    rec = TraceRecorder()
+    Interpreter(module, [rec], seed=0).run_function("f")
+    kinds = {e[0] for e in rec.events}
+    assert kinds == {
+        "run_start",
+        "enter",
+        "call",
+        "icall",
+        "mix",
+        "ret",
+        "ijump",
+        "run_end",
+    }
+
+
+def test_of_kind_filters():
+    module = _module()
+    rec = TraceRecorder()
+    Interpreter(module, [rec], seed=0).run_function("f", times=4)
+    assert len(rec.of_kind("call")) == 4
+    assert len(rec.of_kind("icall")) == 4
+    assert len(rec.of_kind("ijump")) == 4
+    assert rec.of_kind("nonexistent") == []
+
+
+def test_multiple_sinks_see_identical_streams():
+    module = _module()
+    a, b = TraceRecorder(), TraceRecorder()
+    Interpreter(module, [a, b], seed=0).run_function("f", times=2)
+    assert a.events == b.events
+
+
+def test_partial_sink_override():
+    class CallCounter(TraceSink):
+        def __init__(self):
+            self.count = 0
+
+        def on_call(self, inst, caller, callee):
+            self.count += 1
+
+    module = _module()
+    counter = CallCounter()
+    Interpreter(module, [counter], seed=0).run_function("f", times=7)
+    assert counter.count == 7

@@ -1,0 +1,39 @@
+"""Plain-text table rendering."""
+
+import pytest
+
+from repro.evaluation.formatting import Table, pct, ticks, us
+
+
+def test_table_rendering_aligns_columns():
+    table = Table("Demo", ["name", "value"])
+    table.add_row("short", "1")
+    table.add_row("much_longer_name", "22")
+    text = table.to_text()
+    lines = text.splitlines()
+    assert lines[0] == "Demo"
+    assert lines[1] == "===="
+    assert "name" in lines[2]
+    # all data rows start at the same column offset for the second field
+    offsets = {line.index(v) for line, v in zip(lines[4:], ("1", "22"))}
+    assert len(offsets) == 1
+
+
+def test_row_width_validation():
+    table = Table("T", ["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row("only_one")
+
+
+def test_notes_rendered_with_bullets():
+    table = Table("T", ["a"], notes=["paper says X"])
+    table.add_row("1")
+    assert "* paper says X" in table.to_text()
+
+
+def test_cell_formatters():
+    assert pct(0.106) == "10.6%"
+    assert pct(0.5, digits=0) == "50%"
+    assert pct(0.01, signed=True) == "+1.0%"
+    assert ticks(20.7) == "21"
+    assert us(3700.0) == "1.000"  # 3700 cycles at 3.7 GHz = 1 us

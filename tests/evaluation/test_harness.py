@@ -1,0 +1,64 @@
+"""Evaluation harness caching and measurement plumbing."""
+
+import pytest
+
+from repro.core.config import PibeConfig
+from repro.evaluation.harness import EvalContext, EvalSettings
+from repro.hardening.defenses import DefenseConfig
+from repro.kernel.spec import SmallSpec
+from repro.workloads.lmbench import BY_NAME
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return EvalContext(
+        EvalSettings(
+            spec=SmallSpec(),
+            profile_iterations=1,
+            profile_ops_scale=0.05,
+            measure_ops_scale=0.1,
+        )
+    )
+
+
+def test_profiles_cached(ctx):
+    a = ctx.profile("lmbench")
+    b = ctx.profile("lmbench")
+    assert a is b
+    apache = ctx.profile("apache")
+    assert apache is not a
+    with pytest.raises(ValueError):
+        ctx.profile("bogus")
+
+
+def test_variants_cached_by_label_and_workload(ctx):
+    config = PibeConfig.lax(DefenseConfig.all_defenses())
+    a = ctx.variant(config)
+    assert ctx.variant(config) is a
+    b = ctx.variant(config, workload_name="apache")
+    assert b is not a
+
+
+def test_measurements_cached(ctx):
+    benches = (BY_NAME["null"], BY_NAME["read"])
+    config = PibeConfig.lto_baseline()
+    first = ctx.measure(config, benches)
+    second = ctx.measure(config, benches)
+    assert first is second
+    assert set(first) == {"null", "read"}
+
+
+def test_jumpswitches_measurement(ctx):
+    benches = (BY_NAME["read"],)
+    js = ctx.measure_jumpswitches(benches)
+    retp = ctx.measure(
+        PibeConfig.hardened(DefenseConfig.retpolines_only()), benches
+    )
+    lto = ctx.lto_measurements(benches)
+    # runtime promotion sits between unoptimized retpolines and vanilla
+    assert lto["read"] < js["read"] < retp["read"] * 1.05
+
+
+def test_fast_settings_reduce_scale():
+    fast = EvalSettings.fast()
+    assert fast.measure_ops_scale < EvalSettings().measure_ops_scale

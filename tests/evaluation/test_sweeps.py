@@ -1,0 +1,63 @@
+"""Budget-sweep utility."""
+
+import pytest
+
+from repro.evaluation.harness import EvalContext, EvalSettings
+from repro.evaluation.sweeps import budget_sweep
+from repro.hardening.defenses import DefenseConfig
+from repro.kernel.spec import SmallSpec
+from repro.workloads.lmbench import BY_NAME
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return EvalContext(
+        EvalSettings(
+            spec=SmallSpec(),
+            profile_iterations=1,
+            profile_ops_scale=0.15,
+            measure_ops_scale=0.1,
+        )
+    )
+
+
+def test_sweep_is_roughly_monotone(ctx):
+    benches = [BY_NAME[n] for n in ("read", "write", "pipe", "select_tcp")]
+    result = budget_sweep(
+        ctx,
+        DefenseConfig.all_defenses(),
+        budgets=(0.9, 0.999, 0.999999),
+        benches=benches,
+    )
+    geomeans = [p.geomean for p in result.points]
+    # higher budget never makes things much worse
+    for lower, higher in zip(geomeans, geomeans[1:]):
+        assert higher <= lower + 0.03
+    # and every point beats the unoptimized reference
+    assert all(g < result.baseline_geomean for g in geomeans)
+    assert result.baseline_geomean > 0.5
+
+
+def test_sweep_table_rendering(ctx):
+    benches = [BY_NAME["read"]]
+    result = budget_sweep(
+        ctx,
+        DefenseConfig.retpolines_only(),
+        budgets=(0.99,),
+        benches=benches,
+    )
+    text = result.to_table().to_text()
+    assert "Budget sweep: retpolines" in text
+    assert "99%" in text
+    assert "unoptimized reference" in text
+
+
+def test_sweep_points_carry_per_bench_overheads(ctx):
+    benches = [BY_NAME["read"], BY_NAME["pipe"]]
+    result = budget_sweep(
+        ctx,
+        DefenseConfig.lvi_only(),
+        budgets=(0.999,),
+        benches=benches,
+    )
+    assert set(result.points[0].overheads) == {"read", "pipe"}

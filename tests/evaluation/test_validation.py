@@ -1,0 +1,80 @@
+"""Reproduction scorecard."""
+
+import pytest
+
+from repro.evaluation.harness import EvalContext, EvalSettings
+from repro.evaluation.validation import (
+    EXPECTATIONS,
+    Expectation,
+    Scorecard,
+    validate_all,
+)
+from repro.kernel.spec import SmallSpec
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return EvalContext(
+        EvalSettings(
+            spec=SmallSpec(),
+            profile_iterations=1,
+            profile_ops_scale=0.2,
+            measure_ops_scale=0.12,
+        )
+    )
+
+
+def test_expectation_check_mechanics():
+    exp = Expectation(
+        "demo", paper_value=1.0, low=0.5, high=1.5,
+        extract=lambda ctx: 1.2,
+    )
+    result = exp.check(None)
+    assert result.passed
+    assert result.measured == 1.2
+    failing = Expectation(
+        "demo2", paper_value=1.0, low=0.5, high=1.5,
+        extract=lambda ctx: 9.0,
+    )
+    assert not failing.check(None).passed
+
+
+def test_scorecard_rendering():
+    card = Scorecard(
+        [
+            Expectation("a", 0.1, 0.0, 0.2, lambda c: 0.1).check(None),
+            Expectation("b", 0.1, 0.0, 0.05, lambda c: 0.1).check(None),
+        ]
+    )
+    assert card.passed == 1
+    assert not card.all_passed
+    text = card.to_table().to_text()
+    assert "1/2 within band" in text
+    assert "NO" in text
+
+
+def test_headline_expectations_hold_on_test_kernel(ctx):
+    """The core claims stay within band even at reduced scale."""
+    headline = [
+        e
+        for e in EXPECTATIONS
+        if e.name
+        in (
+            "Table 1: retpoline icall ticks",
+            "Table 1: return retpoline ticks",
+            "Table 5: all defenses, no optimization",
+            "Table 5: all defenses, lax heuristics",
+            "Table 6: PGO-only speedup",
+        )
+    ]
+    card = validate_all(ctx, headline)
+    failing = [r.expectation.name for r in card.results if not r.passed]
+    assert card.all_passed, failing
+
+
+def test_expectation_bands_contain_paper_values():
+    for exp in EXPECTATIONS:
+        assert exp.low <= exp.high
+        # the band should be wide enough that the paper's own number,
+        # were it measured, would usually pass (simulator tolerance)
+        assert exp.low <= exp.paper_value * 1.8 + 0.2

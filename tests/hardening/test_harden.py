@@ -1,0 +1,116 @@
+"""HardeningPass: coverage, exemptions, census accounting."""
+
+from repro.hardening.defenses import Defense, DefenseConfig
+from repro.hardening.harden import METADATA_KEY, HardeningPass, applied_config
+from repro.ir.builder import IRBuilder, build_leaf
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.module import Module
+from repro.ir.types import FunctionAttr, Opcode
+
+
+def _mixed_module():
+    module = Module("m")
+    module.add_function(build_leaf("t"))
+
+    normal = Function("normal")
+    b = IRBuilder(normal)
+    b.icall({"t": 1})
+    b.ret()
+    module.add_function(normal)
+
+    asm_fn = Function("asm_fn", attrs={FunctionAttr.INLINE_ASM})
+    b = IRBuilder(asm_fn)
+    b.icall({"t": 1})
+    b.ijump()
+    module.add_function(asm_fn)
+
+    boot = Function("boot", attrs={FunctionAttr.BOOT_ONLY})
+    b = IRBuilder(boot)
+    b.ret()
+    module.add_function(boot)
+
+    asm_site_fn = Function("pv_wrap")
+    b = IRBuilder(asm_site_fn)
+    b.icall({"t": 1}, asm=True)
+    b.ret()
+    module.add_function(asm_site_fn)
+    return module
+
+
+def test_all_defenses_coverage():
+    module = _mixed_module()
+    report = HardeningPass(DefenseConfig.all_defenses()).run(module)
+    # normal icall protected; asm-function icall and asm-site icall are not
+    assert report.protected_icalls == 1
+    assert report.vulnerable_icalls == 2
+    # the opaque trampoline ijump stays vulnerable
+    assert report.vulnerable_ijumps == 1
+    # every non-boot ret protected (objtool-style), boot ret exempt
+    assert report.vulnerable_rets == 0
+    assert report.boot_only_rets == 1
+    assert report.protected_rets == 3  # t, normal, pv_wrap (asm_fn has no ret)
+
+
+def test_tags_applied_to_instructions():
+    module = _mixed_module()
+    HardeningPass(DefenseConfig.all_defenses()).run(module)
+    normal_icall = next(
+        i for i in module.get("normal").instructions() if i.opcode == Opcode.ICALL
+    )
+    assert normal_icall.defense == Defense.FENCED_RETPOLINE.value
+    ret = module.get("t").returns()[0]
+    assert ret.defense == Defense.RET_RETPOLINE_LVI.value
+    asm_icall = next(
+        i for i in module.get("pv_wrap").instructions() if i.opcode == Opcode.ICALL
+    )
+    assert asm_icall.defense is None
+
+
+def test_no_defense_config_tags_nothing():
+    module = _mixed_module()
+    report = HardeningPass(DefenseConfig.none()).run(module)
+    assert report.protected_icalls == 0
+    assert report.protected_rets == 0
+    assert all(i.defense is None for i in module.instructions())
+
+
+def test_retpolines_only_leaves_rets_alone():
+    module = _mixed_module()
+    report = HardeningPass(DefenseConfig.retpolines_only()).run(module)
+    assert report.protected_icalls == 1
+    assert report.protected_rets == 0
+    assert report.vulnerable_rets > 0
+
+
+def test_metadata_records_config():
+    module = _mixed_module()
+    config = DefenseConfig.lvi_only()
+    HardeningPass(config).run(module)
+    assert module.metadata[METADATA_KEY] is config
+    assert applied_config(module) is config
+
+
+def test_applied_config_defaults_to_none():
+    module = Module("m")
+    assert applied_config(module) == DefenseConfig.none()
+
+
+def test_sites_by_defense_histogram():
+    module = _mixed_module()
+    report = HardeningPass(DefenseConfig.all_defenses()).run(module)
+    assert report.sites_by_defense[Defense.FENCED_RETPOLINE.value] == 1
+    assert report.sites_by_defense[Defense.RET_RETPOLINE_LVI.value] == 3
+
+
+def test_jump_table_ijump_protected_when_targets_known():
+    module = Module("m")
+    func = Function("f")
+    b = IRBuilder(func)
+    case = b.new_block("case")
+    func.entry.append(Instruction(Opcode.IJUMP, targets=(case.label,)))
+    b.at(case).ret()
+    module.add_function(func)
+    report = HardeningPass(DefenseConfig.retpolines_only()).run(module)
+    assert report.protected_ijumps == 1
+    assert report.vulnerable_ijumps == 0

@@ -1,0 +1,88 @@
+"""Golden tests: emitted defense sequences match the paper's listings."""
+
+import pytest
+
+from repro.hardening.defenses import Defense
+from repro.hardening.lowering import (
+    SITE_SEQUENCES,
+    THUNK_BODIES,
+    THUNK_UNITS,
+    lower_branch,
+    required_thunks,
+    site_expansion_units,
+)
+from repro.ir.instruction import Instruction
+from repro.ir.types import Opcode
+
+
+def test_retpoline_thunk_matches_listing4():
+    body = THUNK_BODIES[Defense.RETPOLINE]
+    text = "\n".join(body)
+    # the structure of Listing 4
+    assert "callq jump" in text
+    assert "loop: pause" in text
+    assert "lfence" in text
+    assert "jmp loop" in text
+    assert "mov %r11, (%rsp)" in text
+    assert text.strip().endswith("retq")
+
+
+def test_lvi_thunk_matches_listing5():
+    body = THUNK_BODIES[Defense.LVI_CFI_FWD]
+    assert body[1:] == ["  lfence", "  jmpq *%r11"]
+
+
+def test_lvi_ret_sequence_matches_listing6():
+    assert SITE_SEQUENCES[Defense.LVI_CFI_RET] == [
+        "pop %rcx",
+        "lfence",
+        "jmpq *%rcx",
+    ]
+
+
+def test_fenced_retpoline_matches_listing7():
+    body = THUNK_BODIES[Defense.FENCED_RETPOLINE]
+    text = "\n".join(body)
+    # Listing 7 adds the double-not + lfence before the ret
+    assert text.count("notq (%rsp)") == 2
+    idx_not = text.index("notq")
+    idx_fence = text.rindex("lfence")
+    idx_ret = text.rindex("retq")
+    assert idx_not < idx_fence < idx_ret
+
+
+def test_lower_unprotected_branches():
+    assert lower_branch(Instruction(Opcode.ICALL)) == ["callq *%r11"]
+    assert lower_branch(Instruction(Opcode.RET)) == ["retq"]
+    assert lower_branch(Instruction(Opcode.IJUMP)) == ["jmpq *%rax"]
+
+
+def test_lower_protected_branch_uses_site_sequence():
+    inst = Instruction(Opcode.ICALL)
+    inst.defense = Defense.RETPOLINE.value
+    assert lower_branch(inst) == ["call __llvm_retpoline_r11"]
+    ret = Instruction(Opcode.RET)
+    ret.defense = Defense.RET_RETPOLINE.value
+    assert lower_branch(ret)[0] == "callq jump"
+
+
+def test_lower_non_branch_rejected():
+    with pytest.raises(ValueError, match="not a lowerable branch"):
+        lower_branch(Instruction(Opcode.ARITH))
+
+
+def test_site_expansion_units():
+    plain = Instruction(Opcode.RET)
+    assert site_expansion_units(plain) == 0
+    plain.defense = Defense.RET_RETPOLINE.value
+    assert site_expansion_units(plain) == 5
+    icall = Instruction(Opcode.ICALL)
+    icall.defense = Defense.RETPOLINE.value
+    assert site_expansion_units(icall) == 0  # thunk call replaces 1:1
+
+
+def test_required_thunks():
+    assert required_thunks([]) == []
+    tags = [Defense.RETPOLINE.value, Defense.RET_RETPOLINE.value]
+    assert required_thunks(tags) == [Defense.RETPOLINE]
+    assert THUNK_UNITS[Defense.RETPOLINE] == 7

@@ -1,0 +1,83 @@
+"""Basic block structure and mutation."""
+
+import pytest
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.instruction import Instruction
+from repro.ir.types import Opcode
+
+
+def _ret():
+    return Instruction(Opcode.RET)
+
+
+def test_empty_block_has_no_terminator():
+    block = BasicBlock("entry")
+    assert block.terminator is None
+    assert block.successors == ()
+    assert len(block) == 0
+
+
+def test_append_and_terminate():
+    block = BasicBlock("entry")
+    block.append(Instruction(Opcode.ARITH))
+    block.append(_ret())
+    assert block.terminator is not None
+    assert block.terminator.opcode == Opcode.RET
+    assert len(block) == 2
+
+
+def test_append_after_terminator_rejected():
+    block = BasicBlock("entry")
+    block.append(_ret())
+    with pytest.raises(ValueError, match="already terminated"):
+        block.append(Instruction(Opcode.ARITH))
+
+
+def test_successors_from_branch():
+    block = BasicBlock("entry")
+    block.append(Instruction(Opcode.BR, targets=("a", "b")))
+    assert block.successors == ("a", "b")
+
+
+def test_ret_has_no_successors():
+    block = BasicBlock("entry")
+    block.append(_ret())
+    assert block.successors == ()
+
+
+def test_body_excludes_terminator():
+    block = BasicBlock("entry")
+    arith = Instruction(Opcode.ARITH)
+    block.append(arith)
+    block.append(_ret())
+    assert block.body() == [arith]
+
+
+def test_body_of_unterminated_block():
+    block = BasicBlock("entry")
+    arith = Instruction(Opcode.ARITH)
+    block.instructions.append(arith)
+    assert block.body() == [arith]
+
+
+def test_replace_instruction_with_sequence():
+    block = BasicBlock("entry")
+    block.append(Instruction(Opcode.ARITH))
+    block.append(_ret())
+    block.replace(0, [Instruction(Opcode.LOAD), Instruction(Opcode.STORE)])
+    opcodes = [i.opcode for i in block.instructions]
+    assert opcodes == [Opcode.LOAD, Opcode.STORE, Opcode.RET]
+
+
+def test_clone_renames_and_deep_copies():
+    block = BasicBlock("entry")
+    block.append(Instruction(Opcode.CALL, callee="f"))
+    block.append(_ret())
+    clone = block.clone("copy")
+    assert clone.label == "copy"
+    assert len(clone) == 2
+    assert clone.instructions[0] is not block.instructions[0]
+    assert clone.instructions[0].callee == "f"
+    # the cloned call received a fresh site id
+    assert clone.instructions[0].site_id != block.instructions[0].site_id

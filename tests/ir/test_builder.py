@@ -1,0 +1,88 @@
+"""IRBuilder emission semantics."""
+
+import pytest
+
+from repro.ir.builder import IRBuilder, build_leaf
+from repro.ir.function import Function
+from repro.ir.types import (
+    ATTR_ASM_SITE,
+    ATTR_P_TAKEN,
+    ATTR_TARGETS,
+    ATTR_TRIP,
+    ATTR_VCALL,
+    Opcode,
+)
+
+
+def test_builder_creates_entry_block():
+    func = Function("f")
+    IRBuilder(func)
+    assert func.entry_label == "entry"
+
+
+def test_builder_attaches_to_existing_block():
+    func = Function("f")
+    func.new_block("entry")
+    b = IRBuilder(func)
+    b.ret()
+    assert len(func.blocks) == 1
+
+
+def test_mix_emission_counts():
+    func = Function("f")
+    b = IRBuilder(func)
+    b.arith(3)
+    b.load(2)
+    b.store(1)
+    b.cmp()
+    b.fence()
+    b.ret()
+    opcodes = [i.opcode for i in func.entry.instructions]
+    assert opcodes.count(Opcode.ARITH) == 3
+    assert opcodes.count(Opcode.LOAD) == 2
+    assert opcodes.count(Opcode.STORE) == 1
+    assert opcodes.count(Opcode.CMP) == 1
+    assert opcodes.count(Opcode.FENCE) == 1
+
+
+def test_icall_attrs():
+    func = Function("f")
+    b = IRBuilder(func)
+    inst = b.icall(
+        {"g": 3, "h": 1}, num_args=2, fptr_table="ops", vcall=True, asm=True
+    )
+    b.ret()
+    assert inst.attrs[ATTR_TARGETS] == {"g": 3, "h": 1}
+    assert inst.attrs[ATTR_VCALL] is True
+    assert inst.attrs[ATTR_ASM_SITE] is True
+    assert inst.num_args == 2
+
+
+def test_br_records_probability_and_trip():
+    func = Function("f")
+    b = IRBuilder(func)
+    inst = b.br("a", "b", p_taken=0.25, trip=4)
+    assert inst.attrs[ATTR_P_TAKEN] == 0.25
+    assert inst.attrs[ATTR_TRIP] == 4
+    assert inst.targets == ("a", "b")
+
+
+def test_switch_weights_validated():
+    func = Function("f")
+    b = IRBuilder(func)
+    with pytest.raises(ValueError, match="weights must match"):
+        b.switch(["a", "b"], weights=[1.0])
+
+
+def test_new_block_gets_unique_name():
+    func = Function("f")
+    b = IRBuilder(func)
+    first = b.new_block("loop")
+    second = b.new_block("loop")
+    assert first.label != second.label
+
+
+def test_build_leaf_shape():
+    leaf = build_leaf("leaf", work=2, loads=1, stores=1)
+    assert leaf.size() == 5  # 2 arith + load + store + ret
+    assert leaf.returns()

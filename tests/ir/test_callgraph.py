@@ -1,0 +1,87 @@
+"""Call graph construction, reachability and bottom-up ordering."""
+
+from repro.ir.builder import IRBuilder, build_leaf
+from repro.ir.callgraph import CallGraph
+from repro.ir.function import Function
+from repro.ir.module import Module
+
+
+def _chain_module():
+    """a -> b -> c, plus d calling c indirectly, plus isolated e."""
+    module = Module("m")
+    module.add_function(build_leaf("c"))
+    b_func = Function("b")
+    bb = IRBuilder(b_func)
+    bb.call("c")
+    bb.ret()
+    module.add_function(b_func)
+    a_func = Function("a")
+    ab = IRBuilder(a_func)
+    ab.call("b")
+    ab.ret()
+    module.add_function(a_func)
+    d_func = Function("d")
+    db = IRBuilder(d_func)
+    db.icall({"c": 1})
+    db.ret()
+    module.add_function(d_func)
+    module.add_function(build_leaf("e"))
+    return module
+
+
+def test_direct_and_indirect_edges():
+    cg = CallGraph(_chain_module())
+    assert cg.callees("a") == {"b"}
+    assert cg.callees("b") == {"c"}
+    assert cg.callees("d") == {"c"}
+    assert cg.callers("c") == {"b", "d"}
+    indirect = [e for e in cg.edges if e.indirect]
+    assert len(indirect) == 1
+    assert indirect[0].caller == "d"
+
+
+def test_edges_to_unknown_functions_skipped():
+    module = Module("m")
+    f = Function("f")
+    b = IRBuilder(f)
+    b.call("ghost")  # undefined
+    b.ret()
+    module.add_function(f)
+    cg = CallGraph(module)
+    assert cg.callees("f") == set()
+
+
+def test_reachable_from():
+    cg = CallGraph(_chain_module())
+    assert cg.reachable_from(["a"]) == {"a", "b", "c"}
+    assert cg.reachable_from(["d"]) == {"d", "c"}
+    assert cg.reachable_from(["e"]) == {"e"}
+    assert cg.reachable_from(["missing"]) == set()
+
+
+def test_bottom_up_order_places_callees_first():
+    cg = CallGraph(_chain_module())
+    order = cg.bottom_up_order()
+    assert set(order) == {"a", "b", "c", "d", "e"}
+    assert order.index("c") < order.index("b") < order.index("a")
+    assert order.index("c") < order.index("d")
+
+
+def test_bottom_up_order_handles_recursion():
+    module = Module("m")
+    f = Function("f")
+    b = IRBuilder(f)
+    b.call("f")
+    b.ret()
+    module.add_function(f)
+    order = CallGraph(module).bottom_up_order()
+    assert order == ["f"]
+
+
+def test_site_location_lookup():
+    module = _chain_module()
+    cg = CallGraph(module)
+    edge = next(e for e in cg.edges if e.caller == "a")
+    func_name, inst = cg.site_location(edge.site_id)
+    assert func_name == "a"
+    assert inst.callee == "b"

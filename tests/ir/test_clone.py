@@ -1,0 +1,149 @@
+"""Inline splicing mechanics (the transformation of Listing 1)."""
+
+import pytest
+
+from repro.engine.interpreter import Interpreter
+from repro.engine.trace import TraceRecorder
+from repro.ir.builder import IRBuilder, build_leaf
+from repro.ir.clone import clone_function, inline_call
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.types import Opcode
+from repro.ir.validate import validate_module
+
+
+def _simple_module():
+    module = Module("m")
+    callee = Function("callee", stack_frame_size=40)
+    b = IRBuilder(callee)
+    b.arith(3)
+    b.ret()
+    module.add_function(callee)
+
+    caller = Function("caller", stack_frame_size=64)
+    b = IRBuilder(caller)
+    b.arith(1)
+    call = b.call("callee", num_args=1)
+    b.arith(2)
+    b.ret()
+    module.add_function(caller)
+    return module, call
+
+
+def test_inline_removes_call_and_ret_from_dynamic_path():
+    module, call = _simple_module()
+    caller = module.get("caller")
+    inline_call(caller, "entry", 1, module.get("callee"))
+    validate_module(module)
+
+    recorder = TraceRecorder()
+    Interpreter(module, [recorder]).run_function("caller")
+    # no call events, exactly one ret (the caller's own)
+    assert recorder.of_kind("call") == []
+    assert len(recorder.of_kind("ret")) == 1
+    # the callee's work still executes: 1 + 3 + 2 = 6 arith
+    total_arith = sum(e[1] for e in recorder.of_kind("mix"))
+    assert total_arith == 6
+
+
+def test_inline_wrong_instruction_rejected():
+    module, _ = _simple_module()
+    caller = module.get("caller")
+    with pytest.raises(ValueError, match="not a direct call"):
+        inline_call(caller, "entry", 0, module.get("callee"))
+
+
+def test_inline_empty_callee_rejected():
+    caller = Function("caller")
+    b = IRBuilder(caller)
+    b.call("hollow")
+    b.ret()
+    with pytest.raises(ValueError, match="empty function"):
+        inline_call(caller, "entry", 0, Function("hollow"))
+
+
+def test_inline_reports_new_call_sites():
+    module = Module("m")
+    module.add_function(build_leaf("leaf"))
+    mid = Function("mid")
+    b = IRBuilder(mid)
+    inner = b.call("leaf", num_args=1)
+    b.ret()
+    module.add_function(mid)
+    top = Function("top")
+    b = IRBuilder(top)
+    outer = b.call("mid")
+    b.ret()
+    module.add_function(top)
+
+    result = inline_call(module.get("top"), "entry", 0, mid)
+    assert inner.site_id in result.new_call_sites
+    clones = result.new_call_sites[inner.site_id]
+    assert len(clones) == 1
+    assert clones[0].callee == "leaf"
+    assert clones[0].site_id != inner.site_id
+    validate_module(module)
+
+
+def test_inline_merges_stack_frames_with_coloring():
+    module, call = _simple_module()
+    caller = module.get("caller")
+    before = caller.stack_frame_size
+    inline_call(caller, "entry", 1, module.get("callee"))
+    # coloring reuses most of the absorbed frame, but growth is monotone
+    assert caller.stack_frame_size > before
+    assert caller.stack_frame_size <= before + module.get("callee").stack_frame_size
+
+
+def test_inline_callee_left_untouched():
+    module, call = _simple_module()
+    callee = module.get("callee")
+    size_before = callee.size()
+    inline_call(module.get("caller"), "entry", 1, callee)
+    assert callee.size() == size_before
+    assert callee.returns()
+
+
+def test_inline_multi_block_callee_with_branches():
+    module = Module("m")
+    callee = Function("branchy")
+    b = IRBuilder(callee)
+    then = b.new_block("then")
+    other = b.new_block("other")
+    b.br(then.label, other.label, p_taken=1.0)
+    b.at(then).arith(1)
+    b.at(then).ret()
+    b.at(other).arith(2)
+    b.at(other).ret()
+    module.add_function(callee)
+
+    caller = Function("caller")
+    b = IRBuilder(caller)
+    b.call("branchy")
+    b.arith(1)
+    b.ret()
+    module.add_function(caller)
+
+    result = inline_call(caller, "entry", 0, callee)
+    validate_module(module)
+    # both cloned rets became jumps to the continuation
+    cont = caller.blocks[result.continuation_label]
+    assert cont.terminator.opcode == Opcode.RET
+    jmps_to_cont = [
+        blk
+        for blk in caller.blocks.values()
+        for inst in blk.instructions
+        if inst.opcode == Opcode.JMP and inst.targets == (result.continuation_label,)
+    ]
+    assert len(jmps_to_cont) == 2
+
+
+def test_clone_function_is_independent():
+    module, _ = _simple_module()
+    original = module.get("caller")
+    clone = clone_function(original, "caller_copy")
+    assert clone.name == "caller_copy"
+    assert clone.size() == original.size()
+    clone.entry.instructions[0] = clone.entry.instructions[0]
+    clone.blocks[clone.entry_label].instructions.pop(0)
+    assert clone.size() == original.size() - 1

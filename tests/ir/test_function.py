@@ -1,0 +1,85 @@
+"""Function-level structure, attributes and queries."""
+
+import pytest
+
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.types import FunctionAttr, Opcode
+
+
+def test_first_block_is_entry():
+    func = Function("f")
+    func.new_block("start")
+    func.new_block("next")
+    assert func.entry_label == "start"
+    assert func.entry.label == "start"
+
+
+def test_duplicate_block_label_rejected():
+    func = Function("f")
+    func.new_block("a")
+    with pytest.raises(ValueError, match="duplicate block"):
+        func.new_block("a")
+
+
+def test_entry_of_empty_function_raises():
+    func = Function("f")
+    with pytest.raises(ValueError, match="no blocks"):
+        _ = func.entry
+
+
+def test_unique_label_generation():
+    func = Function("f")
+    func.new_block("loop")
+    assert func.unique_label("loop") == "loop.1"
+    func.new_block("loop.1")
+    assert func.unique_label("loop") == "loop.2"
+    assert func.unique_label("fresh") == "fresh"
+
+
+def test_inlinable_according_to_attrs():
+    assert Function("f").is_inlinable
+    assert not Function("f", attrs={FunctionAttr.NOINLINE}).is_inlinable
+    assert not Function("f", attrs={FunctionAttr.OPTNONE}).is_inlinable
+    assert not Function("f", attrs={FunctionAttr.INLINE_ASM}).is_inlinable
+
+
+def test_instrumentable_according_to_attrs():
+    assert Function("f").is_instrumentable
+    assert not Function("f", attrs={FunctionAttr.INLINE_ASM}).is_instrumentable
+    # noinline alone does not block hardening
+    assert Function("f", attrs={FunctionAttr.NOINLINE}).is_instrumentable
+
+
+def test_call_sites_and_returns():
+    func = Function("f")
+    b = IRBuilder(func)
+    b.call("g")
+    b.icall({"h": 1})
+    b.ret()
+    sites = list(func.call_sites())
+    assert len(sites) == 2
+    assert [s.opcode for s in sites] == [Opcode.CALL, Opcode.ICALL]
+    assert len(func.returns()) == 1
+
+
+def test_size_counts_all_instructions():
+    func = Function("f")
+    b = IRBuilder(func)
+    b.arith(3)
+    b.ret()
+    assert func.size() == 4
+
+
+def test_recursion_detection():
+    func = Function("f")
+    b = IRBuilder(func)
+    b.call("f")
+    b.ret()
+    assert func.is_recursive()
+
+    other = Function("g")
+    b = IRBuilder(other)
+    b.call("f")
+    b.ret()
+    assert not other.is_recursive()

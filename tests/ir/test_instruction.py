@@ -1,0 +1,99 @@
+"""Instruction construction, classification, cloning and provenance."""
+
+import pytest
+
+from repro.ir.instruction import Instruction
+from repro.ir.types import ATTR_CLONED_FROM, Opcode
+
+
+def test_arith_has_no_site_id():
+    inst = Instruction(Opcode.ARITH)
+    assert inst.site_id is None
+    assert not inst.is_call
+    assert not inst.is_terminator
+
+
+def test_calls_get_unique_site_ids():
+    a = Instruction(Opcode.CALL, callee="f")
+    b = Instruction(Opcode.CALL, callee="f")
+    c = Instruction(Opcode.ICALL, attrs={"targets": {"f": 1}})
+    ids = {a.site_id, b.site_id, c.site_id}
+    assert None not in ids
+    assert len(ids) == 3
+
+
+def test_terminator_classification():
+    assert Instruction(Opcode.RET).is_terminator
+    assert Instruction(Opcode.JMP, targets=("b",)).is_terminator
+    assert Instruction(Opcode.BR, targets=("a", "b")).is_terminator
+    assert Instruction(Opcode.SWITCH, targets=("a",)).is_terminator
+    assert Instruction(Opcode.IJUMP).is_terminator
+    assert not Instruction(Opcode.CALL, callee="f").is_terminator
+
+
+def test_indirect_branch_classification():
+    assert Instruction(Opcode.ICALL).is_indirect_branch
+    assert Instruction(Opcode.RET).is_indirect_branch
+    assert Instruction(Opcode.IJUMP).is_indirect_branch
+    assert not Instruction(Opcode.CALL, callee="f").is_indirect_branch
+    assert not Instruction(Opcode.BR, targets=("a", "b")).is_indirect_branch
+
+
+def test_defense_tag_roundtrip():
+    inst = Instruction(Opcode.RET)
+    assert inst.defense is None
+    inst.defense = "retpoline"
+    assert inst.defense == "retpoline"
+    inst.defense = None
+    assert inst.defense is None
+    assert "defense" not in inst.attrs
+
+
+def test_clone_gets_fresh_site_id_and_provenance():
+    original = Instruction(Opcode.CALL, callee="f", num_args=2)
+    clone = original.clone()
+    assert clone.site_id != original.site_id
+    assert clone.attrs[ATTR_CLONED_FROM] == original.site_id
+    assert clone.callee == "f"
+    assert clone.num_args == 2
+
+
+def test_clone_without_fresh_id_preserves_site():
+    original = Instruction(Opcode.ICALL, attrs={"targets": {"f": 1}})
+    clone = original.clone(fresh_site_id=False)
+    assert clone.site_id == original.site_id
+    assert ATTR_CLONED_FROM not in clone.attrs
+
+
+def test_clone_attrs_are_independent():
+    original = Instruction(Opcode.ICALL, attrs={"targets": {"f": 1}})
+    clone = original.clone()
+    clone.attrs["targets"] = {"g": 2}
+    assert original.attrs["targets"] == {"f": 1}
+
+
+def test_clone_preserves_existing_provenance():
+    original = Instruction(Opcode.CALL, callee="f")
+    first = original.clone()
+    second = first.clone()
+    # provenance points at the oldest ancestor via setdefault
+    assert second.attrs[ATTR_CLONED_FROM] == original.site_id
+
+
+def test_retarget_rewrites_labels():
+    inst = Instruction(Opcode.BR, targets=("old_a", "old_b"))
+    inst.retarget({"old_a": "new_a"})
+    assert inst.targets == ("new_a", "old_b")
+
+
+def test_retarget_noop_for_non_branches():
+    inst = Instruction(Opcode.ARITH)
+    inst.retarget({"x": "y"})
+    assert inst.targets == ()
+
+
+def test_repr_mentions_callee_and_site():
+    inst = Instruction(Opcode.CALL, callee="vfs_read")
+    text = repr(inst)
+    assert "vfs_read" in text
+    assert str(inst.site_id) in text

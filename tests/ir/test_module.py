@@ -1,0 +1,84 @@
+"""Module container behaviour: functions, tables, syscalls, queries."""
+
+import pytest
+
+from repro.ir.builder import IRBuilder, build_leaf
+from repro.ir.function import Function
+from repro.ir.module import FunctionPointerTable, Module
+from repro.ir.types import Opcode
+
+
+def _module_with(*names):
+    module = Module("m")
+    for name in names:
+        module.add_function(build_leaf(name))
+    return module
+
+
+def test_add_and_get_function():
+    module = _module_with("a", "b")
+    assert module.get("a").name == "a"
+    assert "b" in module
+    assert len(module) == 2
+
+
+def test_duplicate_function_rejected():
+    module = _module_with("a")
+    with pytest.raises(ValueError, match="duplicate function"):
+        module.add_function(build_leaf("a"))
+
+
+def test_get_missing_function_raises_keyerror():
+    module = _module_with("a")
+    with pytest.raises(KeyError, match="no function named"):
+        module.get("zzz")
+
+
+def test_fptr_table_membership():
+    table = FunctionPointerTable("ops", ["a", "b"])
+    assert "a" in table
+    assert "c" not in table
+    table.add("c")
+    table.add("c")  # idempotent
+    assert len(table) == 3
+
+
+def test_register_syscall_requires_handler():
+    module = _module_with("sys_read")
+    module.register_syscall("read", "sys_read")
+    assert module.syscall_handler("read").name == "sys_read"
+    with pytest.raises(KeyError):
+        module.register_syscall("write", "missing")
+
+
+def test_whole_module_site_queries():
+    module = Module("m")
+    callee = build_leaf("callee")
+    module.add_function(callee)
+    func = Function("caller")
+    b = IRBuilder(func)
+    b.icall({"callee": 1})
+    b.ret()
+    module.add_function(func)
+
+    assert sum(1 for _ in module.indirect_call_sites()) == 1
+    # both functions end in ret
+    assert sum(1 for _ in module.return_sites()) == 2
+    assert sum(1 for _ in module.indirect_jump_sites()) == 0
+
+
+def test_find_call_site_by_id():
+    module = Module("m")
+    module.add_function(build_leaf("callee"))
+    func = Function("caller")
+    b = IRBuilder(func)
+    call = b.call("callee")
+    b.ret()
+    module.add_function(func)
+    assert module.find_call_site(call.site_id) is call
+    assert module.find_call_site(-1) is None
+
+
+def test_size_bytes_uses_instruction_units():
+    module = _module_with("a")
+    assert module.size_bytes() == module.size() * 5

@@ -1,0 +1,197 @@
+"""Textual IR parser: hand-written sources and printer round-trips."""
+
+import pytest
+
+from repro.ir.builder import IRBuilder, build_leaf
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.parser import ParseError, dump_module, parse_instruction, parse_module
+from repro.ir.printer import format_instruction
+from repro.ir.types import (
+    ATTR_ASM_SITE,
+    ATTR_EDGE_COUNT,
+    ATTR_P_TAKEN,
+    ATTR_TARGETS,
+    ATTR_TRIP,
+    ATTR_VALUE_PROFILE,
+    ATTR_VCALL,
+    FunctionAttr,
+    Opcode,
+)
+from repro.ir.validate import validate_module
+
+SOURCE = """
+; module handwritten: 2 functions
+@ops = fptr_table [helper]
+
+define @helper(1 params) {
+entry:
+  arith
+  load
+  ret
+}
+
+define @main(0 params) [noinline] {
+entry:
+  call @helper(1 args) !count=42
+  icall *ptr(2 args) ;; may-target {'helper': 3} !vcall
+  br then, other !p=0.25 !trip=3
+then:
+  ret
+other:
+  ret !defense=ret_retpoline
+}
+
+syscall main -> @main
+"""
+
+
+def test_parse_handwritten_module():
+    module = parse_module(SOURCE)
+    validate_module(module)
+    assert module.name == "handwritten"
+    assert "ops" in module.fptr_tables
+    assert module.syscalls == {"main": "main"}
+    main = module.get("main")
+    assert main.has_attr(FunctionAttr.NOINLINE)
+    call, icall, br = main.entry.instructions
+    assert call.callee == "helper"
+    assert call.attrs[ATTR_EDGE_COUNT] == 42
+    assert icall.attrs[ATTR_TARGETS] == {"helper": 3}
+    assert icall.attrs[ATTR_VCALL] is True
+    assert br.attrs[ATTR_P_TAKEN] == 0.25
+    assert br.attrs[ATTR_TRIP] == 3
+    other_ret = main.blocks["other"].instructions[0]
+    assert other_ret.defense == "ret_retpoline"
+
+
+def test_parsed_module_executes():
+    from repro.engine.interpreter import Interpreter
+    from repro.engine.trace import TraceRecorder
+
+    module = parse_module(SOURCE)
+    rec = TraceRecorder()
+    Interpreter(module, [rec], seed=0).run_syscall("main", times=2)
+    assert len(rec.of_kind("call")) == 2
+    assert len(rec.of_kind("icall")) == 2
+
+
+def _roundtrip(module):
+    text = dump_module(module)
+    return parse_module(text)
+
+
+def test_roundtrip_preserves_structure():
+    module = Module("rt")
+    module.add_function(build_leaf("leaf", work=3))
+    func = Function("f", num_params=2, attrs={FunctionAttr.BOOT_ONLY})
+    b = IRBuilder(func)
+    call = b.call("leaf", num_args=2)
+    call.attrs[ATTR_EDGE_COUNT] = 7
+    icall = b.icall({"leaf": 9}, num_args=1, vcall=True, asm=True)
+    icall.attrs[ATTR_VALUE_PROFILE] = [("leaf", 9)]
+    then = b.new_block("then")
+    other = b.new_block("other")
+    b.br(then.label, other.label, p_taken=0.75, trip=2)
+    b.at(then).arith(2)
+    b.at(then).ret()
+    b.at(other).switch(["then"], weights=[1.0])
+    module.add_function(func)
+    module.register_syscall("go", "f")
+
+    restored = _roundtrip(module)
+    validate_module(restored)
+    assert set(restored.functions) == set(module.functions)
+    assert restored.syscalls == module.syscalls
+    rf = restored.get("f")
+    assert rf.has_attr(FunctionAttr.BOOT_ONLY)
+    r_call, r_icall, r_br = rf.entry.instructions
+    assert r_call.attrs[ATTR_EDGE_COUNT] == 7
+    assert r_icall.attrs[ATTR_TARGETS] == {"leaf": 9}
+    assert r_icall.attrs[ATTR_VCALL]
+    assert r_icall.attrs[ATTR_ASM_SITE]
+    assert r_icall.attrs[ATTR_VALUE_PROFILE] == [("leaf", 9)]
+    assert r_br.attrs[ATTR_P_TAKEN] == 0.75
+    assert r_br.attrs[ATTR_TRIP] == 2
+
+
+def test_roundtrip_small_kernel_sizes(small_kernel):
+    restored = _roundtrip(small_kernel)
+    validate_module(restored)
+    assert len(restored) == len(small_kernel)
+    assert restored.size() == small_kernel.size()
+    assert set(restored.fptr_tables) == set(small_kernel.fptr_tables)
+    assert restored.syscalls == small_kernel.syscalls
+
+
+def test_roundtrip_hardened_module(hardened_build):
+    restored = _roundtrip(hardened_build.module)
+    validate_module(restored)
+
+    def tags(module):
+        from collections import Counter
+
+        return Counter(
+            inst.defense
+            for inst in module.instructions()
+            if inst.defense is not None
+        )
+
+    assert tags(restored) == tags(hardened_build.module)
+
+
+def test_parse_instruction_each_simple_opcode():
+    for text, opcode in (
+        ("arith", Opcode.ARITH),
+        ("cmp", Opcode.CMP),
+        ("load", Opcode.LOAD),
+        ("store", Opcode.STORE),
+        ("fence", Opcode.FENCE),
+        ("ret", Opcode.RET),
+        ("ijump", Opcode.IJUMP),
+    ):
+        assert parse_instruction(text).opcode == opcode
+
+
+def test_parse_jump_table_ijump():
+    inst = parse_instruction("ijump [a, b] !weights=[0.5, 0.5]")
+    assert inst.opcode == Opcode.IJUMP
+    assert inst.targets == ("a", "b")
+
+
+def _strip_site(text):
+    import re
+
+    return re.sub(r"\s*;;\s*site\s+\d+", "", text)
+
+
+def test_format_parse_format_fixpoint():
+    """print(parse(print(x))) == print(parse(x)) for instruction lines
+    (modulo the fresh site id each parsed call receives)."""
+    for text in (
+        "call @f(2 args) !promoted !count=5",
+        "icall *ptr(0 args) ;; may-target {'g': 1} !defense=retpoline",
+        "br a, b !p=0.125",
+        "switch [x, y] !weights=[0.9, 0.1]",
+        "ret !defense=ret_retpoline_lvi",
+    ):
+        once = _strip_site(format_instruction(parse_instruction(text)))
+        twice = _strip_site(format_instruction(parse_instruction(once)))
+        assert once == twice
+
+
+def test_parse_errors():
+    with pytest.raises(ParseError, match="unrecognized instruction"):
+        parse_instruction("frobnicate %rax")
+    with pytest.raises(ParseError, match="outside function"):
+        parse_module("arith")
+    with pytest.raises(ParseError, match="before block label"):
+        parse_module("define @f(0 params) {\narith\n}")
+    with pytest.raises(ParseError, match="unknown attribute"):
+        parse_module("define @f(0 params) [sparkly] {\nentry:\n  ret\n}")
+    with pytest.raises(ParseError, match="unterminated function"):
+        parse_module("define @f(0 params) {\nentry:\n  ret")
+    with pytest.raises(ParseError, match="unknown handler"):
+        parse_module("syscall x -> @ghost")
+    with pytest.raises(ParseError, match="unmatched closing"):
+        parse_module("}")

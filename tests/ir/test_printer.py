@@ -1,0 +1,64 @@
+"""Textual IR dump sanity."""
+
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.module import FunctionPointerTable, Module
+from repro.ir.printer import format_function, format_instruction, format_module
+from repro.ir.types import ATTR_EDGE_COUNT, ATTR_PROMOTED, FunctionAttr
+
+
+def _func():
+    func = Function("demo", num_params=2, attrs={FunctionAttr.NOINLINE})
+    b = IRBuilder(func)
+    b.arith(1)
+    call = b.call("target", num_args=1)
+    call.attrs[ATTR_EDGE_COUNT] = 42
+    call.attrs[ATTR_PROMOTED] = True
+    icall = b.icall({"t1": 3, "t2": 1}, num_args=2)
+    icall.defense = "fenced_retpoline"
+    b.ret()
+    return func
+
+
+def test_format_instruction_shows_metadata():
+    func = _func()
+    call_text = format_instruction(func.entry.instructions[1])
+    assert "@target" in call_text
+    assert "!promoted" in call_text
+    assert "!count=42" in call_text
+
+    icall_text = format_instruction(func.entry.instructions[2])
+    assert "icall" in icall_text
+    assert "t1" in icall_text
+    assert "!defense=fenced_retpoline" in icall_text
+
+
+def test_format_function_includes_attrs_and_blocks():
+    text = format_function(_func())
+    assert text.startswith("define @demo(2 params) [noinline] {")
+    assert "entry:" in text
+    assert text.endswith("}")
+
+
+def test_format_module_lists_tables():
+    from repro.ir.builder import build_leaf
+
+    module = Module("m")
+    module.add_function(_func())
+    module.add_function(build_leaf("target"))
+    module.add_fptr_table(FunctionPointerTable("ops", ["target"]))
+    text = format_module(module)
+    assert "; module m: 2 functions" in text
+    assert "@ops = fptr_table [target]" in text
+    assert "define @demo" in text
+
+
+def test_format_module_respects_max_functions():
+    from repro.ir.builder import build_leaf
+
+    module = Module("m")
+    for i in range(5):
+        module.add_function(build_leaf(f"f{i}"))
+    text = format_module(module, max_functions=2)
+    assert "define @f0" in text
+    assert "define @f4" not in text

@@ -1,0 +1,120 @@
+"""Module verifier coverage: every class of structural error."""
+
+import pytest
+
+from repro.ir.builder import IRBuilder, build_leaf
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.module import FunctionPointerTable, Module
+from repro.ir.types import Opcode
+from repro.ir.validate import ValidationError, validate_module
+
+
+def _valid_module():
+    module = Module("m")
+    module.add_function(build_leaf("leaf"))
+    func = Function("caller")
+    b = IRBuilder(func)
+    b.call("leaf")
+    b.ret()
+    module.add_function(func)
+    return module
+
+
+def test_valid_module_passes():
+    validate_module(_valid_module())
+
+
+def test_unterminated_block_detected():
+    module = _valid_module()
+    bad = Function("bad")
+    block = bad.new_block("entry")
+    block.instructions.append(Instruction(Opcode.ARITH))
+    module.add_function(bad)
+    with pytest.raises(ValidationError, match="not terminated"):
+        validate_module(module)
+
+
+def test_empty_function_detected():
+    module = _valid_module()
+    module.add_function(Function("empty"))
+    with pytest.raises(ValidationError, match="no blocks"):
+        validate_module(module)
+
+
+def test_call_to_undefined_function_detected():
+    module = _valid_module()
+    func = Function("bad")
+    b = IRBuilder(func)
+    b.call("ghost")
+    b.ret()
+    module.add_function(func)
+    with pytest.raises(ValidationError, match="undefined @ghost"):
+        validate_module(module)
+
+
+def test_icall_without_targets_detected():
+    module = _valid_module()
+    func = Function("bad")
+    block = func.new_block("entry")
+    block.append(Instruction(Opcode.ICALL))
+    block.append(Instruction(Opcode.RET))
+    module.add_function(func)
+    with pytest.raises(ValidationError, match="without target metadata"):
+        validate_module(module)
+
+
+def test_icall_to_undefined_target_detected():
+    module = _valid_module()
+    func = Function("bad")
+    b = IRBuilder(func)
+    b.icall({"ghost": 1})
+    b.ret()
+    module.add_function(func)
+    with pytest.raises(ValidationError, match="may-target undefined"):
+        validate_module(module)
+
+
+def test_branch_to_unknown_block_detected():
+    module = _valid_module()
+    func = Function("bad")
+    b = IRBuilder(func)
+    b.jmp("nowhere")
+    module.add_function(func)
+    with pytest.raises(ValidationError, match="unknown block"):
+        validate_module(module)
+
+
+def test_terminator_mid_block_detected():
+    module = _valid_module()
+    func = Function("bad")
+    block = func.new_block("entry")
+    block.instructions.append(Instruction(Opcode.RET))
+    block.instructions.append(Instruction(Opcode.ARITH))
+    block.instructions.append(Instruction(Opcode.RET))
+    module.add_function(func)
+    with pytest.raises(ValidationError, match="terminator mid-block"):
+        validate_module(module)
+
+
+def test_table_with_undefined_entry_detected():
+    module = _valid_module()
+    module.add_fptr_table(FunctionPointerTable("ops", ["ghost"]))
+    with pytest.raises(ValidationError, match="undefined entry"):
+        validate_module(module)
+
+
+def test_syscall_with_undefined_handler_detected():
+    module = _valid_module()
+    module.syscalls["oops"] = "ghost"
+    with pytest.raises(ValidationError, match="undefined handler"):
+        validate_module(module)
+
+
+def test_all_errors_collected_at_once():
+    module = _valid_module()
+    module.add_function(Function("empty"))
+    module.syscalls["oops"] = "ghost"
+    with pytest.raises(ValidationError) as excinfo:
+        validate_module(module)
+    assert len(excinfo.value.errors) == 2

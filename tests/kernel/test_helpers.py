@@ -1,0 +1,91 @@
+"""Kernel body-building helpers."""
+
+import pytest
+
+from repro.engine.interpreter import Interpreter
+from repro.engine.trace import TraceRecorder
+from repro.ir.module import Module
+from repro.ir.types import FunctionAttr, Opcode
+from repro.ir.validate import validate_module
+from repro.kernel.helpers import Body, define, leaf, ops_table, table_dist
+
+
+def test_define_registers_function():
+    module = Module("m")
+    body = define(module, "f", "fs", params=2, frame=64)
+    body.work().done()
+    func = module.get("f")
+    assert func.subsystem == "fs"
+    assert func.num_params == 2
+    assert func.stack_frame_size == 64
+    validate_module(module)
+
+
+def test_leaf_with_attrs():
+    module = Module("m")
+    func = leaf(module, "l", "core", attrs=[FunctionAttr.NOINLINE])
+    assert func.has_attr(FunctionAttr.NOINLINE)
+
+
+def test_loop_executes_exact_trips():
+    module = Module("m")
+    body = define(module, "f", "x")
+    body.loop(5, lambda b: b.work(arith=2, loads=0, stores=0))
+    body.done()
+    validate_module(module)
+    rec = TraceRecorder()
+    Interpreter(module, [rec]).run_function("f")
+    assert sum(e[1] for e in rec.of_kind("mix")) == 10
+
+
+def test_loop_requires_positive_trips():
+    module = Module("m")
+    body = define(module, "f", "x")
+    with pytest.raises(ValueError):
+        body.loop(0, lambda b: None)
+
+
+def test_maybe_branches_probabilistically():
+    module = Module("m")
+    body = define(module, "f", "x")
+    body.maybe(
+        1.0,
+        lambda b: b.work(arith=5, loads=0, stores=0),
+        otherwise=lambda b: b.work(arith=1, loads=0, stores=0),
+    )
+    body.done()
+    validate_module(module)
+    rec = TraceRecorder()
+    Interpreter(module, [rec]).run_function("f")
+    assert sum(e[1] for e in rec.of_kind("mix")) == 5
+
+
+def test_switch_requires_arms():
+    module = Module("m")
+    body = define(module, "f", "x")
+    with pytest.raises(ValueError):
+        body.switch([])
+
+
+def test_switch_builds_cases_and_join():
+    module = Module("m")
+    body = define(module, "f", "x")
+    body.switch([(1.0, lambda b: b.work()), (1.0, lambda b: b.work())])
+    body.done()
+    validate_module(module)
+    func = module.get("f")
+    switches = [
+        i for i in func.instructions() if i.opcode == Opcode.SWITCH
+    ]
+    assert len(switches) == 1
+    assert len(switches[0].targets) == 2
+
+
+def test_ops_table_and_dist_validation():
+    module = Module("m")
+    leaf(module, "a", "x")
+    leaf(module, "b", "x")
+    ops_table(module, "ops", ["a", "b"])
+    assert table_dist(module, "ops", {"a": 3}) == {"a": 3}
+    with pytest.raises(KeyError):
+        table_dist(module, "ops", {"ghost": 1})

@@ -1,0 +1,135 @@
+"""Per-subsystem structural checks on the synthetic kernel."""
+
+import pytest
+
+from repro.engine.interpreter import Interpreter
+from repro.engine.trace import TraceRecorder
+from repro.ir.types import ATTR_TARGETS, Opcode
+
+
+def _entered(small_kernel, syscall, times=5, seed=2):
+    recorder = TraceRecorder()
+    Interpreter(small_kernel, [recorder], seed=seed).run_syscall(
+        syscall, times=times
+    )
+    return {e[1] for e in recorder.of_kind("enter")}
+
+
+# -- VFS ---------------------------------------------------------------------
+
+
+def test_vfs_read_dispatches_through_file_ops(small_kernel):
+    table = small_kernel.fptr_tables["file_read_ops"]
+    assert "pipe_read" in table
+    assert "sock_read_iter" in table
+    vfs_read = small_kernel.get("vfs_read")
+    icalls = [i for i in vfs_read.call_sites() if i.opcode == Opcode.ICALL]
+    assert len(icalls) == 1
+    for target in icalls[0].attrs[ATTR_TARGETS]:
+        assert target in table
+
+
+def test_open_path_walks_components(small_kernel):
+    entered = _entered(small_kernel, "open")
+    assert "link_path_walk" in entered
+    assert "walk_component" in entered
+    assert "getname" in entered
+
+
+# -- networking --------------------------------------------------------------
+
+
+def test_tcp_send_descends_to_device_layer(small_kernel):
+    # enough operations that sticky target selection cannot keep the
+    # minority protocol locked for the whole run
+    entered = _entered(small_kernel, "tcp", times=60, seed=4)
+    assert "tcp_sendmsg" in entered
+    assert "ip_queue_xmit" in entered
+    assert "dev_queue_xmit" in entered
+
+
+def test_select_tcp_polls_per_fd(small_kernel):
+    recorder = TraceRecorder()
+    Interpreter(small_kernel, [recorder], seed=2).run_syscall(
+        "select_tcp", times=1
+    )
+    from repro.kernel.spec import SmallSpec
+
+    polls = [
+        e for e in recorder.of_kind("icall") if e[3].endswith("poll")
+    ]
+    # one file->poll dispatch per watched fd (plus nested proto polls)
+    assert len(polls) >= SmallSpec().select_tcp_fds
+
+
+# -- scheduler / processes ------------------------------------------------------
+
+
+def test_fork_duplicates_address_space(small_kernel):
+    entered = _entered(small_kernel, "fork_exit", times=2)
+    for name in ("copy_process", "dup_mmap", "copy_one_vma", "__schedule"):
+        assert name in entered, name
+
+
+def test_schedule_is_noinline(small_kernel):
+    assert not small_kernel.get("__schedule").is_inlinable
+
+
+# -- security hooks --------------------------------------------------------------
+
+
+def test_lsm_hooks_are_single_target_chains(small_kernel):
+    hook = small_kernel.get("security_file_permission")
+    icalls = [i for i in hook.call_sites() if i.opcode == Opcode.ICALL]
+    from repro.kernel.spec import SmallSpec
+
+    assert len(icalls) == SmallSpec().lsm_modules
+    for icall in icalls:
+        assert len(icall.attrs[ATTR_TARGETS]) == 1
+
+
+# -- block / workqueue -------------------------------------------------------------
+
+
+def test_block_layer_census_present(small_kernel):
+    for table in ("bio_end_io_ops", "elevator_insert_ops", "blk_mq_queue_rq_ops"):
+        assert table in small_kernel.fptr_tables, table
+    submit = small_kernel.get("blk_mq_submit_bio")
+    icalls = [i for i in submit.call_sites() if i.opcode == Opcode.ICALL]
+    assert len(icalls) == 2
+
+
+def test_workqueue_dispatch_is_indirect(small_kernel):
+    worker = small_kernel.get("process_one_work")
+    icalls = [i for i in worker.call_sites() if i.opcode == Opcode.ICALL]
+    assert len(icalls) == 1
+    assert "wb_workfn" in icalls[0].attrs[ATTR_TARGETS]
+
+
+def test_epoll_polls_through_file_ops(small_kernel):
+    ep = small_kernel.get("ep_item_poll")
+    icalls = [i for i in ep.call_sites() if i.opcode == Opcode.ICALL]
+    assert icalls
+    table = small_kernel.fptr_tables["file_poll_ops"]
+    for target in icalls[0].attrs[ATTR_TARGETS]:
+        assert target in table
+
+
+def test_block_layer_cold_under_latency_workloads(small_kernel):
+    """The latency suite runs on cached paths: the block layer stays
+    (almost) cold, contributing census mass but not cycles."""
+    recorder = TraceRecorder()
+    interp = Interpreter(small_kernel, [recorder], seed=2)
+    for syscall in ("read", "open", "stat", "pipe"):
+        interp.run_syscall(syscall, times=10)
+    entered = {e[1] for e in recorder.of_kind("enter")}
+    assert "blk_mq_submit_bio" not in entered
+
+
+# -- timers -------------------------------------------------------------------------
+
+
+def test_tcp_connect_arms_a_timer(small_kernel):
+    entered = _entered(small_kernel, "tcp_conn", times=40, seed=4)
+    assert "tcp_v4_connect" in entered
+    assert "mod_timer" in entered

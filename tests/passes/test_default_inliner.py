@@ -1,0 +1,110 @@
+"""LLVM-style bottom-up baseline inliner."""
+
+from repro.ir.builder import IRBuilder, build_leaf
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.types import FunctionAttr, Opcode
+from repro.ir.validate import validate_module
+from repro.passes.default_inliner import DefaultInliner
+from repro.profiling.lifting import lift_profile
+from repro.profiling.profile_data import EdgeProfile
+
+
+def _module(callee_work, counts=None):
+    module = Module("m")
+    counts = counts or {}
+    caller = Function("caller")
+    b = IRBuilder(caller)
+    profile = EdgeProfile()
+    for name, work in callee_work.items():
+        module.add_function(build_leaf(name, work=work))
+        inst = b.call(name, num_args=0)
+        if name in counts:
+            profile.record_direct(inst.site_id, counts[name])
+    b.ret()
+    module.add_function(caller)
+    lift_profile(module, profile)
+    return module, profile
+
+
+def _remaining(module):
+    return {
+        i.callee
+        for i in module.get("caller").call_sites()
+        if i.opcode == Opcode.CALL
+    }
+
+
+def test_small_cold_callees_inlined():
+    module, profile = _module({"tiny": 2})
+    report = DefaultInliner(profile).run(module)
+    validate_module(module)
+    assert _remaining(module) == set()
+    assert report.inlined_sites == 1
+
+
+def test_size_threshold_blocks_large_callees_regardless_of_heat():
+    module, profile = _module({"large": 200}, counts={"large": 10_000})
+    DefaultInliner(profile).run(module)
+    # cost ~1000 exceeds even the hot threshold: never inlined, no matter
+    # how hot the profile says it is (the paper's core criticism)
+    assert _remaining(module) == {"large"}
+
+
+def test_hot_threshold_bump_applies_to_profiled_sites():
+    # cost ~ 5*(12+3) = 75: above the cold threshold (45), below hot (90)
+    module, profile = _module(
+        {"warm": 12, "cold_twin": 12}, counts={"warm": 50}
+    )
+    DefaultInliner(profile).run(module)
+    assert _remaining(module) == {"cold_twin"}
+
+
+def test_caller_growth_limit_stops_inlining():
+    module, profile = _module({f"f{i}": 4 for i in range(40)})
+    # caller starts at cost 205; each inline adds ~40 -> only the first few
+    # sites fit under the growth limit
+    DefaultInliner(profile, caller_growth_limit=300).run(module)
+    assert 30 < len(_remaining(module)) < 40
+
+
+def test_noinline_and_recursive_skipped():
+    module = Module("m")
+    module.add_function(
+        build_leaf("locked", work=2, attrs=[FunctionAttr.NOINLINE])
+    )
+    rec = Function("rec")
+    b = IRBuilder(rec)
+    b.call("rec")
+    b.ret()
+    module.add_function(rec)
+    caller = Function("caller")
+    b = IRBuilder(caller)
+    b.call("locked")
+    b.call("rec")
+    b.ret()
+    module.add_function(caller)
+    report = DefaultInliner().run(module)
+    assert _remaining(module) == {"locked", "rec"}
+    assert report.inlined_sites == 0
+
+
+def test_bottom_up_composition():
+    """leaf inlined into mid first, then the grown mid into caller (if it
+    still fits)."""
+    module = Module("m")
+    module.add_function(build_leaf("leaf", work=2))
+    mid = Function("mid")
+    b = IRBuilder(mid)
+    b.call("leaf", num_args=0)
+    b.ret()
+    module.add_function(mid)
+    caller = Function("caller")
+    b = IRBuilder(caller)
+    b.call("mid")
+    b.ret()
+    module.add_function(caller)
+    report = DefaultInliner().run(module)
+    validate_module(module)
+    assert report.inlined_sites == 2
+    assert _remaining(module) == set()

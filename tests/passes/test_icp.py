@@ -1,0 +1,183 @@
+"""Indirect call promotion: selection, guard-chain materialization,
+semantics preservation, and reporting."""
+
+import pytest
+
+from repro.engine.interpreter import Interpreter
+from repro.engine.trace import TraceRecorder
+from repro.ir.builder import IRBuilder, build_leaf
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.types import (
+    ATTR_EDGE_COUNT,
+    ATTR_PROMOTED,
+    ATTR_TARGETS,
+    ATTR_VALUE_PROFILE,
+    FunctionAttr,
+    Opcode,
+)
+from repro.ir.validate import validate_module
+from repro.passes.icp import IndirectCallPromotion
+from repro.profiling.lifting import lift_profile
+from repro.profiling.profile_data import EdgeProfile
+
+
+def _make_module(observed, ground_truth=None, vcall=False, asm=False):
+    """A caller with one indirect call; ``observed`` is the value profile."""
+    module = Module("m")
+    ground_truth = ground_truth or dict(observed)
+    for target in set(observed) | set(ground_truth):
+        module.add_function(build_leaf(target, work=2))
+    caller = Function("caller")
+    b = IRBuilder(caller)
+    b.arith(1)
+    icall = b.icall(ground_truth, num_args=1, vcall=vcall, asm=asm)
+    b.arith(1)
+    b.ret()
+    module.add_function(caller)
+
+    profile = EdgeProfile()
+    for target, count in observed.items():
+        profile.record_indirect(icall.site_id, target, count)
+    lift_profile(module, profile)
+    return module, icall
+
+
+def test_promotes_all_targets_within_budget():
+    module, icall = _make_module({"a": 70, "b": 30})
+    report = IndirectCallPromotion(budget=1.0).run(module)
+    validate_module(module)
+    assert report.promoted_sites == 1
+    assert report.promoted_targets == 2
+    assert report.promoted_weight == 100
+    caller = module.get("caller")
+    promoted = [
+        inst
+        for inst in caller.call_sites()
+        if inst.opcode == Opcode.CALL and inst.attrs.get(ATTR_PROMOTED)
+    ]
+    assert {p.callee for p in promoted} == {"a", "b"}
+    # promoted calls carry the observed counts for the inliner
+    assert {p.attrs[ATTR_EDGE_COUNT] for p in promoted} == {70, 30}
+
+
+def test_budget_limits_promoted_targets():
+    module, icall = _make_module({"a": 95, "b": 4, "c": 1})
+    report = IndirectCallPromotion(budget=0.95).run(module)
+    # hottest-first greedy: 'a' alone covers the 95% budget
+    assert report.promoted_targets == 1
+    assert report.records[0].targets == ("a",)
+
+
+def test_fallback_icall_remains_with_residual_targets():
+    module, icall = _make_module({"a": 80, "b": 20})
+    IndirectCallPromotion(budget=0.8).run(module)
+    caller = module.get("caller")
+    fallbacks = [
+        i for i in caller.call_sites() if i.opcode == Opcode.ICALL
+    ]
+    assert len(fallbacks) == 1
+    assert fallbacks[0].attrs[ATTR_TARGETS] == {"b": 20}
+    assert ATTR_VALUE_PROFILE not in fallbacks[0].attrs
+
+
+def test_full_promotion_keeps_fallback_with_original_dist():
+    module, icall = _make_module({"a": 50, "b": 50})
+    IndirectCallPromotion(budget=1.0).run(module)
+    caller = module.get("caller")
+    fallbacks = [i for i in caller.call_sites() if i.opcode == Opcode.ICALL]
+    assert len(fallbacks) == 1
+    # residual empty -> fallback keeps the full distribution (and is
+    # unreachable because the last guard probability is 1.0)
+    assert fallbacks[0].attrs[ATTR_TARGETS] == {"a": 50, "b": 50}
+
+
+def test_semantics_preserved_after_promotion():
+    """The guard chain must preserve the call distribution and the
+    surrounding computation."""
+    module, icall = _make_module({"a": 3, "b": 1})
+    baseline = TraceRecorder()
+    Interpreter(module, [baseline], seed=5).run_function("caller", times=400)
+
+    IndirectCallPromotion(budget=1.0).run(module)
+    validate_module(module)
+    transformed = TraceRecorder()
+    Interpreter(module, [transformed], seed=5).run_function(
+        "caller", times=400
+    )
+
+    def leaf_entries(rec):
+        return {
+            name: sum(1 for e in rec.events if e[0] == "enter" and e[1] == name)
+            for name in ("a", "b")
+        }
+
+    before = leaf_entries(baseline)
+    after = leaf_entries(transformed)
+    # distribution approximately preserved (stochastic, generous bounds)
+    assert after["a"] + after["b"] == 400
+    assert abs(before["a"] - after["a"]) < 80
+    # arith work unchanged: 2 in caller + 2 per leaf call
+    assert sum(e[1] for e in transformed.of_kind("mix")) == sum(
+        e[1] for e in baseline.of_kind("mix")
+    )
+
+
+def test_vcall_chain_gets_vtable_load():
+    module, icall = _make_module({"a": 1}, vcall=True)
+    IndirectCallPromotion(budget=1.0).run(module)
+    caller = module.get("caller")
+    entry = caller.entry
+    opcodes = [i.opcode for i in entry.instructions]
+    assert Opcode.LOAD in opcodes  # vtable fetch before the first guard
+    assert Opcode.CMP in opcodes
+
+
+def test_asm_sites_never_promoted():
+    module, icall = _make_module({"a": 100}, asm=True)
+    report = IndirectCallPromotion(budget=1.0).run(module)
+    assert report.promoted_sites == 0
+    assert report.total_sites == 0
+
+
+def test_optnone_function_skipped():
+    module, icall = _make_module({"a": 100})
+    module.get("caller").attrs.add(FunctionAttr.OPTNONE)
+    report = IndirectCallPromotion(budget=1.0).run(module)
+    assert report.promoted_sites == 0
+
+
+def test_max_targets_per_site_cap():
+    module, icall = _make_module({"a": 40, "b": 30, "c": 30})
+    report = IndirectCallPromotion(
+        budget=1.0, max_targets_per_site=1
+    ).run(module)
+    assert report.promoted_targets == 1
+
+
+def test_sites_without_value_profile_untouched():
+    module = Module("m")
+    module.add_function(build_leaf("t"))
+    caller = Function("caller")
+    b = IRBuilder(caller)
+    b.icall({"t": 1})
+    b.ret()
+    module.add_function(caller)
+    report = IndirectCallPromotion(budget=1.0).run(module)
+    assert report.total_sites == 0
+    assert report.promoted_sites == 0
+
+
+def test_bad_budget_rejected():
+    with pytest.raises(ValueError):
+        IndirectCallPromotion(budget=0.0)
+    with pytest.raises(ValueError):
+        IndirectCallPromotion(budget=1.0001)
+
+
+def test_report_fractions():
+    module, icall = _make_module({"a": 90, "b": 10})
+    report = IndirectCallPromotion(budget=0.9).run(module)
+    assert report.weight_fraction == pytest.approx(0.9)
+    assert report.site_fraction == pytest.approx(1.0)
+    assert report.target_fraction == pytest.approx(0.5)

@@ -1,0 +1,95 @@
+"""Switch lowering: jump tables vs cmp chains."""
+
+from repro.engine.interpreter import Interpreter
+from repro.engine.trace import TraceRecorder
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.types import FunctionAttr, Opcode
+from repro.ir.validate import validate_module
+from repro.passes.jumptables import JUMP_TABLE_MIN_CASES, LowerSwitches
+
+
+def _switch_module(cases=5, weights=None, attrs=None):
+    module = Module("m")
+    func = Function("f", attrs=set(attrs) if attrs else None)
+    b = IRBuilder(func)
+    case_blocks = [b.new_block(f"c{i}") for i in range(cases)]
+    b.switch([blk.label for blk in case_blocks], weights=weights)
+    join = b.new_block("join")
+    for i, blk in enumerate(case_blocks):
+        b.at(blk).arith(i + 1)
+        b.at(blk).jmp(join.label)
+    b.at(join).ret()
+    module.add_function(func)
+    return module
+
+
+def test_jump_table_lowering_emits_ijump():
+    module = _switch_module(cases=5)
+    report = LowerSwitches(allow_jump_tables=True).run(module)
+    validate_module(module)
+    assert report.jump_tables_emitted == 1
+    ijumps = list(module.indirect_jump_sites())
+    assert len(ijumps) == 1
+    assert len(ijumps[0].targets) == 5
+    # bounds check + table load precede the dispatch
+    entry = module.get("f").entry
+    opcodes = [i.opcode for i in entry.instructions]
+    assert opcodes[-3:] == [Opcode.CMP, Opcode.LOAD, Opcode.IJUMP]
+
+
+def test_small_switch_becomes_cmp_chain_even_when_allowed():
+    module = _switch_module(cases=JUMP_TABLE_MIN_CASES - 1)
+    report = LowerSwitches(allow_jump_tables=True).run(module)
+    assert report.cmp_chains_emitted == 1
+    assert list(module.indirect_jump_sites()) == []
+
+
+def test_disabled_jump_tables_yield_cmp_chain():
+    module = _switch_module(cases=6)
+    report = LowerSwitches(allow_jump_tables=False).run(module)
+    validate_module(module)
+    assert report.jump_tables_emitted == 0
+    assert report.cmp_chains_emitted == 1
+    assert list(module.indirect_jump_sites()) == []
+    # 5 guards for 6 cases
+    cmps = sum(
+        1 for i in module.get("f").instructions() if i.opcode == Opcode.CMP
+    )
+    assert cmps == 5
+
+
+def test_single_case_switch_becomes_jmp():
+    module = _switch_module(cases=1)
+    LowerSwitches(allow_jump_tables=False).run(module)
+    validate_module(module)
+    term = module.get("f").entry.terminator
+    assert term.opcode == Opcode.JMP
+
+
+def test_asm_function_switch_never_becomes_table():
+    module = _switch_module(cases=6, attrs=[FunctionAttr.INLINE_ASM])
+    report = LowerSwitches(allow_jump_tables=True).run(module)
+    assert report.jump_tables_emitted == 0
+
+
+def _case_histogram(module, runs=600, seed=3):
+    rec = TraceRecorder()
+    Interpreter(module, [rec], seed=seed).run_function("f", times=runs)
+    total = sum(e[1] for e in rec.of_kind("mix"))
+    return total
+
+
+def test_cmp_chain_preserves_case_distribution():
+    weights = [0.5, 0.25, 0.15, 0.07, 0.03]
+    table = _switch_module(cases=5, weights=weights)
+    chain = _switch_module(cases=5, weights=weights)
+    LowerSwitches(allow_jump_tables=True).run(table)
+    LowerSwitches(allow_jump_tables=False).run(chain)
+    # expected per-run arith = sum((i+1) * w): compare the two lowerings
+    t = _case_histogram(table) / 600
+    c = _case_histogram(chain) / 600
+    expected = sum((i + 1) * w for i, w in enumerate(weights))
+    assert abs(t - expected) < 0.3
+    assert abs(c - expected) < 0.3

@@ -1,0 +1,102 @@
+"""LTO cleanup passes: dead-function elimination and CFG simplification."""
+
+from repro.ir.builder import IRBuilder, build_leaf
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.module import FunctionPointerTable, Module
+from repro.ir.types import FunctionAttr, Opcode
+from repro.ir.validate import validate_module
+from repro.passes.lto import DeadFunctionElimination, SimplifyCFG
+
+
+def _reachability_module():
+    module = Module("m")
+    module.add_function(build_leaf("used_leaf"))
+    module.add_function(build_leaf("dead_leaf"))
+    module.add_function(build_leaf("table_leaf"))
+    module.add_function(
+        build_leaf("boot_fn", attrs=[FunctionAttr.BOOT_ONLY])
+    )
+    handler = Function("sys_x", attrs={FunctionAttr.SYSCALL_ENTRY})
+    b = IRBuilder(handler)
+    b.call("used_leaf")
+    b.ret()
+    module.add_function(handler)
+    module.register_syscall("x", "sys_x")
+    module.add_fptr_table(FunctionPointerTable("ops", ["table_leaf"]))
+    return module
+
+
+def test_dce_removes_only_unreachable():
+    module = _reachability_module()
+    report = DeadFunctionElimination().run(module)
+    assert report.removed_functions == 1
+    assert "dead_leaf" not in module
+    # roots survive: syscall path, table entries, boot code
+    for name in ("sys_x", "used_leaf", "table_leaf", "boot_fn"):
+        assert name in module
+    validate_module(module)
+
+
+def test_dce_keeps_transitive_callees_of_tables():
+    module = _reachability_module()
+    callee = build_leaf("probe_helper")
+    module.add_function(callee)
+    table_fn = module.get("table_leaf")
+    # rebuild table_leaf to call the helper
+    table_fn.blocks.clear()
+    table_fn.entry_label = None
+    b = IRBuilder(table_fn)
+    b.call("probe_helper")
+    b.ret()
+    DeadFunctionElimination().run(module)
+    assert "probe_helper" in module
+
+
+def test_simplify_cfg_merges_jump_chains():
+    module = Module("m")
+    func = Function("f")
+    b = IRBuilder(func)
+    middle = b.new_block("middle")
+    end = b.new_block("end")
+    b.arith(1)
+    b.jmp(middle.label)
+    b.at(middle).arith(1)
+    b.at(middle).jmp(end.label)
+    b.at(end).ret()
+    module.add_function(func)
+
+    report = SimplifyCFG().run(module)
+    validate_module(module)
+    assert report.merged_blocks == 2
+    assert len(func.blocks) == 1
+    opcodes = [i.opcode for i in func.entry.instructions]
+    assert opcodes == [Opcode.ARITH, Opcode.ARITH, Opcode.RET]
+
+
+def test_simplify_cfg_keeps_shared_blocks():
+    module = Module("m")
+    func = Function("f")
+    b = IRBuilder(func)
+    shared = b.new_block("shared")
+    other = b.new_block("other")
+    b.br(shared.label, other.label, p_taken=0.5)
+    b.at(other).jmp(shared.label)
+    b.at(shared).ret()
+    module.add_function(func)
+    report = SimplifyCFG().run(module)
+    # 'shared' has two predecessors: must not be merged into 'other'
+    assert "shared" in func.blocks
+    validate_module(module)
+
+
+def test_simplify_cfg_ignores_self_loops():
+    module = Module("m")
+    func = Function("f")
+    b = IRBuilder(func)
+    loop = b.new_block("loop")
+    b.jmp(loop.label)
+    b.at(loop).jmp(loop.label)
+    module.add_function(func)
+    SimplifyCFG().run(module)  # must terminate
+    assert "loop" in func.blocks

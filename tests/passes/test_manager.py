@@ -1,0 +1,79 @@
+"""Pass manager sequencing, reporting and validation hooks."""
+
+import pytest
+
+from repro.ir.builder import build_leaf
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.validate import ValidationError
+from repro.passes.manager import FunctionPass, ModulePass, PassManager, run_pipeline
+
+
+class _CountingPass(ModulePass):
+    name = "counting"
+
+    def run(self, module):
+        return len(module)
+
+
+class _BreakingPass(ModulePass):
+    name = "breaking"
+
+    def run(self, module):
+        module.add_function(Function("broken"))  # no blocks -> invalid
+        return None
+
+
+class _SizingPass(FunctionPass):
+    name = "sizing"
+
+    def run_on_function(self, func, module):
+        return func.size()
+
+
+def _module():
+    module = Module("m")
+    module.add_function(build_leaf("a"))
+    module.add_function(build_leaf("b"))
+    return module
+
+
+def test_reports_keyed_by_pass_name():
+    reports = run_pipeline(_module(), [_CountingPass()])
+    assert reports == {"counting": 2}
+
+
+def test_records_include_timing():
+    manager = PassManager()
+    manager.add(_CountingPass())
+    manager.run(_module())
+    assert len(manager.records) == 1
+    record = manager.records[0]
+    assert record.name == "counting"
+    assert record.seconds >= 0
+    assert record.report == 2
+
+
+def test_validation_after_each_pass_catches_breakage():
+    manager = PassManager(validate_after_each=True)
+    manager.add(_BreakingPass())
+    with pytest.raises(ValidationError):
+        manager.run(_module())
+
+
+def test_validation_can_be_disabled():
+    manager = PassManager(validate_after_each=False)
+    manager.add(_BreakingPass())
+    manager.run(_module())  # no exception
+
+
+def test_function_pass_visits_every_function():
+    reports = run_pipeline(_module(), [_SizingPass()])
+    assert reports["sizing"] == {"a": 7, "b": 7}
+
+
+def test_base_pass_requires_run_implementation():
+    with pytest.raises(NotImplementedError):
+        ModulePass().run(_module())
+    with pytest.raises(NotImplementedError):
+        FunctionPass().run(_module())

@@ -1,0 +1,57 @@
+"""LBR ring-buffer model."""
+
+import pytest
+
+from repro.profiling.lbr import BranchRecord, LBRBuffer
+
+
+def _record(i, target="f", indirect=False):
+    return BranchRecord(i, target, indirect)
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        LBRBuffer(capacity=0)
+
+
+def test_drain_callback_fires_when_full():
+    batches = []
+    buf = LBRBuffer(capacity=4, on_drain=batches.append)
+    for i in range(10):
+        buf.push(_record(i))
+    assert len(batches) == 2
+    assert [r.site_id for r in batches[0]] == [0, 1, 2, 3]
+    assert len(buf) == 2  # 8, 9 still buffered
+
+
+def test_explicit_drain_flushes_remainder():
+    batches = []
+    buf = LBRBuffer(capacity=4, on_drain=batches.append)
+    for i in range(6):
+        buf.push(_record(i))
+    remainder = buf.drain()
+    assert [r.site_id for r in remainder] == [4, 5]
+    assert len(buf) == 0
+    assert len(batches) == 2  # full-ring batch + explicit drain delivery
+
+
+def test_overflow_drop_mode_loses_oldest():
+    buf = LBRBuffer(capacity=3, drop_on_overflow=True)
+    for i in range(5):
+        buf.push(_record(i))
+    remaining = [r.site_id for r in buf.drain()]
+    assert remaining == [2, 3, 4]
+    assert buf.records_dropped == 2
+    assert buf.records_seen == 5
+
+
+def test_without_callback_or_drop_buffer_grows():
+    buf = LBRBuffer(capacity=2)
+    for i in range(5):
+        buf.push(_record(i))
+    assert len(buf) == 5
+
+
+def test_drain_empty_returns_empty():
+    buf = LBRBuffer(capacity=4, on_drain=lambda b: None)
+    assert buf.drain() == []

@@ -1,0 +1,82 @@
+"""Profile lifting: counts and value profiles onto IR call sites."""
+
+from repro.ir.builder import IRBuilder, build_leaf
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.types import ATTR_EDGE_COUNT, ATTR_VALUE_PROFILE
+from repro.profiling.lifting import (
+    clear_profile_metadata,
+    lift_profile,
+    provenance_chain,
+)
+from repro.profiling.profile_data import EdgeProfile
+
+
+def _module():
+    module = Module("m")
+    module.add_function(build_leaf("leaf"))
+    module.add_function(build_leaf("alt"))
+    func = Function("f")
+    b = IRBuilder(func)
+    call = b.call("leaf")
+    icall = b.icall({"leaf": 1, "alt": 1})
+    b.ret()
+    module.add_function(func)
+    return module, call, icall
+
+
+def test_lift_attaches_metadata():
+    module, call, icall = _module()
+    profile = EdgeProfile()
+    profile.record_direct(call.site_id, 42)
+    profile.record_indirect(icall.site_id, "leaf", 30)
+    profile.record_indirect(icall.site_id, "alt", 12)
+    report = lift_profile(module, profile)
+    assert report.direct_annotated == 1
+    assert report.indirect_annotated == 1
+    assert call.attrs[ATTR_EDGE_COUNT] == 42
+    assert icall.attrs[ATTR_VALUE_PROFILE] == [("leaf", 30), ("alt", 12)]
+
+
+def test_lift_skips_stale_sites():
+    module, call, _ = _module()
+    profile = EdgeProfile()
+    profile.record_direct(999_999, 7)  # site no longer exists
+    profile.record_indirect(888_888, "leaf", 3)
+    report = lift_profile(module, profile)
+    assert report.stale_direct == 1
+    assert report.stale_indirect == 1
+    assert ATTR_EDGE_COUNT not in call.attrs
+
+
+def test_lift_ignores_kind_mismatch():
+    module, call, icall = _module()
+    profile = EdgeProfile()
+    # direct count recorded against an indirect site id and vice versa
+    profile.record_direct(icall.site_id, 5)
+    profile.record_indirect(call.site_id, "leaf", 5)
+    report = lift_profile(module, profile)
+    assert report.direct_annotated == 0
+    assert report.indirect_annotated == 0
+    assert report.stale_direct == 1
+    assert report.stale_indirect == 1
+
+
+def test_clear_profile_metadata():
+    module, call, icall = _module()
+    profile = EdgeProfile()
+    profile.record_direct(call.site_id, 1)
+    profile.record_indirect(icall.site_id, "leaf", 1)
+    lift_profile(module, profile)
+    touched = clear_profile_metadata(module)
+    assert touched == 2
+    assert ATTR_EDGE_COUNT not in call.attrs
+    assert ATTR_VALUE_PROFILE not in icall.attrs
+
+
+def test_provenance_chain():
+    module, call, _ = _module()
+    clone = call.clone()
+    chain = provenance_chain(clone)
+    assert chain == [clone.site_id, call.site_id]
+    assert provenance_chain(call) == [call.site_id]

@@ -1,0 +1,81 @@
+"""EdgeProfile recording, merging, queries, serialization."""
+
+import pytest
+
+from repro.profiling.profile_data import EdgeProfile
+
+
+def _sample():
+    p = EdgeProfile(workload="w")
+    p.record_direct(1, 10)
+    p.record_direct(2, 5)
+    p.record_indirect(3, "a", 7)
+    p.record_indirect(3, "b", 3)
+    p.record_indirect(4, "c", 1)
+    p.record_invocation("f", 15)
+    p.runs = 1
+    return p
+
+
+def test_weights():
+    p = _sample()
+    assert p.direct_weight(1) == 10
+    assert p.direct_weight(99) == 0
+    assert p.indirect_site_weight(3) == 10
+    assert p.total_direct_weight() == 15
+    assert p.total_indirect_weight() == 11
+    assert p.total_weight() == 26
+
+
+def test_value_profile_sorted_hottest_first():
+    p = _sample()
+    assert p.value_profile(3) == [("a", 7), ("b", 3)]
+    assert p.value_profile(99) == []
+
+
+def test_value_profile_ties_break_by_name():
+    p = EdgeProfile()
+    p.record_indirect(1, "z", 5)
+    p.record_indirect(1, "a", 5)
+    assert p.value_profile(1) == [("a", 5), ("z", 5)]
+
+
+def test_hottest_orderings():
+    p = _sample()
+    assert p.hottest_direct() == [(1, 10), (2, 5)]
+    assert p.hottest_indirect() == [(3, 10), (4, 1)]
+
+
+def test_merge_accumulates():
+    a = _sample()
+    b = _sample()
+    a.merge(b)
+    assert a.direct_weight(1) == 20
+    assert a.indirect_site_weight(3) == 20
+    assert a.invocations["f"] == 30
+    assert a.runs == 2
+
+
+def test_merge_empty_counts_as_a_run():
+    a = _sample()
+    a.merge(EdgeProfile())
+    assert a.runs == 2
+
+
+def test_serialization_roundtrip():
+    p = _sample()
+    restored = EdgeProfile.from_json(p.to_json())
+    assert restored.workload == "w"
+    assert restored.direct == p.direct
+    assert dict(restored.indirect[3]) == dict(p.indirect[3])
+    assert restored.invocations == p.invocations
+    assert restored.runs == p.runs
+
+
+def test_from_dict_coerces_types():
+    restored = EdgeProfile.from_dict(
+        {"direct": {"7": "3"}, "indirect": {"8": {"t": "2"}}, "runs": "1"}
+    )
+    assert restored.direct[7] == 3
+    assert restored.indirect[8]["t"] == 2
+    assert restored.runs == 1

@@ -1,0 +1,85 @@
+"""Sampling (AutoFDO-style) profiler."""
+
+import pytest
+
+from repro.analysis.robustness import icp_candidates, inline_candidates
+from repro.engine.interpreter import Interpreter
+from repro.ir.builder import IRBuilder, build_leaf
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.profiling.profiler import KernelProfiler
+from repro.profiling.sampling import SamplingProfiler
+
+
+def _module():
+    module = Module("m")
+    module.add_function(build_leaf("hot"))
+    module.add_function(build_leaf("alt"))
+    func = Function("f")
+    b = IRBuilder(func)
+    call = b.call("hot")
+    icall = b.icall({"hot": 3, "alt": 1})
+    b.ret()
+    module.add_function(func)
+    return module, call, icall
+
+
+def test_rate_validation():
+    with pytest.raises(ValueError):
+        SamplingProfiler(rate=0)
+
+
+def test_rate_one_is_exact():
+    module, call, icall = _module()
+    sampler = SamplingProfiler(rate=1)
+    Interpreter(module, [sampler], seed=3).run_function("f", times=50)
+    profile = sampler.finish()
+    assert profile.direct[call.site_id] == 50
+    assert profile.indirect_site_weight(icall.site_id) == 50
+    assert sampler.sampling_fraction == 1.0
+
+
+def test_sampled_counts_scale_to_roughly_exact():
+    module, call, icall = _module()
+    sampler = SamplingProfiler(rate=8)
+    Interpreter(module, [sampler], seed=3).run_function("f", times=400)
+    profile = sampler.finish()
+    # 400 calls sampled at 1/8 (Bernoulli), scaled x8 -> ~400
+    assert 250 <= profile.direct[call.site_id] <= 550
+    assert sampler.sampling_fraction == pytest.approx(1 / 8, abs=0.04)
+
+
+def test_invocation_counts_stay_exact():
+    module, _, _ = _module()
+    sampler = SamplingProfiler(rate=64)
+    Interpreter(module, [sampler], seed=3).run_function("f", times=30)
+    profile = sampler.finish()
+    assert profile.invocations["f"] == 30
+
+
+def test_sampled_profile_steers_like_exact_profile(small_kernel):
+    """Hot-candidate sets from exact and sampled profiles overlap heavily
+    — PIBE only needs relative weights (the AutoFDO motivation)."""
+    from repro.workloads.lmbench import lmbench_workload
+
+    exact = KernelProfiler()
+    sampled = SamplingProfiler(rate=16)
+    interp = Interpreter(small_kernel, [exact, sampled], seed=5)
+    workload = lmbench_workload(ops_scale=0.05)
+    for bench, ops in workload.components:
+        bench.run(interp, ops=ops)
+    exact_profile = exact.finish()
+    sampled_profile = sampled.finish()
+
+    exact_inline = inline_candidates(exact_profile, 0.99)
+    sampled_inline = inline_candidates(sampled_profile, 0.99)
+    assert exact_inline and sampled_inline
+    weights = {s: exact_profile.direct.get(s, 0) for s in exact_inline}
+    shared_weight = sum(
+        w for s, w in weights.items() if s in sampled_inline
+    )
+    assert shared_weight / max(sum(weights.values()), 1) > 0.6
+
+    exact_icp = icp_candidates(exact_profile, 0.99)
+    sampled_icp = icp_candidates(sampled_profile, 0.99)
+    assert len(exact_icp & sampled_icp) / max(len(exact_icp), 1) > 0.5

@@ -1,0 +1,85 @@
+"""Hypothesis strategies for random, deterministic IR modules.
+
+Generated modules form an acyclic call graph with deterministic control
+flow (branch probabilities 0/1, fixed loop trips, single- or multi-target
+indirect calls). Determinism lets properties assert *exact* observable
+equality across transformations.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.module import Module
+
+
+@st.composite
+def deterministic_modules(draw, max_functions=6, deterministic_icalls=True):
+    """A module whose execution from 'fn0' is fully deterministic."""
+    n = draw(st.integers(min_value=1, max_value=max_functions))
+    module = Module("prop")
+    names = [f"fn{i}" for i in range(n)]
+
+    # build bottom-up: fn_i may only call fn_j with j > i (acyclic)
+    for i in reversed(range(n)):
+        func = Function(names[i], num_params=draw(st.integers(0, 3)))
+        b = IRBuilder(func)
+        body_len = draw(st.integers(0, 4))
+        for _ in range(body_len):
+            kind = draw(st.sampled_from(["arith", "load", "store", "call", "icall", "loop"]))
+            callees = names[i + 1 :]
+            if kind == "arith":
+                b.arith(draw(st.integers(1, 4)))
+            elif kind == "load":
+                b.load(draw(st.integers(1, 2)))
+            elif kind == "store":
+                b.store(1)
+            elif kind == "call" and callees:
+                b.call(draw(st.sampled_from(callees)), num_args=draw(st.integers(0, 2)))
+            elif kind == "icall" and callees:
+                if deterministic_icalls:
+                    target = draw(st.sampled_from(callees))
+                    b.icall({target: 1})
+                else:
+                    count = draw(st.integers(1, min(3, len(callees))))
+                    targets = draw(
+                        st.lists(
+                            st.sampled_from(callees),
+                            min_size=count,
+                            max_size=count,
+                            unique=True,
+                        )
+                    )
+                    b.icall({t: draw(st.integers(1, 5)) for t in targets})
+            elif kind == "loop":
+                trips = draw(st.integers(1, 3))
+                arith = draw(st.integers(1, 2))
+                head = b.new_block("head")
+                after = b.new_block("after")
+                b.jmp(head.label)
+                b.set_block(head)
+                b.arith(arith)
+                b.br(head.label, after.label, trip=trips - 1)
+                b.set_block(after)
+        b.ret()
+        module.add_function(func)
+    return module
+
+
+@st.composite
+def edge_profiles(draw):
+    """Random edge profiles for serialization/merge properties."""
+    from repro.profiling.profile_data import EdgeProfile
+
+    profile = EdgeProfile(workload=draw(st.sampled_from(["a", "b", ""])))
+    for site in draw(st.lists(st.integers(1, 50), max_size=8, unique=True)):
+        profile.record_direct(site, draw(st.integers(1, 10_000)))
+    for site in draw(st.lists(st.integers(51, 99), max_size=5, unique=True)):
+        for target in draw(
+            st.lists(st.sampled_from(["t1", "t2", "t3"]), min_size=1, max_size=3, unique=True)
+        ):
+            profile.record_indirect(site, target, draw(st.integers(1, 1000)))
+    profile.runs = draw(st.integers(0, 3))
+    return profile

@@ -1,0 +1,136 @@
+"""Property tests on core data structures and algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.behavior import guard_probabilities, residual_distribution
+from repro.cpu.btb import BTB
+from repro.cpu.rsb import RSB
+from repro.ir.clone import inline_call
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.passes.inline_cost import function_cost, instruction_cost
+from repro.profiling.profile_data import EdgeProfile
+
+from .strategies import deterministic_modules, edge_profiles
+
+_SETTINGS = settings(max_examples=60, deadline=None)
+
+
+# -- EdgeProfile -------------------------------------------------------------
+
+
+@given(edge_profiles())
+@_SETTINGS
+def test_profile_serialization_roundtrip(profile):
+    restored = EdgeProfile.from_json(profile.to_json())
+    assert restored.direct == profile.direct
+    assert {k: dict(v) for k, v in restored.indirect.items()} == {
+        k: dict(v) for k, v in profile.indirect.items()
+    }
+    assert restored.total_weight() == profile.total_weight()
+    assert restored.runs == profile.runs
+
+
+@given(edge_profiles(), edge_profiles())
+@_SETTINGS
+def test_profile_merge_weight_additivity(a, b):
+    total = a.total_weight() + b.total_weight()
+    a.merge(b)
+    assert a.total_weight() == total
+
+
+@given(edge_profiles())
+@_SETTINGS
+def test_value_profiles_sorted_descending(profile):
+    for site in profile.indirect:
+        counts = [c for _, c in profile.value_profile(site)]
+        assert counts == sorted(counts, reverse=True)
+
+
+# -- guard-chain algebra -------------------------------------------------------
+
+
+@given(
+    st.dictionaries(
+        st.sampled_from(["a", "b", "c", "d"]),
+        st.integers(1, 1000),
+        min_size=1,
+        max_size=4,
+    ),
+    st.integers(0, 3),
+)
+@_SETTINGS
+def test_guard_chain_reconstructs_marginals(dist, promote_n):
+    """P(guard_i fires) computed by telescoping the conditional chain must
+    equal the original marginal probability of each promoted target."""
+    promoted = sorted(dist, key=dist.get, reverse=True)[:promote_n]
+    guards = guard_probabilities(dist, promoted)
+    total = sum(dist.values())
+    reach = 1.0
+    for target, p_conditional in guards:
+        marginal = reach * p_conditional
+        assert abs(marginal - dist.get(target, 0) / total) < 1e-9
+        reach *= 1.0 - p_conditional
+    residual = residual_distribution(dist, promoted)
+    assert abs(reach - sum(residual.values()) / total) < 1e-9
+
+
+# -- predictors ------------------------------------------------------------------
+
+
+@given(st.lists(st.integers(1, 10_000), min_size=1, max_size=30))
+@_SETTINGS
+def test_rsb_balanced_sequences_always_predict(tokens):
+    rsb = RSB(capacity=64)
+    for token in tokens:
+        rsb.push(token)
+    for token in reversed(tokens):
+        assert rsb.pop_predict(token)
+    assert rsb.misses == 0
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 100), st.sampled_from(["f", "g", "h"])),
+        min_size=1,
+        max_size=50,
+    )
+)
+@_SETTINGS
+def test_btb_always_predicts_last_trained_target(history):
+    btb = BTB(num_entries=16)
+    last_by_slot = {}
+    for site, target in history:
+        btb.access(site, target)
+        last_by_slot[site % 16] = target
+    for slot, target in last_by_slot.items():
+        assert btb.predict(slot) == target
+
+
+# -- InlineCost / inline size algebra -----------------------------------------------
+
+
+@given(deterministic_modules())
+@_SETTINGS
+def test_function_cost_is_sum_of_instruction_costs(module):
+    for func in module:
+        assert function_cost(func) == sum(
+            instruction_cost(i) for i in func.instructions()
+        )
+
+
+@given(deterministic_modules(max_functions=4))
+@_SETTINGS
+def test_inline_size_identity(module):
+    """inline_call grows the caller by exactly the callee's size: the call
+    is replaced by a jmp (1:1) and every callee ret becomes a jmp (1:1)."""
+    for caller in list(module):
+        for block in list(caller.blocks.values()):
+            for idx, inst in enumerate(block.instructions):
+                if inst.opcode.value == "call" and inst.callee in module:
+                    callee = module.get(inst.callee)
+                    before = caller.size()
+                    inline_call(caller, block.label, idx, callee)
+                    assert caller.size() == before + callee.size()
+                    return  # one inline per generated example

@@ -1,0 +1,65 @@
+"""Seed-fuzzing the kernel generator and the full pipeline."""
+
+import dataclasses
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PibeConfig
+from repro.core.pipeline import PibePipeline
+from repro.hardening.defenses import DefenseConfig
+from repro.ir.validate import validate_module
+from repro.kernel.generator import build_kernel, kernel_stats
+from repro.kernel.spec import SmallSpec
+
+_SETTINGS = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@_SETTINGS
+def test_any_seed_builds_a_valid_kernel(seed):
+    module = build_kernel(SmallSpec(seed=seed))
+    validate_module(module)
+    stats = kernel_stats(module)
+    assert stats.syscalls >= 20
+    assert stats.ijump_sites == SmallSpec().num_asm_ijumps
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@_SETTINGS
+def test_any_seed_survives_the_full_pipeline(seed):
+    module = build_kernel(SmallSpec(seed=seed))
+    pipeline = PibePipeline(module)
+    from repro.workloads.lmbench import lmbench_workload
+
+    profile = pipeline.profile(
+        lmbench_workload(ops_scale=0.01), iterations=1, seed=seed
+    )
+    build = pipeline.build_variant(
+        PibeConfig.lax(DefenseConfig.all_defenses()), profile
+    )
+    validate_module(build.module)
+    report = build.reports["hardening"]
+    assert report.vulnerable_rets == 0
+
+
+@given(
+    st.integers(min_value=2, max_value=12),
+    st.integers(min_value=1, max_value=4),
+)
+@_SETTINGS
+def test_spec_knobs_scale_census(num_drivers, lsm_modules):
+    spec = dataclasses.replace(
+        SmallSpec(), num_drivers=num_drivers, lsm_modules=lsm_modules
+    )
+    module = build_kernel(spec)
+    validate_module(module)
+    hook = module.get("security_file_permission")
+    from repro.ir.types import Opcode
+
+    icalls = [i for i in hook.call_sites() if i.opcode == Opcode.ICALL]
+    assert len(icalls) == lsm_modules

@@ -1,0 +1,134 @@
+"""Property tests over the hardening/parsing pipeline."""
+
+import copy
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine.interpreter import Interpreter
+from repro.engine.trace import TraceRecorder
+from repro.hardening.defenses import DefenseConfig
+from repro.hardening.harden import HardeningPass
+from repro.ir.parser import dump_module, parse_module
+from repro.ir.types import Opcode
+from repro.ir.validate import validate_module
+from repro.passes.lto import DeadFunctionElimination
+
+from .strategies import deterministic_modules
+
+_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_CONFIGS = st.sampled_from(
+    [
+        DefenseConfig.none(),
+        DefenseConfig.retpolines_only(),
+        DefenseConfig.ret_retpolines_only(),
+        DefenseConfig.lvi_only(),
+        DefenseConfig.all_defenses(),
+    ]
+)
+
+
+@given(deterministic_modules(), _CONFIGS)
+@_SETTINGS
+def test_hardening_is_idempotent(module, config):
+    """Applying the same defense config twice changes nothing."""
+    HardeningPass(config).run(module)
+    tags_once = [inst.defense for inst in module.instructions()]
+    report_twice = HardeningPass(config).run(module)
+    tags_twice = [inst.defense for inst in module.instructions()]
+    assert tags_once == tags_twice
+    assert report_twice.vulnerable_rets == 0 or config.backward_defense() is None
+
+
+@given(deterministic_modules(), _CONFIGS)
+@_SETTINGS
+def test_hardening_preserves_behaviour(module, config):
+    """Tagging branches never changes execution semantics."""
+
+    def observe(mod):
+        rec = TraceRecorder()
+        Interpreter(mod, [rec], seed=0).run_function("fn0", times=2)
+        return [
+            e for e in rec.events if e[0] in ("enter", "mix", "ret", "call")
+        ]
+
+    before = observe(module)
+    HardeningPass(config).run(module)
+    assert observe(module) == before
+
+
+@given(deterministic_modules(), _CONFIGS)
+@_SETTINGS
+def test_hardening_covers_every_eligible_branch(module, config):
+    HardeningPass(config).run(module)
+    fwd = config.forward_defense()
+    bwd = config.backward_defense()
+    for func in module:
+        for inst in func.instructions():
+            if inst.opcode == Opcode.ICALL and func.is_instrumentable:
+                assert (inst.defense is not None) == (fwd is not None)
+            if inst.opcode == Opcode.RET:
+                assert (inst.defense is not None) == (bwd is not None)
+
+
+@given(deterministic_modules())
+@_SETTINGS
+def test_parse_dump_roundtrip_preserves_execution(module):
+    """Textual round trip is behaviour-preserving."""
+    validate_module(module)
+
+    def observe(mod):
+        rec = TraceRecorder()
+        Interpreter(mod, [rec], seed=3).run_function("fn0", times=3)
+        return rec.events
+
+    before = observe(module)
+    restored = parse_module(dump_module(module))
+    validate_module(restored)
+    assert observe(restored) == before
+    assert restored.size() == module.size()
+
+
+@given(deterministic_modules())
+@_SETTINGS
+def test_dce_preserves_entry_behaviour(module):
+    """DCE never changes what the surviving entry points compute."""
+    module.register_syscall("main", "fn0")
+
+    def observe(mod):
+        rec = TraceRecorder()
+        Interpreter(mod, [rec], seed=1).run_syscall("main", times=2)
+        return [e for e in rec.events if e[0] == "mix"]
+
+    before = observe(module)
+    DeadFunctionElimination().run(module)
+    validate_module(module)
+    assert observe(module) == before
+    assert "fn0" in module
+
+
+@given(deterministic_modules(), _CONFIGS)
+@_SETTINGS
+def test_defenses_never_speed_up_execution(module, config):
+    """Adding defenses is monotone in cycles (same seed, same paths)."""
+    import dataclasses
+
+    from repro.cpu.costs import DEFAULT_COSTS
+    from repro.cpu.timing import TimingModel
+
+    costs = dataclasses.replace(DEFAULT_COSTS, kernel_entry=0.0)
+
+    def cycles(mod):
+        timing = TimingModel(mod, costs=costs, model_icache=False)
+        Interpreter(mod, [timing], seed=2).run_function("fn0", times=2)
+        return timing.cycles
+
+    baseline = cycles(module)
+    hardened = copy.deepcopy(module)
+    HardeningPass(config).run(hardened)
+    assert cycles(hardened) >= baseline - 1e-9

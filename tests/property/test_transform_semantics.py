@@ -1,0 +1,121 @@
+"""Property: PIBE's transformations preserve program behaviour.
+
+On deterministic modules the observable execution — total instruction
+mix and the multiset of leaf-work executed — must be *exactly* identical
+before and after ICP, inlining, switch lowering and CFG simplification.
+This is the reproduction's equivalent of differential testing a compiler
+pass pipeline.
+"""
+
+import copy
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.engine.interpreter import Interpreter
+from repro.engine.trace import TraceRecorder
+from repro.ir.validate import validate_module
+from repro.passes.icp import IndirectCallPromotion
+from repro.passes.inliner import PibeInliner
+from repro.passes.lto import SimplifyCFG
+from repro.profiling.lifting import lift_profile
+from repro.profiling.profiler import KernelProfiler
+
+from .strategies import deterministic_modules
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _observable(module, entry="fn0", times=3):
+    """Total executed instruction mix (exact for deterministic modules)."""
+    rec = TraceRecorder()
+    Interpreter(module, [rec], seed=0).run_function(entry, times=times)
+    mix = [0] * 6
+    for event in rec.of_kind("mix"):
+        for i in range(6):
+            mix[i] += event[1 + i]
+    return tuple(mix)
+
+
+def _profile(module, entry="fn0", times=5):
+    profiler = KernelProfiler()
+    Interpreter(module, [profiler], seed=0).run_function(entry, times=times)
+    return profiler.finish()
+
+
+@given(deterministic_modules())
+@_SETTINGS
+def test_inlining_preserves_observable_mix(module):
+    validate_module(module)
+    before = _observable(module)
+    profile = _profile(module)
+    lift_profile(module, profile)
+    PibeInliner(profile, budget=1.0).run(module)
+    validate_module(module)
+    assert _observable(module) == before
+
+
+@given(deterministic_modules())
+@_SETTINGS
+def test_icp_preserves_observable_mix_modulo_guards(module):
+    validate_module(module)
+    before = _observable(module)
+    profile = _profile(module)
+    lift_profile(module, profile)
+    IndirectCallPromotion(budget=1.0).run(module)
+    validate_module(module)
+    after = _observable(module)
+    # arith/load/store/fence identical; guard cmps and branches may be added
+    assert after[0] == before[0]  # arith
+    assert after[1] == before[1]  # load (no vcalls generated)
+    assert after[2] == before[2]  # store
+    assert after[4] == before[4]  # fence
+    assert after[3] >= before[3]  # cmp may grow
+
+
+@given(deterministic_modules())
+@_SETTINGS
+def test_full_pipeline_preserves_work(module):
+    validate_module(module)
+    before = _observable(module)
+    profile = _profile(module)
+    lift_profile(module, profile)
+    IndirectCallPromotion(budget=1.0).run(module)
+    PibeInliner(profile, budget=1.0).run(module)
+    SimplifyCFG().run(module)
+    validate_module(module)
+    after = _observable(module)
+    assert after[0] == before[0]
+    assert after[2] == before[2]
+
+
+@given(deterministic_modules())
+@_SETTINGS
+def test_inlining_never_increases_dynamic_branches(module):
+    """Inlining strictly removes dynamic calls and returns."""
+    def dynamic_calls(mod):
+        rec = TraceRecorder()
+        Interpreter(mod, [rec], seed=0).run_function("fn0", times=2)
+        return len(rec.of_kind("call")) + len(rec.of_kind("icall")), len(
+            rec.of_kind("ret")
+        )
+
+    before_calls, before_rets = dynamic_calls(module)
+    profile = _profile(module)
+    lift_profile(module, profile)
+    PibeInliner(profile, budget=1.0).run(module)
+    after_calls, after_rets = dynamic_calls(module)
+    assert after_calls <= before_calls
+    assert after_rets <= before_rets
+
+
+@given(deterministic_modules())
+@_SETTINGS
+def test_simplifycfg_never_changes_size_upward(module):
+    before = module.size()
+    SimplifyCFG().run(module)
+    validate_module(module)
+    assert module.size() <= before

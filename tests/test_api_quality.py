@@ -1,0 +1,78 @@
+"""API-surface quality gates: every public item is documented and every
+package export resolves."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.analysis",
+    "repro.baselines",
+    "repro.core",
+    "repro.cpu",
+    "repro.engine",
+    "repro.evaluation",
+    "repro.hardening",
+    "repro.ir",
+    "repro.kernel",
+    "repro.passes",
+    "repro.profiling",
+    "repro.tools",
+    "repro.workloads",
+]
+
+
+def _iter_modules():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        yield package
+        for info in pkgutil.iter_modules(package.__path__):
+            if info.ispkg:
+                continue
+            yield importlib.import_module(f"{package_name}.{info.name}")
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    exported = getattr(package, "__all__", [])
+    for name in exported:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+    # __all__ is sorted for readability
+    assert list(exported) == sorted(exported, key=str.lower) or list(
+        exported
+    ) == sorted(exported), f"{package_name}.__all__ not sorted"
+
+
+def test_every_module_has_a_docstring():
+    undocumented = [
+        module.__name__
+        for module in _iter_modules()
+        if not (module.__doc__ or "").strip()
+    ]
+    assert not undocumented, undocumented
+
+
+def test_every_public_class_and_function_documented():
+    undocumented = []
+    for module in _iter_modules():
+        if module.__name__.endswith("__init__"):
+            continue
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if getattr(obj, "__module__", None) != module.__name__:
+                continue  # re-export
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (obj.__doc__ or "").strip():
+                    undocumented.append(f"{module.__name__}.{name}")
+    assert not undocumented, undocumented
+
+
+def test_version_is_exposed():
+    assert repro.__version__

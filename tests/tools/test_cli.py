@@ -1,0 +1,170 @@
+"""CLI toolchain: the full build -> profile -> optimize -> benchmark ->
+attack workflow through `python -m repro`."""
+
+import json
+
+import pytest
+
+from repro.tools.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def workdir(tmp_path_factory):
+    return tmp_path_factory.mktemp("cli")
+
+
+@pytest.fixture(scope="module")
+def kernel_file(workdir):
+    path = workdir / "kernel.ir"
+    assert main(["build-kernel", "--small", "-o", str(path)]) == 0
+    assert path.exists()
+    return path
+
+
+@pytest.fixture(scope="module")
+def profile_file(workdir, kernel_file):
+    path = workdir / "profile.json"
+    assert (
+        main(
+            [
+                "profile",
+                "-k",
+                str(kernel_file),
+                "--iterations",
+                "1",
+                "--ops-scale",
+                "0.02",
+                "-o",
+                str(path),
+            ]
+        )
+        == 0
+    )
+    return path
+
+
+@pytest.fixture(scope="module")
+def hardened_file(workdir, kernel_file, profile_file):
+    path = workdir / "hardened.ir"
+    assert (
+        main(
+            [
+                "optimize",
+                "-k",
+                str(kernel_file),
+                "-p",
+                str(profile_file),
+                "--defenses",
+                "all",
+                "--icp-budget",
+                "0.999999",
+                "--inline-budget",
+                "0.999999",
+                "--lax",
+                "-o",
+                str(path),
+            ]
+        )
+        == 0
+    )
+    return path
+
+
+def test_build_kernel_dump_is_parseable(kernel_file):
+    from repro.ir.parser import parse_module
+    from repro.ir.validate import validate_module
+
+    module = parse_module(kernel_file.read_text())
+    validate_module(module)
+    assert module.syscalls
+
+
+def test_profile_json_is_loadable(profile_file):
+    data = json.loads(profile_file.read_text())
+    assert data["direct"]
+    assert data["indirect"]
+
+
+def test_optimize_emits_hardened_image(hardened_file, capsys):
+    text = hardened_file.read_text()
+    assert "!defense=" in text
+    assert "defenses retpolines=1 ret_retpolines=1 lvi_cfi=1" in text
+
+
+def test_stats_command(kernel_file, capsys):
+    assert main(["stats", "-k", str(kernel_file)]) == 0
+    out = capsys.readouterr().out
+    assert "functions" in out
+    assert "attack surface" in out
+
+
+def test_benchmark_with_baseline(kernel_file, hardened_file, capsys):
+    assert (
+        main(
+            [
+                "benchmark",
+                "-k",
+                str(hardened_file),
+                "--baseline",
+                str(kernel_file),
+                "--suite",
+                "table3",
+                "--ops-scale",
+                "0.05",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "geomean" in out
+    assert "overhead" in out
+
+
+def test_attack_command(hardened_file, capsys):
+    assert main(["attack", "-k", str(hardened_file), "--limit", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "defenses applied: all-defenses" in out
+    assert "ret2spec: 0 hijackable" in out
+    assert "spectre_v2" in out
+
+
+def test_hotspots_command(kernel_file, capsys):
+    assert (
+        main(
+            ["hotspots", "-k", str(kernel_file), "--ops", "5", "--top", "5",
+             "-s", "read"]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "self%" in out
+    # vfs_read dominates the read path's top-5
+    assert "vfs_read" in out
+
+
+def test_hotspots_unknown_syscall(kernel_file, capsys):
+    assert (
+        main(["hotspots", "-k", str(kernel_file), "-s", "frobnicate"]) == 2
+    )
+
+
+def test_diff_command(kernel_file, hardened_file, capsys):
+    assert main(["diff", str(kernel_file), str(hardened_file)]) == 0
+    out = capsys.readouterr().out
+    assert "size:" in out
+    assert "defense" in out
+
+
+def test_evaluate_single_experiment(capsys):
+    assert main(["evaluate", "--fast", "-e", "figure1"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out
+
+
+def test_evaluate_unknown_experiment(capsys):
+    assert main(["evaluate", "--fast", "-e", "table99"]) == 2
+
+
+def test_parser_rejects_missing_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

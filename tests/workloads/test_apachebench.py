@@ -1,0 +1,40 @@
+"""ApacheBench training workload shape."""
+
+from repro.workloads.apachebench import (
+    APACHE_HOUSEKEEPING,
+    APACHE_REQUEST_BATCH,
+    apachebench_workload,
+)
+
+
+def test_request_batch_touches_serving_paths():
+    syscalls = dict(APACHE_REQUEST_BATCH.syscalls)
+    for expected in ("recvfrom", "stat", "read", "tcp", "open"):
+        assert expected in syscalls
+    # four requests per batch, one cold open
+    assert syscalls["recvfrom"] == 4
+    assert syscalls["open"] == 1
+
+
+def test_housekeeping_covers_background_paths():
+    syscalls = dict(APACHE_HOUSEKEEPING.syscalls)
+    for expected in ("fork_exit", "mmap", "sig_install", "select_tcp"):
+        assert expected in syscalls
+
+
+def test_workload_is_request_dominated():
+    workload = apachebench_workload()
+    ops = {bench.name: count for bench, count in workload.components}
+    assert ops["apache_request_batch"] > 10 * ops["apache_housekeeping"]
+    assert workload.name == "apache2"
+
+
+def test_profiles_on_small_kernel(small_kernel):
+    from repro.workloads.base import profile_workload
+
+    profile = profile_workload(
+        small_kernel, apachebench_workload(ops_scale=0.05), iterations=1
+    )
+    assert profile.total_weight() > 0
+    # the monotonic mix still observes indirect sites
+    assert len(profile.indirect) > 3

@@ -1,0 +1,94 @@
+"""Benchmark/workload abstractions and measurement plumbing."""
+
+import pytest
+
+from repro.workloads.base import (
+    Benchmark,
+    Workload,
+    measure_benchmark,
+    measure_suite,
+    profile_workload,
+)
+from repro.workloads.lmbench import BY_NAME
+
+
+def test_benchmark_entries_per_op():
+    bench = Benchmark("b", (("read", 2), ("write", 1)))
+    assert bench.entries_per_op == 3
+
+
+def test_measure_benchmark_result_fields(small_kernel):
+    result = measure_benchmark(
+        small_kernel, BY_NAME["null"], ops=20, seed=1
+    )
+    assert result.ops == 20
+    assert result.cycles > 0
+    assert result.cycles_per_op == pytest.approx(result.cycles / 20)
+    assert result.latency_us > 0
+    assert result.ops_per_sec > 0
+    assert result.counters["rets"] > 0
+
+
+def test_measure_suite_scales_ops(small_kernel):
+    benches = [BY_NAME["null"], BY_NAME["read"]]
+    results = measure_suite(small_kernel, benches, ops_scale=0.05)
+    assert set(results) == {"null", "read"}
+    assert results["null"].ops == int(BY_NAME["null"].default_ops * 0.05)
+
+
+def test_heavier_paths_cost_more(small_kernel):
+    null = measure_benchmark(small_kernel, BY_NAME["null"], ops=30, seed=2)
+    fork = measure_benchmark(
+        small_kernel, BY_NAME["fork/exit"], ops=30, seed=2
+    )
+    assert fork.cycles_per_op > 3 * null.cycles_per_op
+
+
+def test_profile_workload_merges_iterations(small_kernel):
+    workload = Workload(
+        "w", ((BY_NAME["read"], 5), (BY_NAME["null"], 10))
+    )
+    profile = profile_workload(small_kernel, workload, iterations=2, seed=1)
+    assert profile.runs == 2
+    assert profile.workload == "w"
+    assert profile.total_weight() > 0
+    single = profile_workload(small_kernel, workload, iterations=1, seed=1)
+    # two iterations roughly double the weight (stochastic paths vary)
+    assert profile.total_weight() > 1.5 * single.total_weight()
+
+
+def test_measurement_is_deterministic_per_seed(small_kernel):
+    a = measure_benchmark(small_kernel, BY_NAME["read"], ops=25, seed=9)
+    b = measure_benchmark(small_kernel, BY_NAME["read"], ops=25, seed=9)
+    assert a.cycles == b.cycles
+
+
+def test_measure_benchmark_median(small_kernel):
+    from repro.workloads.base import measure_benchmark_median
+
+    median, spread = measure_benchmark_median(
+        small_kernel, BY_NAME["read"], rounds=5, ops=20, seed=3
+    )
+    assert median.cycles_per_op > 0
+    assert spread >= 0.0
+    # spread across seeds stays modest on a stable bench
+    assert spread < 0.3
+
+
+def test_measure_benchmark_median_single_round(small_kernel):
+    from repro.workloads.base import measure_benchmark_median
+
+    median, spread = measure_benchmark_median(
+        small_kernel, BY_NAME["null"], rounds=1, ops=10
+    )
+    assert spread == 0.0
+    assert median.ops == 10
+
+
+def test_measure_benchmark_median_validates_rounds(small_kernel):
+    import pytest
+
+    from repro.workloads.base import measure_benchmark_median
+
+    with pytest.raises(ValueError):
+        measure_benchmark_median(small_kernel, BY_NAME["null"], rounds=0)

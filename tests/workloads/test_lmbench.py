@@ -1,0 +1,49 @@
+"""LMBench suite definition and time-budgeted workload shape."""
+
+from repro.workloads.lmbench import (
+    BY_NAME,
+    LMBENCH_BENCHMARKS,
+    PAPER_LATENCIES_US,
+    TABLE3_BENCHMARKS,
+    lmbench_workload,
+)
+
+
+def test_twenty_benchmarks_in_paper_order():
+    assert len(LMBENCH_BENCHMARKS) == 20
+    assert LMBENCH_BENCHMARKS[0].name == "null"
+    assert LMBENCH_BENCHMARKS[-1].name == "sig_dispatch"
+
+
+def test_all_benchmarks_have_paper_latencies():
+    assert set(PAPER_LATENCIES_US) == {b.name for b in LMBENCH_BENCHMARKS}
+
+
+def test_table3_subset():
+    names = [b.name for b in TABLE3_BENCHMARKS]
+    assert len(names) == 12
+    assert "select_tcp" in names
+    assert "fork/exit" not in names  # not retpoline-sensitive
+
+
+def test_workload_ops_inverse_to_latency():
+    workload = lmbench_workload(ops_scale=1.0)
+    ops = {bench.name: count for bench, count in workload.components}
+    # cheap ops run orders of magnitude more often than expensive ones
+    assert ops["null"] > 100 * ops["fork/shell"]
+    assert ops["page_fault"] > ops["select_tcp"]
+    assert all(count >= 1 for count in ops.values())
+
+
+def test_workload_scale_parameter():
+    big = lmbench_workload(ops_scale=1.0)
+    small = lmbench_workload(ops_scale=0.1)
+    total_big = sum(c for _, c in big.components)
+    total_small = sum(c for _, c in small.components)
+    assert total_small < total_big
+
+
+def test_every_bench_maps_to_registered_syscall(small_kernel):
+    for bench in LMBENCH_BENCHMARKS:
+        for syscall, _ in bench.syscalls:
+            assert syscall in small_kernel.syscalls, syscall

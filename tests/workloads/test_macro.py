@@ -1,0 +1,66 @@
+"""Macrobenchmark throughput models."""
+
+import pytest
+
+from repro.core.config import PibeConfig
+from repro.core.pipeline import PibePipeline
+from repro.hardening.defenses import DefenseConfig
+from repro.workloads.macro import (
+    ALL_MACROBENCHMARKS,
+    APACHE,
+    DBENCH,
+    NGINX,
+    measure_throughput,
+)
+
+
+def test_three_applications_defined():
+    assert [m.name for m in ALL_MACROBENCHMARKS] == [
+        "Nginx",
+        "Apache",
+        "DBench",
+    ]
+    assert NGINX.unit == "req/sec"
+    assert DBENCH.unit == "MB/sec"
+
+
+def test_throughput_measurement(small_kernel):
+    result = measure_throughput(small_kernel, NGINX, batches=5)
+    assert result.throughput > 0
+    assert result.kernel_cycles_per_unit > 0
+    assert result.app == "Nginx"
+
+
+def test_defenses_degrade_throughput(small_kernel):
+    pipeline = PibePipeline(small_kernel)
+    vanilla = pipeline.build_variant(PibeConfig.lto_baseline())
+    hardened = pipeline.build_variant(
+        PibeConfig.hardened(DefenseConfig.all_defenses())
+    )
+    base = measure_throughput(vanilla.module, NGINX, batches=5)
+    slow = measure_throughput(hardened.module, NGINX, batches=5)
+    degradation = slow.degradation_vs(base)
+    assert degradation < -0.15  # large hit without optimization
+
+
+def test_nginx_more_kernel_sensitive_than_apache(small_kernel):
+    pipeline = PibePipeline(small_kernel)
+    vanilla = pipeline.build_variant(PibeConfig.lto_baseline())
+    hardened = pipeline.build_variant(
+        PibeConfig.hardened(DefenseConfig.all_defenses())
+    )
+    results = {}
+    for app in (NGINX, APACHE):
+        base = measure_throughput(vanilla.module, app, batches=5)
+        slow = measure_throughput(hardened.module, app, batches=5)
+        results[app.name] = slow.degradation_vs(base)
+    # Apache's heavier userspace share dilutes kernel overhead (Table 7)
+    assert results["Nginx"] < results["Apache"] < 0
+
+
+def test_degradation_vs_zero_baseline():
+    from repro.workloads.macro import ThroughputResult
+
+    zero = ThroughputResult("x", "u", 0.0, 0.0, 0.0)
+    other = ThroughputResult("x", "u", 10.0, 1.0, 1.0)
+    assert other.degradation_vs(zero) == 0.0

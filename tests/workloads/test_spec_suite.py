@@ -1,0 +1,62 @@
+"""SPEC-like userspace suite (Table 1's right column)."""
+
+import pytest
+
+from repro.hardening.defenses import DefenseConfig
+from repro.ir.validate import validate_module
+from repro.workloads.spec import (
+    SPEC_COMPONENTS,
+    build_spec_module,
+    geomean_slowdown,
+    measure_spec_slowdown,
+)
+
+
+def test_module_builds_and_validates():
+    module = build_spec_module()
+    validate_module(module)
+    for comp in SPEC_COMPONENTS:
+        assert f"run_{comp.name}" in module
+
+
+def test_slowdown_ordering_matches_table1():
+    iterations = 15
+    retpolines = geomean_slowdown(
+        measure_spec_slowdown(
+            DefenseConfig.retpolines_only(), iterations=iterations
+        )
+    )
+    retret = geomean_slowdown(
+        measure_spec_slowdown(
+            DefenseConfig.ret_retpolines_only(), iterations=iterations
+        )
+    )
+    all_def = geomean_slowdown(
+        measure_spec_slowdown(
+            DefenseConfig.all_defenses(), iterations=iterations
+        )
+    )
+    # paper: retpolines 16.1% < return retpolines 23.2% < all 62.0%
+    assert 0.05 < retpolines < retret < all_def
+    assert all_def > 0.35
+
+
+def test_memory_bound_components_barely_slow_down():
+    slowdowns = measure_spec_slowdown(
+        DefenseConfig.retpolines_only(), iterations=10
+    )
+    # libquantum has no indirect calls at all
+    assert slowdowns["libquantum"] == pytest.approx(0.0, abs=0.01)
+    assert slowdowns["perlbench"] > slowdowns["libquantum"]
+
+
+def test_vcall_heavy_components_hit_hardest_by_retpolines():
+    slowdowns = measure_spec_slowdown(
+        DefenseConfig.retpolines_only(), iterations=10
+    )
+    assert slowdowns["omnetpp"] > slowdowns["gcc"]
+
+
+def test_geomean_slowdown_math():
+    assert geomean_slowdown({"a": 0.21, "b": 0.21}) == pytest.approx(0.21)
+    assert geomean_slowdown({}) == 0.0
