@@ -1,0 +1,95 @@
+"""Execution-engine micro-benchmark: reference interpreter vs compiled.
+
+Runs the same syscall mix through both engines, checks the event streams
+agree in volume, and records wall time + events/sec to ``BENCH_engine.json``
+at the repo root so the engine's perf trajectory is tracked across
+commits (the JSON is a single flat record, easy to diff or plot).
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.engine.compiled import ENGINE_VERSION, ENGINES, create_interpreter
+from repro.engine.trace import TraceSink
+from repro.kernel.generator import build_kernel
+from repro.kernel.spec import SmallSpec
+
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+#: (syscall, invocations) mix — read/write heavy like the LMBench profile.
+SYSCALL_MIX = (
+    ("read", 400),
+    ("write", 400),
+    ("stat", 150),
+    ("open", 100),
+    ("select_file", 60),
+    ("mmap", 60),
+    ("pipe", 100),
+)
+
+
+class EventCounter(TraceSink):
+    """Counts every delivered trace event (the engine's unit of work)."""
+
+    def __init__(self) -> None:
+        self.events = 0
+
+    def on_enter(self, func):
+        self.events += 1
+
+    def on_mix(self, arith, load, store, cmp, fence, br):
+        self.events += 1
+
+    def on_call(self, inst, caller, callee):
+        self.events += 1
+
+    def on_icall(self, inst, caller, callee):
+        self.events += 1
+
+    def on_ret(self, inst, func):
+        self.events += 1
+
+    def on_ijump(self, inst, func):
+        self.events += 1
+
+
+def _run_engine(module, engine: str) -> dict:
+    counter = EventCounter()
+    interp = create_interpreter(module, [counter], seed=13, engine=engine)
+    start = time.perf_counter()
+    for syscall, times in SYSCALL_MIX:
+        interp.run_syscall(syscall, times=times)
+    seconds = time.perf_counter() - start
+    return {
+        "seconds": round(seconds, 4),
+        "events": counter.events,
+        "events_per_sec": round(counter.events / seconds),
+    }
+
+
+def test_engine_throughput():
+    module = build_kernel(SmallSpec())
+    results = {engine: _run_engine(module, engine) for engine in ENGINES}
+    reference, compiled = results["reference"], results["compiled"]
+
+    # same module, same seed -> same work, whatever the wall time
+    assert compiled["events"] == reference["events"]
+    speedup = reference["seconds"] / compiled["seconds"]
+
+    record = {
+        "benchmark": "engine_throughput",
+        "engine_version": ENGINE_VERSION,
+        "kernel": "SmallSpec",
+        "syscalls": sum(times for _, times in SYSCALL_MIX),
+        "reference": reference,
+        "compiled": compiled,
+        "speedup": round(speedup, 2),
+    }
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(f"\nengine micro-benchmark ({RECORD_PATH.name}):")
+    print(json.dumps(record, indent=2))
+
+    # the compiled engine exists to be faster; flag regressions loudly but
+    # leave headroom for noisy CI machines
+    assert speedup > 1.2

@@ -90,10 +90,10 @@ class BranchStatsCollector(TraceSink):
 
 def collect_branch_stats(module, syscalls, ops=50, seed=5) -> BranchStats:
     """Run the given syscalls and return their aggregate branch stats."""
-    from repro.engine.interpreter import Interpreter
+    from repro.engine.compiled import create_interpreter
 
     collector = BranchStatsCollector()
-    interpreter = Interpreter(module, [collector], seed=seed)
+    interpreter = create_interpreter(module, [collector], seed=seed)
     for syscall in syscalls:
         interpreter.run_syscall(syscall, times=ops)
     return collector.stats

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional
 
 from repro.cpu.costs import DEFAULT_COSTS, CostModel
 from repro.cpu.timing import TimingModel
-from repro.engine.interpreter import Interpreter
+from repro.engine.compiled import create_interpreter
 from repro.ir.function import Function
 from repro.ir.instruction import Instruction
 from repro.ir.module import Module
@@ -111,7 +111,7 @@ def collect_hotspots(
 ) -> List[Hotspot]:
     """Run the given syscalls and return functions ranked by self cycles."""
     profiler = HotspotProfiler(module, costs=costs)
-    interpreter = Interpreter(module, [profiler], seed=seed)
+    interpreter = create_interpreter(module, [profiler], seed=seed)
     for syscall in syscalls:
         interpreter.run_syscall(syscall, times=ops)
     grand_total = max(sum(profiler.self_cycles.values()), 1e-9)

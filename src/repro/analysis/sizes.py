@@ -43,9 +43,10 @@ def text_size_bytes(module: Module) -> int:
     for func in module:
         units += func.size()
         for inst in func.instructions():
-            if inst.defense is not None:
+            tag = inst.attrs.get("defense")
+            if tag is not None:
                 units += site_expansion_units(inst)
-                tags.add(inst.defense)
+                tags.add(tag)
     for thunk in required_thunks(sorted(tags)):
         units += THUNK_UNITS[thunk]
     return units * INSTRUCTION_SIZE_BYTES

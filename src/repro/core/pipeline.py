@@ -11,12 +11,12 @@ harden every remaining indirect branch with the requested defenses.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.core.config import PibeConfig
 from repro.hardening.harden import HardeningPass
+from repro.ir.clone import clone_module
 from repro.ir.module import Module
 from repro.ir.validate import validate_module
 from repro.passes.default_inliner import DefaultInliner
@@ -25,6 +25,7 @@ from repro.passes.inliner import PibeInliner
 from repro.passes.jumptables import LowerSwitches
 from repro.passes.lto import DeadFunctionElimination, SimplifyCFG
 from repro.passes.manager import ModulePass, PassManager
+from repro.engine.compiled import DEFAULT_ENGINE
 from repro.profiling.lifting import lift_profile
 from repro.profiling.profile_data import EdgeProfile
 from repro.workloads.base import Workload, profile_workload
@@ -64,15 +65,17 @@ class PibePipeline:
         iterations: int = 11,
         ops_scale: float = 1.0,
         seed: int = 3,
+        engine: str = DEFAULT_ENGINE,
     ) -> EdgeProfile:
         """Run the profiling build and return merged edge counts."""
-        profiling_build = copy.deepcopy(self.baseline)
+        profiling_build = clone_module(self.baseline)
         return profile_workload(
             profiling_build,
             workload,
             iterations=iterations,
             seed=seed,
             ops_scale=ops_scale,
+            engine=engine,
         )
 
     # -- phase 2: optimization + hardening ----------------------------------------
@@ -94,7 +97,7 @@ class PibePipeline:
                 f"config {config.label()!r} needs a profile for its "
                 "optimization budgets"
             )
-        module = copy.deepcopy(self.baseline)
+        module = clone_module(self.baseline)
 
         passes: List[ModulePass] = [
             LowerSwitches(

@@ -6,7 +6,8 @@ per-defense flat charges (Table 1) and i-cache locality.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
+from weakref import WeakKeyDictionary
 
 from repro.cpu.btb import BTB
 from repro.cpu.costs import DEFAULT_COSTS, CostModel, NONTRANSIENT_COSTS
@@ -25,9 +26,25 @@ def function_footprint_bytes(func: Function) -> int:
     """Lowered code footprint: IR size plus defense expansion."""
     units = func.size()
     for inst in func.instructions():
-        if inst.defense is not None:
+        if inst.attrs.get("defense") is not None:
             units += site_expansion_units(inst)
     return units * INSTRUCTION_SIZE_BYTES
+
+
+#: Footprints shared by every TimingModel over the same module build —
+#: keyed by module identity, discarded when ``module.version`` moves.
+_FOOTPRINT_CACHE: "WeakKeyDictionary[Module, Tuple[int, Dict[str, int]]]" = (
+    WeakKeyDictionary()
+)
+
+
+def _module_footprints(module: Module) -> Dict[str, int]:
+    version = getattr(module, "version", 0)
+    entry = _FOOTPRINT_CACHE.get(module)
+    if entry is None or entry[0] != version:
+        entry = (version, {})
+        _FOOTPRINT_CACHE[module] = entry
+    return entry[1]
 
 
 class TimingModel(TraceSink):
@@ -101,10 +118,17 @@ class TimingModel(TraceSink):
     # -- footprint resolution ---------------------------------------------
 
     def _footprint(self, name: str) -> int:
-        func = self.module.functions.get(name)
-        if func is None:
-            return INSTRUCTION_SIZE_BYTES
-        return function_footprint_bytes(func)
+        shared = _module_footprints(self.module)
+        fp = shared.get(name)
+        if fp is None:
+            func = self.module.functions.get(name)
+            fp = (
+                INSTRUCTION_SIZE_BYTES
+                if func is None
+                else function_footprint_bytes(func)
+            )
+            shared[name] = fp
+        return fp
 
     # -- trace sink callbacks -----------------------------------------------
 
@@ -155,7 +179,7 @@ class TimingModel(TraceSink):
         is_vcall = bool(inst.attrs.get(ATTR_VCALL))
         if is_vcall:
             self.cycles += c.vcall_extra_load
-        tag = inst.defense
+        tag = inst.attrs.get("defense")
         if tag is not None:
             self.counters["defended_icalls"] += 1
             # Defense inhibits target prediction: flat charge, no BTB.
@@ -175,8 +199,9 @@ class TimingModel(TraceSink):
     def on_ret(self, inst: Instruction, func: Function) -> None:
         self.counters["rets"] += 1
         c = self.costs
-        actual = self._call_stack.pop() if self._call_stack else -1
-        tag = inst.defense
+        stack = self._call_stack
+        actual = stack.pop() if stack else -1
+        tag = inst.attrs.get("defense")
         if tag is not None:
             self.counters["defended_rets"] += 1
             # Defended returns do not consult the RSB for prediction; keep
@@ -193,7 +218,7 @@ class TimingModel(TraceSink):
     def on_ijump(self, inst: Instruction, func: Function) -> None:
         self.counters["ijumps"] += 1
         c = self.costs
-        tag = inst.defense
+        tag = inst.attrs.get("defense")
         if tag is not None:
             self.cycles += c.ijump_predicted + self._charge_defense(tag)
         else:

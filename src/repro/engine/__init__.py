@@ -1,17 +1,41 @@
-"""Trace-driven IR execution engine."""
+"""Trace-driven IR execution engines.
+
+Two tiers share one event contract: the tree-walking reference
+:class:`Interpreter` (the semantic oracle) and the precompiling
+:class:`CompiledInterpreter` (the production engine). Select via
+:func:`create_interpreter`'s ``engine=`` knob; event streams are
+identical per seed, so profiles and timings never depend on the choice.
+"""
 
 from repro.engine.behavior import (
     LoopState,
     branch_taken,
+    cumulative_weights,
     expected_counts,
     guard_probabilities,
+    pick_index,
     residual_distribution,
     weighted_choice,
+)
+from repro.engine.compiled import (
+    DEFAULT_ENGINE,
+    ENGINE_VERSION,
+    ENGINES,
+    CompiledInterpreter,
+    CompiledProgram,
+    compile_module,
+    compiled_program,
+    create_interpreter,
 )
 from repro.engine.interpreter import ExecutionError, ExecutionLimits, Interpreter
 from repro.engine.trace import TraceRecorder, TraceSink
 
 __all__ = [
+    "CompiledInterpreter",
+    "CompiledProgram",
+    "DEFAULT_ENGINE",
+    "ENGINES",
+    "ENGINE_VERSION",
     "ExecutionError",
     "ExecutionLimits",
     "Interpreter",
@@ -19,8 +43,13 @@ __all__ = [
     "TraceRecorder",
     "TraceSink",
     "branch_taken",
+    "compile_module",
+    "compiled_program",
+    "create_interpreter",
+    "cumulative_weights",
     "expected_counts",
     "guard_probabilities",
+    "pick_index",
     "residual_distribution",
     "weighted_choice",
 ]

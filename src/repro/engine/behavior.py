@@ -10,7 +10,38 @@ target distribution without interpreter special-casing.
 from __future__ import annotations
 
 import random
+from bisect import bisect_right
 from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def cumulative_weights(weights: Sequence[float]) -> Tuple[List[float], float]:
+    """Running-sum form of a weight sequence: ``(cumulative, total)``.
+
+    The cumulative array is what :func:`pick_index` bisects; building it
+    once per site (instead of per execution) is the compiled engine's
+    target-selection fast path.
+    """
+    cum: List[float] = []
+    acc = 0.0
+    for w in weights:
+        if w < 0:
+            raise ValueError("negative weight in distribution")
+        acc += w
+        cum.append(acc)
+    return cum, acc
+
+
+def pick_index(rng: random.Random, cum: Sequence[float], total: float) -> int:
+    """Sample an index with probability proportional to its weight.
+
+    Draws exactly one ``rng.random()`` and selects the first index whose
+    cumulative weight exceeds the draw — bit-identical to iterating
+    :func:`weighted_choice` over the same weights in the same order.
+    """
+    idx = bisect_right(cum, rng.random() * total)
+    if idx >= len(cum):  # floating-point edge: clamp to the final index
+        idx = len(cum) - 1
+    return idx
 
 
 def weighted_choice(rng: random.Random, dist: Dict[str, int]) -> str:

@@ -1,0 +1,510 @@
+"""Compiled execution engine: precompiled CFG walking.
+
+The reference interpreter (:mod:`repro.engine.interpreter`) dispatches on
+every instruction's opcode, re-derives indirect-target distributions per
+execution, and resolves successor blocks through label dictionaries. This
+module applies PIBE's own lesson — move cost out of the hot path ahead of
+time — to the engine itself: a precompilation pass flattens each basic
+block into a :class:`CompiledBlock` whose straight-line instruction runs
+collapse to precomputed mix counts, whose direct calls carry pre-resolved
+callee references, whose stochastic points (icall/switch/ijump targets)
+carry cumulative-weight arrays ready for ``bisect``, and whose terminator
+is a single tuple descriptor with direct successor-block references.
+
+:class:`CompiledInterpreter` then replays a compiled program emitting the
+**bit-identical event stream** the reference interpreter would emit for
+the same ``(module, entry, seed)`` — every sink callback, every RNG draw,
+every error, in the same order. The differential tests in
+``tests/engine/test_compiled.py`` pin that equivalence; the reference
+engine stays the semantic oracle.
+
+Compiled programs are cached per :class:`~repro.ir.module.Module` and
+invalidated through the module's ``version`` counter, which every
+transformation pass bumps (see :class:`~repro.passes.manager.PassManager`).
+Mutating IR by hand after a run requires an explicit
+``module.bump_version()``.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.behavior import LoopState, cumulative_weights, pick_index
+from repro.engine.interpreter import ExecutionError, Interpreter
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.types import (
+    ATTR_CASE_WEIGHTS,
+    ATTR_P_TAKEN,
+    ATTR_TARGETS,
+    ATTR_TRIP,
+    Opcode,
+)
+
+#: Bumped whenever engine semantics change in a way that affects emitted
+#: event streams or measured numbers. Part of every disk-cache key, so a
+#: stale ``.repro-cache/`` can never serve results from older semantics.
+ENGINE_VERSION = "engine-v1"
+
+# Step kinds (first element of a step tuple).
+STEP_MIX = 0  # (0, arith, load, store, cmp, fence)
+STEP_CALL = 1  # (1, inst, callee_cfunc_or_None)
+STEP_ICALL = 2  # (2, inst, site_id, dist, names, cum, total)
+
+# Terminator kinds (first element of a terminator tuple).
+TERM_RET = 0  # (0, inst)
+TERM_JMP = 1  # (1, succ)
+TERM_BR = 2  # (2, label, p_taken, trip, taken_succ, fall_succ)
+TERM_SWITCH = 3  # (3, succs, cum, total)
+TERM_IJUMP = 4  # (4, inst, succs_or_None, cum, total)
+TERM_MISSING = 5  # (5,)  — unterminated block, error on execution
+
+
+class CompiledBlock:
+    """One basic block flattened for execution.
+
+    ``steps`` holds the non-terminator work (mix batches, calls), ``term``
+    the single terminator descriptor, and ``charge`` the number of
+    instructions one traversal of this block executes (terminator index
+    plus one — dead code after an early terminator is never compiled).
+    """
+
+    __slots__ = ("label", "steps", "term", "charge")
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.steps: Tuple[tuple, ...] = ()
+        self.term: tuple = (TERM_MISSING,)
+        self.charge = 0
+
+    def __repr__(self) -> str:
+        return f"<CompiledBlock {self.label} steps={len(self.steps)}>"
+
+
+class CompiledFunction:
+    """A function compiled to linked :class:`CompiledBlock`s."""
+
+    __slots__ = ("func", "entry", "blocks", "has_trips", "leaf")
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        self.blocks: Dict[str, CompiledBlock] = {
+            label: CompiledBlock(label) for label in func.blocks
+        }
+        self.entry: Optional[CompiledBlock] = (
+            self.blocks[func.entry_label]
+            if func.entry_label is not None
+            else None
+        )
+        self.has_trips = False
+        #: ``(mix_step_or_None, ret_inst, charge)`` when the entry block is
+        #: a pure straight-line leaf (mix + ret, no calls, no RNG) — the
+        #: most common dynamic shape, executed via a dedicated fast path.
+        self.leaf: Optional[tuple] = None
+
+    @property
+    def name(self) -> str:
+        return self.func.name
+
+    def __repr__(self) -> str:
+        return f"<CompiledFunction {self.name} blocks={len(self.blocks)}>"
+
+
+class CompiledProgram:
+    """All of a module's functions in compiled form, plus the module
+    version the compilation is valid for."""
+
+    __slots__ = ("functions", "version", "__weakref__")
+
+    def __init__(self, functions: Dict[str, CompiledFunction], version: int) -> None:
+        self.functions = functions
+        self.version = version
+
+    def __repr__(self) -> str:
+        return (
+            f"<CompiledProgram functions={len(self.functions)} "
+            f"version={self.version}>"
+        )
+
+
+def _weighted_picker(
+    labels: Sequence[str], weights: Optional[Sequence[float]]
+) -> Tuple[Optional[Tuple[float, ...]], float]:
+    """Precompute the cumulative-weight array for a multiway pick.
+
+    Returns ``(None, 0.0)`` when the pick must fall back to a uniform
+    ``rng.choice`` — no weights, or a zero total — matching
+    ``Interpreter._pick_case`` branch-for-branch so RNG consumption is
+    identical.
+    """
+    if not weights:
+        return None, 0.0
+    cum, total = cumulative_weights(weights)
+    if total <= 0:
+        return None, 0.0
+    return tuple(cum), total
+
+
+def _compile_block(
+    block: BasicBlock,
+    cfunc: CompiledFunction,
+    functions: Dict[str, CompiledFunction],
+) -> None:
+    """Fill ``cfunc.blocks[block.label]`` from the IR block."""
+    out = cfunc.blocks[block.label]
+    steps: List[tuple] = []
+    n_arith = n_load = n_store = n_cmp = n_fence = 0
+
+    def flush_mix() -> None:
+        nonlocal n_arith, n_load, n_store, n_cmp, n_fence
+        if n_arith or n_load or n_store or n_cmp or n_fence:
+            steps.append((STEP_MIX, n_arith, n_load, n_store, n_cmp, n_fence))
+            n_arith = n_load = n_store = n_cmp = n_fence = 0
+
+    term: Optional[tuple] = None
+    charge = 0
+    blocks = cfunc.blocks
+    for inst in block.instructions:
+        charge += 1
+        op = inst.opcode
+        if op is Opcode.ARITH:
+            n_arith += 1
+        elif op is Opcode.LOAD:
+            n_load += 1
+        elif op is Opcode.STORE:
+            n_store += 1
+        elif op is Opcode.CMP:
+            n_cmp += 1
+        elif op is Opcode.FENCE:
+            n_fence += 1
+        elif op is Opcode.CALL:
+            flush_mix()
+            # Pre-resolve the callee; a dangling name stays None and
+            # raises at execution time, exactly like the reference.
+            steps.append((STEP_CALL, inst, functions.get(inst.callee)))
+        elif op is Opcode.ICALL:
+            flush_mix()
+            dist = inst.attrs.get(ATTR_TARGETS)
+            if dist:
+                names = tuple(dist)
+                cum, total = cumulative_weights(dist.values())
+            else:
+                names, cum, total = (), [], 0.0
+            steps.append(
+                (STEP_ICALL, inst, inst.site_id, dist, names, tuple(cum), total)
+            )
+        elif op is Opcode.RET:
+            term = (TERM_RET, inst)
+            break
+        elif op is Opcode.JMP:
+            term = (TERM_JMP, blocks[inst.targets[0]])
+            break
+        elif op is Opcode.BR:
+            trip = inst.attrs.get(ATTR_TRIP)
+            if trip is not None:
+                cfunc.has_trips = True
+            term = (
+                TERM_BR,
+                block.label,
+                inst.attrs.get(ATTR_P_TAKEN, 0.5),
+                trip,
+                blocks[inst.targets[0]],
+                blocks[inst.targets[1]],
+            )
+            break
+        elif op is Opcode.SWITCH:
+            cum, total = _weighted_picker(
+                inst.targets, inst.attrs.get(ATTR_CASE_WEIGHTS)
+            )
+            term = (
+                TERM_SWITCH,
+                tuple(blocks[t] for t in inst.targets),
+                cum,
+                total,
+            )
+            break
+        elif op is Opcode.IJUMP:
+            if inst.targets:
+                cum, total = _weighted_picker(
+                    inst.targets, inst.attrs.get(ATTR_CASE_WEIGHTS)
+                )
+                succs: Optional[tuple] = tuple(
+                    blocks[t] for t in inst.targets
+                )
+            else:
+                succs, cum, total = None, None, 0.0
+            term = (TERM_IJUMP, inst, succs, cum, total)
+            break
+        else:  # pragma: no cover - exhaustive over Opcode
+            raise ExecutionError(f"unhandled opcode {op!r}")
+    flush_mix()
+    out.steps = tuple(steps)
+    out.term = term if term is not None else (TERM_MISSING,)
+    out.charge = charge
+
+
+def compile_module(module: Module) -> CompiledProgram:
+    """Compile every function of ``module`` into a linked program."""
+    functions = {
+        name: CompiledFunction(func)
+        for name, func in module.functions.items()
+    }
+    for cfunc in functions.values():
+        for block in cfunc.func.blocks.values():
+            _compile_block(block, cfunc, functions)
+        entry = cfunc.entry
+        if (
+            entry is not None
+            and entry.term[0] == TERM_RET
+            and len(entry.steps) <= 1
+            and all(s[0] == STEP_MIX for s in entry.steps)
+        ):
+            mix = entry.steps[0] if entry.steps else None
+            cfunc.leaf = (mix, entry.term[1], entry.charge)
+    return CompiledProgram(functions, getattr(module, "version", 0))
+
+
+_PROGRAM_CACHE: "weakref.WeakKeyDictionary[Module, CompiledProgram]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def compiled_program(module: Module) -> CompiledProgram:
+    """The module's compiled program, recompiling when ``module.version``
+    has moved past the cached compilation."""
+    program = _PROGRAM_CACHE.get(module)
+    if program is None or program.version != getattr(module, "version", 0):
+        program = compile_module(module)
+        _PROGRAM_CACHE[module] = program
+    return program
+
+
+class CompiledInterpreter(Interpreter):
+    """Drop-in :class:`Interpreter` executing compiled programs.
+
+    Construction, sinks, seeding and limits are inherited; only the
+    execution core differs. Event streams (and therefore profiles and
+    timings) are identical to the reference engine per seed.
+    """
+
+    _functions: Dict[str, CompiledFunction] = {}
+
+    def run_function(self, name: str, times: int = 1) -> None:
+        if name not in self.module:
+            raise ExecutionError(f"unknown function {name!r}")
+        self._last_target.clear()
+        program = compiled_program(self.module)
+        self._functions = program.functions
+        cfunc = program.functions[name]
+        for _ in range(times):
+            self._steps = 0
+            for sink in self.sinks:
+                sink.on_run_start(name)
+            self._execute_compiled(cfunc, 0)
+            for sink in self.sinks:
+                sink.on_run_end(name)
+
+    # -- compiled execution core ------------------------------------------
+
+    def _execute_compiled(self, cfunc: CompiledFunction, depth: int) -> None:
+        limits = self.limits
+        if depth > limits.max_depth:
+            raise ExecutionError(
+                f"call depth exceeded {limits.max_depth} in @{cfunc.name}"
+            )
+        func = cfunc.func
+        sinks = self.sinks
+        leaf = cfunc.leaf
+        if leaf is not None:
+            # Straight-line mix + ret: same events as the general loop
+            # (enter, flushed mix, ret), no RNG, fixed charge.
+            mix, ret_inst, charge = leaf
+            for sink in sinks:
+                sink.on_enter(func)
+            if mix is not None:
+                for sink in sinks:
+                    sink.on_mix(mix[1], mix[2], mix[3], mix[4], mix[5], 0)
+            for sink in sinks:
+                sink.on_ret(ret_inst, func)
+            self._steps += charge
+            if self._steps > limits.max_steps:
+                raise ExecutionError(
+                    f"step limit {limits.max_steps} exceeded "
+                    f"(runaway loop in @{func.name}?)"
+                )
+            return
+        for sink in sinks:
+            sink.on_enter(func)
+
+        rng = self.rng
+        rand = rng.random
+        functions = self._functions
+        last_target = self._last_target
+        stickiness = self.target_stickiness
+        loops = LoopState() if cfunc.has_trips else None
+        max_steps = limits.max_steps
+        block = cfunc.entry
+        if block is None:
+            raise ValueError(f"function {func.name!r} has no blocks")
+        n_arith = n_load = n_store = n_cmp = n_fence = n_br = 0
+
+        while True:
+            for step in block.steps:
+                kind = step[0]
+                if kind == STEP_MIX:
+                    n_arith += step[1]
+                    n_load += step[2]
+                    n_store += step[3]
+                    n_cmp += step[4]
+                    n_fence += step[5]
+                    continue
+                # call-like step: flush the accumulated mix first
+                if n_arith or n_load or n_store or n_cmp or n_fence or n_br:
+                    for sink in sinks:
+                        sink.on_mix(
+                            n_arith, n_load, n_store, n_cmp, n_fence, n_br
+                        )
+                    n_arith = n_load = n_store = n_cmp = n_fence = n_br = 0
+                if kind == STEP_CALL:
+                    callee = step[2]
+                    if callee is None:
+                        raise ExecutionError(
+                            f"call to undefined @{step[1].callee} "
+                            f"in @{func.name}"
+                        )
+                    inst = step[1]
+                    for sink in sinks:
+                        sink.on_call(inst, func, callee.func)
+                    self._execute_compiled(callee, depth + 1)
+                else:  # STEP_ICALL
+                    _, inst, site, dist, names, cum, total = step
+                    if not dist:
+                        raise ExecutionError(
+                            f"icall without targets in @{func.name}"
+                        )
+                    last = last_target.get(site) if site is not None else None
+                    if (
+                        last is not None
+                        and last in dist
+                        and rand() < stickiness
+                    ):
+                        target = last
+                    elif total <= 0:
+                        raise ValueError(
+                            "distribution has zero total weight"
+                        )
+                    else:
+                        target = names[pick_index(rng, cum, total)]
+                    if site is not None:
+                        last_target[site] = target
+                    ctarget = functions.get(target)
+                    if ctarget is None:
+                        raise ExecutionError(
+                            f"icall resolved to undefined @{target} "
+                            f"in @{func.name}"
+                        )
+                    for sink in sinks:
+                        sink.on_icall(inst, func, ctarget.func)
+                    self._execute_compiled(ctarget, depth + 1)
+
+            term = block.term
+            kind = term[0]
+            returned = False
+            next_block: Optional[CompiledBlock] = None
+            if kind == TERM_BR:
+                n_br += 1
+                trip = term[3]
+                if trip is not None:
+                    taken = loops.take_back_edge(term[1], trip)
+                else:
+                    p = term[2]
+                    if p >= 1.0:
+                        taken = True
+                    elif p <= 0.0:
+                        taken = False
+                    else:
+                        taken = rand() < p
+                next_block = term[4] if taken else term[5]
+            elif kind == TERM_JMP:
+                next_block = term[1]
+            else:
+                # RET / SWITCH / IJUMP all flush before acting.
+                if n_arith or n_load or n_store or n_cmp or n_fence or n_br:
+                    for sink in sinks:
+                        sink.on_mix(
+                            n_arith, n_load, n_store, n_cmp, n_fence, n_br
+                        )
+                    n_arith = n_load = n_store = n_cmp = n_fence = n_br = 0
+                if kind == TERM_RET:
+                    for sink in sinks:
+                        sink.on_ret(term[1], func)
+                    returned = True
+                elif kind == TERM_SWITCH:
+                    _, succs, cum, total = term
+                    if cum is not None:
+                        next_block = succs[pick_index(rng, cum, total)]
+                    else:
+                        next_block = rng.choice(succs)
+                elif kind == TERM_IJUMP:
+                    _, inst, succs, cum, total = term
+                    for sink in sinks:
+                        sink.on_ijump(inst, func)
+                    if succs is None:
+                        # opaque indirect tail transfer (inline asm)
+                        returned = True
+                    elif cum is not None:
+                        next_block = succs[pick_index(rng, cum, total)]
+                    else:
+                        next_block = rng.choice(succs)
+                else:  # TERM_MISSING
+                    self._steps += block.charge
+                    raise ExecutionError(
+                        f"block {block.label!r} in @{func.name} "
+                        "is unterminated"
+                    )
+            self._steps += block.charge
+            if self._steps > max_steps:
+                raise ExecutionError(
+                    f"step limit {max_steps} exceeded "
+                    f"(runaway loop in @{func.name}?)"
+                )
+            if returned:
+                return
+            block = next_block
+
+
+#: Engine registry: name -> interpreter class. ``reference`` is the
+#: semantic oracle; ``compiled`` is the production engine.
+ENGINES = {
+    "reference": Interpreter,
+    "compiled": CompiledInterpreter,
+}
+
+#: Engine used when callers do not specify one.
+DEFAULT_ENGINE = "compiled"
+
+
+def create_interpreter(
+    module: Module,
+    sinks=(),
+    seed: int = 0,
+    limits=None,
+    target_stickiness: float = 0.85,
+    engine: str = DEFAULT_ENGINE,
+) -> Interpreter:
+    """Instantiate the selected execution engine over ``module``."""
+    try:
+        cls = ENGINES[engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {engine!r}; choose from {sorted(ENGINES)}"
+        ) from None
+    return cls(
+        module,
+        sinks,
+        seed=seed,
+        limits=limits,
+        target_stickiness=target_stickiness,
+    )

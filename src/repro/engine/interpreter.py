@@ -12,7 +12,13 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterable, List, Optional
 
-from repro.engine.behavior import LoopState, branch_taken, weighted_choice
+from repro.engine.behavior import (
+    LoopState,
+    branch_taken,
+    cumulative_weights,
+    pick_index,
+    weighted_choice,
+)
 from repro.engine.trace import TraceSink
 from repro.ir.function import Function
 from repro.ir.instruction import Instruction
@@ -92,6 +98,10 @@ class Interpreter:
     def run_function(self, name: str, times: int = 1) -> None:
         if name not in self.module:
             raise ExecutionError(f"unknown function {name!r}")
+        # Each run starts with cold per-site target history: back-to-back
+        # runs on one interpreter are independent and per-seed
+        # deterministic regardless of what ran before.
+        self._last_target.clear()
         func = self.module.get(name)
         for _ in range(times):
             self._steps = 0
@@ -127,15 +137,11 @@ class Interpreter:
                 n_arith = n_load = n_store = n_cmp = n_fence = n_br = 0
 
         while True:
-            self._steps += len(block.instructions)
-            if self._steps > self.limits.max_steps:
-                raise ExecutionError(
-                    f"step limit {self.limits.max_steps} exceeded "
-                    f"(runaway loop in @{func.name}?)"
-                )
             next_label: Optional[str] = None
             returned = False
+            executed = 0
             for inst in block.instructions:
+                executed += 1
                 op = inst.opcode
                 if op is Opcode.ARITH:
                     n_arith += 1
@@ -225,8 +231,17 @@ class Interpreter:
                     raise ExecutionError(f"unhandled opcode {op!r}")
             else:
                 # fell off an unterminated block
+                self._steps += executed
                 raise ExecutionError(
                     f"block {block.label!r} in @{func.name} is unterminated"
+                )
+            # Charge only the instructions actually executed (a terminator
+            # can exit a block early), so max_steps bounds real work.
+            self._steps += executed
+            if self._steps > self.limits.max_steps:
+                raise ExecutionError(
+                    f"step limit {self.limits.max_steps} exceeded "
+                    f"(runaway loop in @{func.name}?)"
                 )
             if returned:
                 return
@@ -240,9 +255,9 @@ class Interpreter:
     def _pick_case(self, inst: Instruction) -> str:
         weights = inst.attrs.get(ATTR_CASE_WEIGHTS)
         if weights:
-            dist = {
-                label: int(w * 1000) + 1
-                for label, w in zip(inst.targets, weights)
-            }
-            return weighted_choice(self.rng, dist)
+            # Float cumulative weights used directly: no quantization bias,
+            # and zero-weight cases are genuinely never taken.
+            cum, total = cumulative_weights(weights)
+            if total > 0:
+                return inst.targets[pick_index(self.rng, cum, total)]
         return self.rng.choice(list(inst.targets))

@@ -1,0 +1,117 @@
+"""Persistent result cache for the evaluation harness.
+
+Profiling runs and benchmark measurements are deterministic functions of
+(kernel spec, configuration, workload, seed, scale knobs, engine version),
+so their results can be stored on disk and replayed: a warm cache turns a
+multi-minute table regeneration into file reads. Entries live under
+``.repro-cache/<kind>/<sha256>.json``; keys hash a canonical JSON encoding
+of every input that influences the result, so any change — a different
+kernel spec, a new engine version, edited pass behaviour reflected in the
+module fingerprint — lands in a fresh slot rather than serving stale data.
+
+Writes are atomic (temp file + rename) so concurrent workers sharing one
+cache directory never observe torn entries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+#: Default cache directory name, created relative to the working directory.
+CACHE_DIR_NAME = ".repro-cache"
+
+
+def canonicalize(value: Any) -> Any:
+    """Reduce ``value`` to JSON-encodable data with a stable ordering.
+
+    Dataclasses become sorted field dicts, enums their values, sets sorted
+    lists; anything unrecognized falls back to ``repr`` (stable for the
+    config objects used in cache keys, which define no identity-based
+    reprs).
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: canonicalize(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return canonicalize(value.value)
+    if isinstance(value, dict):
+        return {str(k): canonicalize(v) for k, v in sorted(value.items())}
+    if isinstance(value, (frozenset, set)):
+        return sorted(repr(canonicalize(v)) for v in value)
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+def cache_key(*parts: Any) -> str:
+    """Hash arbitrary key material into a filename-safe hex digest."""
+    text = json.dumps(canonicalize(list(parts)), sort_keys=True)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class DiskCache:
+    """A content-addressed JSON store under one root directory.
+
+    Entries are grouped by ``kind`` ("profile", "measure", ...) purely for
+    human inspection; the key hash alone guarantees uniqueness. The cache
+    never evicts — delete the directory to reset.
+    """
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, kind: str, key: str) -> Path:
+        return self.root / kind / f"{key}.json"
+
+    def get(self, kind: str, key: str) -> Optional[Dict[str, Any]]:
+        """Return the stored payload, or ``None`` on a miss.
+
+        A corrupt entry (interrupted write from a pre-atomic version,
+        manual edit) counts as a miss and is left for the next ``put`` to
+        overwrite.
+        """
+        path = self._path(kind, key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, kind: str, key: str, payload: Dict[str, Any]) -> None:
+        """Store ``payload`` atomically (temp file + rename)."""
+        path = self._path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            prefix=f".{key[:12]}-", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                # Preserve payload key order: measurement dicts keep
+                # benchmark order, so warm runs render identically to cold.
+                json.dump(payload, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}

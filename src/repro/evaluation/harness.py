@@ -2,19 +2,38 @@
 caching, so the per-table generators (and the pytest benchmarks wrapping
 them) share one kernel, one profiling run and one measurement per
 configuration.
+
+Two optional accelerators sit on top of the in-memory caches:
+
+- **Disk cache** (``EvalSettings.cache_dir``): profiles and measurements
+  persist under ``.repro-cache/`` keyed by kernel fingerprint, config,
+  workload, seed, scale knobs and engine version, so a repeat run of the
+  same experiment matrix skips profiling and measurement entirely.
+- **Parallel measurement** (:meth:`EvalContext.measure_many`): independent
+  (config, workload) cells fan out over a :class:`ProcessPoolExecutor`
+  and merge deterministically in input order regardless of completion
+  order.
 """
 
 from __future__ import annotations
 
 import functools
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.jumpswitches import JumpSwitchParams, JumpSwitchTimingModel
 from repro.core.config import PibeConfig
 from repro.core.pipeline import BuildResult, PibePipeline
-from repro.engine.interpreter import Interpreter
+from repro.engine.compiled import (
+    DEFAULT_ENGINE,
+    ENGINE_VERSION,
+    create_interpreter,
+)
+from repro.evaluation.cache import DiskCache, cache_key
 from repro.hardening.defenses import DefenseConfig
+from repro.ir.fingerprint import module_fingerprint
 from repro.kernel.generator import build_kernel
 from repro.kernel.spec import DEFAULT_SPEC, KernelSpec
 from repro.profiling.profile_data import EdgeProfile
@@ -32,6 +51,14 @@ class EvalSettings:
     profile_ops_scale: float = 1.0
     measure_ops_scale: float = 0.5
     seed: int = 7
+    #: Execution engine for profiling and measurement runs; the engines
+    #: produce identical event streams per seed, so results don't depend
+    #: on the choice — only wall time does.
+    engine: str = DEFAULT_ENGINE
+    #: Worker processes for :meth:`EvalContext.measure_many` (1 = inline).
+    jobs: int = 1
+    #: Directory for the persistent result cache; ``None`` disables it.
+    cache_dir: Optional[str] = None
 
     @classmethod
     def fast(cls) -> "EvalSettings":
@@ -50,28 +77,68 @@ class EvalContext:
         self.settings = settings or EvalSettings()
         self.kernel = build_kernel(self.settings.spec)
         self.pipeline = PibePipeline(self.kernel)
+        self.cache: Optional[DiskCache] = (
+            DiskCache(Path(self.settings.cache_dir))
+            if self.settings.cache_dir
+            else None
+        )
         self._profiles: Dict[str, EdgeProfile] = {}
         self._variants: Dict[str, BuildResult] = {}
         self._measurements: Dict[str, Dict[str, float]] = {}
+        self._fingerprints: Dict[bool, str] = {}
+
+    def _kernel_fingerprint(self, include_sites: bool) -> str:
+        fp = self._fingerprints.get(include_sites)
+        if fp is None:
+            fp = module_fingerprint(self.kernel, include_sites=include_sites)
+            self._fingerprints[include_sites] = fp
+        return fp
 
     # -- profiles -----------------------------------------------------------
+
+    @staticmethod
+    def _workload(workload_name: str):
+        if workload_name == "lmbench":
+            return lmbench_workload()
+        if workload_name == "apache":
+            return apachebench_workload()
+        raise ValueError(f"unknown workload {workload_name!r}")
 
     def profile(self, workload_name: str = "lmbench") -> EdgeProfile:
         cached = self._profiles.get(workload_name)
         if cached is not None:
             return cached
-        if workload_name == "lmbench":
-            workload = lmbench_workload()
-        elif workload_name == "apache":
-            workload = apachebench_workload()
-        else:
-            raise ValueError(f"unknown workload {workload_name!r}")
+        s = self.settings
+        disk_key = None
+        if self.cache is not None:
+            # Profiles store raw site ids, so the key must be sensitive to
+            # the exact id assignment (include_sites=True): a cached
+            # profile replayed against a kernel with shifted ids would
+            # silently mis-attribute every edge.
+            disk_key = cache_key(
+                "profile",
+                ENGINE_VERSION,
+                s.engine,
+                self._kernel_fingerprint(include_sites=True),
+                workload_name,
+                s.profile_iterations,
+                s.profile_ops_scale,
+                s.seed,
+            )
+            entry = self.cache.get("profile", disk_key)
+            if entry is not None:
+                profile = EdgeProfile.from_dict(entry)
+                self._profiles[workload_name] = profile
+                return profile
         profile = self.pipeline.profile(
-            workload,
-            iterations=self.settings.profile_iterations,
-            ops_scale=self.settings.profile_ops_scale,
-            seed=self.settings.seed,
+            self._workload(workload_name),
+            iterations=s.profile_iterations,
+            ops_scale=s.profile_ops_scale,
+            seed=s.seed,
+            engine=s.engine,
         )
+        if self.cache is not None and disk_key is not None:
+            self.cache.put("profile", disk_key, profile.to_dict())
         self._profiles[workload_name] = profile
         return profile
 
@@ -91,6 +158,47 @@ class EvalContext:
 
     # -- measurements -------------------------------------------------------------
 
+    def _measure_key(
+        self,
+        config: PibeConfig,
+        benches: Tuple[Benchmark, ...],
+        workload_name: str,
+    ) -> str:
+        bench_key = ",".join(b.name for b in benches)
+        workload = workload_name if config.optimized else "-"
+        return f"{config.label()}@{workload}|{bench_key}"
+
+    def _measure_disk_key(
+        self,
+        config: PibeConfig,
+        benches: Tuple[Benchmark, ...],
+        workload_name: str,
+    ) -> Optional[str]:
+        if self.cache is None:
+            return None
+        s = self.settings
+        # Measurements depend on module *structure*, not on the site-id
+        # values themselves (ids are consistent within one build), so the
+        # shape-only fingerprint lets runs in fresh processes share
+        # entries. The training profile's knobs matter only when the
+        # config actually consumes a profile.
+        profile_part = (
+            (workload_name, s.profile_iterations, s.profile_ops_scale)
+            if config.optimized
+            else None
+        )
+        return cache_key(
+            "measure",
+            ENGINE_VERSION,
+            s.engine,
+            self._kernel_fingerprint(include_sites=False),
+            config,
+            profile_part,
+            benches,
+            s.measure_ops_scale,
+            s.seed,
+        )
+
     def measure(
         self,
         config: PibeConfig,
@@ -98,21 +206,90 @@ class EvalContext:
         workload_name: str = "lmbench",
     ) -> Dict[str, float]:
         """Per-benchmark cycles/op for a configuration (cached)."""
-        bench_key = ",".join(b.name for b in benches)
-        key = f"{config.label()}@{workload_name if config.optimized else '-'}|{bench_key}"
+        benches = tuple(benches)
+        key = self._measure_key(config, benches, workload_name)
         cached = self._measurements.get(key)
         if cached is not None:
             return cached
+        disk_key = self._measure_disk_key(config, benches, workload_name)
+        if disk_key is not None:
+            entry = self.cache.get("measure", disk_key)
+            if entry is not None:
+                results = {name: float(v) for name, v in entry.items()}
+                self._measurements[key] = results
+                return results
         build = self.variant(config, workload_name)
         results: Dict[str, float] = {}
         for bench in benches:
             ops = max(1, int(bench.default_ops * self.settings.measure_ops_scale))
             result = measure_benchmark(
-                build.module, bench, ops=ops, seed=self.settings.seed
+                build.module,
+                bench,
+                ops=ops,
+                seed=self.settings.seed,
+                engine=self.settings.engine,
             )
             results[bench.name] = result.cycles_per_op
+        if disk_key is not None:
+            self.cache.put("measure", disk_key, results)
         self._measurements[key] = results
         return results
+
+    def measure_many(
+        self,
+        configs: Sequence[PibeConfig],
+        benches: Sequence[Benchmark] = tuple(LMBENCH_BENCHMARKS),
+        workload_name: str = "lmbench",
+        jobs: Optional[int] = None,
+    ) -> List[Dict[str, float]]:
+        """Measure every configuration; results in input order.
+
+        With ``jobs > 1`` the uncached cells fan out over worker
+        processes. Each worker owns a full :class:`EvalContext` (on
+        platforms that fork, inherited from this one with its warm
+        profile; elsewhere rebuilt from ``settings``), and the merge is
+        by input position, so the output is identical to the sequential
+        path regardless of which worker finishes first.
+        """
+        global _WORKER_CTX
+        configs = list(configs)
+        benches = tuple(benches)
+        jobs = self.settings.jobs if jobs is None else jobs
+        if jobs <= 1 or len(configs) <= 1:
+            return [self.measure(c, benches, workload_name) for c in configs]
+        pending = [
+            c
+            for c in configs
+            if self._measure_key(c, benches, workload_name)
+            not in self._measurements
+        ]
+        if pending:
+            if any(c.optimized for c in pending):
+                # Profile once up front so every forked worker inherits it
+                # instead of redoing the training run.
+                self.profile(workload_name)
+            _WORKER_CTX = self
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(pending)),
+                    initializer=_init_worker,
+                    initargs=(self.settings,),
+                ) as pool:
+                    measured = list(
+                        pool.map(
+                            _measure_cell,
+                            [(c, benches, workload_name) for c in pending],
+                        )
+                    )
+            finally:
+                _WORKER_CTX = None
+            for config, results in zip(pending, measured):
+                key = self._measure_key(config, benches, workload_name)
+                self._measurements[key] = results
+        return [
+            self._measurements[self._measure_key(c, benches, workload_name)]
+            for c in configs
+        ]
 
     def measure_jumpswitches(
         self,
@@ -120,23 +297,45 @@ class EvalContext:
         params: JumpSwitchParams = JumpSwitchParams(),
     ) -> Dict[str, float]:
         """JumpSwitches baseline: retpolines image, runtime promotion."""
+        benches = tuple(benches)
         bench_key = ",".join(b.name for b in benches)
         key = f"jumpswitches|{bench_key}"
         cached = self._measurements.get(key)
         if cached is not None:
             return cached
+        s = self.settings
+        disk_key = None
+        if self.cache is not None:
+            disk_key = cache_key(
+                "measure",
+                ENGINE_VERSION,
+                s.engine,
+                self._kernel_fingerprint(include_sites=False),
+                "jumpswitches",
+                params,
+                benches,
+                s.measure_ops_scale,
+                s.seed,
+            )
+            entry = self.cache.get("measure", disk_key)
+            if entry is not None:
+                results = {name: float(v) for name, v in entry.items()}
+                self._measurements[key] = results
+                return results
         build = self.variant(
             PibeConfig.hardened(DefenseConfig.retpolines_only())
         )
         results: Dict[str, float] = {}
         for bench in benches:
-            ops = max(1, int(bench.default_ops * self.settings.measure_ops_scale))
+            ops = max(1, int(bench.default_ops * s.measure_ops_scale))
             timing = JumpSwitchTimingModel(build.module, params=params)
-            interpreter = Interpreter(
-                build.module, [timing], seed=self.settings.seed
+            interpreter = create_interpreter(
+                build.module, [timing], seed=s.seed, engine=s.engine
             )
             bench.run(interpreter, ops=ops)
             results[bench.name] = timing.cycles / ops
+        if self.cache is not None and disk_key is not None:
+            self.cache.put("measure", disk_key, results)
         self._measurements[key] = results
         return results
 
@@ -146,6 +345,30 @@ class EvalContext:
         self, benches: Sequence[Benchmark] = tuple(LMBENCH_BENCHMARKS)
     ) -> Dict[str, float]:
         return self.measure(PibeConfig.lto_baseline(), benches)
+
+
+# -- worker-process plumbing for measure_many --------------------------------
+#
+# On fork platforms the child inherits _WORKER_CTX (the parent context with
+# its warm kernel/profile caches) and the initializer is a no-op; under
+# spawn the module is re-imported, _WORKER_CTX is None, and the initializer
+# rebuilds an equivalent context from the (picklable) settings.
+
+_WORKER_CTX: Optional[EvalContext] = None
+
+
+def _init_worker(settings: EvalSettings) -> None:
+    global _WORKER_CTX
+    if _WORKER_CTX is None:
+        _WORKER_CTX = EvalContext(settings)
+
+
+def _measure_cell(
+    cell: Tuple[PibeConfig, Tuple[Benchmark, ...], str]
+) -> Dict[str, float]:
+    config, benches, workload_name = cell
+    assert _WORKER_CTX is not None, "worker initialized without a context"
+    return _WORKER_CTX.measure(config, benches, workload_name)
 
 
 @functools.lru_cache(maxsize=2)

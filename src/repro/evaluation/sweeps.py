@@ -59,27 +59,38 @@ def budget_sweep(
     budgets: Sequence[float] = DEFAULT_BUDGETS,
     benches: Optional[Sequence[Benchmark]] = None,
     lax_heuristics: bool = False,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     """Measure geomean overhead at each budget (ICP and inlining swept
-    together, as in Table 5)."""
+    together, as in Table 5).
+
+    The grid points are independent measurement cells, so the sweep goes
+    through :meth:`EvalContext.measure_many` — with ``jobs > 1`` (or
+    ``EvalSettings.jobs``) they run in parallel worker processes.
+    """
     benches = tuple(benches) if benches is not None else tuple(LMBENCH_BENCHMARKS)
-    lto = ctx.lto_measurements(benches)
-    unopt = build_overhead_report(
-        "unopt", lto, ctx.measure(PibeConfig.hardened(defenses), benches)
-    ).geomean
-    result = SweepResult(
-        defenses_label=defenses.label(), baseline_geomean=unopt
-    )
-    for budget in budgets:
-        config = PibeConfig.hardened(
+    budget_configs = [
+        PibeConfig.hardened(
             defenses,
             icp_budget=budget,
             inline_budget=budget,
             lax_heuristics=lax_heuristics,
         )
-        report = build_overhead_report(
-            config.label(), lto, ctx.measure(config, benches)
-        )
+        for budget in budgets
+    ]
+    configs = [
+        PibeConfig.lto_baseline(),
+        PibeConfig.hardened(defenses),
+        *budget_configs,
+    ]
+    measured = ctx.measure_many(configs, benches, jobs=jobs)
+    lto = measured[0]
+    unopt = build_overhead_report("unopt", lto, measured[1]).geomean
+    result = SweepResult(
+        defenses_label=defenses.label(), baseline_geomean=unopt
+    )
+    for budget, config, values in zip(budgets, budget_configs, measured[2:]):
+        report = build_overhead_report(config.label(), lto, values)
         result.points.append(
             SweepPoint(
                 budget=budget,

@@ -402,7 +402,11 @@ def table7(ctx: EvalContext, batches: int = 30) -> Table7Result:
     )
     for app in ALL_MACROBENCHMARKS:
         base = measure_throughput(
-            vanilla_build.module, app, batches=batches, seed=ctx.settings.seed
+            vanilla_build.module,
+            app,
+            batches=batches,
+            seed=ctx.settings.seed,
+            engine=ctx.settings.engine,
         )
         vanilla_throughput[app.name] = base.throughput
         degradations[app.name] = {}
@@ -414,10 +418,18 @@ def table7(ctx: EvalContext, batches: int = 30) -> Table7Result:
                 pibe_config = PibeConfig.hardened(defenses, icp_budget=0.99999)
             pibe_build = ctx.variant(pibe_config)
             unopt = measure_throughput(
-                unopt_build.module, app, batches=batches, seed=ctx.settings.seed
+                unopt_build.module,
+                app,
+                batches=batches,
+                seed=ctx.settings.seed,
+                engine=ctx.settings.engine,
             )
             pibe = measure_throughput(
-                pibe_build.module, app, batches=batches, seed=ctx.settings.seed
+                pibe_build.module,
+                app,
+                batches=batches,
+                seed=ctx.settings.seed,
+                engine=ctx.settings.engine,
             )
             degradation = (
                 unopt.degradation_vs(base),
@@ -664,10 +676,12 @@ def table12(ctx: EvalContext) -> Table12Result:
     )
     def measured_peak_stack(module: Module) -> float:
         from repro.analysis.stack import StackUsageTracker
-        from repro.engine.interpreter import Interpreter
+        from repro.engine.compiled import create_interpreter
 
         tracker = StackUsageTracker()
-        interpreter = Interpreter(module, [tracker], seed=ctx.settings.seed)
+        interpreter = create_interpreter(
+            module, [tracker], seed=ctx.settings.seed
+        )
         for syscall in ("read", "open", "fork_exit", "select_tcp"):
             interpreter.run_syscall(syscall, times=20)
         return float(tracker.peak_bytes)

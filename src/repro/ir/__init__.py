@@ -3,7 +3,8 @@
 from repro.ir.basicblock import BasicBlock
 from repro.ir.builder import IRBuilder, build_leaf
 from repro.ir.callgraph import CallEdge, CallGraph
-from repro.ir.clone import InlineResult, clone_function, inline_call
+from repro.ir.clone import InlineResult, clone_function, clone_module, inline_call
+from repro.ir.fingerprint import function_fingerprint, module_fingerprint
 from repro.ir.function import Function
 from repro.ir.instruction import Instruction
 from repro.ir.module import FunctionPointerTable, Module
@@ -28,11 +29,14 @@ __all__ = [
     "ValidationError",
     "build_leaf",
     "clone_function",
+    "clone_module",
     "dump_module",
     "format_function",
     "format_instruction",
     "format_module",
+    "function_fingerprint",
     "inline_call",
+    "module_fingerprint",
     "parse_instruction",
     "parse_module",
     "validate_module",

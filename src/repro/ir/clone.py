@@ -11,15 +11,84 @@ was promoted from an indirect one) and one backward edge per execution.
 
 from __future__ import annotations
 
+import copy
 import itertools
 from typing import Dict, List, NamedTuple
 
 from repro.ir.basicblock import BasicBlock
 from repro.ir.function import Function
 from repro.ir.instruction import Instruction
+from repro.ir.module import FunctionPointerTable, Module
 from repro.ir.types import Opcode
 
 _inline_counter = itertools.count(1)
+
+
+def _clone_instruction_exact(inst: Instruction) -> Instruction:
+    """Copy one instruction preserving its ``site_id``.
+
+    Attribute values are copied one container level deep — the IR's
+    attribute vocabulary (:mod:`repro.ir.types`) only ever nests scalars
+    inside a dict/list/tuple, so this fully isolates the clone while
+    skipping generic-deepcopy dispatch.
+    """
+    new = Instruction.__new__(Instruction)
+    new.opcode = inst.opcode
+    new.callee = inst.callee
+    new.targets = inst.targets
+    new.num_args = inst.num_args
+    new.site_id = inst.site_id
+    attrs = inst.attrs
+    if attrs:
+        copied = {}
+        for key, value in attrs.items():
+            if type(value) is dict:
+                value = dict(value)
+            elif type(value) is list:
+                value = list(value)
+            copied[key] = value
+        new.attrs = copied
+    else:
+        new.attrs = {}
+    return new
+
+
+def clone_module(module: Module) -> Module:
+    """Fast whole-module deep clone preserving site ids.
+
+    Equivalent to ``copy.deepcopy`` for the IR object graph but an order
+    of magnitude faster — the pipeline clones the linked baseline for
+    every profiling run and every built variant, which made generic
+    deepcopy the single hottest operation of an evaluation sweep. Site
+    ids survive verbatim so profiles collected against the original
+    remain liftable onto the clone.
+    """
+    new = Module(module.name)
+    for func in module.functions.values():
+        cloned = Function(
+            func.name,
+            num_params=func.num_params,
+            attrs=set(func.attrs),
+            stack_frame_size=func.stack_frame_size,
+            subsystem=func.subsystem,
+        )
+        blocks = cloned.blocks
+        for label, block in func.blocks.items():
+            blocks[label] = BasicBlock(
+                label,
+                [_clone_instruction_exact(i) for i in block.instructions],
+            )
+        cloned.entry_label = func.entry_label
+        new.functions[func.name] = cloned
+    for name, table in module.fptr_tables.items():
+        new.fptr_tables[name] = FunctionPointerTable(
+            name, list(table.entries)
+        )
+    new.syscalls = dict(module.syscalls)
+    # metadata is tiny (applied defense config and the like); generic
+    # deepcopy keeps arbitrary user values safe.
+    new.metadata = copy.deepcopy(module.metadata)
+    return new
 
 
 class InlineResult(NamedTuple):

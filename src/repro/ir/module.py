@@ -52,6 +52,16 @@ class Module:
         self.syscalls: Dict[str, str] = {}
         #: free-form module metadata (e.g. applied hardening configuration)
         self.metadata: Dict[str, object] = {}
+        #: transformation counter; derived artifacts (the compiled
+        #: execution engine's per-module program cache) are keyed on it.
+        #: Bumped by the pass manager after every pass — bump manually
+        #: after mutating IR by hand.
+        self.version = 0
+
+    def bump_version(self) -> int:
+        """Mark the module as transformed; invalidates compiled programs."""
+        self.version += 1
+        return self.version
 
     # -- functions -----------------------------------------------------------
 

@@ -82,28 +82,32 @@ class SimplifyCFG(ModulePass):
         return counts
 
     def _simplify(self, func: Function) -> int:
+        # A merge never changes another block's predecessor-block count: the
+        # absorbing block's only successor was the absorbed block, and the
+        # absorbed block's successor edges transfer to the absorber wholesale.
+        # So the counts are computed once and each jump chain drained greedily
+        # instead of rescanning the whole CFG after every merge.
         merged = 0
-        changed = True
-        while changed:
-            changed = False
-            preds = self._predecessor_counts(func)
-            for block in list(func.blocks.values()):
+        preds = self._predecessor_counts(func)
+        entry = func.entry_label
+        for label in list(func.blocks):
+            block = func.blocks.get(label)
+            if block is None:  # already absorbed into an earlier chain
+                continue
+            while True:
                 term = block.terminator
                 if term is None or term.opcode != Opcode.JMP:
-                    continue
+                    break
                 succ_label = term.targets[0]
-                if succ_label == block.label:
-                    continue
-                if preds.get(succ_label, 0) != 1:
-                    continue
-                if succ_label == func.entry_label:
-                    continue
-                succ = func.blocks[succ_label]
+                if (
+                    succ_label == block.label
+                    or succ_label == entry
+                    or preds.get(succ_label, 0) != 1
+                ):
+                    break
+                succ = func.blocks.pop(succ_label)
                 block.instructions[-1:] = succ.instructions
-                del func.blocks[succ_label]
                 merged += 1
-                changed = True
-                break
         return merged
 
 

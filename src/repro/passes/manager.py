@@ -80,6 +80,9 @@ class PassManager:
             elapsed = time.perf_counter() - start
             self.records.append(PassRecord(name, elapsed, report))
             reports[name] = report
+            # Invalidate derived artifacts (compiled execution programs)
+            # that were built against the pre-transform IR.
+            module.bump_version()
             if self.validate_after_each:
                 validate_module(module)
         return reports

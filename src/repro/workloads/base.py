@@ -18,6 +18,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.cpu.costs import DEFAULT_COSTS, CostModel
 from repro.cpu.timing import TimingModel
+from repro.engine.compiled import DEFAULT_ENGINE, create_interpreter
 from repro.engine.interpreter import ExecutionLimits, Interpreter
 from repro.ir.module import Module
 from repro.profiling.profile_data import EdgeProfile
@@ -94,10 +95,11 @@ def measure_benchmark(
     seed: int = 7,
     costs: CostModel = DEFAULT_COSTS,
     model_icache: bool = True,
+    engine: str = DEFAULT_ENGINE,
 ) -> BenchResult:
     """Run one benchmark under the cycle model and report latency."""
     timing = TimingModel(module, costs=costs, model_icache=model_icache)
-    interpreter = Interpreter(module, [timing], seed=seed)
+    interpreter = create_interpreter(module, [timing], seed=seed, engine=engine)
     count = bench.run(interpreter, ops=ops)
     return BenchResult(
         benchmark=bench.name,
@@ -114,6 +116,7 @@ def measure_benchmark_median(
     ops: Optional[int] = None,
     seed: int = 7,
     costs: CostModel = DEFAULT_COSTS,
+    engine: str = DEFAULT_ENGINE,
 ) -> Tuple[BenchResult, float]:
     """Median-of-rounds measurement (the paper reports medians over 11
     runs, Section 8).
@@ -126,7 +129,7 @@ def measure_benchmark_median(
         raise ValueError("rounds must be >= 1")
     results = [
         measure_benchmark(
-            module, bench, ops=ops, seed=seed + i, costs=costs
+            module, bench, ops=ops, seed=seed + i, costs=costs, engine=engine
         )
         for i in range(rounds)
     ]
@@ -147,13 +150,14 @@ def measure_suite(
     ops_scale: float = 1.0,
     seed: int = 7,
     costs: CostModel = DEFAULT_COSTS,
+    engine: str = DEFAULT_ENGINE,
 ) -> Dict[str, BenchResult]:
     """Measure every benchmark in a suite; returns name -> result."""
     results: Dict[str, BenchResult] = {}
     for bench in benches:
         ops = max(1, int(bench.default_ops * ops_scale))
         results[bench.name] = measure_benchmark(
-            module, bench, ops=ops, seed=seed, costs=costs
+            module, bench, ops=ops, seed=seed, costs=costs, engine=engine
         )
     return results
 
@@ -165,6 +169,7 @@ def profile_workload(
     seed: int = 3,
     ops_scale: float = 1.0,
     lbr_capacity: int = 32,
+    engine: str = DEFAULT_ENGINE,
 ) -> EdgeProfile:
     """Collect and merge edge profiles over ``iterations`` workload runs."""
     merged = EdgeProfile(workload=workload.name)
@@ -172,11 +177,12 @@ def profile_workload(
         profiler = KernelProfiler(
             workload=workload.name, lbr_capacity=lbr_capacity
         )
-        interpreter = Interpreter(
+        interpreter = create_interpreter(
             module,
             [profiler],
             seed=seed + i,
             limits=ExecutionLimits(max_steps=50_000_000),
+            engine=engine,
         )
         for bench, ops in workload.components:
             bench.run(interpreter, ops=max(1, int(ops * ops_scale)))

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 from repro.cpu.costs import DEFAULT_COSTS, CostModel
 from repro.cpu.timing import TimingModel
-from repro.engine.interpreter import Interpreter
+from repro.engine.compiled import DEFAULT_ENGINE, create_interpreter
 from repro.ir.module import Module
 from repro.workloads.base import CLOCK_HZ, Benchmark
 
@@ -121,10 +121,11 @@ def measure_throughput(
     batches: int = 40,
     seed: int = 11,
     costs: CostModel = DEFAULT_COSTS,
+    engine: str = DEFAULT_ENGINE,
 ) -> ThroughputResult:
     """Run the app model and convert cycles to units/sec throughput."""
     timing = TimingModel(module, costs=costs)
-    interpreter = Interpreter(module, [timing], seed=seed)
+    interpreter = create_interpreter(module, [timing], seed=seed, engine=engine)
     for _ in range(batches):
         app.batch.run(interpreter, ops=1)
     kernel_per_unit = timing.cycles / (batches * app.units_per_batch)

@@ -9,16 +9,16 @@ cycles per iteration is the reported overhead.
 
 from __future__ import annotations
 
-import copy
 import dataclasses
 from typing import Dict
 
 from repro.cpu.costs import DEFAULT_COSTS, CostModel
 from repro.cpu.timing import TimingModel
-from repro.engine.interpreter import Interpreter
+from repro.engine.compiled import create_interpreter
 from repro.hardening.defenses import DefenseConfig
 from repro.hardening.harden import HardeningPass
 from repro.ir.builder import IRBuilder
+from repro.ir.clone import clone_module
 from repro.ir.function import Function
 from repro.ir.module import FunctionPointerTable, Module
 from repro.ir.types import FunctionAttr
@@ -76,7 +76,7 @@ def _measure_cycles(
     module: Module, iterations: int, costs: CostModel
 ) -> float:
     timing = TimingModel(module, costs=costs, model_icache=False)
-    Interpreter(module, [timing], seed=5).run_function(
+    create_interpreter(module, [timing], seed=5).run_function(
         "driver", times=iterations
     )
     return timing.cycles
@@ -94,8 +94,9 @@ def measure_ticks(
     baseline_module = build_microbench_module(kind)
     baseline = _measure_cycles(baseline_module, iterations, costs)
 
-    hardened_module = copy.deepcopy(baseline_module)
+    hardened_module = clone_module(baseline_module)
     HardeningPass(config).run(hardened_module)
+    hardened_module.bump_version()
     hardened = _measure_cycles(hardened_module, iterations, costs)
     return (hardened - baseline) / iterations
 

@@ -10,16 +10,16 @@ the paper uses to justify focusing on transient defenses.
 
 from __future__ import annotations
 
-import copy
 import dataclasses
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.cpu.costs import DEFAULT_COSTS, CostModel
 from repro.cpu.timing import TimingModel
-from repro.engine.interpreter import Interpreter
+from repro.engine.compiled import create_interpreter
 from repro.hardening.defenses import DefenseConfig
 from repro.hardening.harden import HardeningPass
+from repro.ir.clone import clone_module
 from repro.ir.module import Module
 from repro.ir.types import FunctionAttr
 from repro.kernel.helpers import define, leaf, ops_table
@@ -119,17 +119,18 @@ def measure_spec_slowdown(
     """Per-component slowdown (fraction) of ``config`` vs uninstrumented."""
     costs = dataclasses.replace(costs, kernel_entry=0.0)
     baseline_module = build_spec_module(components)
-    hardened_module = copy.deepcopy(baseline_module)
+    hardened_module = clone_module(baseline_module)
     HardeningPass(config).run(hardened_module)
+    hardened_module.bump_version()
 
     slowdowns: Dict[str, float] = {}
     for comp in components:
         base = TimingModel(baseline_module, costs=costs, model_icache=False)
-        Interpreter(baseline_module, [base], seed=9).run_function(
+        create_interpreter(baseline_module, [base], seed=9).run_function(
             f"run_{comp.name}", times=iterations
         )
         hard = TimingModel(hardened_module, costs=costs, model_icache=False)
-        Interpreter(hardened_module, [hard], seed=9).run_function(
+        create_interpreter(hardened_module, [hard], seed=9).run_function(
             f"run_{comp.name}", times=iterations
         )
         slowdowns[comp.name] = hard.cycles / base.cycles - 1.0

@@ -209,3 +209,71 @@ def test_same_seed_reproduces_trace():
     rec1 = _run(module, "f", times=50, seed=99)
     rec2 = _run(module, "f", times=50, seed=99)
     assert rec1.events == rec2.events
+
+
+def test_steps_charge_only_executed_instructions():
+    # dead code after an early terminator must not count toward max_steps
+    module = Module("m")
+    func = Function("f")
+    b = IRBuilder(func)
+    b.arith(1)
+    b.ret()
+    func.entry.instructions.append(Instruction(Opcode.ARITH))  # unreachable
+    func.entry.instructions.append(Instruction(Opcode.ARITH))  # unreachable
+    module.add_function(func)
+    interp = Interpreter(module)
+    interp.run_function("f")
+    assert interp._steps == 2
+
+
+def test_pick_case_fractional_weights_exact():
+    # float case weights are used directly: a zero-weight case is never
+    # taken, however small the nonzero weights are
+    module = Module("m")
+    func = Function("f")
+    b = IRBuilder(func)
+    c0 = b.new_block("c0")
+    c1 = b.new_block("c1")
+    b.switch([c0.label, c1.label], weights=[0.0, 1e-9])
+    b.at(c0).arith(1)
+    b.at(c0).ret()
+    b.at(c1).store(1)
+    b.at(c1).ret()
+    module.add_function(func)
+    rec = _run(module, "f", times=50, seed=2)
+    assert sum(e[1] for e in rec.of_kind("mix")) == 0  # c0 never runs
+    assert sum(e[3] for e in rec.of_kind("mix")) == 50
+
+
+class _HistorySpy(TraceRecorder):
+    """Snapshots the interpreter's per-site target history at each
+    top-level invocation start."""
+
+    def __init__(self):
+        super().__init__()
+        self.interp = None
+        self.snapshots = []
+
+    def on_run_start(self, entry):
+        self.snapshots.append(dict(self.interp._last_target))
+
+
+def test_target_history_cold_at_each_run_function_call():
+    module = Module("m")
+    module.add_function(build_leaf("a"))
+    module.add_function(build_leaf("b"))
+    func = Function("f")
+    b = IRBuilder(func)
+    b.icall({"a": 1, "b": 1})
+    b.ret()
+    module.add_function(func)
+    spy = _HistorySpy()
+    interp = Interpreter(module, [spy], seed=1)
+    spy.interp = interp
+    interp.run_function("f", times=3)
+    interp.run_function("f", times=1)
+    # cold at the start of each call, sticky within one call's iterations
+    assert spy.snapshots[0] == {}
+    assert spy.snapshots[1] != {}
+    assert spy.snapshots[2] != {}
+    assert spy.snapshots[3] == {}

@@ -1,0 +1,138 @@
+"""Disk cache and parallel measurement: persistence, keying, merge order."""
+
+import json
+
+import pytest
+
+from repro.core.config import PibeConfig
+from repro.evaluation.cache import DiskCache, cache_key, canonicalize
+from repro.evaluation.harness import EvalContext, EvalSettings
+from repro.hardening.defenses import DefenseConfig
+from repro.kernel.spec import SmallSpec
+from repro.workloads.lmbench import BY_NAME
+
+
+def _settings(tmp_path=None, **kw):
+    return EvalSettings(
+        spec=SmallSpec(),
+        profile_iterations=1,
+        profile_ops_scale=0.05,
+        measure_ops_scale=0.1,
+        cache_dir=str(tmp_path) if tmp_path is not None else None,
+        **kw,
+    )
+
+
+BENCHES = (BY_NAME["null"], BY_NAME["read"])
+CONFIGS = [
+    PibeConfig.lto_baseline(),
+    PibeConfig.hardened(DefenseConfig.retpolines_only()),
+    PibeConfig.hardened(DefenseConfig.retpolines_only(), icp_budget=0.99),
+]
+
+
+# -- DiskCache primitives ----------------------------------------------------
+
+
+def test_put_get_roundtrip(tmp_path):
+    cache = DiskCache(tmp_path)
+    key = cache_key("measure", {"a": 1})
+    assert cache.get("measure", key) is None
+    cache.put("measure", key, {"null": 1.5})
+    assert cache.get("measure", key) == {"null": 1.5}
+    assert cache.stats() == {"hits": 1, "misses": 1}
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = DiskCache(tmp_path)
+    key = cache_key("x")
+    cache.put("measure", key, {"v": 1})
+    path = tmp_path / "measure" / f"{key}.json"
+    path.write_text("{truncated", encoding="utf-8")
+    assert cache.get("measure", key) is None
+
+
+def test_cache_key_canonical_and_order_sensitive():
+    # dict ordering doesn't matter; value changes and list order do
+    assert cache_key({"a": 1, "b": 2}) == cache_key({"b": 2, "a": 1})
+    assert cache_key({"a": 1}) != cache_key({"a": 2})
+    assert cache_key([1, 2]) != cache_key([2, 1])
+    # dataclasses (configs) and frozensets canonicalize deterministically
+    a = canonicalize(PibeConfig.lax(DefenseConfig.all_defenses()))
+    b = canonicalize(PibeConfig.lax(DefenseConfig.all_defenses()))
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+    assert cache_key(PibeConfig.lto_baseline()) != cache_key(
+        PibeConfig.pibe_baseline()
+    )
+
+
+# -- harness integration -----------------------------------------------------
+
+
+def test_warm_cache_skips_profiling_and_measurement(tmp_path):
+    config = PibeConfig.hardened(
+        DefenseConfig.retpolines_only(), icp_budget=0.99
+    )
+    cold = EvalContext(_settings(tmp_path))
+    baseline = cold.measure(config, BENCHES)
+    assert cold.cache.stats()["hits"] == 0
+
+    warm = EvalContext(_settings(tmp_path))
+    repeat = warm.measure(config, BENCHES)
+    assert repeat == baseline
+    # served entirely from disk: measurement hit, no profiling run
+    assert warm.cache.stats()["hits"] == 1
+    assert "lmbench" not in warm._profiles
+    # a second in-process kernel build gets different site ids, so the
+    # site-keyed cached profile is correctly NOT replayed against it...
+    profile = warm.profile("lmbench")
+    assert warm.cache.stats() == {"hits": 1, "misses": 1}
+    # ...though the id-independent content agrees
+    assert profile.invocations == cold.profile("lmbench").invocations
+
+
+def test_cache_keys_isolate_settings(tmp_path):
+    config = PibeConfig.lto_baseline()
+    a = EvalContext(_settings(tmp_path))
+    a.measure(config, BENCHES)
+    # different measurement scale -> different cell, not a stale hit
+    b = EvalContext(
+        EvalSettings(
+            spec=SmallSpec(),
+            profile_iterations=1,
+            profile_ops_scale=0.05,
+            measure_ops_scale=0.2,
+            cache_dir=str(tmp_path),
+        )
+    )
+    b.measure(config, BENCHES)
+    assert b.cache.stats()["hits"] == 0
+
+
+def test_measure_many_sequential_matches_measure(tmp_path):
+    ctx = EvalContext(_settings())
+    many = ctx.measure_many(CONFIGS, BENCHES)
+    singles = [ctx.measure(c, BENCHES) for c in CONFIGS]
+    assert many == singles
+
+
+def test_measure_many_parallel_matches_sequential(tmp_path):
+    parallel_ctx = EvalContext(_settings(tmp_path / "par", jobs=2))
+    parallel = parallel_ctx.measure_many(CONFIGS, BENCHES)
+    sequential_ctx = EvalContext(_settings())
+    sequential = sequential_ctx.measure_many(CONFIGS, BENCHES)
+    assert parallel == sequential
+    # merged results are now in the parent's in-memory cache
+    for config, expected in zip(CONFIGS, sequential):
+        assert parallel_ctx.measure(config, BENCHES) == expected
+
+
+def test_engines_share_no_cache_entries(tmp_path):
+    config = PibeConfig.lto_baseline()
+    compiled = EvalContext(_settings(tmp_path, engine="compiled"))
+    reference = EvalContext(_settings(tmp_path, engine="reference"))
+    first = compiled.measure(config, BENCHES)
+    assert reference.cache.stats()["hits"] == 0
+    second = reference.measure(config, BENCHES)
+    assert reference.cache.stats()["hits"] == 0  # engine keyed separately
+    assert first == second  # ...even though the results agree

@@ -5,7 +5,7 @@ import pytest
 from repro.engine.interpreter import Interpreter
 from repro.engine.trace import TraceRecorder
 from repro.ir.builder import IRBuilder, build_leaf
-from repro.ir.clone import clone_function, inline_call
+from repro.ir.clone import clone_function, clone_module, inline_call
 from repro.ir.function import Function
 from repro.ir.module import Module
 from repro.ir.types import Opcode
@@ -147,3 +147,35 @@ def test_clone_function_is_independent():
     clone.entry.instructions[0] = clone.entry.instructions[0]
     clone.blocks[clone.entry_label].instructions.pop(0)
     assert clone.size() == original.size() - 1
+
+
+def test_clone_module_preserves_sites_and_behavior():
+    module, _ = _simple_module()
+    clone = clone_module(module)
+    validate_module(clone)
+    # same site ids (profiles lifted onto the clone stay valid)
+    for func in module:
+        for label, block in func.blocks.items():
+            cloned_block = clone.get(func.name).blocks[label]
+            for inst, cloned in zip(
+                block.instructions, cloned_block.instructions
+            ):
+                assert cloned.site_id == inst.site_id
+    # identical execution per seed
+    streams = []
+    for m in (module, clone):
+        rec = TraceRecorder()
+        Interpreter(m, [rec], seed=4).run_function("caller", times=20)
+        streams.append(rec.events)
+    assert streams[0] == streams[1]
+
+
+def test_clone_module_is_independent():
+    module, _ = _simple_module()
+    clone = clone_module(module)
+    cloned_first = clone.get("caller").entry.instructions[0]
+    cloned_first.attrs["targets"] = {"poisoned": 1}
+    original_first = module.get("caller").entry.instructions[0]
+    assert original_first.attrs.get("targets") != {"poisoned": 1}
+    clone.get("caller").entry.instructions.pop(0)
+    assert module.get("caller").size() == clone.get("caller").size() + 1

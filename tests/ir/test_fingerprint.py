@@ -1,0 +1,70 @@
+"""Module fingerprints: cache keys for profiles and measurements."""
+
+from repro.ir.builder import IRBuilder
+from repro.ir.clone import clone_module
+from repro.ir.fingerprint import function_fingerprint, module_fingerprint
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.kernel.generator import build_kernel
+from repro.kernel.spec import SmallSpec
+
+
+def _module():
+    module = Module("m")
+    func = Function("f")
+    b = IRBuilder(func)
+    b.arith(2)
+    b.icall({"g": 1})
+    b.ret()
+    module.add_function(func)
+    g = Function("g")
+    IRBuilder(g).ret()
+    module.add_function(g)
+    return module
+
+
+def test_rebuilt_kernel_same_shape_different_sites():
+    # two builds of the same spec are structurally identical, but the
+    # global site counter assigns them different ids: the shape-only
+    # fingerprint matches (measurement cache keys), the site-sensitive
+    # one doesn't (profile cache keys)
+    first = build_kernel(SmallSpec())
+    second = build_kernel(SmallSpec())
+    assert module_fingerprint(
+        first, include_sites=False
+    ) == module_fingerprint(second, include_sites=False)
+    assert module_fingerprint(
+        first, include_sites=True
+    ) != module_fingerprint(second, include_sites=True)
+
+
+def test_fingerprint_sensitive_to_ir_changes():
+    module = _module()
+    before = module_fingerprint(module)
+    module.get("g").entry.instructions.insert(
+        0, module.get("f").entry.instructions[0].clone()
+    )
+    assert module_fingerprint(module) != before
+
+
+def test_fingerprint_sensitive_to_attrs():
+    module = _module()
+    before = module_fingerprint(module)
+    icall = module.get("f").entry.instructions[1]
+    icall.attrs["targets"] = {"g": 2}
+    assert module_fingerprint(module) != before
+
+
+def test_clone_preserves_site_sensitive_fingerprint():
+    module = build_kernel(SmallSpec())
+    clone = clone_module(module)
+    assert module_fingerprint(
+        clone, include_sites=True
+    ) == module_fingerprint(module, include_sites=True)
+
+
+def test_function_fingerprint_differs_between_functions():
+    module = _module()
+    assert function_fingerprint(module.get("f")) != function_fingerprint(
+        module.get("g")
+    )
