@@ -1,0 +1,57 @@
+"""Static-analyzer wall-time benchmark.
+
+Lints the full default kernel (cold, all rules, with profile-dependent
+flow checking) and records wall time to ``BENCH_lint.json`` at the repo
+root. The analyzer gates CI and runs at every pass boundary under
+``verify_each``, so it must stay cheap: the budget is 10% of the
+documented cold ``full_evaluation --fast`` wall time (4.3s).
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.pipeline import PibePipeline
+from repro.kernel.generator import build_kernel
+from repro.kernel.spec import DEFAULT_SPEC
+from repro.static import all_rules, analyze_module
+from repro.workloads.lmbench import lmbench_workload
+
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_lint.json"
+
+#: Cold `python -m repro evaluate --fast` wall time documented in
+#: CHANGES.md (PR 1); the analyzer must cost under 10% of it.
+REFERENCE_FULL_EVAL_SECONDS = 4.3
+BUDGET_SECONDS = REFERENCE_FULL_EVAL_SECONDS * 0.10
+
+
+def test_lint_walltime_within_budget():
+    module = build_kernel(DEFAULT_SPEC)
+    profile = PibePipeline(module).profile(
+        lmbench_workload(ops_scale=0.1), iterations=1
+    )
+
+    start = time.perf_counter()
+    report = analyze_module(module, profile=profile)
+    seconds = time.perf_counter() - start
+
+    assert not report.errors(), report.to_text()
+
+    record = {
+        "benchmark": "lint_walltime",
+        "kernel": "DEFAULT_SPEC",
+        "functions": len(module),
+        "instructions": module.size(),
+        "rules": len(all_rules()),
+        "diagnostics": len(report.diagnostics),
+        "seconds": round(seconds, 4),
+        "budget_seconds": BUDGET_SECONDS,
+        "reference_full_eval_seconds": REFERENCE_FULL_EVAL_SECONDS,
+    }
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(f"\nlint benchmark ({RECORD_PATH.name}):")
+    print(json.dumps(record, indent=2))
+
+    assert seconds < BUDGET_SECONDS, (
+        f"analyzer took {seconds:.3f}s, budget {BUDGET_SECONDS:.3f}s"
+    )

@@ -85,12 +85,15 @@ class PibePipeline:
         config: PibeConfig,
         profile: Optional[EdgeProfile] = None,
         validate: bool = False,
+        verify_each: bool = False,
     ) -> BuildResult:
         """Produce one kernel variant.
 
         ``profile`` is required whenever the config enables ICP or
         inlining. ``validate`` re-verifies the module after every pass
-        (slower; on for tests, off for benchmark sweeps).
+        (slower; on for tests, off for benchmark sweeps). ``verify_each``
+        additionally runs the full static-analysis rule set at every pass
+        boundary, raising on error-severity findings.
         """
         if config.optimized and profile is None:
             raise ValueError(
@@ -126,7 +129,11 @@ class PibePipeline:
             passes.append(DeadFunctionElimination())
         passes.append(HardeningPass(config.defenses))
 
-        manager = PassManager(validate_after_each=validate)
+        manager = PassManager(
+            validate_after_each=validate,
+            verify_each=verify_each,
+            verify_profile=profile,
+        )
         for pass_ in passes:
             manager.add(pass_)
         reports = manager.run(module)

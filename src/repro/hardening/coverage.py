@@ -1,0 +1,93 @@
+"""Shared defense-coverage semantics: which branches a config promises
+to protect, and with which lowering.
+
+This is the single source of truth for the paper's coverage gaps
+(Section 8.6): :class:`~repro.hardening.harden.HardeningPass`,
+:class:`~repro.hardening.custom.CustomHardeningPass` and the static
+speculation-coverage lint (``PIBE5xx``) all call the same predicates, so
+the checker can never drift from the transformation it checks.
+
+Kept free of pass-manager imports on purpose — the static analyzer runs
+inside ``PassManager(verify_each=...)`` and must not import it back.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hardening.defenses import Defense, DefenseConfig
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.module import Module
+from repro.ir.types import ATTR_ASM_SITE, FunctionAttr, Opcode
+
+#: Module metadata key recording the applied stock configuration.
+METADATA_KEY = "defense_config"
+#: Module metadata key recording applied custom-defense labels.
+CUSTOM_METADATA_KEY = "custom_defenses"
+
+
+def icall_exempt(func: Function, inst: Instruction) -> bool:
+    """Whether an indirect call cannot be instrumented: it lives in an
+    opaque inline-asm function, or is itself an asm-emitted site
+    (paravirt hypercalls, Table 11)."""
+    return not func.is_instrumentable or bool(inst.attrs.get(ATTR_ASM_SITE))
+
+
+def ret_exempt(func: Function) -> bool:
+    """Whether a return needs no hardening: boot-only code is not
+    attackable past early boot (Section 8.6). Returns in asm functions
+    are still protectable (objtool-style return-thunk patching)."""
+    return func.has_attr(FunctionAttr.BOOT_ONLY)
+
+
+def ijump_exempt(func: Function, inst: Instruction) -> bool:
+    """Whether an indirect jump cannot be instrumented: opaque asm
+    functions, or target-less IJUMPs modelling asm computed gotos (only
+    jump-table IJUMPs carry their targets and can be rewritten)."""
+    return not func.is_instrumentable or not inst.targets
+
+
+def branch_exempt(func: Function, inst: Instruction) -> bool:
+    """Whether an indirect branch is exempt from hardening under every
+    config (asm sites, boot-only returns, opaque ijumps)."""
+    if inst.opcode == Opcode.ICALL:
+        return icall_exempt(func, inst)
+    if inst.opcode == Opcode.RET:
+        return ret_exempt(func)
+    if inst.opcode == Opcode.IJUMP:
+        return ijump_exempt(func, inst)
+    return True
+
+
+def expected_defense(
+    func: Function, inst: Instruction, config: DefenseConfig
+) -> Optional[Defense]:
+    """The lowering ``config`` promises for this branch, or ``None`` when
+    the branch is exempt / the config leaves that edge undefended."""
+    if inst.opcode == Opcode.ICALL:
+        if icall_exempt(func, inst):
+            return None
+        return config.forward_defense()
+    if inst.opcode == Opcode.RET:
+        if ret_exempt(func):
+            return None
+        return config.backward_defense()
+    if inst.opcode == Opcode.IJUMP:
+        if ijump_exempt(func, inst):
+            return None
+        return config.forward_defense()
+    return None
+
+
+def applied_config(module: Module) -> DefenseConfig:
+    """The defense configuration a module was hardened with (or none)."""
+    config = module.metadata.get(METADATA_KEY)
+    if isinstance(config, DefenseConfig):
+        return config
+    return DefenseConfig.none()
+
+
+def custom_hardened(module: Module) -> bool:
+    """Whether a custom hardening pass ran over this module."""
+    return bool(module.metadata.get(CUSTOM_METADATA_KEY))

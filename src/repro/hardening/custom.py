@@ -30,9 +30,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional
 
+from repro.hardening.coverage import (
+    CUSTOM_METADATA_KEY,
+    icall_exempt,
+    ijump_exempt,
+    ret_exempt,
+)
 from repro.hardening.harden import HardenReport
 from repro.ir.module import Module
-from repro.ir.types import ATTR_ASM_SITE, FunctionAttr, Opcode
+from repro.ir.types import Opcode
 from repro.passes.manager import ModulePass
 
 #: Attack vectors a defense can protect against (must match
@@ -139,18 +145,15 @@ class CustomHardeningPass(ModulePass):
         )
         report = HardenReport(config_label=label or "custom-none")
         for func in module:
-            instrumentable = func.is_instrumentable
-            boot_only = func.has_attr(FunctionAttr.BOOT_ONLY)
             for inst in func.instructions():
                 if inst.opcode == Opcode.ICALL:
-                    asm_site = bool(inst.attrs.get(ATTR_ASM_SITE))
-                    if instrumentable and not asm_site and self.forward:
+                    if not icall_exempt(func, inst) and self.forward:
                         inst.defense = self.forward.name
                         report.protected_icalls += 1
                     else:
                         report.vulnerable_icalls += 1
                 elif inst.opcode == Opcode.RET:
-                    if boot_only:
+                    if ret_exempt(func):
                         report.boot_only_rets += 1
                     elif self.backward:
                         inst.defense = self.backward.name
@@ -158,10 +161,10 @@ class CustomHardeningPass(ModulePass):
                     else:
                         report.vulnerable_rets += 1
                 elif inst.opcode == Opcode.IJUMP:
-                    if instrumentable and self.forward and inst.targets:
+                    if not ijump_exempt(func, inst) and self.forward:
                         inst.defense = self.forward.name
                         report.protected_ijumps += 1
                     else:
                         report.vulnerable_ijumps += 1
-        module.metadata["custom_defenses"] = label
+        module.metadata[CUSTOM_METADATA_KEY] = label
         return report

@@ -18,13 +18,24 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+from repro.hardening.coverage import (
+    METADATA_KEY,
+    applied_config,
+    icall_exempt,
+    ijump_exempt,
+    ret_exempt,
+)
 from repro.hardening.defenses import Defense, DefenseConfig
 from repro.ir.module import Module
-from repro.ir.types import ATTR_ASM_SITE, FunctionAttr, Opcode
+from repro.ir.types import Opcode
 from repro.passes.manager import ModulePass
 
-#: Module metadata key recording the applied configuration.
-METADATA_KEY = "defense_config"
+__all__ = [
+    "METADATA_KEY",
+    "HardenReport",
+    "HardeningPass",
+    "applied_config",
+]
 
 
 @dataclass
@@ -62,12 +73,9 @@ class HardeningPass(ModulePass):
         bwd = self.config.backward_defense()
 
         for func in module:
-            instrumentable = func.is_instrumentable
-            boot_only = func.has_attr(FunctionAttr.BOOT_ONLY)
             for inst in func.instructions():
                 if inst.opcode == Opcode.ICALL:
-                    asm_site = bool(inst.attrs.get(ATTR_ASM_SITE))
-                    if instrumentable and not asm_site and fwd is not None:
+                    if not icall_exempt(func, inst) and fwd is not None:
                         inst.defense = fwd.value
                         report.protected_icalls += 1
                         report._bump(fwd)
@@ -77,7 +85,7 @@ class HardeningPass(ModulePass):
                     # Returns are protectable even in assembly functions
                     # (objtool-style return-thunk patching); only boot-only
                     # code is exempt (Section 8.6).
-                    if boot_only:
+                    if ret_exempt(func):
                         report.boot_only_rets += 1
                     elif bwd is not None:
                         inst.defense = bwd.value
@@ -89,7 +97,7 @@ class HardeningPass(ModulePass):
                     # Jump-table IJUMPs only exist when jump tables were
                     # allowed (no transient defenses); opaque asm IJUMPs can
                     # never be instrumented.
-                    if instrumentable and fwd is not None and inst.targets:
+                    if not ijump_exempt(func, inst) and fwd is not None:
                         inst.defense = fwd.value
                         report.protected_ijumps += 1
                         report._bump(fwd)
@@ -98,11 +106,3 @@ class HardeningPass(ModulePass):
 
         module.metadata[METADATA_KEY] = self.config
         return report
-
-
-def applied_config(module: Module) -> DefenseConfig:
-    """The defense configuration a module was hardened with (or none)."""
-    config = module.metadata.get(METADATA_KEY)
-    if isinstance(config, DefenseConfig):
-        return config
-    return DefenseConfig.none()

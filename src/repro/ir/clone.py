@@ -19,9 +19,43 @@ from repro.ir.basicblock import BasicBlock
 from repro.ir.function import Function
 from repro.ir.instruction import Instruction
 from repro.ir.module import FunctionPointerTable, Module
-from repro.ir.types import Opcode
+from repro.ir.types import (
+    ATTR_CLONED_FROM,
+    ATTR_EDGE_COUNT,
+    ATTR_ICP_SITE,
+    ATTR_PROMOTED,
+    METADATA_INLINED_PROMOTED,
+    Opcode,
+)
 
 _inline_counter = itertools.count(1)
+
+
+def record_inlined_promotion(module: Module, inst: Instruction) -> None:
+    """Log that an inliner is about to consume a promoted direct call.
+
+    Only *original* promotion artifacts are recorded (clones carry scaled
+    duplicate weight). The record lets the flow-conservation analysis
+    keep accounting for profile weight whose call instruction no longer
+    exists. Inliners call this unconditionally at startup via
+    ``module.metadata.setdefault`` so the (possibly empty) record also
+    marks "provenance available" for the analyzer.
+    """
+    if (
+        inst.opcode != Opcode.CALL
+        or not inst.attrs.get(ATTR_PROMOTED)
+        or ATTR_ICP_SITE not in inst.attrs
+        or ATTR_CLONED_FROM in inst.attrs
+    ):
+        return
+    records = module.metadata.setdefault(METADATA_INLINED_PROMOTED, [])
+    records.append(
+        {
+            "site": inst.attrs[ATTR_ICP_SITE],
+            "target": inst.callee,
+            "count": inst.attrs.get(ATTR_EDGE_COUNT, 0),
+        }
+    )
 
 
 def _clone_instruction_exact(inst: Instruction) -> Instruction:

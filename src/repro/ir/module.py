@@ -123,6 +123,16 @@ class Module:
             if inst.opcode == Opcode.IJUMP:
                 yield inst
 
+    def address_taken(self) -> frozenset:
+        """Functions whose address escapes into a pointer table — the
+        static universe of feasible indirect-call targets (the analyzer's
+        and the generator census's address-taken set)."""
+        return frozenset(
+            entry
+            for table in self.fptr_tables.values()
+            for entry in table.entries
+        )
+
     def size(self) -> int:
         """Total static instruction count across all functions."""
         return sum(f.size() for f in self.functions.values())

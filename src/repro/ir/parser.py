@@ -42,6 +42,8 @@ from repro.ir.types import (
     ATTR_ASM_SITE,
     ATTR_CASE_WEIGHTS,
     ATTR_EDGE_COUNT,
+    ATTR_CLONED_FROM,
+    ATTR_ICP_SITE,
     ATTR_P_TAKEN,
     ATTR_PROMOTED,
     ATTR_TARGETS,
@@ -87,6 +89,8 @@ _JMP_RE = re.compile(r"^jmp\s+([\w.\-]+)(.*)$")
 _SWITCH_RE = re.compile(r"^switch\s+\[([^\]]*)\](.*)$")
 _SITE_RE = re.compile(r";;\s*site\s+\d+")
 _COUNT_RE = re.compile(r"!count=(\d+)")
+_ICP_SITE_RE = re.compile(r"!icp_site=(\d+)")
+_CLONED_FROM_RE = re.compile(r"!cloned_from=(\d+)")
 _VP_RE = re.compile(r"!vp=(\[.*?\])(?:\s|$|;)")
 _DEFENSE_RE = re.compile(r"!defense=([\w]+)")
 
@@ -113,6 +117,12 @@ def _parse_metadata(inst: Instruction, trailer: str) -> None:
         inst.attrs[ATTR_EDGE_COUNT] = int(count.group(1))
     if "!promoted" in trailer:
         inst.attrs[ATTR_PROMOTED] = True
+    icp_site = _ICP_SITE_RE.search(trailer)
+    if icp_site:
+        inst.attrs[ATTR_ICP_SITE] = int(icp_site.group(1))
+    cloned_from = _CLONED_FROM_RE.search(trailer)
+    if cloned_from:
+        inst.attrs[ATTR_CLONED_FROM] = int(cloned_from.group(1))
     vp = _VP_RE.search(trailer)
     if vp:
         pairs = ast.literal_eval(vp.group(1))

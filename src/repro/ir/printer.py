@@ -11,7 +11,9 @@ from repro.ir.module import Module
 from repro.ir.types import (
     ATTR_ASM_SITE,
     ATTR_CASE_WEIGHTS,
+    ATTR_CLONED_FROM,
     ATTR_EDGE_COUNT,
+    ATTR_ICP_SITE,
     ATTR_P_TAKEN,
     ATTR_PROMOTED,
     ATTR_TARGETS,
@@ -31,6 +33,10 @@ def format_instruction(inst: Instruction) -> str:
             text += " !promoted"
         if ATTR_EDGE_COUNT in inst.attrs:
             text += f" !count={inst.attrs[ATTR_EDGE_COUNT]}"
+        if ATTR_ICP_SITE in inst.attrs:
+            text += f" !icp_site={inst.attrs[ATTR_ICP_SITE]}"
+        if ATTR_CLONED_FROM in inst.attrs:
+            text += f" !cloned_from={inst.attrs[ATTR_CLONED_FROM]}"
     elif op == Opcode.ICALL:
         targets = inst.attrs.get(ATTR_TARGETS, {})
         dist = {t: targets[t] for t in sorted(targets)}
@@ -42,6 +48,10 @@ def format_instruction(inst: Instruction) -> str:
         vp = inst.attrs.get(ATTR_VALUE_PROFILE)
         if vp:
             text += f" !vp={vp}"
+        if ATTR_ICP_SITE in inst.attrs:
+            text += f" !icp_site={inst.attrs[ATTR_ICP_SITE]}"
+        if ATTR_CLONED_FROM in inst.attrs:
+            text += f" !cloned_from={inst.attrs[ATTR_CLONED_FROM]}"
     elif op == Opcode.BR:
         text = f"br {inst.targets[0]}, {inst.targets[1]}"
         p_taken = inst.attrs.get(ATTR_P_TAKEN)

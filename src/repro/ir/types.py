@@ -110,6 +110,17 @@ ATTR_ASM_SITE = "asm_site"
 ATTR_PROMOTED = "promoted"
 #: Provenance: site id of the original instruction this was cloned from.
 ATTR_CLONED_FROM = "cloned_from"
+#: Provenance: site id of the indirect call a promotion artifact belongs
+#: to. ICP stamps it on every promoted direct call and on the residual
+#: fallback icall, so the static analyzer can reassociate a Listing-2
+#: guard chain with its origin site after cloning and inlining.
+ATTR_ICP_SITE = "icp_site"
+
+#: Module metadata key: list of ``{"site", "target", "count"}`` records,
+#: one per *original* promoted direct call consumed by an inliner. The
+#: flow-conservation analysis uses these to account for profile weight
+#: that no longer appears as a call instruction.
+METADATA_INLINED_PROMOTED = "inlined_promoted"
 
 
 #: Approximate encoded size, in bytes, of one IR instruction once lowered to

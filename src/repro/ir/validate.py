@@ -3,6 +3,11 @@
 Catches the structural mistakes transformation passes can introduce:
 dangling successor labels, unterminated blocks, calls to missing functions,
 indirect sites without target metadata, unreachable entry blocks.
+
+The actual checks live in the static-analysis rule registry
+(:mod:`repro.static.rules.structural`, rule ``structural``); this module
+keeps the original list-of-strings / raising interface on top of it so
+pass-manager validation and existing callers are unaffected.
 """
 
 from __future__ import annotations
@@ -11,7 +16,6 @@ from typing import List
 
 from repro.ir.function import Function
 from repro.ir.module import Module
-from repro.ir.types import ATTR_TARGETS, Opcode
 
 
 class ValidationError(Exception):
@@ -26,59 +30,27 @@ class ValidationError(Exception):
 
 def validate_function(func: Function, module: Module) -> List[str]:
     """Collect (not raise) every structural error in one function."""
-    errors: List[str] = []
-    where = f"@{func.name}"
-    if not func.blocks:
-        return [f"{where}: has no blocks"]
+    # Imported lazily: repro.static imports repro.ir.
+    from repro.static.rules.structural import STRUCTURAL
 
-    for block in func.blocks.values():
-        loc = f"{where}:{block.label}"
-        term = block.terminator
-        if term is None:
-            errors.append(f"{loc}: block is not terminated")
-        for i, inst in enumerate(block.instructions):
-            if inst.is_terminator and i != len(block.instructions) - 1:
-                errors.append(f"{loc}: terminator mid-block at index {i}")
-            if inst.opcode == Opcode.CALL:
-                if inst.callee is None:
-                    errors.append(f"{loc}: direct call without callee")
-                elif inst.callee not in module:
-                    errors.append(
-                        f"{loc}: call to undefined @{inst.callee}"
-                    )
-            if inst.opcode == Opcode.ICALL:
-                targets = inst.attrs.get(ATTR_TARGETS)
-                if not targets:
-                    errors.append(f"{loc}: icall without target metadata")
-                else:
-                    for t in targets:
-                        if t not in module:
-                            errors.append(
-                                f"{loc}: icall may-target undefined @{t}"
-                            )
-            for label in inst.targets:
-                if label not in func.blocks:
-                    errors.append(
-                        f"{loc}: branch to unknown block {label!r}"
-                    )
-    return errors
+    return [
+        d.legacy_message()
+        for d in STRUCTURAL.function_diagnostics(func, module)
+    ]
 
 
 def validate_module(module: Module) -> None:
     """Raise :class:`ValidationError` if the module is malformed."""
+    from repro.static.rules.structural import STRUCTURAL
+
     errors: List[str] = []
     for func in module:
-        errors.extend(validate_function(func, module))
-    for table in module.fptr_tables.values():
-        for entry in table.entries:
-            if entry not in module:
-                errors.append(
-                    f"fptr table {table.name!r}: undefined entry @{entry}"
-                )
-    for syscall, handler in module.syscalls.items():
-        if handler not in module:
-            errors.append(
-                f"syscall {syscall!r}: undefined handler @{handler}"
-            )
+        errors.extend(
+            d.legacy_message()
+            for d in STRUCTURAL.function_diagnostics(func, module)
+        )
+    errors.extend(
+        d.legacy_message() for d in STRUCTURAL.module_diagnostics(module)
+    )
     if errors:
         raise ValidationError(errors)

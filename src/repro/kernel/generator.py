@@ -72,6 +72,7 @@ class KernelStats:
     ijump_sites: int
     fptr_tables: int
     syscalls: int
+    address_taken: int
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -83,6 +84,7 @@ class KernelStats:
             "ijump_sites": self.ijump_sites,
             "fptr_tables": self.fptr_tables,
             "syscalls": self.syscalls,
+            "address_taken": self.address_taken,
         }
 
 
@@ -107,4 +109,5 @@ def kernel_stats(module: Module) -> KernelStats:
         ijump_sites=ijumps,
         fptr_tables=len(module.fptr_tables),
         syscalls=len(module.syscalls),
+        address_taken=len(module.address_taken()),
     )

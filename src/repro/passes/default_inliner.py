@@ -14,9 +14,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.ir.clone import inline_call
+from repro.ir.clone import inline_call, record_inlined_promotion
 from repro.ir.module import Module
-from repro.ir.types import ATTR_EDGE_COUNT, FunctionAttr, Opcode
+from repro.ir.types import (
+    ATTR_EDGE_COUNT,
+    METADATA_INLINED_PROMOTED,
+    FunctionAttr,
+    Opcode,
+)
 from repro.ir.callgraph import CallGraph
 from repro.passes.inline_cost import InlineCostCache
 from repro.passes.manager import ModulePass
@@ -69,6 +74,7 @@ class DefaultInliner(ModulePass):
 
     def run(self, module: Module) -> DefaultInlineReport:
         report = DefaultInlineReport()
+        module.metadata.setdefault(METADATA_INLINED_PROMOTED, [])
         costs = InlineCostCache()
         order = CallGraph(module).bottom_up_order()
 
@@ -102,6 +108,7 @@ class DefaultInliner(ModulePass):
                             continue
                         if costs.cost(caller) > self.caller_growth_limit:
                             continue
+                        record_inlined_promotion(module, inst)
                         inline_call(caller, block.label, idx, callee)
                         costs.invalidate(caller.name)
                         report.inlined_sites += 1

@@ -32,6 +32,7 @@ from repro.ir.module import Module
 from repro.ir.types import (
     ATTR_ASM_SITE,
     ATTR_EDGE_COUNT,
+    ATTR_ICP_SITE,
     ATTR_P_TAKEN,
     ATTR_PROMOTED,
     ATTR_TARGETS,
@@ -261,7 +262,11 @@ class IndirectCallPromotion(ModulePass):
                     Opcode.CALL,
                     callee=target,
                     num_args=icall.num_args,
-                    attrs={ATTR_PROMOTED: True, ATTR_EDGE_COUNT: observed_count},
+                    attrs={
+                        ATTR_PROMOTED: True,
+                        ATTR_EDGE_COUNT: observed_count,
+                        ATTR_ICP_SITE: site_id,
+                    },
                 )
             )
             dblock.instructions.append(
@@ -272,6 +277,7 @@ class IndirectCallPromotion(ModulePass):
         # Fallback: the original indirect call with the residual distribution.
         fallback = icall.clone(fresh_site_id=False)
         fallback.attrs.pop(ATTR_VALUE_PROFILE, None)
+        fallback.attrs[ATTR_ICP_SITE] = site_id
         fallback.attrs[ATTR_TARGETS] = residual if residual else dict(ground_truth)
         fblock = BasicBlock(fallback_label)
         fblock.instructions.append(fallback)

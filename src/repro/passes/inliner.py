@@ -35,10 +35,11 @@ from typing import Dict, List, Optional, Tuple
 from repro.ir.function import Function
 from repro.ir.instruction import Instruction
 from repro.ir.module import Module
-from repro.ir.clone import inline_call
+from repro.ir.clone import inline_call, record_inlined_promotion
 from repro.ir.types import (
     ATTR_EDGE_COUNT,
     ATTR_VALUE_PROFILE,
+    METADATA_INLINED_PROMOTED,
     FunctionAttr,
     Opcode,
 )
@@ -166,6 +167,9 @@ class PibeInliner(ModulePass):
 
     def run(self, module: Module) -> InlineReport:
         report = InlineReport(budget=self.budget)
+        # Mark inlining provenance as available even if nothing gets
+        # inlined (the static flow analysis keys on the entry's presence).
+        module.metadata.setdefault(METADATA_INLINED_PROMOTED, [])
         sites = sorted(
             self._profiled_sites(module), key=lambda s: (-s[0], s[1])
         )
@@ -245,6 +249,7 @@ class PibeInliner(ModulePass):
                 self._note_block(report, caller)
                 continue
 
+            record_inlined_promotion(module, inst)
             result = inline_call(caller, block_label, idx, callee)
             costs.invalidate(caller_name)
             report.inlined_sites += 1

@@ -59,12 +59,28 @@ class PassManager:
         Verify the module after every pass; catches transformation bugs at
         their source at the price of extra scans (on by default — the
         synthetic kernel is small enough).
+    verify_each:
+        Additionally run the static analyzer (:mod:`repro.static`) at every
+        pass boundary. ``True`` runs every registered rule; a list of rule
+        names / code prefixes selects a subset. Error-severity findings
+        raise :class:`repro.static.analyzer.StaticAnalysisError` naming the
+        offending pass.
+    verify_profile:
+        Edge profile handed to profile-dependent rules (flow conservation)
+        when ``verify_each`` is active.
     """
 
-    def __init__(self, validate_after_each: bool = True) -> None:
+    def __init__(
+        self,
+        validate_after_each: bool = True,
+        verify_each: Any = False,
+        verify_profile: Any = None,
+    ) -> None:
         self.passes: List[ModulePass] = []
         self.records: List[PassRecord] = []
         self.validate_after_each = validate_after_each
+        self.verify_each = verify_each
+        self.verify_profile = verify_profile
 
     def add(self, pass_: ModulePass) -> "PassManager":
         self.passes.append(pass_)
@@ -85,6 +101,18 @@ class PassManager:
             module.bump_version()
             if self.validate_after_each:
                 validate_module(module)
+            if self.verify_each:
+                # Imported lazily: repro.static pulls in hardening/profiling
+                # modules that themselves import this pass manager.
+                from repro.static.analyzer import assert_clean
+
+                rules = None if self.verify_each is True else self.verify_each
+                assert_clean(
+                    module,
+                    rules=rules,
+                    profile=self.verify_profile,
+                    context=f"after pass {name!r}",
+                )
         return reports
 
 
@@ -92,9 +120,15 @@ def run_pipeline(
     module: Module,
     passes: List[ModulePass],
     validate: bool = True,
+    verify_each: Any = False,
+    verify_profile: Any = None,
 ) -> Dict[str, Any]:
     """One-shot helper: build a manager, run, return reports."""
-    manager = PassManager(validate_after_each=validate)
+    manager = PassManager(
+        validate_after_each=validate,
+        verify_each=verify_each,
+        verify_profile=verify_profile,
+    )
     for p in passes:
         manager.add(p)
     return manager.run(module)

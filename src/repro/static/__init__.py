@@ -1,0 +1,45 @@
+"""Static CFI analyzer for the PIBE IR — a mini clang-tidy.
+
+Where the execution engines *measure* PIBE's security claims, this
+package *proves* them on the IR itself: every module the pipeline emits
+can be checked against a registry of rules that each produce
+:class:`~repro.static.diagnostics.Diagnostic` records with stable codes
+(``PIBE101``..``PIBE5xx``) and severities.
+
+Rule families:
+
+- ``PIBE1xx`` structural well-formedness (the old ``ir.validate`` checks);
+- ``PIBE2xx`` type/signature-based feasible-target analysis;
+- ``PIBE3xx`` Listing-2 guard-chain shape after ICP;
+- ``PIBE4xx`` profile-flow conservation through ICP + inlining;
+- ``PIBE5xx`` speculation-defense coverage (Tables 8-12 statically).
+
+Entry points: :func:`analyze_module` for a report, :func:`assert_clean`
+to raise on error-severity findings (used by ``PassManager(verify_each=)``
+at every pass boundary), and the ``repro lint`` CLI subcommand.
+"""
+
+from repro.static.analyzer import (
+    AnalysisContext,
+    StaticAnalysisError,
+    StaticAnalyzer,
+    analyze_module,
+    assert_clean,
+)
+from repro.static.diagnostics import Diagnostic, DiagnosticReport, Severity
+from repro.static.registry import Rule, all_rules, get_rule, select_rules
+
+__all__ = [
+    "AnalysisContext",
+    "Diagnostic",
+    "DiagnosticReport",
+    "Rule",
+    "Severity",
+    "StaticAnalysisError",
+    "StaticAnalyzer",
+    "all_rules",
+    "analyze_module",
+    "assert_clean",
+    "get_rule",
+    "select_rules",
+]

@@ -1,0 +1,137 @@
+"""Analyzer driver: runs selected rules over a module and aggregates
+findings, with shared per-module facts cached on an
+:class:`AnalysisContext` (address-taken census, signature lookups,
+predecessor maps would all be quadratic if every rule recomputed them).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Sequence, Union
+
+from repro.ir.module import Module
+from repro.profiling.profile_data import EdgeProfile
+from repro.static.diagnostics import DiagnosticReport, Severity
+from repro.static.registry import Rule, select_rules
+
+RuleSelection = Optional[Sequence[Union[str, Rule]]]
+
+
+class StaticAnalysisError(Exception):
+    """A module failed static analysis at error severity.
+
+    Raised by :func:`assert_clean` (and therefore by
+    ``PassManager(verify_each=...)`` at pass boundaries). ``report``
+    carries every finding, not just the errors.
+    """
+
+    def __init__(
+        self,
+        report: DiagnosticReport,
+        context: str = "",
+        fail_on: "Severity" = Severity.ERROR,
+    ) -> None:
+        findings = report.at_least(fail_on)
+        head = f"{len(findings)} static-analysis finding(s) at {fail_on}+"
+        if context:
+            head += f" {context}"
+        super().__init__(
+            head + ":\n" + "\n".join(d.render() for d in findings)
+        )
+        self.report = report
+        self.context = context
+
+
+class AnalysisContext:
+    """Shared facts about the module under analysis.
+
+    Everything is computed lazily: a structural-only run never pays for
+    the census, a profile-less run never touches flow data.
+    """
+
+    def __init__(
+        self, module: Module, profile: Optional[EdgeProfile] = None
+    ) -> None:
+        self.module = module
+        self.profile = profile
+        self._address_taken: Optional[FrozenSet[str]] = None
+        self._num_params: Optional[Dict[str, int]] = None
+
+    @property
+    def has_fptr_tables(self) -> bool:
+        """Whether the module declares any function-pointer tables.
+
+        Hand-built test modules often model icalls without tables; the
+        address-taken census is unknowable there, so census-based checks
+        go vacuous instead of flagging every target.
+        """
+        return bool(self.module.fptr_tables)
+
+    @property
+    def address_taken(self) -> FrozenSet[str]:
+        """Census of functions whose address escapes into a pointer table
+        — the static universe of feasible indirect-call targets."""
+        if self._address_taken is None:
+            self._address_taken = self.module.address_taken()
+        return self._address_taken
+
+    def num_params(self, func_name: str) -> Optional[int]:
+        """Parameter count of a defined function (``None`` if undefined)."""
+        if self._num_params is None:
+            self._num_params = {
+                f.name: f.num_params for f in self.module
+            }
+        return self._num_params.get(func_name)
+
+
+class StaticAnalyzer:
+    """Runs a fixed rule selection over modules."""
+
+    def __init__(self, rules: RuleSelection = None) -> None:
+        if rules is not None and any(isinstance(r, Rule) for r in rules):
+            self.rules = [
+                r if isinstance(r, Rule) else _by_name(r) for r in rules
+            ]
+        else:
+            self.rules = select_rules(rules)  # type: ignore[arg-type]
+
+    def analyze(
+        self, module: Module, profile: Optional[EdgeProfile] = None
+    ) -> DiagnosticReport:
+        ctx = AnalysisContext(module, profile=profile)
+        report = DiagnosticReport(module_name=module.name)
+        for rule in self.rules:
+            if rule.requires_profile and profile is None:
+                continue
+            report.rules.append(rule.name)
+            report.extend(list(rule.run(module, ctx)))
+        return report
+
+
+def _by_name(name: str) -> Rule:
+    from repro.static.registry import get_rule
+
+    return get_rule(name)
+
+
+def analyze_module(
+    module: Module,
+    rules: RuleSelection = None,
+    profile: Optional[EdgeProfile] = None,
+) -> DiagnosticReport:
+    """One-shot analysis: run ``rules`` (default: all) over ``module``."""
+    return StaticAnalyzer(rules).analyze(module, profile=profile)
+
+
+def assert_clean(
+    module: Module,
+    rules: RuleSelection = None,
+    profile: Optional[EdgeProfile] = None,
+    context: str = "",
+    fail_on: Severity = Severity.ERROR,
+) -> DiagnosticReport:
+    """Analyze and raise :class:`StaticAnalysisError` on findings at or
+    above ``fail_on``; returns the report when clean enough."""
+    report = analyze_module(module, rules=rules, profile=profile)
+    if report.at_least(fail_on):
+        raise StaticAnalysisError(report, context=context, fail_on=fail_on)
+    return report

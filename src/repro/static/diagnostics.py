@@ -1,0 +1,163 @@
+"""Diagnostic records and reports produced by the static analyzer.
+
+A :class:`Diagnostic` pins one finding to a stable code (``PIBE304``), a
+severity, and a location (function / block / site id). Codes are part of
+the tool's contract: tests, CI gates and docs reference them, so a code
+is never reused for a different condition.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; ordered so ``max()`` picks the worst."""
+
+    #: informational — the analyzer could not fully verify something
+    NOTE = 0
+    #: suspicious but not a soundness violation
+    WARNING = 1
+    #: a CFI/profile invariant is broken; gates fail on these
+    ERROR = 2
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding."""
+
+    #: stable code, e.g. ``"PIBE304"``
+    code: str
+    severity: Severity
+    #: human-readable description of the violated invariant
+    message: str
+    #: name of the rule that produced this finding
+    rule: str = ""
+    #: containing function, if the finding is function-scoped
+    function: Optional[str] = None
+    #: containing basic block label
+    block: Optional[str] = None
+    #: call-site id the finding anchors to
+    site_id: Optional[int] = None
+
+    @property
+    def where(self) -> str:
+        """``@func:block`` location prefix (empty for module scope)."""
+        if self.function is None:
+            return ""
+        if self.block is None:
+            return f"@{self.function}"
+        return f"@{self.function}:{self.block}"
+
+    def render(self) -> str:
+        """One text line: ``error[PIBE304] @f:b: message``."""
+        loc = self.where
+        head = f"{self.severity}[{self.code}]"
+        body = f"{loc}: {self.message}" if loc else self.message
+        if self.site_id is not None:
+            body += f" (site {self.site_id})"
+        return f"{head} {body}"
+
+    def legacy_message(self) -> str:
+        """The pre-registry ``ir.validate`` error string for this finding."""
+        loc = self.where
+        return f"{loc}: {self.message}" if loc else self.message
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "code": self.code,
+            "severity": str(self.severity),
+            "rule": self.rule,
+            "message": self.message,
+        }
+        if self.function is not None:
+            out["function"] = self.function
+        if self.block is not None:
+            out["block"] = self.block
+        if self.site_id is not None:
+            out["site_id"] = self.site_id
+        return out
+
+
+@dataclass
+class DiagnosticReport:
+    """All findings from one analyzer run over one module."""
+
+    module_name: str = ""
+    #: names of the rules that ran (even if they found nothing)
+    rules: List[str] = field(default_factory=list)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(self, diag: Diagnostic) -> None:
+        self.diagnostics.append(diag)
+
+    def extend(self, diags: Sequence[Diagnostic]) -> None:
+        self.diagnostics.extend(diags)
+
+    # -- queries -----------------------------------------------------------
+
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.ERROR]
+
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.WARNING]
+
+    def at_least(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity >= severity]
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        """Findings whose code starts with ``code`` (``"PIBE3"`` matches
+        the whole guard-shape family)."""
+        return [d for d in self.diagnostics if d.code.startswith(code)]
+
+    def codes(self) -> List[str]:
+        return sorted({d.code for d in self.diagnostics})
+
+    def counts(self) -> Dict[str, int]:
+        out = {"note": 0, "warning": 0, "error": 0}
+        for d in self.diagnostics:
+            out[str(d.severity)] += 1
+        return out
+
+    def __bool__(self) -> bool:
+        return bool(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    # -- rendering ---------------------------------------------------------
+
+    def to_text(self) -> str:
+        """Human-readable listing, worst findings first."""
+        lines = [
+            d.render()
+            for d in sorted(
+                self.diagnostics,
+                key=lambda d: (-int(d.severity), d.code, d.where),
+            )
+        ]
+        counts = self.counts()
+        summary = (
+            f"{self.module_name or '<module>'}: "
+            f"{counts['error']} error(s), {counts['warning']} warning(s), "
+            f"{counts['note']} note(s) from {len(self.rules)} rule(s)"
+        )
+        return "\n".join(lines + [summary])
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        record = {
+            "module": self.module_name,
+            "rules": list(self.rules),
+            "counts": self.counts(),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+        return json.dumps(record, indent=indent)

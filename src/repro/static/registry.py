@@ -1,0 +1,142 @@
+"""Rule registry: named analyses over modules, selectable by name or code.
+
+Rules are stateless singletons registered at import time with the
+:func:`register` decorator, mirroring how clang-tidy checks self-register.
+Selection accepts rule names (``"guard-chain-shape"``) or diagnostic code
+prefixes (``"PIBE3"``, ``"PIBE304"``), so CLI users can scope a lint run
+to one family.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Type
+
+from repro.ir.module import Module
+from repro.static.diagnostics import Diagnostic, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.static.analyzer import AnalysisContext
+
+
+class Rule:
+    """One registered analysis.
+
+    Subclasses set :attr:`name`, :attr:`codes` (every diagnostic code the
+    rule may emit, mapped to a short summary — the rule catalog in
+    ``docs/static_analysis.md`` is generated from these) and implement
+    :meth:`run`, yielding :class:`Diagnostic` records.
+    """
+
+    #: unique kebab-case rule name
+    name: str = ""
+    #: one-line description for ``repro lint --list-rules``
+    description: str = ""
+    #: code -> short summary of the condition it flags
+    codes: Dict[str, str] = {}
+    #: rules that consume the edge profile are skipped when none is given
+    requires_profile: bool = False
+
+    def run(
+        self, module: Module, ctx: "AnalysisContext"
+    ) -> Iterable[Diagnostic]:
+        raise NotImplementedError
+
+    def diag(
+        self,
+        code: str,
+        severity: Severity,
+        message: str,
+        function: Optional[str] = None,
+        block: Optional[str] = None,
+        site_id: Optional[int] = None,
+    ) -> Diagnostic:
+        """Build a diagnostic, asserting the code belongs to this rule."""
+        assert code in self.codes, f"{self.name} emitting undeclared {code}"
+        return Diagnostic(
+            code=code,
+            severity=severity,
+            message=message,
+            rule=self.name,
+            function=function,
+            block=block,
+            site_id=site_id,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Rule {self.name}>"
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and register a rule singleton."""
+    rule = cls()
+    if not rule.name:
+        raise ValueError(f"rule {cls.__name__} has no name")
+    existing = _REGISTRY.get(rule.name)
+    if existing is not None and type(existing) is not cls:
+        raise ValueError(f"duplicate rule name {rule.name!r}")
+    for name, other in _REGISTRY.items():
+        if name == rule.name:
+            continue
+        clash = set(other.codes) & set(rule.codes)
+        if clash:
+            raise ValueError(
+                f"rule {rule.name!r} reuses codes {sorted(clash)} "
+                f"of {name!r}"
+            )
+    _REGISTRY[rule.name] = rule
+    return cls
+
+
+def _ensure_loaded() -> None:
+    """Import the built-in rule modules so they self-register."""
+    from repro.static import rules  # noqa: F401  (import-for-effect)
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, in registration order."""
+    _ensure_loaded()
+    return list(_REGISTRY.values())
+
+
+def get_rule(name: str) -> Rule:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"no rule named {name!r}") from None
+
+
+def select_rules(selectors: Optional[Sequence[str]]) -> List[Rule]:
+    """Resolve rule names / code prefixes to rule objects.
+
+    ``None`` selects everything. A selector matches a rule if it equals
+    the rule's name or is a prefix of one of its diagnostic codes.
+    """
+    rules = all_rules()
+    if selectors is None:
+        return rules
+    chosen: List[Rule] = []
+    for rule in rules:
+        for sel in selectors:
+            if sel == rule.name or any(
+                code.startswith(sel) for code in rule.codes
+            ):
+                chosen.append(rule)
+                break
+    unmatched = [
+        sel
+        for sel in selectors
+        if not any(
+            sel == r.name or any(c.startswith(sel) for c in r.codes)
+            for r in rules
+        )
+    ]
+    if unmatched:
+        known = ", ".join(r.name for r in rules)
+        raise KeyError(
+            f"unknown rule selector(s) {unmatched}; known rules: {known}"
+        )
+    return chosen

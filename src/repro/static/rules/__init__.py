@@ -1,0 +1,9 @@
+"""Built-in analyzer rules; importing this package registers them all."""
+
+from repro.static.rules import (  # noqa: F401  (import-for-effect)
+    flow,
+    guards,
+    speculation,
+    structural,
+    targets,
+)

@@ -1,0 +1,266 @@
+"""Profile-flow conservation through ICP + inlining (``PIBE4xx``).
+
+For every profiled indirect site ``S`` with value profile
+``{t_i: c_i}``, the transformed module must account for every count:
+
+- a target promoted at the original chain carries ``c_i`` verbatim on
+  its ``!promoted !icp_site=S`` direct call — or, if the inliner later
+  consumed that call, on the module's inlining provenance record
+  (``metadata["inlined_promoted"]``, written by both inliners);
+- every other profiled target must appear in the fallback's residual
+  distribution;
+- the sum of promoted counts plus residual profile weight equals the
+  site's total profile weight;
+- cloned chains (created when a function containing a chain is inlined
+  elsewhere) may only carry *scaled-down* counts — a clone exceeding the
+  profile count would double flow.
+
+When the provenance record is absent (e.g. the module was round-tripped
+through the textual dumper, which does not serialize metadata), missing
+accounting degrades to a note instead of an error: the analyzer cannot
+distinguish an inlined promoted call from lost flow.
+
+Requires a profile; the analyzer skips this rule without one.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.ir.module import Module
+from repro.ir.types import (
+    ATTR_CLONED_FROM,
+    ATTR_EDGE_COUNT,
+    ATTR_ICP_SITE,
+    ATTR_PROMOTED,
+    ATTR_TARGETS,
+    METADATA_INLINED_PROMOTED,
+    Opcode,
+)
+from repro.static.diagnostics import Diagnostic, Severity
+from repro.static.registry import Rule, register
+
+#: (function, block, site_id) location for one found instruction
+_Loc = Tuple[str, Optional[str], Optional[int]]
+
+
+@register
+class FlowConservationRule(Rule):
+    name = "profile-flow-conservation"
+    description = (
+        "edge counts into each icall equal promoted directs + residual"
+    )
+    requires_profile = True
+    codes = {
+        "PIBE401": "promoted direct count disagrees with the profile",
+        "PIBE402": "site flow not conserved across promoted + residual",
+        "PIBE403": "flow unverifiable (inlining provenance unavailable)",
+        "PIBE404": "profiled target neither promoted nor in the residual",
+        "PIBE405": "cloned promoted call exceeds the profiled count",
+        "PIBE406": "target promoted/accounted more than once at one site",
+    }
+
+    def run(self, module: Module, ctx) -> Iterable[Diagnostic]:
+        profile = ctx.profile
+        assert profile is not None  # analyzer gates on requires_profile
+
+        # Index every ICP artifact by original site id.
+        originals: Dict[int, Dict[str, List[Tuple[int, _Loc]]]] = (
+            defaultdict(lambda: defaultdict(list))
+        )
+        clones: Dict[int, List[Tuple[str, int, _Loc]]] = defaultdict(list)
+        fallbacks: Dict[int, Tuple[Set[str], _Loc]] = {}
+        for func in module:
+            for block in func.blocks.values():
+                for inst in block.instructions:
+                    site = inst.attrs.get(ATTR_ICP_SITE)
+                    if site is None:
+                        continue
+                    loc: _Loc = (func.name, block.label, inst.site_id)
+                    cloned = ATTR_CLONED_FROM in inst.attrs
+                    if inst.opcode == Opcode.CALL and inst.attrs.get(
+                        ATTR_PROMOTED
+                    ):
+                        count = inst.attrs.get(ATTR_EDGE_COUNT, 0)
+                        if cloned:
+                            clones[site].append(
+                                (inst.callee or "", count, loc)
+                            )
+                        else:
+                            originals[site][inst.callee or ""].append(
+                                (count, loc)
+                            )
+                    elif (
+                        inst.opcode == Opcode.ICALL
+                        and inst.site_id == site
+                    ):
+                        # The original fallback keeps the promoted site's
+                        # id; chain clones get fresh ids.
+                        fallbacks[site] = (
+                            set(inst.attrs.get(ATTR_TARGETS) or {}),
+                            loc,
+                        )
+
+        inlined: Dict[int, Dict[str, int]] = defaultdict(dict)
+        records = module.metadata.get(METADATA_INLINED_PROMOTED)
+        has_provenance = records is not None
+        for rec in records or []:
+            site, target = int(rec["site"]), str(rec["target"])
+            if target in inlined[site]:
+                yield self.diag(
+                    "PIBE406",
+                    Severity.ERROR,
+                    f"icp site {site}: target @{target} recorded as "
+                    "inlined more than once",
+                    site_id=site,
+                )
+            inlined[site][target] = inlined[site].get(target, 0) + int(
+                rec["count"]
+            )
+
+        touched = set(originals) | set(fallbacks) | set(clones)
+        for site in sorted(touched):
+            vp = profile.indirect.get(site)
+            if not vp:
+                continue  # lint run against a non-matching profile
+            yield from self._check_site(
+                site,
+                vp,
+                originals.get(site, {}),
+                inlined.get(site, {}),
+                fallbacks.get(site),
+                clones.get(site, []),
+                has_provenance,
+            )
+
+    def _check_site(
+        self,
+        site: int,
+        vp: Dict[str, int],
+        site_originals: Dict[str, List[Tuple[int, _Loc]]],
+        site_inlined: Dict[str, int],
+        fallback: Optional[Tuple[Set[str], _Loc]],
+        site_clones: List[Tuple[str, int, _Loc]],
+        has_provenance: bool,
+    ) -> Iterable[Diagnostic]:
+        err = Severity.ERROR
+        residual = fallback[0] if fallback is not None else None
+        promoted_names = set(site_originals) | set(site_inlined)
+
+        # When neither the fallback nor any original direct survives, the
+        # whole chain's function was inlined away and DCE'd — only scaled
+        # clones remain, and per-target accounting is meaningless.
+        chain_alive = fallback is not None or bool(site_originals)
+
+        fully_accounted = True
+        promoted_sum = 0
+        for target, expected in sorted(vp.items()) if chain_alive else []:
+            entries = site_originals.get(target, [])
+            recorded = site_inlined.get(target)
+            if len(entries) > 1 or (entries and recorded is not None):
+                func, block, _ = entries[0][1]
+                yield self.diag(
+                    "PIBE406",
+                    err,
+                    f"icp site {site}: target @{target} accounted "
+                    f"{len(entries)} time(s) in IR plus "
+                    f"{'an' if recorded is not None else 'no'} inlining "
+                    "record",
+                    function=func,
+                    block=block,
+                    site_id=site,
+                )
+                fully_accounted = False
+                continue
+            if entries:
+                count, (func, block, inst_site) = entries[0]
+                promoted_sum += count
+                if count != expected:
+                    yield self.diag(
+                        "PIBE401",
+                        err,
+                        f"icp site {site}: promoted direct to "
+                        f"@{target} carries count {count}, profile "
+                        f"says {expected}",
+                        function=func,
+                        block=block,
+                        site_id=inst_site,
+                    )
+            elif recorded is not None:
+                promoted_sum += recorded
+                if recorded != expected:
+                    yield self.diag(
+                        "PIBE401",
+                        err,
+                        f"icp site {site}: inlined promoted call to "
+                        f"@{target} was recorded with count {recorded}, "
+                        f"profile says {expected}",
+                        site_id=site,
+                    )
+            elif residual is not None and target in residual:
+                pass  # flows through the fallback icall
+            elif residual is None:
+                # Fallback missing while directs survive: the guard-shape
+                # rule owns that corruption (PIBE303); without a residual
+                # set there is nothing to check flow against.
+                fully_accounted = False
+            elif has_provenance:
+                loc = fallback[1] if fallback is not None else ("", None, None)
+                yield self.diag(
+                    "PIBE404",
+                    err,
+                    f"icp site {site}: profiled target @{target} "
+                    f"({expected} counts) is neither promoted, "
+                    "recorded as inlined, nor in the residual",
+                    function=loc[0] or None,
+                    block=loc[1],
+                    site_id=site,
+                )
+                fully_accounted = False
+            else:
+                yield self.diag(
+                    "PIBE403",
+                    Severity.NOTE,
+                    f"icp site {site}: cannot account for @{target} "
+                    f"({expected} counts) — no inlining provenance in "
+                    "this module (round-tripped dump?)",
+                    site_id=site,
+                )
+                fully_accounted = False
+
+        # Aggregate conservation over the whole site.
+        if fully_accounted and residual is not None:
+            residual_sum = sum(
+                c
+                for t, c in vp.items()
+                if t in residual and t not in promoted_names
+            )
+            total = sum(vp.values())
+            if promoted_sum + residual_sum != total:
+                func, block, inst_site = fallback[1]
+                yield self.diag(
+                    "PIBE402",
+                    err,
+                    f"icp site {site}: promoted ({promoted_sum}) + "
+                    f"residual ({residual_sum}) != profiled total "
+                    f"({total})",
+                    function=func,
+                    block=block,
+                    site_id=inst_site,
+                )
+
+        # Clones may only scale flow down.
+        for target, count, (func, block, inst_site) in site_clones:
+            limit = vp.get(target, 0)
+            if count > limit:
+                yield self.diag(
+                    "PIBE405",
+                    err,
+                    f"icp site {site}: cloned promoted call to "
+                    f"@{target} carries count {count} > profiled "
+                    f"{limit} (inheritance must scale down)",
+                    function=func,
+                    block=block,
+                    site_id=inst_site,
+                )

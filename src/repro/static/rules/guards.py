@@ -1,0 +1,297 @@
+"""Guard-chain shape checker (``PIBE3xx``).
+
+Every site ICP promotes must survive later passes as the Listing-2 CFG::
+
+    pre:      [prefix] [load] cmp; br d0, g1     ; head guard
+    g1:       cmp; br d1, g2                     ; inner guards
+    ...
+    gk:       cmp; br dk, fallback
+    d_i:      call @t_i !promoted; jmp cont      ; direct blocks
+    fallback: icall (residual); jmp cont
+    cont:     ...
+
+The rule anchors on the two markers ICP leaves behind — ``!promoted``
+direct calls and the ``!icp_site`` provenance on the fallback icall —
+and checks the shape from both ends, so a corruption that deletes one
+anchor is still caught from the other:
+
+- from each surviving promoted call: its block is exactly
+  ``[call, jmp]``, its only predecessor is a guard's taken edge, and
+  walking the guard fallthrough chain reaches an icall fallback;
+- from each fallback icall: the block is exactly ``[icall, jmp]``, at
+  least one guard feeds it, every promoted direct hanging off the chain
+  rejoins the same continuation, the residual target set never partially
+  overlaps the promoted set (a full overlap is the legal fully-promoted
+  passthrough, where ICP keeps the ground truth on a never-taken
+  fallback), and the fallback carries no leftover value profile.
+
+Direct blocks whose promoted call was later *inlined* degrade to plain
+``jmp`` blocks (or whole inlined bodies); those hang off guard taken
+edges and are deliberately not constrained.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.types import (
+    ATTR_ICP_SITE,
+    ATTR_PROMOTED,
+    ATTR_TARGETS,
+    ATTR_VALUE_PROFILE,
+    Opcode,
+)
+from repro.static.diagnostics import Diagnostic, Severity
+from repro.static.registry import Rule, register
+
+
+def _is_guard_shape(block: BasicBlock) -> bool:
+    """A pure inner guard: exactly ``[cmp, br]``."""
+    insts = block.instructions
+    return (
+        len(insts) == 2
+        and insts[0].opcode == Opcode.CMP
+        and insts[1].opcode == Opcode.BR
+    )
+
+
+def _ends_as_guard(block: BasicBlock) -> bool:
+    """Ends ``..., cmp, br`` (the head guard keeps the original block's
+    prefix and, for vcalls, the vtable load)."""
+    insts = block.instructions
+    return (
+        len(insts) >= 2
+        and insts[-1].opcode == Opcode.BR
+        and insts[-2].opcode == Opcode.CMP
+    )
+
+
+def _pred_edges(func: Function) -> Dict[str, List[Tuple[str, str]]]:
+    """label -> [(pred_label, edge_kind)] over every terminator edge."""
+    preds: Dict[str, List[Tuple[str, str]]] = {}
+    for block in func.blocks.values():
+        term = block.terminator
+        if term is None:
+            continue
+        if term.opcode == Opcode.BR and len(term.targets) == 2:
+            kinds = ("taken", "fallthrough")
+        else:
+            kinds = tuple("target" for _ in term.targets)
+        for label, kind in zip(term.targets, kinds):
+            preds.setdefault(label, []).append((block.label, kind))
+    return preds
+
+
+@register
+class GuardChainRule(Rule):
+    name = "guard-chain-shape"
+    description = "ICP sites keep the Listing-2 guard/direct/fallback CFG"
+    codes = {
+        "PIBE301": "promoted-call block is not [call, jmp]",
+        "PIBE302": "promoted call not reached by a single guard taken-edge",
+        "PIBE303": "guard chain does not terminate in an icall fallback",
+        "PIBE304": "residual targets partially overlap promoted targets",
+        "PIBE305": "direct and fallback blocks rejoin different continuations",
+        "PIBE306": "fallback block is not [icall, jmp]",
+        "PIBE307": "fallback icall retains a value profile",
+    }
+
+    def run(self, module, ctx) -> Iterable[Diagnostic]:
+        for func in module:
+            yield from self._check_function(func)
+
+    def _check_function(self, func: Function) -> Iterable[Diagnostic]:
+        preds = _pred_edges(func)
+        blocks = func.blocks
+
+        for block in blocks.values():
+            for idx, inst in enumerate(block.instructions):
+                if (
+                    inst.opcode == Opcode.CALL
+                    and inst.attrs.get(ATTR_PROMOTED)
+                    and ATTR_ICP_SITE in inst.attrs
+                ):
+                    yield from self._check_promoted(
+                        func, block, idx, inst, preds
+                    )
+            first = block.instructions[0] if block.instructions else None
+            if (
+                first is not None
+                and first.opcode == Opcode.ICALL
+                and ATTR_ICP_SITE in first.attrs
+            ):
+                yield from self._check_fallback(func, block, first, preds)
+
+    # -- promoted-call side ------------------------------------------------
+
+    def _check_promoted(
+        self, func: Function, block: BasicBlock, idx: int, inst, preds
+    ) -> Iterable[Diagnostic]:
+        err = Severity.ERROR
+        site = inst.attrs.get(ATTR_ICP_SITE)
+        loc = dict(
+            function=func.name, block=block.label, site_id=inst.site_id
+        )
+        shape_ok = (
+            idx == 0
+            and len(block.instructions) == 2
+            and block.instructions[1].opcode == Opcode.JMP
+        )
+        if not shape_ok:
+            yield self.diag(
+                "PIBE301",
+                err,
+                f"promoted call to @{inst.callee} (icp site {site}) sits "
+                "in a block that is not exactly [call, jmp]",
+                **loc,
+            )
+
+        edges = preds.get(block.label, [])
+        guard = None
+        if len(edges) == 1:
+            pred_label, kind = edges[0]
+            pred = func.blocks.get(pred_label)
+            if kind == "taken" and pred is not None and _ends_as_guard(pred):
+                guard = pred
+        if guard is None:
+            yield self.diag(
+                "PIBE302",
+                err,
+                f"promoted call to @{inst.callee} (icp site {site}) is "
+                "not reached by exactly one guard cmp/br taken-edge",
+                **loc,
+            )
+            return
+
+        # Walk the guard fallthrough chain; it must end at an icall.
+        seen: Set[str] = {guard.label}
+        cur = func.blocks.get(guard.terminator.targets[1])
+        while (
+            cur is not None
+            and _is_guard_shape(cur)
+            and cur.label not in seen
+        ):
+            seen.add(cur.label)
+            cur = func.blocks.get(cur.terminator.targets[1])
+        terminal_icall = (
+            cur is not None
+            and bool(cur.instructions)
+            and cur.instructions[0].opcode == Opcode.ICALL
+        )
+        if not terminal_icall:
+            yield self.diag(
+                "PIBE303",
+                err,
+                f"guard chain below promoted call to @{inst.callee} "
+                f"(icp site {site}) never reaches an icall fallback",
+                **loc,
+            )
+
+    # -- fallback side -----------------------------------------------------
+
+    def _check_fallback(
+        self, func: Function, block: BasicBlock, icall, preds
+    ) -> Iterable[Diagnostic]:
+        err = Severity.ERROR
+        site = icall.attrs.get(ATTR_ICP_SITE)
+        loc = dict(
+            function=func.name, block=block.label, site_id=icall.site_id
+        )
+
+        if not (
+            len(block.instructions) == 2
+            and block.instructions[1].opcode == Opcode.JMP
+        ):
+            yield self.diag(
+                "PIBE306",
+                err,
+                f"fallback for icp site {site} is not exactly "
+                "[icall, jmp]",
+                **loc,
+            )
+        if icall.attrs.get(ATTR_VALUE_PROFILE):
+            yield self.diag(
+                "PIBE307",
+                Severity.WARNING,
+                f"fallback for icp site {site} still carries a value "
+                "profile (should be consumed by promotion)",
+                **loc,
+            )
+
+        cont = self._jmp_target(block)
+
+        # Collect the guard chain feeding this fallback, bottom-up.
+        guards: List[BasicBlock] = []
+        seen: Set[str] = {block.label}
+        cur = block.label
+        while True:
+            feeders = [
+                func.blocks[p]
+                for p, kind in preds.get(cur, [])
+                if kind == "fallthrough"
+                and p in func.blocks
+                and _ends_as_guard(func.blocks[p])
+            ]
+            if len(feeders) != 1 or feeders[0].label in seen:
+                break
+            guard = feeders[0]
+            guards.append(guard)
+            seen.add(guard.label)
+            cur = guard.label
+
+        if not guards:
+            yield self.diag(
+                "PIBE303",
+                err,
+                f"fallback for icp site {site} has no guard feeding it",
+                **loc,
+            )
+            return
+
+        promoted: Set[str] = set()
+        for guard in guards:
+            taken = func.blocks.get(guard.terminator.targets[0])
+            if taken is None or not taken.instructions:
+                continue
+            head = taken.instructions[0]
+            if head.opcode == Opcode.CALL and head.attrs.get(ATTR_PROMOTED):
+                if head.callee:
+                    promoted.add(head.callee)
+                direct_cont = self._jmp_target(taken)
+                if (
+                    cont is not None
+                    and direct_cont is not None
+                    and direct_cont != cont
+                ):
+                    yield self.diag(
+                        "PIBE305",
+                        err,
+                        f"direct block {taken.label!r} rejoins "
+                        f"{direct_cont!r} but the fallback rejoins "
+                        f"{cont!r}",
+                        **loc,
+                    )
+
+        residual = set(icall.attrs.get(ATTR_TARGETS) or {})
+        overlap = promoted & residual
+        if overlap and not promoted <= residual:
+            # A full overlap is the fully-promoted passthrough (empty
+            # residual keeps the ground-truth distribution); a partial
+            # one means a promoted target leaked back into the residual.
+            yield self.diag(
+                "PIBE304",
+                err,
+                f"residual of icp site {site} repeats promoted "
+                f"target(s) {sorted(overlap)} without being the "
+                "fully-promoted passthrough",
+                **loc,
+            )
+
+    @staticmethod
+    def _jmp_target(block: BasicBlock) -> Optional[str]:
+        term = block.terminator
+        if term is not None and term.opcode == Opcode.JMP and term.targets:
+            return term.targets[0]
+        return None

@@ -1,0 +1,170 @@
+"""Speculation-defense coverage lint (``PIBE5xx``).
+
+Makes the paper's Tables 8-12 coverage claims *statically checkable*:
+after hardening, every residual indirect branch must carry exactly the
+defense tag its :class:`~repro.hardening.defenses.DefenseConfig`
+promises — and that tag must belong to the protection class
+(``SPECTRE_V2_SAFE`` / ``RSB_SAFE`` / ``LVI_SAFE``) covering the attack
+vectors the config claims to close. Exempt branches (inline-asm
+functions and sites, boot-only returns, target-less asm ijumps) must
+stay *untagged*: a tag there would claim protection the lowering cannot
+actually emit.
+
+Eligibility comes from :mod:`repro.hardening.coverage` — the same
+predicates the hardening passes use, so checker and transformation
+cannot drift. Registered custom defenses
+(:mod:`repro.hardening.custom`) are accepted in place of the stock tag
+on modules a custom pass has processed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.hardening.coverage import (
+    applied_config,
+    branch_exempt,
+    custom_hardened,
+    expected_defense,
+)
+from repro.hardening.custom import registered_defense
+from repro.hardening.defenses import (
+    LVI_SAFE,
+    RSB_SAFE,
+    SPECTRE_V2_SAFE,
+    Defense,
+)
+from repro.ir.module import Module
+from repro.ir.types import INDIRECT_BRANCHES, Opcode
+from repro.static.diagnostics import Diagnostic, Severity
+from repro.static.registry import Rule, register
+
+_STOCK_TAGS = frozenset(d.value for d in Defense)
+
+_UNPROTECTED_CODE = {
+    Opcode.ICALL: "PIBE501",
+    Opcode.RET: "PIBE502",
+    Opcode.IJUMP: "PIBE503",
+}
+
+
+@register
+class SpeculationCoverageRule(Rule):
+    name = "speculation-coverage"
+    description = (
+        "residual indirect branches carry exactly the promised defense tags"
+    )
+    codes = {
+        "PIBE501": "icall the config promises to protect is untagged",
+        "PIBE502": "return the config promises to protect is untagged",
+        "PIBE503": "indirect jump the config promises to protect is untagged",
+        "PIBE504": "branch carries a different tag than the config promises",
+        "PIBE505": "exempt/undefended branch carries a defense tag",
+        "PIBE506": "unknown defense tag (not stock, not registered custom)",
+        "PIBE507": "promised tag is outside its protection class",
+    }
+
+    def run(self, module: Module, ctx) -> Iterable[Diagnostic]:
+        config = applied_config(module)
+        allow_custom = custom_hardened(module)
+        err = Severity.ERROR
+
+        for func in module:
+            for block in func.blocks.values():
+                for inst in block.instructions:
+                    if inst.opcode not in INDIRECT_BRANCHES:
+                        continue
+                    loc = dict(
+                        function=func.name,
+                        block=block.label,
+                        site_id=inst.site_id,
+                    )
+                    tag = inst.defense
+                    expected = expected_defense(func, inst, config)
+
+                    if tag is not None and tag not in _STOCK_TAGS:
+                        if registered_defense(tag) is None:
+                            yield self.diag(
+                                "PIBE506",
+                                err,
+                                f"{inst.opcode.value} carries unknown "
+                                f"defense tag {tag!r}",
+                                **loc,
+                            )
+                        elif branch_exempt(func, inst):
+                            yield self.diag(
+                                "PIBE505",
+                                err,
+                                f"exempt {inst.opcode.value} carries "
+                                f"custom defense tag {tag!r}",
+                                **loc,
+                            )
+                        # custom tag on an eligible branch: accepted
+                        continue
+
+                    if expected is None:
+                        if tag is not None:
+                            yield self.diag(
+                                "PIBE505",
+                                err,
+                                f"{inst.opcode.value} is exempt or "
+                                "undefended under config "
+                                f"{config.label()!r} but carries tag "
+                                f"{tag!r}",
+                                **loc,
+                            )
+                        continue
+
+                    if tag is None:
+                        if allow_custom:
+                            # A custom pass replaced the stock lowering;
+                            # whether it covers this edge kind is its
+                            # registration's business, not the stock
+                            # config's promise.
+                            continue
+                        yield self.diag(
+                            _UNPROTECTED_CODE[inst.opcode],
+                            err,
+                            f"{inst.opcode.value} is unprotected but "
+                            f"config {config.label()!r} promises "
+                            f"{expected.value!r}",
+                            **loc,
+                        )
+                        continue
+
+                    if tag != expected.value:
+                        yield self.diag(
+                            "PIBE504",
+                            err,
+                            f"{inst.opcode.value} tagged {tag!r} but "
+                            f"config {config.label()!r} promises "
+                            f"{expected.value!r}",
+                            **loc,
+                        )
+                        continue
+
+                    yield from self._check_class(inst, tag, config, loc)
+
+    def _check_class(self, inst, tag, config, loc) -> Iterable[Diagnostic]:
+        """The promised tag must sit in every protection class the
+        config claims for this edge (taxonomy self-consistency)."""
+        required = []
+        if inst.opcode in (Opcode.ICALL, Opcode.IJUMP):
+            if config.retpolines:
+                required.append(("SPECTRE_V2_SAFE", SPECTRE_V2_SAFE))
+            if config.lvi_cfi:
+                required.append(("LVI_SAFE", LVI_SAFE))
+        elif inst.opcode == Opcode.RET:
+            if config.ret_retpolines:
+                required.append(("RSB_SAFE", RSB_SAFE))
+            if config.lvi_cfi:
+                required.append(("LVI_SAFE", LVI_SAFE))
+        for class_name, members in required:
+            if tag not in members:
+                yield self.diag(
+                    "PIBE507",
+                    Severity.ERROR,
+                    f"tag {tag!r} is not in {class_name} although "
+                    f"config {config.label()!r} requires it",
+                    **loc,
+                )

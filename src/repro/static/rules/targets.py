@@ -1,0 +1,160 @@
+"""Type/signature-based feasible-target analysis (``PIBE2xx``).
+
+FineIBT-style static may-target sets for every indirect call: a target
+is *feasible* iff its address escapes into some function-pointer table
+(the address-taken census) and its signature — here, arity — matches the
+call site. Every ``ATTR_TARGETS`` entry (the interpreter's ground
+truth), every profile-observed target, and every ICP-promoted direct
+call must stay inside that set; anything outside it means the kernel
+generator, the profiler or a transformation pass invented a control-flow
+edge the type system forbids.
+
+Census checks go vacuous on modules that declare no pointer tables
+(hand-built test IR) — the universe is unknowable there. Signature
+checks always run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.ir.module import Module
+from repro.ir.types import (
+    ATTR_FPTR_TABLE,
+    ATTR_ICP_SITE,
+    ATTR_PROMOTED,
+    ATTR_TARGETS,
+    ATTR_VALUE_PROFILE,
+    Opcode,
+)
+from repro.static.diagnostics import Diagnostic, Severity
+from repro.static.registry import Rule, register
+
+
+@register
+class FeasibleTargetsRule(Rule):
+    name = "type-feasible-targets"
+    description = (
+        "indirect-call targets confined to the address-taken + "
+        "signature-compatible set"
+    )
+    codes = {
+        "PIBE201": "icall target is never address-taken",
+        "PIBE202": "icall target arity mismatches the call site",
+        "PIBE203": "icall target outside its declared fptr table",
+        "PIBE204": "profile-observed target outside the feasible set",
+        "PIBE205": "profile-observed target no longer defined (stale)",
+        "PIBE206": "promoted direct call targets an infeasible function",
+    }
+
+    def run(self, module: Module, ctx) -> Iterable[Diagnostic]:
+        census_known = ctx.has_fptr_tables
+        census = ctx.address_taken if census_known else frozenset()
+        err = Severity.ERROR
+
+        for func in module:
+            for block in func.blocks.values():
+                for inst in block.instructions:
+                    if inst.opcode == Opcode.ICALL:
+                        yield from self._check_icall(
+                            inst, func, block, module, ctx, census, census_known
+                        )
+                    elif (
+                        inst.opcode == Opcode.CALL
+                        and inst.attrs.get(ATTR_PROMOTED)
+                        and ATTR_ICP_SITE in inst.attrs
+                    ):
+                        t = inst.callee
+                        if t is None or t not in module:
+                            continue  # structural PIBE104/105 territory
+                        params = ctx.num_params(t)
+                        if params is not None and params != inst.num_args:
+                            yield self.diag(
+                                "PIBE206",
+                                err,
+                                f"promoted call to @{t} passes "
+                                f"{inst.num_args} args but @{t} takes "
+                                f"{params} params",
+                                function=func.name,
+                                block=block.label,
+                                site_id=inst.site_id,
+                            )
+                        elif census_known and t not in census:
+                            yield self.diag(
+                                "PIBE206",
+                                err,
+                                f"promoted call targets @{t}, which is "
+                                "never address-taken",
+                                function=func.name,
+                                block=block.label,
+                                site_id=inst.site_id,
+                            )
+
+    def _check_icall(
+        self, inst, func, block, module, ctx, census, census_known
+    ) -> Iterable[Diagnostic]:
+        err = Severity.ERROR
+        loc = dict(
+            function=func.name, block=block.label, site_id=inst.site_id
+        )
+        table_name = inst.attrs.get(ATTR_FPTR_TABLE)
+        table = (
+            module.fptr_tables.get(table_name) if table_name else None
+        )
+
+        targets = inst.attrs.get(ATTR_TARGETS) or {}
+        for t in targets:
+            if t not in module:
+                continue  # structural PIBE107 territory
+            params = ctx.num_params(t)
+            if params is not None and params != inst.num_args:
+                yield self.diag(
+                    "PIBE202",
+                    err,
+                    f"target @{t} takes {params} params but the site "
+                    f"passes {inst.num_args} args",
+                    **loc,
+                )
+            elif census_known and t not in census:
+                yield self.diag(
+                    "PIBE201",
+                    err,
+                    f"target @{t} is never address-taken "
+                    "(absent from every fptr table)",
+                    **loc,
+                )
+            elif table is not None and t not in table:
+                yield self.diag(
+                    "PIBE203",
+                    err,
+                    f"target @{t} is outside declared table "
+                    f"{table_name!r}",
+                    **loc,
+                )
+
+        for t, _count in inst.attrs.get(ATTR_VALUE_PROFILE) or []:
+            if t not in module:
+                yield self.diag(
+                    "PIBE205",
+                    Severity.WARNING,
+                    f"profiled target @{t} is no longer defined "
+                    "(stale profile entry)",
+                    **loc,
+                )
+                continue
+            params = ctx.num_params(t)
+            if params is not None and params != inst.num_args:
+                yield self.diag(
+                    "PIBE204",
+                    err,
+                    f"profiled target @{t} takes {params} params but "
+                    f"the site passes {inst.num_args} args",
+                    **loc,
+                )
+            elif census_known and t not in census:
+                yield self.diag(
+                    "PIBE204",
+                    err,
+                    f"profiled target @{t} is never address-taken",
+                    **loc,
+                )

@@ -199,6 +199,34 @@ def cmd_attack(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Run the static CFI analyzer over an image and report diagnostics."""
+    from repro.static import Severity, all_rules, analyze_module
+
+    if args.list_rules:
+        for rule in all_rules():
+            codes = ", ".join(sorted(rule.codes))
+            print(f"{rule.name:28s} {rule.description}")
+            print(f"{'':28s} codes: {codes}")
+        return 0
+
+    module = _load_kernel(args)
+    profile = None
+    if args.profile:
+        profile = EdgeProfile.from_json(Path(args.profile).read_text())
+    report = analyze_module(module, rules=args.rules or None, profile=profile)
+
+    if args.format == "json":
+        _write_or_print(report.to_json(), args.output)
+    else:
+        _write_or_print(report.to_text(), args.output)
+
+    if args.fail_on == "never":
+        return 0
+    threshold = Severity.ERROR if args.fail_on == "error" else Severity.WARNING
+    return 1 if report.at_least(threshold) else 0
+
+
 def cmd_hotspots(args) -> int:
     """Per-function cycle attribution over chosen syscalls."""
     from repro.analysis.hotspots import collect_hotspots, format_hotspots
@@ -333,6 +361,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--limit", type=int, default=3, help="attempts to show")
     p.set_defaults(func=cmd_attack)
+
+    p = sub.add_parser("lint", help="static CFI analysis of a kernel image")
+    _add_kernel_args(p)
+    p.add_argument("-p", "--profile", help="profile JSON from `profile`")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument(
+        "-r",
+        "--rules",
+        action="append",
+        help="rule name or code prefix to run (repeatable; default: all)",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true", help="list registered rules"
+    )
+    p.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "never"),
+        default="error",
+        help="exit non-zero when findings at/above this severity exist",
+    )
+    p.add_argument("-o", "--output", help="report file (default: stdout)")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("hotspots", help="per-function cycle attribution")
     _add_kernel_args(p)

@@ -39,9 +39,15 @@ def small_profile(small_pipeline):
 
 @pytest.fixture(scope="session")
 def hardened_build(small_pipeline, small_profile):
-    """PIBE-optimized all-defenses build of the small kernel."""
+    """PIBE-optimized all-defenses build of the small kernel.
+
+    Built with ``verify_each=True`` so every tier-1 test implicitly
+    exercises the static analyzer at each pass boundary.
+    """
     return small_pipeline.build_variant(
-        PibeConfig.lax(DefenseConfig.all_defenses()), small_profile
+        PibeConfig.lax(DefenseConfig.all_defenses()),
+        small_profile,
+        verify_each=True,
     )
 
 
@@ -49,7 +55,8 @@ def hardened_build(small_pipeline, small_profile):
 def unoptimized_hardened_build(small_pipeline):
     """All defenses, no PGO."""
     return small_pipeline.build_variant(
-        PibeConfig.hardened(DefenseConfig.all_defenses())
+        PibeConfig.hardened(DefenseConfig.all_defenses()),
+        verify_each=True,
     )
 
 

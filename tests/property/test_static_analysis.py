@@ -1,0 +1,74 @@
+"""Property: no (budget, threshold, defense) combination over the
+generated kernel ever produces an error-severity diagnostic — the
+transformations and the analyzer agree on every reachable configuration."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PibeConfig
+from repro.hardening.defenses import DefenseConfig
+from repro.static import analyze_module
+
+_SETTINGS = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_CONFIGS = st.sampled_from(
+    [
+        DefenseConfig.none(),
+        DefenseConfig.retpolines_only(),
+        DefenseConfig.ret_retpolines_only(),
+        DefenseConfig.lvi_only(),
+        DefenseConfig.all_defenses(),
+    ]
+)
+
+
+@given(
+    icp_budget=st.floats(min_value=0.05, max_value=1.0),
+    inline_budget=st.floats(min_value=0.05, max_value=1.0),
+    caller_threshold=st.integers(min_value=200, max_value=20_000),
+    callee_threshold=st.integers(min_value=50, max_value=5_000),
+    defenses=_CONFIGS,
+    lax=st.booleans(),
+)
+@_SETTINGS
+def test_random_budgets_never_break_invariants(
+    small_pipeline,
+    small_profile,
+    icp_budget,
+    inline_budget,
+    caller_threshold,
+    callee_threshold,
+    defenses,
+    lax,
+):
+    config = PibeConfig(
+        defenses=defenses,
+        icp_budget=icp_budget,
+        inline_budget=inline_budget,
+        caller_threshold=caller_threshold,
+        callee_threshold=callee_threshold,
+        lax_heuristics=lax,
+    )
+    build = small_pipeline.build_variant(config, small_profile)
+    report = analyze_module(build.module, profile=small_profile)
+    assert not report.errors(), report.to_text()
+
+
+@given(defenses=_CONFIGS, use_default=st.booleans())
+@_SETTINGS
+def test_inliner_choice_never_breaks_invariants(
+    small_pipeline, small_profile, defenses, use_default
+):
+    config = PibeConfig(
+        defenses=defenses,
+        icp_budget=0.95,
+        inline_budget=0.95,
+        use_default_inliner=use_default,
+    )
+    build = small_pipeline.build_variant(config, small_profile)
+    report = analyze_module(build.module, profile=small_profile)
+    assert not report.errors(), report.to_text()

@@ -1,0 +1,76 @@
+"""Fixtures for the static-analyzer tests: a hand-built module with one
+ICP-promoted guard chain, small enough to corrupt surgically."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir.builder import IRBuilder, build_leaf
+from repro.ir.function import Function
+from repro.ir.module import FunctionPointerTable, Module
+from repro.ir.types import ATTR_ICP_SITE, ATTR_PROMOTED, Opcode
+from repro.passes.icp import IndirectCallPromotion
+from repro.profiling.lifting import lift_profile
+from repro.profiling.profile_data import EdgeProfile
+
+
+def make_promoted(observed=None, budget=0.9, num_args=1):
+    """A caller whose one icall was ICP-promoted at ``budget``.
+
+    Returns ``(module, profile, site_id)``. Targets are registered in an
+    fptr table so the address-taken census is active.
+    """
+    observed = observed or {"a": 70, "b": 20, "c": 10}
+    module = Module("chain")
+    for target in observed:
+        module.add_function(build_leaf(target, work=2))
+    module.add_fptr_table(FunctionPointerTable("ops", sorted(observed)))
+    caller = Function("caller")
+    b = IRBuilder(caller)
+    b.arith(1)
+    icall = b.icall(dict(observed), num_args=num_args)
+    b.arith(1)
+    b.ret()
+    module.add_function(caller)
+
+    profile = EdgeProfile()
+    for target, count in observed.items():
+        profile.record_indirect(icall.site_id, target, count)
+    lift_profile(module, profile)
+    IndirectCallPromotion(budget=budget).run(module)
+    return module, profile, icall.site_id
+
+
+def promoted_calls(module):
+    """Original (non-clone) promoted direct calls, in program order."""
+    return [
+        inst
+        for inst in module.instructions()
+        if inst.opcode == Opcode.CALL
+        and inst.attrs.get(ATTR_PROMOTED)
+        and ATTR_ICP_SITE in inst.attrs
+    ]
+
+
+def fallback_icalls(module):
+    """Fallback icalls ICP left behind (carrying site provenance)."""
+    return [
+        inst
+        for inst in module.instructions()
+        if inst.opcode == Opcode.ICALL and ATTR_ICP_SITE in inst.attrs
+    ]
+
+
+def block_of(module, inst):
+    """The (function, block) containing an instruction."""
+    for func in module:
+        for block in func.blocks.values():
+            if inst in block.instructions:
+                return func, block
+    raise AssertionError("instruction not found in module")
+
+
+@pytest.fixture
+def chain():
+    """(module, profile, site_id) with targets a/b promoted, c residual."""
+    return make_promoted()

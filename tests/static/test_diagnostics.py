@@ -1,0 +1,84 @@
+"""Diagnostic records, severity ordering, and report rendering."""
+
+import json
+
+from repro.static import Diagnostic, DiagnosticReport, Severity
+
+
+def _diag(code="PIBE101", severity=Severity.ERROR, **kw):
+    return Diagnostic(code=code, severity=severity, message="m", **kw)
+
+
+def test_severity_ordering():
+    assert Severity.NOTE < Severity.WARNING < Severity.ERROR
+    assert str(Severity.ERROR) == "error"
+    assert max([Severity.NOTE, Severity.ERROR]) is Severity.ERROR
+
+
+def test_render_includes_code_location_and_site():
+    d = Diagnostic(
+        code="PIBE304",
+        severity=Severity.ERROR,
+        message="bad overlap",
+        function="f",
+        block="b1",
+        site_id=7,
+    )
+    assert d.render() == "error[PIBE304] @f:b1: bad overlap (site 7)"
+    assert d.where == "@f:b1"
+
+
+def test_module_scope_render_has_no_location():
+    d = _diag()
+    assert d.where == ""
+    assert d.render() == "error[PIBE101] m"
+
+
+def test_legacy_message_matches_old_validator_format():
+    d = Diagnostic(
+        code="PIBE102",
+        severity=Severity.ERROR,
+        message="block is not terminated",
+        function="f",
+        block="entry",
+    )
+    assert d.legacy_message() == "@f:entry: block is not terminated"
+
+
+def test_report_queries():
+    report = DiagnosticReport(module_name="m")
+    report.add(_diag("PIBE101", Severity.ERROR))
+    report.add(_diag("PIBE307", Severity.WARNING))
+    report.add(_diag("PIBE403", Severity.NOTE))
+    assert len(report.errors()) == 1
+    assert len(report.warnings()) == 1
+    assert len(report.at_least(Severity.WARNING)) == 2
+    assert report.codes() == ["PIBE101", "PIBE307", "PIBE403"]
+    assert [d.code for d in report.by_code("PIBE3")] == ["PIBE307"]
+    assert report.counts() == {"note": 1, "warning": 1, "error": 1}
+    assert bool(report)
+    assert not DiagnosticReport()
+
+
+def test_to_text_sorts_worst_first_and_summarizes():
+    report = DiagnosticReport(module_name="m", rules=["structural"])
+    report.add(_diag("PIBE403", Severity.NOTE))
+    report.add(_diag("PIBE101", Severity.ERROR))
+    text = report.to_text()
+    lines = text.splitlines()
+    assert lines[0].startswith("error[")
+    assert lines[-1] == "m: 1 error(s), 0 warning(s), 1 note(s) from 1 rule(s)"
+
+
+def test_to_json_round_trips():
+    report = DiagnosticReport(module_name="m", rules=["structural"])
+    report.add(_diag("PIBE105", Severity.ERROR, function="f", site_id=3))
+    record = json.loads(report.to_json())
+    assert record["module"] == "m"
+    assert record["rules"] == ["structural"]
+    assert record["counts"]["error"] == 1
+    (entry,) = record["diagnostics"]
+    assert entry["code"] == "PIBE105"
+    assert entry["severity"] == "error"
+    assert entry["function"] == "f"
+    assert entry["site_id"] == 3

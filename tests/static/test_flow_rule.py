@@ -1,0 +1,105 @@
+"""Profile-flow conservation (PIBE4xx): inflate/duplicate/drop counts on a
+real ICP chain and check each corruption is pinned."""
+
+from repro.ir.instruction import Instruction
+from repro.ir.types import (
+    ATTR_CLONED_FROM,
+    ATTR_EDGE_COUNT,
+    ATTR_TARGETS,
+    METADATA_INLINED_PROMOTED,
+    Opcode,
+)
+from repro.static import Severity, analyze_module
+
+from tests.static.conftest import (
+    block_of,
+    fallback_icalls,
+    promoted_calls,
+)
+
+
+def _report(module, profile):
+    return analyze_module(
+        module, rules=["profile-flow-conservation"], profile=profile
+    )
+
+
+def _codes(module, profile):
+    return [d.code for d in _report(module, profile).errors()]
+
+
+def test_intact_chain_conserves_flow(chain):
+    module, profile, _ = chain
+    assert not _report(module, profile)
+
+
+def test_rule_skipped_without_profile(chain):
+    module, _, _ = chain
+    report = analyze_module(module, rules=["profile-flow-conservation"])
+    assert report.rules == []  # gated on requires_profile
+
+
+def test_inflated_promoted_count_pibe401(chain):
+    module, profile, _ = chain
+    victim = promoted_calls(module)[0]
+    victim.attrs[ATTR_EDGE_COUNT] += 13
+    codes = _codes(module, profile)
+    assert "PIBE401" in codes
+    assert "PIBE402" in codes  # aggregate conservation also breaks
+
+
+def test_dropped_target_degrades_to_note_without_provenance(chain):
+    module, profile, _ = chain
+    fallback = fallback_icalls(module)[0]
+    fallback.attrs[ATTR_TARGETS].pop("c")
+    # No inlining metadata on a raw ICP module: degrade, don't accuse.
+    assert METADATA_INLINED_PROMOTED not in module.metadata
+    report = _report(module, profile)
+    assert not report.errors()
+    assert [d.code for d in report.at_least(Severity.NOTE)] == ["PIBE403"]
+
+
+def test_dropped_target_with_provenance_pibe404(chain):
+    module, profile, _ = chain
+    module.metadata[METADATA_INLINED_PROMOTED] = []
+    fallback = fallback_icalls(module)[0]
+    fallback.attrs[ATTR_TARGETS].pop("c")
+    assert _codes(module, profile) == ["PIBE404"]
+
+
+def test_overscaled_clone_pibe405(chain):
+    module, profile, site = chain
+    victim = promoted_calls(module)[0]
+    func, block = block_of(module, victim)
+    clone = victim.clone()
+    clone.attrs[ATTR_CLONED_FROM] = victim.site_id
+    clone.attrs[ATTR_EDGE_COUNT] = profile.indirect[site][victim.callee] + 1
+    block.instructions.insert(0, clone)
+    assert _codes(module, profile) == ["PIBE405"]
+
+
+def test_double_accounted_target_pibe406(chain):
+    module, profile, site = chain
+    victim = promoted_calls(module)[0]
+    module.metadata[METADATA_INLINED_PROMOTED] = [
+        {
+            "site": site,
+            "target": victim.callee,
+            "count": victim.attrs[ATTR_EDGE_COUNT],
+        }
+    ]
+    assert "PIBE406" in _codes(module, profile)
+
+
+def test_dce_leaves_only_clones_unchecked(chain):
+    """When the whole chain's function is gone (inlined + DCE'd), scaled
+    clones alone must not trip per-target accounting."""
+    module, profile, site = chain
+    for victim in promoted_calls(module):
+        victim.attrs[ATTR_CLONED_FROM] = victim.site_id
+        victim.attrs[ATTR_EDGE_COUNT] //= 2
+    fallback = fallback_icalls(module)[0]
+    _, block = block_of(module, fallback)
+    block.instructions.remove(fallback)
+    block.instructions.insert(0, Instruction(Opcode.ARITH))
+    assert _codes(module, profile) == []

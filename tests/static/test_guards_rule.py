@@ -1,0 +1,107 @@
+"""Guard-chain shape checker (PIBE3xx): mutate a real ICP chain and check
+the rule pins each corruption."""
+
+from repro.ir.instruction import Instruction
+from repro.ir.types import (
+    ATTR_TARGETS,
+    ATTR_VALUE_PROFILE,
+    Opcode,
+)
+from repro.static import analyze_module
+
+from tests.static.conftest import (
+    block_of,
+    fallback_icalls,
+    make_promoted,
+    promoted_calls,
+)
+
+
+def _codes(module):
+    return [
+        d.code for d in analyze_module(module, rules=["guard-chain-shape"])
+    ]
+
+
+def test_intact_chain_is_clean(chain):
+    module, _, _ = chain
+    assert _codes(module) == []
+
+
+def test_fully_promoted_passthrough_is_clean():
+    module, _, _ = make_promoted(budget=1.0)
+    assert _codes(module) == []
+
+
+def test_instruction_inserted_into_direct_block_pibe301(chain):
+    module, _, _ = chain
+    victim = promoted_calls(module)[0]
+    _, block = block_of(module, victim)
+    block.instructions.insert(1, Instruction(Opcode.STORE))
+    assert "PIBE301" in _codes(module)
+
+
+def test_swapped_guard_edges_pibe302(chain):
+    module, _, _ = chain
+    victim = promoted_calls(module)[0]
+    func, block = block_of(module, victim)
+    # Find the guard branching to this direct block and swap its edges:
+    # the call is now on the fallthrough edge, not the taken edge.
+    for guard in func.blocks.values():
+        term = guard.terminator
+        if (
+            term is not None
+            and term.opcode == Opcode.BR
+            and term.targets[0] == block.label
+        ):
+            term.targets = (term.targets[1], term.targets[0])
+            break
+    else:
+        raise AssertionError("no guard feeds the direct block")
+    codes = _codes(module)
+    assert "PIBE302" in codes
+
+
+def test_fallback_replaced_by_plain_block_pibe303(chain):
+    module, _, _ = chain
+    fallback = fallback_icalls(module)[0]
+    _, block = block_of(module, fallback)
+    # Replace the icall with plain computation: the guards now fall
+    # through into a block that never dispatches the residual.
+    block.instructions[0] = Instruction(Opcode.ARITH)
+    codes = _codes(module)
+    assert "PIBE303" in codes
+
+
+def test_promoted_target_leaks_into_residual_pibe304(chain):
+    module, _, _ = chain
+    victim = promoted_calls(module)[0]
+    fallback = fallback_icalls(module)[0]
+    fallback.attrs[ATTR_TARGETS][victim.callee] = 7
+    assert "PIBE304" in _codes(module)
+
+
+def test_direct_block_rejoins_elsewhere_pibe305(chain):
+    module, _, _ = chain
+    victim = promoted_calls(module)[0]
+    func, block = block_of(module, victim)
+    stray = func.new_block(func.unique_label("stray"))
+    stray.append(Instruction(Opcode.RET))
+    block.terminator.targets = (stray.label,)
+    assert "PIBE305" in _codes(module)
+
+
+def test_extra_instruction_in_fallback_pibe306(chain):
+    module, _, _ = chain
+    fallback = fallback_icalls(module)[0]
+    _, block = block_of(module, fallback)
+    block.instructions.insert(1, Instruction(Opcode.LOAD))
+    assert "PIBE306" in _codes(module)
+
+
+def test_retained_value_profile_pibe307_warning(chain):
+    module, _, _ = chain
+    fallback = fallback_icalls(module)[0]
+    fallback.attrs[ATTR_VALUE_PROFILE] = [("c", 10)]
+    report = analyze_module(module, rules=["guard-chain-shape"])
+    assert [d.code for d in report.warnings()] == ["PIBE307"]

@@ -1,0 +1,59 @@
+"""Rule registry: registration, selection by name and code prefix."""
+
+import pytest
+
+from repro.static import Severity, all_rules, get_rule, select_rules
+from repro.static.registry import Rule
+
+
+EXPECTED_RULES = {
+    "structural",
+    "type-feasible-targets",
+    "guard-chain-shape",
+    "profile-flow-conservation",
+    "speculation-coverage",
+}
+
+
+def test_all_builtin_rules_registered():
+    names = {r.name for r in all_rules()}
+    assert EXPECTED_RULES <= names
+
+
+def test_codes_are_unique_across_rules():
+    seen = {}
+    for rule in all_rules():
+        for code in rule.codes:
+            assert code not in seen, f"{code} in {rule.name} and {seen[code]}"
+            seen[code] = rule.name
+
+
+def test_get_rule_by_name():
+    assert get_rule("structural").name == "structural"
+    with pytest.raises(KeyError):
+        get_rule("no-such-rule")
+
+
+def test_select_by_code_prefix():
+    (rule,) = select_rules(["PIBE3"])
+    assert rule.name == "guard-chain-shape"
+    (rule,) = select_rules(["PIBE507"])
+    assert rule.name == "speculation-coverage"
+
+
+def test_select_unknown_selector_raises_with_known_rules():
+    with pytest.raises(KeyError, match="structural"):
+        select_rules(["PIBE9"])
+
+
+def test_rule_cannot_emit_undeclared_code():
+    rule = get_rule("structural")
+    with pytest.raises(AssertionError):
+        rule.diag("PIBE999", Severity.ERROR, "x")
+
+
+def test_every_rule_has_description_and_codes():
+    for rule in all_rules():
+        assert rule.description, rule.name
+        assert rule.codes, rule.name
+        assert isinstance(rule, Rule)

@@ -1,0 +1,88 @@
+"""Structural rule: legacy-validator equivalence plus the two new checks
+(duplicate terminator successors, duplicate icall target entries)."""
+
+import pytest
+
+from repro.ir.builder import IRBuilder, build_leaf
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.module import Module
+from repro.ir.types import ATTR_TARGETS, Opcode
+from repro.ir.validate import ValidationError, validate_function, validate_module
+from repro.static import analyze_module
+
+
+def _module_with(build_caller):
+    module = Module("m")
+    module.add_function(build_leaf("leaf", work=1))
+    caller = Function("caller")
+    build_caller(IRBuilder(caller))
+    module.add_function(caller)
+    return module
+
+
+def test_clean_module_passes_both_interfaces():
+    module = _module_with(lambda b: (b.call("leaf", num_args=1), b.ret()))
+    validate_module(module)
+    assert not analyze_module(module, rules=["structural"])
+
+
+def test_wrapper_reports_legacy_strings():
+    module = _module_with(lambda b: (b.call("ghost", num_args=0), b.ret()))
+    errors = validate_function(module.get("caller"), module)
+    assert errors == ["@caller:entry: call to undefined @ghost"]
+    with pytest.raises(ValidationError) as exc:
+        validate_module(module)
+    assert exc.value.errors == errors
+
+
+def test_unterminated_block_flagged():
+    module = _module_with(lambda b: b.arith(1))
+    report = analyze_module(module, rules=["structural"])
+    assert [d.code for d in report.errors()] == ["PIBE102"]
+    assert report.errors()[0].message == "block is not terminated"
+
+
+def test_duplicate_terminator_successors_pibe109():
+    module = _module_with(lambda b: b.ret())
+    caller = module.get("caller")
+    b = IRBuilder(caller)
+    join = b.new_block("join")
+    b.at(join).ret()
+    # A br with both edges on the same label: a broken edge split.
+    caller.blocks["entry"].instructions = [
+        Instruction(Opcode.BR, targets=(join.label, join.label))
+    ]
+    report = analyze_module(module, rules=["structural"])
+    assert [d.code for d in report.errors()] == ["PIBE109"]
+    assert "repeats successor label" in report.errors()[0].message
+
+
+def test_duplicate_icall_target_list_pibe110():
+    module = _module_with(lambda b: b.ret())
+    caller = module.get("caller")
+    caller.blocks["entry"].instructions.insert(
+        0,
+        Instruction(
+            Opcode.ICALL,
+            num_args=1,
+            attrs={ATTR_TARGETS: ["leaf", "leaf"]},
+        ),
+    )
+    report = analyze_module(module, rules=["structural"])
+    assert "PIBE110" in [d.code for d in report.errors()]
+
+
+def test_undefined_fptr_entry_and_syscall_handler():
+    from repro.ir.module import FunctionPointerTable
+
+    module = _module_with(lambda b: b.ret())
+    module.add_fptr_table(FunctionPointerTable("ops", ["ghost"]))
+    module.syscalls["read"] = "missing"
+    report = analyze_module(module, rules=["structural"])
+    codes = {d.code for d in report.errors()}
+    assert {"PIBE111", "PIBE112"} <= codes
+    with pytest.raises(ValidationError) as exc:
+        validate_module(module)
+    assert "fptr table 'ops': undefined entry @ghost" in exc.value.errors
+    assert "syscall 'read': undefined handler @missing" in exc.value.errors

@@ -1,0 +1,87 @@
+"""Type/signature feasible-target analysis (PIBE2xx) corruption tests."""
+
+from repro.ir.builder import IRBuilder, build_leaf
+from repro.ir.function import Function
+from repro.ir.module import FunctionPointerTable, Module
+from repro.ir.types import ATTR_TARGETS, ATTR_VALUE_PROFILE
+from repro.static import analyze_module
+
+from tests.static.conftest import fallback_icalls, promoted_calls
+
+
+def _module(num_args=1, table_entries=("a", "b"), icall_kw=None):
+    module = Module("m")
+    module.add_function(build_leaf("a", num_params=1))
+    module.add_function(build_leaf("b", num_params=1))
+    module.add_function(build_leaf("fat", num_params=3))
+    module.add_fptr_table(FunctionPointerTable("ops", list(table_entries)))
+    caller = Function("caller")
+    b = IRBuilder(caller)
+    icall = b.icall({"a": 1, "b": 1}, num_args=num_args, **(icall_kw or {}))
+    b.ret()
+    module.add_function(caller)
+    return module, icall
+
+
+def _codes(module):
+    return [
+        d.code
+        for d in analyze_module(module, rules=["type-feasible-targets"])
+    ]
+
+
+def test_clean_icall_has_no_findings():
+    module, _ = _module()
+    assert _codes(module) == []
+
+
+def test_target_not_address_taken_pibe201():
+    module, icall = _module(table_entries=("a",))
+    assert _codes(module) == ["PIBE201"]  # 'b' escaped no table
+
+
+def test_arity_mismatch_pibe202():
+    module, icall = _module()
+    icall.attrs[ATTR_TARGETS]["fat"] = 1
+    module.fptr_tables["ops"].add("fat")
+    assert _codes(module) == ["PIBE202"]
+
+
+def test_target_outside_declared_table_pibe203():
+    module, icall = _module(icall_kw={"fptr_table": "ops"})
+    module.add_fptr_table(FunctionPointerTable("other", ["c"]))
+    module.add_function(build_leaf("c", num_params=1))
+    icall.attrs[ATTR_TARGETS]["c"] = 1
+    assert _codes(module) == ["PIBE203"]
+
+
+def test_profile_observed_infeasible_target_pibe204():
+    module, icall = _module()
+    icall.attrs[ATTR_VALUE_PROFILE] = [("a", 5), ("fat", 3)]
+    assert _codes(module) == ["PIBE204"]
+
+
+def test_stale_profile_entry_pibe205_warning():
+    module, icall = _module()
+    icall.attrs[ATTR_VALUE_PROFILE] = [("gone", 2)]
+    report = analyze_module(module, rules=["type-feasible-targets"])
+    assert not report.errors()
+    assert [d.code for d in report.warnings()] == ["PIBE205"]
+
+
+def test_promoted_call_outside_census_pibe206(chain):
+    module, _profile, _site = chain
+    victim = promoted_calls(module)[0]
+    module.fptr_tables["ops"].entries.remove(victim.callee)
+    # Keep the residual icall consistent: only the promoted direct is bad.
+    for icall in fallback_icalls(module):
+        icall.attrs[ATTR_TARGETS].pop(victim.callee, None)
+    report = analyze_module(module, rules=["type-feasible-targets"])
+    assert "PIBE206" in [d.code for d in report.errors()]
+
+
+def test_census_checks_vacuous_without_tables():
+    module, icall = _module()
+    module.fptr_tables.clear()
+    icall.attrs[ATTR_TARGETS]["fat"] = 1  # arity still enforced
+    assert _codes(module) == ["PIBE202"]

@@ -1,0 +1,92 @@
+"""Pass-boundary verification and whole-pipeline cleanliness: the seed
+kernel and every PIBE-hardened variant must lint clean, and a corrupting
+pass must be caught at its own boundary."""
+
+import pytest
+
+from repro.core.config import PibeConfig
+from repro.hardening.defenses import DefenseConfig
+from repro.ir.parser import dump_module, parse_module
+from repro.ir.types import ATTR_EDGE_COUNT, Opcode
+from repro.passes.manager import ModulePass, PassManager
+from repro.static import (
+    Severity,
+    StaticAnalysisError,
+    analyze_module,
+    assert_clean,
+)
+
+BUDGETS = (0.5, 0.9, 0.99)
+
+
+def test_seed_kernel_lints_clean(small_kernel, small_profile):
+    report = analyze_module(small_kernel, profile=small_profile)
+    assert not report.errors(), report.to_text()
+
+
+@pytest.mark.parametrize("budget", BUDGETS)
+def test_hardened_variants_lint_clean(small_pipeline, small_profile, budget):
+    config = PibeConfig(
+        defenses=DefenseConfig.all_defenses(),
+        icp_budget=budget,
+        inline_budget=budget,
+    )
+    build = small_pipeline.build_variant(
+        config, small_profile, verify_each=True
+    )
+    report = analyze_module(build.module, profile=small_profile)
+    assert not report.errors(), report.to_text()
+
+
+def test_roundtripped_dump_lints_clean(hardened_build, small_profile):
+    module = parse_module(dump_module(hardened_build.module))
+    report = analyze_module(module, profile=small_profile)
+    assert not report.errors(), report.to_text()
+
+
+def test_assert_clean_returns_report(small_kernel):
+    report = assert_clean(small_kernel)
+    assert "structural" in report.rules
+
+
+class _CorruptingPass(ModulePass):
+    """Deliberately breaks flow conservation on the first promoted call."""
+
+    name = "corruptor"
+
+    def run(self, module):
+        for inst in module.instructions():
+            if inst.opcode == Opcode.CALL and ATTR_EDGE_COUNT in inst.attrs:
+                inst.attrs[ATTR_EDGE_COUNT] += 1_000_000
+
+
+def test_verify_each_names_the_offending_pass(kernel_copy, small_profile):
+    from repro.passes.icp import IndirectCallPromotion
+    from repro.profiling.lifting import lift_profile
+
+    lift_profile(kernel_copy, small_profile)
+    manager = PassManager(verify_each=True, verify_profile=small_profile)
+    manager.add(IndirectCallPromotion(budget=0.9))
+    manager.add(_CorruptingPass())
+    with pytest.raises(StaticAnalysisError) as exc:
+        manager.run(kernel_copy)
+    assert "after pass 'corruptor'" in str(exc.value)
+    assert exc.value.report.by_code("PIBE401")
+
+
+def test_verify_each_rule_subset(kernel_copy):
+    manager = PassManager(verify_each=["structural"])
+    manager.add(_CorruptingPass())  # breaks flow, not structure
+    manager.run(kernel_copy)  # structural-only verification stays quiet
+
+
+def test_assert_clean_fail_on_warning(chain):
+    from repro.ir.types import ATTR_VALUE_PROFILE
+
+    module, _, _ = chain
+    for inst in module.instructions():
+        if inst.opcode == Opcode.ICALL:
+            inst.attrs[ATTR_VALUE_PROFILE] = [("c", 10)]
+    assert_clean(module)  # warnings pass the default gate
+    with pytest.raises(StaticAnalysisError, match="PIBE307"):
+        assert_clean(module, fail_on=Severity.WARNING)

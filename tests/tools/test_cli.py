@@ -168,3 +168,64 @@ def test_evaluate_unknown_experiment(capsys):
 def test_parser_rejects_missing_subcommand():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_lint_clean_kernel_text(kernel_file, capsys):
+    assert main(["lint", "-k", str(kernel_file)]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out
+
+
+def test_lint_hardened_with_profile_json(hardened_file, profile_file, capsys):
+    assert (
+        main(
+            [
+                "lint",
+                "-k",
+                str(hardened_file),
+                "-p",
+                str(profile_file),
+                "--format",
+                "json",
+            ]
+        )
+        == 0
+    )
+    record = json.loads(capsys.readouterr().out)
+    assert record["counts"]["error"] == 0
+    assert "profile-flow-conservation" in record["rules"]
+    assert "speculation-coverage" in record["rules"]
+
+
+def test_lint_rule_selection(kernel_file, capsys):
+    assert main(["lint", "-k", str(kernel_file), "-r", "PIBE1"]) == 0
+    out = capsys.readouterr().out
+    assert "from 1 rule(s)" in out
+
+
+def test_lint_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "guard-chain-shape" in out
+    assert "PIBE304" in out
+
+
+def test_lint_fails_on_corrupted_image(workdir, hardened_file, capsys):
+    text = hardened_file.read_text()
+    # Strip every defense tag: hardening promises are now unmet.
+    corrupted = workdir / "corrupted.ir"
+    corrupted.write_text(text.replace(" !defense=fenced_retpoline", ""))
+    assert main(["lint", "-k", str(corrupted)]) == 1
+    out = capsys.readouterr().out
+    assert "PIBE501" in out
+    assert main(["lint", "-k", str(corrupted), "--fail-on", "never"]) == 0
+    capsys.readouterr()
+
+
+def test_lint_output_file(workdir, kernel_file):
+    path = workdir / "lint.json"
+    assert (
+        main(["lint", "-k", str(kernel_file), "--format", "json", "-o", str(path)])
+        == 0
+    )
+    assert json.loads(path.read_text())["counts"]["error"] == 0
