@@ -1,0 +1,121 @@
+"""Fault-recovery wall-time benchmark.
+
+Measures what a worker crash plus a transient fault cost a parallel
+``measure_many`` regeneration: the run must still complete every cell
+(recovery, not loss) and the recovery machinery — pool rebuild, retries,
+backoff — must stay a small multiple of the undisturbed run. Records to
+``BENCH_faults.json`` at the repo root.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro import faults
+from repro.core.config import PibeConfig
+from repro.evaluation.harness import EvalContext, EvalSettings, cell_label
+from repro.faults import FaultPlan, FaultSpec
+from repro.hardening.defenses import DefenseConfig
+from repro.kernel.spec import SmallSpec
+from repro.workloads.lmbench import BY_NAME
+
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_faults.json"
+
+BENCHES = (BY_NAME["null"], BY_NAME["read"])
+
+#: Injected faults may cost retries and a pool rebuild, but never more
+#: than this multiple of the undisturbed parallel run (generous: CI
+#: machines are noisy and the disturbed run redoes one cell's work).
+MAX_RECOVERY_RATIO = 5.0
+
+
+def _settings():
+    return EvalSettings(
+        spec=SmallSpec(),
+        profile_iterations=1,
+        profile_ops_scale=0.1,
+        measure_ops_scale=0.1,
+        jobs=2,
+        max_retries=2,
+        retry_backoff=0.01,
+        cell_timeout=120.0,
+    )
+
+
+def _configs():
+    budgets = (0.9, 0.99, 0.999, 0.9999)
+    configs = [
+        PibeConfig.lto_baseline(),
+        PibeConfig.hardened(DefenseConfig.retpolines_only()),
+    ]
+    for budget in budgets:
+        configs.append(
+            PibeConfig.hardened(
+                DefenseConfig.retpolines_only(),
+                icp_budget=budget,
+                inline_budget=budget,
+            )
+        )
+    return configs
+
+
+def test_fault_recovery_walltime():
+    configs = _configs()
+
+    faults.clear()
+    start = time.perf_counter()
+    clean = EvalContext(_settings()).measure_many(configs, BENCHES)
+    clean_seconds = time.perf_counter() - start
+    assert clean.failure_report.ok
+
+    faults.install(
+        FaultPlan(
+            specs=[
+                FaultSpec(
+                    point="measure.cell",
+                    mode="crash",
+                    match=cell_label(configs[2], "lmbench"),
+                    times=1,
+                ),
+                FaultSpec(
+                    point="measure.cell",
+                    mode="raise",
+                    match=cell_label(configs[4], "lmbench"),
+                    times=1,
+                ),
+            ]
+        )
+    )
+    try:
+        start = time.perf_counter()
+        disturbed = EvalContext(_settings()).measure_many(configs, BENCHES)
+        disturbed_seconds = time.perf_counter() - start
+    finally:
+        faults.clear()
+
+    report = disturbed.failure_report
+    assert report.ok, report.summary()  # recovered, nothing lost
+    assert all(r is not None for r in disturbed)
+    assert report.retries >= 1
+
+    ratio = disturbed_seconds / clean_seconds if clean_seconds else 0.0
+    record = {
+        "benchmark": "fault_recovery_walltime",
+        "cells": len(configs),
+        "jobs": 2,
+        "injected": ["crash x1", "raise x1"],
+        "clean_seconds": round(clean_seconds, 4),
+        "disturbed_seconds": round(disturbed_seconds, 4),
+        "recovery_ratio": round(ratio, 3),
+        "retries": report.retries,
+        "degraded": len(report.degraded),
+        "max_recovery_ratio": MAX_RECOVERY_RATIO,
+    }
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(f"\nfault-recovery benchmark ({RECORD_PATH.name}):")
+    print(json.dumps(record, indent=2))
+
+    assert ratio < MAX_RECOVERY_RATIO, (
+        f"fault recovery cost {ratio:.2f}x the clean run, "
+        f"budget {MAX_RECOVERY_RATIO}x"
+    )

@@ -10,7 +10,11 @@ kernel spec, a new engine version, edited pass behaviour reflected in the
 module fingerprint — lands in a fresh slot rather than serving stale data.
 
 Writes are atomic (temp file + rename) so concurrent workers sharing one
-cache directory never observe torn entries.
+cache directory never observe torn entries. Entries that are corrupt
+anyway (a torn write from a pre-atomic version, a manual edit, an
+injected fault) are **quarantined** on first read — moved aside into
+``quarantine/`` and counted separately — so one bad file costs one
+recomputation, not a silent re-parse-and-miss on every future lookup.
 """
 
 from __future__ import annotations
@@ -24,8 +28,13 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from repro import faults
+
 #: Default cache directory name, created relative to the working directory.
 CACHE_DIR_NAME = ".repro-cache"
+
+#: Subdirectory (under the cache root) where corrupt entries are moved.
+QUARANTINE_DIR_NAME = "quarantine"
 
 
 def canonicalize(value: Any) -> Any:
@@ -72,23 +81,46 @@ class DiskCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     def _path(self, kind: str, key: str) -> Path:
         return self.root / kind / f"{key}.json"
 
+    def quarantine_dir(self) -> Path:
+        return self.root / QUARANTINE_DIR_NAME
+
+    def _quarantine(self, kind: str, key: str, path: Path) -> None:
+        """Move a corrupt entry aside so it is parsed (and fails) once."""
+        qdir = self.quarantine_dir()
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / f"{kind}-{key}.json")
+        except OSError:
+            # Quarantine is best-effort; an unmovable entry is deleted so
+            # it still can't shadow the slot forever.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
     def get(self, kind: str, key: str) -> Optional[Dict[str, Any]]:
         """Return the stored payload, or ``None`` on a miss.
 
-        A corrupt entry (interrupted write from a pre-atomic version,
-        manual edit) counts as a miss and is left for the next ``put`` to
-        overwrite.
+        A corrupt entry (torn write, manual edit, injected fault) counts
+        as a miss, increments the ``corrupt`` counter and is quarantined,
+        so the next ``put`` repopulates a clean slot.
         """
         path = self._path(kind, key)
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 payload = json.load(fh)
-        except (OSError, ValueError):
+        except OSError:
             self.misses += 1
+            return None
+        except ValueError:
+            self.corrupt += 1
+            self.misses += 1
+            self._quarantine(kind, key, path)
             return None
         self.hits += 1
         return payload
@@ -97,14 +129,21 @@ class DiskCache:
         """Store ``payload`` atomically (temp file + rename)."""
         path = self._path(kind, key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        # Preserve payload key order: measurement dicts keep benchmark
+        # order, so warm runs render identically to cold.
+        text = json.dumps(payload)
+        spec = faults.fire("cache.put", kind)
+        if spec is not None:
+            if spec.mode == "truncate":
+                text = text[: max(1, len(text) // 2)]
+            elif spec.mode == "corrupt":
+                text = '\x00garbage\x00' + text[::-1]
         fd, tmp = tempfile.mkstemp(
             prefix=f".{key[:12]}-", suffix=".tmp", dir=path.parent
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                # Preserve payload key order: measurement dicts keep
-                # benchmark order, so warm runs render identically to cold.
-                json.dump(payload, fh)
+                fh.write(text)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -114,4 +153,8 @@ class DiskCache:
             raise
 
     def stats(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+        }

@@ -1,0 +1,107 @@
+"""Structured failure accounting for fault-tolerant evaluation.
+
+:meth:`EvalContext.measure_many` no longer dies on the first worker
+crash: every completed cell is kept, failing cells are retried and then
+degraded to inline execution, and whatever still fails is recorded here.
+The caller gets a :class:`MeasureManyResult` — a plain list of per-cell
+measurement dicts (``None`` marks a permanently failed cell) with the
+:class:`FailureReport` attached, so partial tables can render explicit
+gaps instead of aborting the whole regeneration.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Failure kinds recorded per cell.
+KIND_CRASH = "crash"
+KIND_TIMEOUT = "timeout"
+KIND_EXCEPTION = "exception"
+
+
+@dataclass
+class CellFailure:
+    """One cell that exhausted every recovery path."""
+
+    index: int  # position in the measure_many input
+    label: str  # "<config.label()>@<workload>"
+    kind: str  # crash | timeout | exception (the *last* failure observed)
+    attempts: int  # total attempts, pool and inline combined
+    error: str  # stringified final error
+
+
+@dataclass
+class FailureReport:
+    """What went wrong (and what was recovered) during a measure_many run."""
+
+    total_cells: int = 0
+    #: resubmissions that happened (a retried-then-successful transient
+    #: fault contributes here but not to ``failures``)
+    retries: int = 0
+    #: labels of cells salvaged by inline execution after the pool gave up
+    degraded: List[str] = field(default_factory=list)
+    failures: List[CellFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def failed_indices(self) -> List[int]:
+        return [f.index for f in self.failures]
+
+    def failed_labels(self) -> List[str]:
+        return [f.label for f in self.failures]
+
+    def record(
+        self, index: int, label: str, kind: str, attempts: int, error: str
+    ) -> None:
+        self.failures.append(
+            CellFailure(
+                index=index,
+                label=label,
+                kind=kind,
+                attempts=attempts,
+                error=error,
+            )
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "total_cells": self.total_cells,
+            "completed_cells": self.total_cells - len(self.failures),
+            "retries": self.retries,
+            "degraded": list(self.degraded),
+            "failures": [asdict(f) for f in self.failures],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    def summary(self) -> str:
+        """One-line digest for CLI output and logs."""
+        completed = self.total_cells - len(self.failures)
+        parts = [f"{completed}/{self.total_cells} cells"]
+        if self.retries:
+            parts.append(f"{self.retries} retr{'y' if self.retries == 1 else 'ies'}")
+        if self.degraded:
+            parts.append(f"{len(self.degraded)} degraded inline")
+        if self.failures:
+            parts.append(
+                "failed: " + ", ".join(f.label for f in self.failures)
+            )
+        return "; ".join(parts)
+
+
+class MeasureManyResult(List[Optional[Dict[str, float]]]):
+    """Per-cell results in input order; failed cells are ``None``.
+
+    Compares equal to a plain list of the same dicts, so existing callers
+    (and the "byte-identical to sequential" contract) are unaffected when
+    nothing fails.
+    """
+
+    def __init__(self, *args: Any) -> None:
+        super().__init__(*args)
+        self.failure_report = FailureReport(total_cells=len(self))

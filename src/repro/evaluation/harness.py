@@ -13,15 +13,34 @@ Two optional accelerators sit on top of the in-memory caches:
   (config, workload) cells fan out over a :class:`ProcessPoolExecutor`
   and merge deterministically in input order regardless of completion
   order.
+
+The fan-out is fault tolerant: each cell is its own future with a
+per-cell timeout, failing cells are retried with exponential backoff
+(the pool is rebuilt after a crash or hang), a repeatedly failing cell
+degrades to inline sequential execution, and whatever still fails is
+recorded in the :class:`FailureReport` attached to the result — one bad
+cell costs one table gap, never the regeneration. The
+:mod:`repro.faults` injection points (``measure.cell``, ``cache.put``)
+let tests and the ``repro faults`` CLI prove all of this under
+deliberately induced crashes, hangs and corruption.
 """
 
 from __future__ import annotations
 
 import functools
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import faults
 
 from repro.baselines.jumpswitches import JumpSwitchParams, JumpSwitchTimingModel
 from repro.core.config import PibeConfig
@@ -32,6 +51,13 @@ from repro.engine.compiled import (
     create_interpreter,
 )
 from repro.evaluation.cache import DiskCache, cache_key
+from repro.evaluation.failures import (
+    KIND_CRASH,
+    KIND_EXCEPTION,
+    KIND_TIMEOUT,
+    FailureReport,
+    MeasureManyResult,
+)
 from repro.hardening.defenses import DefenseConfig
 from repro.ir.fingerprint import module_fingerprint
 from repro.kernel.generator import build_kernel
@@ -59,6 +85,16 @@ class EvalSettings:
     jobs: int = 1
     #: Directory for the persistent result cache; ``None`` disables it.
     cache_dir: Optional[str] = None
+    #: Resubmissions per failing cell before it degrades to inline
+    #: execution (and, failing that too, lands in the FailureReport).
+    max_retries: int = 2
+    #: Per-cell wall-clock limit in the parallel path; on expiry the pool
+    #: is killed and rebuilt. ``None`` waits forever (a hung worker then
+    #: hangs the run — only disable the timeout in controlled settings).
+    cell_timeout: Optional[float] = 300.0
+    #: Base of the exponential backoff between retries of one cell
+    #: (``retry_backoff * 2**(attempt - 1)`` seconds).
+    retry_backoff: float = 0.05
 
     @classmethod
     def fast(cls) -> "EvalSettings":
@@ -211,6 +247,7 @@ class EvalContext:
         cached = self._measurements.get(key)
         if cached is not None:
             return cached
+        faults.fire("measure.cell", cell_label(config, workload_name))
         disk_key = self._measure_disk_key(config, benches, workload_name)
         if disk_key is not None:
             entry = self.cache.get("measure", disk_key)
@@ -241,55 +278,251 @@ class EvalContext:
         benches: Sequence[Benchmark] = tuple(LMBENCH_BENCHMARKS),
         workload_name: str = "lmbench",
         jobs: Optional[int] = None,
-    ) -> List[Dict[str, float]]:
+        max_retries: Optional[int] = None,
+        cell_timeout: Optional[float] = None,
+    ) -> MeasureManyResult:
         """Measure every configuration; results in input order.
 
         With ``jobs > 1`` the uncached cells fan out over worker
-        processes. Each worker owns a full :class:`EvalContext` (on
-        platforms that fork, inherited from this one with its warm
-        profile; elsewhere rebuilt from ``settings``), and the merge is
-        by input position, so the output is identical to the sequential
-        path regardless of which worker finishes first.
+        processes, one future per cell. Each worker owns a full
+        :class:`EvalContext` (on platforms that fork, inherited from this
+        one with its warm profile; elsewhere rebuilt from ``settings``),
+        and the merge is by input position, so the output is identical to
+        the sequential path regardless of which worker finishes first.
+
+        Failure semantics: a cell whose worker crashes, hangs past
+        ``cell_timeout`` or raises is resubmitted up to ``max_retries``
+        times with exponential backoff (crashes and hangs cost a pool
+        rebuild; results completed by other workers are kept, and cells
+        already persisted to the disk cache are salvaged on retry). A
+        cell that exhausts its retries runs once more inline; if even
+        that fails, its slot in the returned list is ``None`` and the
+        attached :attr:`MeasureManyResult.failure_report` records the
+        cell, so callers render a gap instead of losing the table.
         """
-        global _WORKER_CTX
         configs = list(configs)
         benches = tuple(benches)
-        jobs = self.settings.jobs if jobs is None else jobs
-        if jobs <= 1 or len(configs) <= 1:
-            return [self.measure(c, benches, workload_name) for c in configs]
-        pending = [
-            c
-            for c in configs
-            if self._measure_key(c, benches, workload_name)
-            not in self._measurements
-        ]
-        if pending:
-            if any(c.optimized for c in pending):
-                # Profile once up front so every forked worker inherits it
-                # instead of redoing the training run.
-                self.profile(workload_name)
-            _WORKER_CTX = self
+        s = self.settings
+        jobs = s.jobs if jobs is None else jobs
+        max_retries = s.max_retries if max_retries is None else max_retries
+        cell_timeout = s.cell_timeout if cell_timeout is None else cell_timeout
+        report = FailureReport(total_cells=len(configs))
+        keys = [self._measure_key(c, benches, workload_name) for c in configs]
+
+        pending = [i for i in range(len(configs)) if keys[i] not in self._measurements]
+        if pending and jobs > 1 and len(pending) > 1:
+            self._measure_cells_parallel(
+                pending,
+                configs,
+                benches,
+                workload_name,
+                jobs,
+                max_retries,
+                cell_timeout,
+                report,
+            )
+        elif pending:
+            for i in pending:
+                self._measure_cell_salvaged(
+                    i, configs[i], benches, workload_name, max_retries, report
+                )
+
+        results = MeasureManyResult(
+            self._measurements.get(keys[i]) for i in range(len(configs))
+        )
+        results.failure_report = report
+        return results
+
+    def _measure_cell_salvaged(
+        self,
+        index: int,
+        config: PibeConfig,
+        benches: Tuple[Benchmark, ...],
+        workload_name: str,
+        max_retries: int,
+        report: FailureReport,
+        prior_attempts: int = 0,
+        prior_kind: Optional[str] = None,
+    ) -> Optional[Dict[str, float]]:
+        """Measure one cell inline, absorbing failures into ``report``.
+
+        Used both for the sequential path (with its own retry budget) and
+        as the degradation target after the pool gave up on a cell
+        (``max_retries=0`` there: one last inline chance, which also
+        salvages any result a worker persisted to the disk cache before
+        dying).
+        """
+        label = cell_label(config, workload_name)
+        attempts = prior_attempts
+        while True:
+            attempts += 1
             try:
-                with ProcessPoolExecutor(
-                    max_workers=min(jobs, len(pending)),
-                    initializer=_init_worker,
-                    initargs=(self.settings,),
-                ) as pool:
-                    measured = list(
-                        pool.map(
-                            _measure_cell,
-                            [(c, benches, workload_name) for c in pending],
-                        )
+                values = self.measure(config, benches, workload_name)
+            except Exception as exc:  # noqa: BLE001 — absorbed into report
+                if attempts - prior_attempts > max_retries:
+                    report.record(
+                        index,
+                        label,
+                        prior_kind or KIND_EXCEPTION,
+                        attempts,
+                        f"{type(exc).__name__}: {exc}",
                     )
-            finally:
-                _WORKER_CTX = None
-            for config, results in zip(pending, measured):
-                key = self._measure_key(config, benches, workload_name)
-                self._measurements[key] = results
-        return [
-            self._measurements[self._measure_key(c, benches, workload_name)]
-            for c in configs
-        ]
+                    return None
+                report.retries += 1
+                time.sleep(
+                    self.settings.retry_backoff
+                    * 2 ** (attempts - prior_attempts - 1)
+                )
+            else:
+                if prior_attempts:
+                    report.degraded.append(label)
+                return values
+
+    def _new_pool(
+        self, workers: int, plan: Optional["faults.FaultPlan"]
+    ) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(self.settings, plan),
+        )
+
+    @staticmethod
+    def _shutdown_pool(pool: ProcessPoolExecutor, kill: bool) -> None:
+        """Tear down a pool; ``kill`` terminates workers (hang recovery)."""
+        if kill:
+            # A hung worker never drains its queue, so shutdown alone
+            # would block forever; SIGTERM the processes first. The
+            # executor's internal machinery reaps them.
+            for proc in list((getattr(pool, "_processes", None) or {}).values()):
+                try:
+                    proc.terminate()
+                except Exception:  # noqa: BLE001 — already-dead worker
+                    pass
+        pool.shutdown(wait=not kill, cancel_futures=True)
+
+    def _measure_cells_parallel(
+        self,
+        pending: List[int],
+        configs: List[PibeConfig],
+        benches: Tuple[Benchmark, ...],
+        workload_name: str,
+        jobs: int,
+        max_retries: int,
+        cell_timeout: Optional[float],
+        report: FailureReport,
+    ) -> None:
+        """Fan pending cells out over a worker pool, recovering per cell."""
+        global _WORKER_CTX
+        if any(configs[i].optimized for i in pending):
+            # Profile once up front so every forked worker inherits it
+            # instead of redoing the training run.
+            self.profile(workload_name)
+        plan = faults.active_plan()
+        workers = min(jobs, len(pending))
+        attempts: Dict[int, int] = {i: 0 for i in pending}
+        last_kind: Dict[int, str] = {}
+        degraded: List[int] = []
+        _WORKER_CTX = self
+        pool = self._new_pool(workers, plan)
+        futures: Dict[Future, int] = {}
+        deadlines: Dict[int, float] = {}
+        try:
+
+            def submit(index: int) -> None:
+                fut = pool.submit(
+                    _measure_cell, (configs[index], benches, workload_name)
+                )
+                futures[fut] = index
+                if cell_timeout is not None:
+                    deadlines[index] = time.monotonic() + cell_timeout
+
+            def recycle(index: int, kind: str) -> None:
+                """Count a failed attempt; resubmit or mark for inline."""
+                attempts[index] += 1
+                last_kind[index] = kind
+                if attempts[index] > max_retries:
+                    degraded.append(index)
+                    return
+                report.retries += 1
+                time.sleep(
+                    self.settings.retry_backoff * 2 ** (attempts[index] - 1)
+                )
+                submit(index)
+
+            for i in pending:
+                submit(i)
+            while futures:
+                timeout = None
+                if deadlines:
+                    timeout = max(0.0, min(deadlines.values()) - time.monotonic())
+                done, _ = wait(
+                    set(futures), timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    # A deadline expired with nothing finishing: at least
+                    # one worker is hung. Kill the pool (the only way to
+                    # reclaim its slot) and resubmit the victims —
+                    # counting the attempt only against timed-out cells.
+                    now = time.monotonic()
+                    expired = {
+                        i for i, dl in deadlines.items() if dl <= now
+                    }
+                    victims = list(futures.values())
+                    self._shutdown_pool(pool, kill=True)
+                    pool = self._new_pool(workers, plan)
+                    futures.clear()
+                    deadlines.clear()
+                    for i in victims:
+                        if i in expired:
+                            recycle(i, KIND_TIMEOUT)
+                        else:
+                            submit(i)
+                    continue
+                broken = False
+                retry: List[Tuple[int, str]] = []
+                for fut in done:
+                    i = futures.pop(fut)
+                    deadlines.pop(i, None)
+                    try:
+                        values = fut.result()
+                    except BrokenExecutor:
+                        broken = True
+                        retry.append((i, KIND_CRASH))
+                    except Exception:  # noqa: BLE001
+                        retry.append((i, KIND_EXCEPTION))
+                    else:
+                        self._measurements[
+                            self._measure_key(configs[i], benches, workload_name)
+                        ] = values
+                if broken:
+                    # One dead worker poisons the whole executor: every
+                    # in-flight future is lost. Rebuild once and resubmit
+                    # the collateral victims along with the casualties.
+                    for fut, i in list(futures.items()):
+                        retry.append((i, KIND_CRASH))
+                    futures.clear()
+                    deadlines.clear()
+                    self._shutdown_pool(pool, kill=True)
+                    pool = self._new_pool(workers, plan)
+                for i, kind in retry:
+                    recycle(i, kind)
+        finally:
+            self._shutdown_pool(pool, kill=False)
+            _WORKER_CTX = None
+        for i in degraded:
+            # Last resort: run the cell inline (one attempt). A result a
+            # worker cached to disk before dying is salvaged here for free.
+            self._measure_cell_salvaged(
+                i,
+                configs[i],
+                benches,
+                workload_name,
+                0,
+                report,
+                prior_attempts=attempts[i],
+                prior_kind=last_kind.get(i),
+            )
 
     def measure_jumpswitches(
         self,
@@ -347,18 +580,33 @@ class EvalContext:
         return self.measure(PibeConfig.lto_baseline(), benches)
 
 
+def cell_label(config: PibeConfig, workload_name: str) -> str:
+    """The label a measurement cell carries at the ``measure.cell``
+    injection point and in :class:`FailureReport` entries."""
+    return f"{config.label()}@{workload_name}"
+
+
 # -- worker-process plumbing for measure_many --------------------------------
 #
 # On fork platforms the child inherits _WORKER_CTX (the parent context with
 # its warm kernel/profile caches) and the initializer is a no-op; under
 # spawn the module is re-imported, _WORKER_CTX is None, and the initializer
-# rebuilds an equivalent context from the (picklable) settings.
+# rebuilds an equivalent context from the (picklable) settings. The fault
+# plan rides along explicitly for the same reason: module globals don't
+# survive spawn.
 
 _WORKER_CTX: Optional[EvalContext] = None
 
 
-def _init_worker(settings: EvalSettings) -> None:
+def _init_worker(
+    settings: EvalSettings, plan: Optional[faults.FaultPlan] = None
+) -> None:
     global _WORKER_CTX
+    faults.mark_worker()
+    if plan is not None:
+        # Shares the parent's activation state_dir, so "times: 1" means
+        # once across the whole pool, not once per worker.
+        faults.install(plan)
     if _WORKER_CTX is None:
         _WORKER_CTX = EvalContext(settings)
 

@@ -1,0 +1,141 @@
+"""Fault plans: declarative descriptions of what to break, where and when.
+
+A :class:`FaultPlan` is a list of :class:`FaultSpec` entries. Each spec
+names an **injection point** (a string the instrumented code passes to
+:func:`repro.faults.fire`), a **mode** (what happens when the spec fires),
+an fnmatch **pattern** selecting which labels at that point are affected,
+and an activation budget ``times`` (how many firings before the spec goes
+dormant; ``None`` means it never does).
+
+Injection points honored by the evaluation stack:
+
+``measure.cell``
+    Fired by :meth:`EvalContext.measure` before computing an uncached
+    cell. The label is ``"<config.label()>@<workload>"``. Behavioural
+    modes apply: ``crash`` (worker processes exit hard; the orchestrator
+    process raises :class:`InjectedFault` instead — a fault plan must
+    never kill the process driving the experiment), ``hang`` (worker
+    sleeps ``seconds``; orchestrator raises) and ``raise``.
+
+``cache.put``
+    Fired by :meth:`DiskCache.put` with the entry kind (``"measure"``,
+    ``"profile"``) as the label. Data modes apply: ``corrupt`` (the
+    stored payload is replaced with garbage) and ``truncate`` (only a
+    prefix of the JSON text is written) — both leave an entry that fails
+    to parse, exercising the quarantine path.
+
+Plans serialize to JSON so they can cross process boundaries via the
+``REPRO_FAULTS`` environment variable (inline JSON or a file path).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Environment variable carrying a plan: inline JSON or a path to a file.
+ENV_VAR = "REPRO_FAULTS"
+
+#: What a firing spec does at its injection point.
+MODES = ("crash", "hang", "raise", "corrupt", "truncate")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: where it fires, what it does, whom it hits, how often."""
+
+    point: str
+    mode: str
+    match: str = "*"
+    #: Activations before the spec goes dormant; ``None`` = unlimited.
+    times: Optional[int] = 1
+    #: Sleep duration for ``hang`` mode.
+    seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(
+                f"unknown fault mode {self.mode!r}; expected one of {MODES}"
+            )
+        if self.times is not None and self.times < 1:
+            raise ValueError(f"times must be >= 1 or None, got {self.times}")
+
+
+@dataclass
+class FaultPlan:
+    """An ordered list of fault specs plus shared activation state.
+
+    ``state_dir`` holds one token file per claimed activation so that
+    counted specs fire exactly ``times`` total across every process
+    sharing the plan (workers under both fork and spawn); without it the
+    count is tracked per process.
+    """
+
+    specs: List[FaultSpec] = field(default_factory=list)
+    state_dir: Optional[str] = None
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "specs": [dataclasses.asdict(s) for s in self.specs],
+            "state_dir": self.state_dir,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        specs = [FaultSpec(**spec) for spec in data.get("specs", [])]
+        return cls(specs=specs, state_dir=data.get("state_dir"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        data = json.loads(text)
+        if isinstance(data, list):  # bare spec list shorthand
+            data = {"specs": data}
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        """Plan from ``REPRO_FAULTS``: inline JSON or a file path."""
+        value = os.environ.get(ENV_VAR, "").strip()
+        if not value:
+            return None
+        if value.startswith("{") or value.startswith("["):
+            return cls.from_json(value)
+        with open(value, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+
+def default_stress_plan() -> FaultPlan:
+    """The plan behind ``repro faults``: one worker crash, one transient
+    exception that retries to success, one permanently failing cell and
+    one corrupted cache entry.
+
+    The match patterns key on the budget components of
+    :meth:`PibeConfig.label`, so they line up with the stress matrix the
+    CLI builds (`icp=99%` is transient, `icp=99.99%` permanent).
+    """
+    return FaultPlan(
+        specs=[
+            FaultSpec(point="measure.cell", mode="crash", match="*", times=1),
+            FaultSpec(
+                point="measure.cell",
+                mode="raise",
+                match="*icp=99%*",
+                times=2,
+            ),
+            FaultSpec(
+                point="measure.cell",
+                mode="raise",
+                match="*icp=99.99%*",
+                times=None,
+            ),
+            FaultSpec(point="cache.put", mode="corrupt", match="measure", times=1),
+        ]
+    )

@@ -1,0 +1,157 @@
+"""Fault-injection runtime: the active plan and the ``fire`` primitive.
+
+The evaluation stack calls :func:`fire` at each injection point. With no
+plan installed (the common case) the call is a handful of instructions —
+fault injection is free when disabled. With a plan installed, the first
+spec that matches the point and label and still has activations left
+**fires**: behavioural modes (``crash``/``hang``/``raise``) act here,
+data modes (``corrupt``/``truncate``) are returned to the caller, which
+knows how to mangle its own payload.
+
+Activation counting must be exact across processes — "crash one worker,
+once" has to mean once globally, not once per worker — so counted specs
+claim per-activation token files (``O_CREAT | O_EXCL``) in the plan's
+``state_dir``. Claiming is atomic at the filesystem level; whichever
+process creates the token fires, everyone else moves on.
+
+Orchestrator safety: ``crash`` and ``hang`` only take their destructive
+form inside processes marked as workers (:func:`mark_worker`, called by
+the pool initializer). In the orchestrating process they degrade to
+:class:`InjectedFault`, so a plan can never take down the process that is
+collecting results.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import os
+import tempfile
+import time
+from typing import Dict, Optional
+
+from repro.faults.plan import ENV_VAR, FaultPlan, FaultSpec
+
+#: Exit status of a worker killed by ``crash`` mode (visible in logs).
+CRASH_EXIT_CODE = 23
+
+
+class InjectedFault(RuntimeError):
+    """Raised (or substituted for destruction) by a firing fault spec."""
+
+
+_UNSET = object()  # "install() never called" vs "explicitly cleared"
+_plan: object = _UNSET
+_in_worker = False
+_local_counts: Dict[int, int] = {}
+
+
+def install(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+    """Make ``plan`` the active plan (``None`` disables injection).
+
+    A plan with counted specs but no ``state_dir`` gets a fresh temporary
+    one, so activation tokens are shared with any worker process the plan
+    is later handed to. Returns the installed plan.
+    """
+    global _plan
+    if plan is not None and plan.state_dir is None and any(
+        spec.times is not None for spec in plan.specs
+    ):
+        plan.state_dir = tempfile.mkdtemp(prefix="repro-faults-")
+    _plan = plan
+    _local_counts.clear()
+    return plan
+
+
+def clear() -> None:
+    """Disable fault injection (and stop consulting the environment)."""
+    install(None)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The current plan; lazily initialized from ``REPRO_FAULTS``.
+
+    The environment is consulted only until the first explicit
+    :func:`install`/:func:`clear`, so programmatic use is never surprised
+    by a stale variable.
+    """
+    global _plan
+    if _plan is _UNSET:
+        install(FaultPlan.from_env())
+    return _plan  # type: ignore[return-value]
+
+
+def mark_worker() -> None:
+    """Flag this process as a pool worker: destructive modes act for real."""
+    global _in_worker
+    _in_worker = True
+
+
+def in_worker() -> bool:
+    return _in_worker
+
+
+def _claim(plan: FaultPlan, spec_index: int, spec: FaultSpec) -> bool:
+    """Try to consume one activation of ``spec``; True if it should fire."""
+    if spec.times is None:
+        return True
+    if plan.state_dir:
+        os.makedirs(plan.state_dir, exist_ok=True)
+        for n in range(spec.times):
+            token = os.path.join(plan.state_dir, f"spec{spec_index}.{n}")
+            try:
+                fd = os.open(token, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            os.close(fd)
+            return True
+        return False
+    used = _local_counts.get(spec_index, 0)
+    if used >= spec.times:
+        return False
+    _local_counts[spec_index] = used + 1
+    return True
+
+
+def fire(point: str, label: str) -> Optional[FaultSpec]:
+    """Evaluate the active plan at an injection point.
+
+    Behavioural modes act immediately (crash/hang/raise, softened to
+    :class:`InjectedFault` outside workers); data modes return the spec
+    for the call site to honor. ``None`` means nothing fired.
+    """
+    plan = active_plan()
+    if plan is None:
+        return None
+    for index, spec in enumerate(plan.specs):
+        if spec.point != point:
+            continue
+        if not fnmatch.fnmatchcase(label, spec.match):
+            continue
+        if not _claim(plan, index, spec):
+            continue
+        if spec.mode == "crash":
+            if _in_worker:
+                os._exit(CRASH_EXIT_CODE)
+            raise InjectedFault(f"injected crash at {point} ({label})")
+        if spec.mode == "hang":
+            if _in_worker:
+                time.sleep(spec.seconds)
+                return None  # a slow worker, not a failed one
+            raise InjectedFault(f"injected hang at {point} ({label})")
+        if spec.mode == "raise":
+            raise InjectedFault(f"injected fault at {point} ({label})")
+        return spec  # corrupt / truncate: caller's responsibility
+    return None
+
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "ENV_VAR",
+    "InjectedFault",
+    "active_plan",
+    "clear",
+    "fire",
+    "in_worker",
+    "install",
+    "mark_worker",
+]

@@ -170,7 +170,11 @@ class IndirectCallPromotion(ModulePass):
                 self.max_targets_per_site is not None
                 and len(per_site) >= self.max_targets_per_site
             ):
-                cumulative += count
+                # A capped-out site's remaining weight is *not* promoted,
+                # so it must not consume budget either: charging it here
+                # would stop the greedy loop before the promoted weight
+                # actually reaches the budget fraction, starving colder
+                # sites that still have room.
                 continue
             per_site.append((target, count))
             cumulative += count
@@ -190,6 +194,8 @@ class IndirectCallPromotion(ModulePass):
 
         selected = self._select(candidates)
         for site_id, targets in selected.items():
+            if not targets:  # site capped out before selecting anything
+                continue
             record = self._promote_site(module, site_id, targets)
             if record is None:
                 continue
@@ -278,7 +284,15 @@ class IndirectCallPromotion(ModulePass):
         fallback = icall.clone(fresh_site_id=False)
         fallback.attrs.pop(ATTR_VALUE_PROFILE, None)
         fallback.attrs[ATTR_ICP_SITE] = site_id
-        fallback.attrs[ATTR_TARGETS] = residual if residual else dict(ground_truth)
+        # The fallback must never carry an empty distribution: executing
+        # an ICALL with no targets raises in target selection. With an
+        # empty residual the fallback is unreachable (the last guard's
+        # conditional probability is 1.0), so carry the best distribution
+        # available — the ground truth, or, when the site has no ground
+        # truth at all, the promoted profile itself.
+        fallback.attrs[ATTR_TARGETS] = (
+            residual or dict(ground_truth) or {t: c for t, c in targets}
+        )
         fblock = BasicBlock(fallback_label)
         fblock.instructions.append(fallback)
         fblock.instructions.append(

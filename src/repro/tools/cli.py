@@ -255,11 +255,11 @@ def cmd_diff(args) -> int:
     return 0
 
 
-def cmd_evaluate(args) -> int:
-    """Regenerate the paper's tables (all or selected)."""
-    # Local import: the evaluation stack is heavy.
-    from repro.evaluation import tables
-    from repro.evaluation.harness import EvalContext, EvalSettings
+def _eval_settings(args) -> "EvalSettings":  # noqa: F821 — local import below
+    """EvalSettings from the shared evaluate/faults CLI knobs."""
+    from repro.evaluation.harness import EvalSettings
+
+    import dataclasses
 
     if args.fast:
         settings = EvalSettings(
@@ -270,7 +270,45 @@ def cmd_evaluate(args) -> int:
         )
     else:
         settings = EvalSettings()
-    ctx = EvalContext(settings)
+    overrides = {}
+    if getattr(args, "jobs", None) is not None:
+        overrides["jobs"] = args.jobs
+    if getattr(args, "max_retries", None) is not None:
+        overrides["max_retries"] = args.max_retries
+    if getattr(args, "cell_timeout", None) is not None:
+        overrides["cell_timeout"] = args.cell_timeout
+    if getattr(args, "cache_dir", None):
+        overrides["cache_dir"] = args.cache_dir
+    return dataclasses.replace(settings, **overrides) if overrides else settings
+
+
+def _add_harness_args(parser) -> None:
+    """Fault-tolerance / scale knobs shared by evaluate and faults."""
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=None,
+        help="worker processes for parallel measurement (default: 1)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=None,
+        help="resubmissions per failing cell before inline degradation",
+    )
+    parser.add_argument(
+        "--cell-timeout", type=float, default=None,
+        help="per-cell wall-clock limit in seconds (parallel path)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        help="persistent result cache directory (e.g. .repro-cache)",
+    )
+
+
+def cmd_evaluate(args) -> int:
+    """Regenerate the paper's tables (all or selected)."""
+    # Local import: the evaluation stack is heavy.
+    from repro.evaluation import tables
+    from repro.evaluation.harness import EvalContext
+
+    ctx = EvalContext(_eval_settings(args))
     generators = {
         "figure1": lambda: tables.figure1(),
         "table1": lambda: tables.table1(),
@@ -296,6 +334,107 @@ def cmd_evaluate(args) -> int:
         print(result.table.to_text())
         print()
     return 0
+
+
+def _stress_configs(n: int):
+    """``n`` distinct measurement cells for the fault stress matrix.
+
+    Budget variants use the grid the fault plans key on (``icp=99%`` for
+    the transient spec, ``icp=99.99%`` for the permanent one in the
+    default plan).
+    """
+    budgets = (0.9, 0.99, 0.999, 0.9999, 0.99999, 0.999999)
+    pool = [
+        PibeConfig.lto_baseline(),
+        PibeConfig.hardened(DefenseConfig.retpolines_only()),
+    ]
+    for budget in budgets:
+        pool.append(
+            PibeConfig.hardened(
+                DefenseConfig.retpolines_only(),
+                icp_budget=budget,
+                inline_budget=budget,
+            )
+        )
+    for budget in budgets:
+        pool.append(
+            PibeConfig.hardened(
+                DefenseConfig.all_defenses(),
+                icp_budget=budget,
+                inline_budget=budget,
+                lax_heuristics=True,
+            )
+        )
+    if not 1 <= n <= len(pool):
+        raise SystemExit(f"--configs must be in 1..{len(pool)}")
+    return pool[:n]
+
+
+def cmd_faults(args) -> int:
+    """Stress the evaluation harness under an injected fault plan."""
+    import tempfile
+
+    from repro import faults as faultlib
+    from repro.evaluation.harness import EvalContext, cell_label
+
+    if args.plan:
+        plan = faultlib.FaultPlan.from_json(Path(args.plan).read_text())
+        source = args.plan
+    else:
+        plan = faultlib.FaultPlan.from_env()
+        source = f"${faultlib.ENV_VAR}"
+        if plan is None:
+            plan = faultlib.default_stress_plan()
+            source = "built-in stress plan"
+    args.fast = True  # stress runs always use the reduced-scale matrix
+    settings = _eval_settings(args)
+    import dataclasses
+
+    if args.jobs is None:
+        # Parallel by default: worker crashes/hangs only exist with a pool.
+        settings = dataclasses.replace(settings, jobs=2)
+    if settings.cache_dir is None:
+        settings = dataclasses.replace(
+            settings, cache_dir=tempfile.mkdtemp(prefix="repro-faults-cache-")
+        )
+    configs = _stress_configs(args.configs)
+
+    print(f"fault plan ({source}): {len(plan.specs)} spec(s)")
+    for spec in plan.specs:
+        times = "unlimited" if spec.times is None else spec.times
+        print(f"  {spec.point:14s} {spec.mode:9s} match={spec.match!r} times={times}")
+    print(
+        f"matrix: {len(configs)} configs x 1 workload, jobs={settings.jobs}, "
+        f"max_retries={settings.max_retries}, cell_timeout={settings.cell_timeout}"
+    )
+
+    faultlib.install(plan)
+    try:
+        ctx = EvalContext(settings)
+        results = ctx.measure_many(configs)
+    finally:
+        faultlib.clear()
+    report = results.failure_report
+
+    failed = set(report.failed_indices())
+    for i, config in enumerate(configs):
+        status = "FAILED" if i in failed else "ok"
+        print(f"  [{status:6s}] {cell_label(config, 'lmbench')}")
+    print(f"report: {report.summary()}")
+    print(f"cache: {ctx.cache.stats()}")
+    if args.output:
+        Path(args.output).write_text(report.to_json() + "\n")
+        print(f"wrote {args.output}")
+    if args.expect_failures is not None:
+        if len(report.failures) != args.expect_failures:
+            print(
+                f"expected {args.expect_failures} permanent failure(s), "
+                f"got {len(report.failures)}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    return 0 if report.ok else 2
 
 
 # -- argument wiring ----------------------------------------------------------
@@ -407,7 +546,34 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         help="which experiment(s); default: all (e.g. -e table5 -e table6)",
     )
+    _add_harness_args(p)
     p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser(
+        "faults",
+        help="stress the evaluation harness under an injected fault plan",
+    )
+    p.add_argument(
+        "--plan",
+        help=(
+            "fault plan JSON file (default: $REPRO_FAULTS, else the "
+            "built-in stress plan)"
+        ),
+    )
+    p.add_argument(
+        "--configs", type=int, default=8,
+        help="measurement cells in the stress matrix (default: 8)",
+    )
+    _add_harness_args(p)
+    p.add_argument(
+        "--expect-failures", type=int, default=None,
+        help=(
+            "exit 0 iff exactly this many cells fail permanently "
+            "(default: exit 2 on any failure)"
+        ),
+    )
+    p.add_argument("-o", "--output", help="FailureReport JSON path")
+    p.set_defaults(func=cmd_faults)
 
     return parser
 

@@ -40,16 +40,28 @@ def test_put_get_roundtrip(tmp_path):
     assert cache.get("measure", key) is None
     cache.put("measure", key, {"null": 1.5})
     assert cache.get("measure", key) == {"null": 1.5}
-    assert cache.stats() == {"hits": 1, "misses": 1}
+    assert cache.stats() == {"hits": 1, "misses": 1, "corrupt": 0}
 
 
-def test_corrupt_entry_is_a_miss(tmp_path):
+def test_corrupt_entry_is_quarantined(tmp_path):
     cache = DiskCache(tmp_path)
     key = cache_key("x")
     cache.put("measure", key, {"v": 1})
     path = tmp_path / "measure" / f"{key}.json"
     path.write_text("{truncated", encoding="utf-8")
+    # first lookup: counted as corrupt + miss, entry moved aside
     assert cache.get("measure", key) is None
+    assert cache.stats() == {"hits": 0, "misses": 1, "corrupt": 1}
+    assert not path.exists()
+    quarantined = list(cache.quarantine_dir().iterdir())
+    assert [p.name for p in quarantined] == [f"measure-{key}.json"]
+    assert quarantined[0].read_text(encoding="utf-8") == "{truncated"
+    # second lookup: a plain miss, the corrupt file is not re-parsed
+    assert cache.get("measure", key) is None
+    assert cache.stats() == {"hits": 0, "misses": 2, "corrupt": 1}
+    # a fresh put repopulates the slot cleanly
+    cache.put("measure", key, {"v": 2})
+    assert cache.get("measure", key) == {"v": 2}
 
 
 def test_cache_key_canonical_and_order_sensitive():
@@ -86,7 +98,7 @@ def test_warm_cache_skips_profiling_and_measurement(tmp_path):
     # a second in-process kernel build gets different site ids, so the
     # site-keyed cached profile is correctly NOT replayed against it...
     profile = warm.profile("lmbench")
-    assert warm.cache.stats() == {"hits": 1, "misses": 1}
+    assert warm.cache.stats() == {"hits": 1, "misses": 1, "corrupt": 0}
     # ...though the id-independent content agrees
     assert profile.invocations == cold.profile("lmbench").invocations
 

@@ -155,6 +155,94 @@ def test_max_targets_per_site_cap():
     assert report.promoted_targets == 1
 
 
+def _make_two_site_module(site_a, site_b):
+    """Two callers, one profiled indirect call each."""
+    module = Module("m")
+    for target in {*site_a, *site_b}:
+        module.add_function(build_leaf(target, work=2))
+    icalls = []
+    for name, observed in (("caller_a", site_a), ("caller_b", site_b)):
+        caller = Function(name)
+        b = IRBuilder(caller)
+        b.arith(1)
+        icalls.append(b.icall(dict(observed), num_args=1))
+        b.ret()
+        module.add_function(caller)
+    profile = EdgeProfile()
+    for icall, observed in zip(icalls, (site_a, site_b)):
+        for target, count in observed.items():
+            profile.record_indirect(icall.site_id, target, count)
+    lift_profile(module, profile)
+    return module
+
+
+def test_capped_site_weight_does_not_consume_budget():
+    """Regression: weight skipped at a capped site must not be charged
+    against the budget, or colder sites get starved before the promoted
+    weight reaches the requested fraction."""
+    # Hottest-first order: a(50) at site A, b(30) at site A, c(20) at B.
+    # With a 55% budget and one target per site, 'b' is skipped by the
+    # cap; the promoted weight is only 50/100, so selection must continue
+    # to 'c'. The old accounting charged the skipped 30 and stopped.
+    module = _make_two_site_module({"a": 50, "b": 30}, {"c": 20})
+    report = IndirectCallPromotion(
+        budget=0.55, max_targets_per_site=1
+    ).run(module)
+    validate_module(module)
+    promoted = {t for r in report.records for t in r.targets}
+    assert promoted == {"a", "c"}
+    assert report.promoted_weight == 70
+    # the promoted weight actually reaches the budget fraction
+    assert report.promoted_weight >= report.total_weight * 0.55
+
+
+def test_capped_coverage_matches_uncapped_at_full_budget():
+    """At budget 1.0 a per-site cap must still promote every site's
+    hottest target — capping one site cannot starve another."""
+    capped = _make_two_site_module({"a": 80, "b": 15}, {"c": 5})
+    capped_report = IndirectCallPromotion(
+        budget=1.0, max_targets_per_site=1
+    ).run(capped)
+    uncapped = _make_two_site_module({"a": 80, "b": 15}, {"c": 5})
+    uncapped_report = IndirectCallPromotion(budget=1.0).run(uncapped)
+    assert capped_report.promoted_sites == uncapped_report.promoted_sites == 2
+    # cap drops only the capped site's colder targets, nothing else
+    assert {t for r in capped_report.records for t in r.targets} == {"a", "c"}
+
+
+def test_empty_ground_truth_fallback_carries_promoted_distribution():
+    """Regression: a site with an empty ATTR_TARGETS ground truth must not
+    emit a fallback ICALL with an empty distribution (weighted_choice
+    raises on one; the static analyzer flags it as PIBE106)."""
+    module = Module("m")
+    for target in ("a", "b"):
+        module.add_function(build_leaf(target, work=2))
+    caller = Function("caller")
+    b = IRBuilder(caller)
+    b.arith(1)
+    icall = b.icall({}, num_args=1)  # no ground truth at this site
+    b.ret()
+    module.add_function(caller)
+    profile = EdgeProfile()
+    profile.record_indirect(icall.site_id, "a", 60)
+    profile.record_indirect(icall.site_id, "b", 40)
+    lift_profile(module, profile)
+
+    report = IndirectCallPromotion(budget=1.0).run(module)
+    assert report.promoted_sites == 1
+    fallbacks = [
+        i for i in module.get("caller").call_sites() if i.opcode == Opcode.ICALL
+    ]
+    assert len(fallbacks) == 1
+    # fallback carries the promoted-profile distribution, never {}
+    assert fallbacks[0].attrs[ATTR_TARGETS] == {"a": 60, "b": 40}
+    validate_module(module)
+    # and the transformed function still executes without ValueError
+    Interpreter(module, [TraceRecorder()], seed=3).run_function(
+        "caller", times=50
+    )
+
+
 def test_sites_without_value_profile_untouched():
     module = Module("m")
     module.add_function(build_leaf("t"))

@@ -229,3 +229,67 @@ def test_lint_output_file(workdir, kernel_file):
         == 0
     )
     assert json.loads(path.read_text())["counts"]["error"] == 0
+
+
+def test_faults_stress_subcommand(workdir, capsys):
+    """`repro faults` runs a plan, prints per-cell status and writes the
+    FailureReport artifact; --expect-failures gates the exit code."""
+    from repro.faults import FaultPlan, FaultSpec
+
+    plan_path = workdir / "plan.json"
+    plan_path.write_text(
+        FaultPlan(
+            specs=[FaultSpec(point="measure.cell", mode="raise", times=1)]
+        ).to_json()
+    )
+    report_path = workdir / "failure-report.json"
+    assert (
+        main(
+            [
+                "faults",
+                "--plan",
+                str(plan_path),
+                "--configs",
+                "3",
+                "--jobs",
+                "2",
+                "--max-retries",
+                "2",
+                "--expect-failures",
+                "0",
+                "-o",
+                str(report_path),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "[ok    ]" in out and "FAILED" not in out
+    report = json.loads(report_path.read_text())
+    assert report["total_cells"] == 3
+    assert report["completed_cells"] == 3
+    assert report["failures"] == []
+    # the transient fault really fired: at least one recovery happened
+    assert report["retries"] + len(report["degraded"]) >= 1
+
+
+def test_faults_expect_failures_mismatch_fails(workdir, capsys):
+    from repro.faults import FaultPlan, FaultSpec
+
+    plan_path = workdir / "noop-plan.json"
+    plan_path.write_text(FaultPlan(specs=[]).to_json())
+    assert (
+        main(
+            [
+                "faults",
+                "--plan",
+                str(plan_path),
+                "--configs",
+                "2",
+                "--expect-failures",
+                "1",
+            ]
+        )
+        == 1
+    )
+    capsys.readouterr()
