@@ -1,0 +1,107 @@
+"""Shared bench-record metadata: git provenance and append-style history.
+
+Every ``BENCH_*.json`` record carries the commit it was measured at so
+perf trajectories can be plotted across commits. Hygiene rules:
+
+- ``git`` is always the *clean* short hash — never a mangled
+  ``<hash>-dirty`` string that breaks ``git show <hash>``;
+- a working tree with uncommitted changes is flagged separately as
+  ``"dirty": true``, so dirty data points are identifiable (and
+  filterable) without corrupting the hash field;
+- strict mode (``REPRO_BENCH_STRICT_GIT=1``, or ``--strict-git`` on
+  script-mode benchmarks) refuses to record from a dirty tree at all —
+  for CI jobs whose numbers must be attributable to an exact commit.
+
+Record files hold a JSON *list* of records, newest last; ``write_record``
+converts a legacy single-record file into a list before appending.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import subprocess
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+#: Environment switch for strict mode (any non-empty value but "0").
+STRICT_GIT_ENV = "REPRO_BENCH_STRICT_GIT"
+
+
+class DirtyTreeError(RuntimeError):
+    """Raised in strict mode when the working tree has local changes."""
+
+
+def _git(*args: str) -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ("git", *args),
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip()
+
+
+def git_metadata() -> Dict[str, Any]:
+    """``{"git": <clean short hash or None>, "dirty": <bool>}``.
+
+    The hash never carries a ``-dirty`` suffix; local modifications are
+    reported in the separate ``dirty`` flag. Outside a git checkout both
+    degrade gracefully (``None`` / ``False``).
+    """
+    head = _git("rev-parse", "--short", "HEAD")
+    status = _git("status", "--porcelain") if head is not None else None
+    return {"git": head, "dirty": bool(status)}
+
+
+def strict_git_enabled() -> bool:
+    return os.environ.get(STRICT_GIT_ENV, "") not in ("", "0")
+
+
+def stamp(record: Dict[str, Any], strict: Optional[bool] = None) -> Dict[str, Any]:
+    """Add git + timestamp provenance to ``record`` (in place).
+
+    With ``strict`` (default: :func:`strict_git_enabled`) a dirty working
+    tree raises :class:`DirtyTreeError` instead of recording a number
+    that can't be attributed to a commit.
+    """
+    meta = git_metadata()
+    if strict is None:
+        strict = strict_git_enabled()
+    if strict and meta["dirty"]:
+        raise DirtyTreeError(
+            "working tree has uncommitted changes; refusing to record "
+            "benchmark results in strict git mode (commit or stash, or "
+            f"unset {STRICT_GIT_ENV})"
+        )
+    record.update(meta)
+    record["timestamp"] = (
+        datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%S%z")
+    )
+    return record
+
+
+def write_record(path: Path, record: Dict[str, Any]) -> None:
+    """Append ``record`` to the JSON record list at ``path``.
+
+    Existing files are preserved as history (a legacy single-record
+    object becomes the first list element); unreadable files are
+    replaced rather than crashing the benchmark that produced the data.
+    """
+    records = []
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text(encoding="utf-8"))
+            records = existing if isinstance(existing, list) else [existing]
+        except ValueError:
+            records = []
+    records.append(record)
+    path.write_text(json.dumps(records, indent=2) + "\n", encoding="utf-8")

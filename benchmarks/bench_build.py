@@ -1,0 +1,163 @@
+"""Staged variant-build benchmark: monolithic vs prefix-cached sweeps.
+
+The staged build engine exists for exactly one workload shape: a
+*defense sweep* — N hardening configurations at one shared optimization
+budget. The monolithic engine re-runs ICP + inlining for every variant;
+the staged engine runs them once per distinct optimization prefix and
+stamps each defense onto a copy-on-write clone. This benchmark measures
+the 5-defense sweep three ways and records the results (plus the
+pipeline and disk-cache counters) to ``BENCH_build.json`` at the repo
+root:
+
+- ``monolithic``: 5 full builds from the baseline;
+- ``staged_cold``: empty disk cache — the 2 distinct prefixes (the
+  jump-table legality split) are built and persisted, 5 variants stamped;
+- ``staged_warm``: a fresh pipeline against the populated cache — both
+  prefixes load from disk, nothing is rebuilt.
+
+Runs as a pytest benchmark (``pytest benchmarks/bench_build.py``,
+``REPRO_BENCH_FAST=1`` for the small kernel) or as a script
+(``python benchmarks/bench_build.py [--fast] [--strict-git] [-o PATH]``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict
+
+if __package__ in (None, ""):  # script mode: make `from _meta import` work
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _meta import stamp, write_record
+
+from repro.core.config import PibeConfig
+from repro.core.pipeline import PibePipeline
+from repro.evaluation.cache import DiskCache
+from repro.hardening.defenses import DefenseConfig
+from repro.kernel.generator import build_kernel
+from repro.kernel.spec import DEFAULT_SPEC, SmallSpec
+from repro.workloads.lmbench import lmbench_workload
+
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_build.json"
+
+#: The sweep: every defense selection of Table 12 at one lax budget.
+DEFENSES = (
+    DefenseConfig.none(),
+    DefenseConfig.retpolines_only(),
+    DefenseConfig.ret_retpolines_only(),
+    DefenseConfig.lvi_only(),
+    DefenseConfig.all_defenses(),
+)
+
+#: Acceptance bar: a cold staged sweep (prefix builds + disk writes +
+#: stamps) must beat the monolithic sweep by at least this factor.
+MIN_COLD_SPEEDUP = 1.5
+
+#: Timing repetitions; each mode reports its fastest run.
+REPS = 2
+
+
+def _sweep(pipeline: PibePipeline, configs, profile, staged: bool) -> float:
+    start = time.perf_counter()
+    for config in configs:
+        pipeline.build_variant(config, profile, staged=staged)
+    return time.perf_counter() - start
+
+
+def run_build_bench(fast: bool) -> Dict[str, Any]:
+    """Measure the three sweep modes; returns the benchmark record."""
+    spec = SmallSpec() if fast else DEFAULT_SPEC
+    ops_scale = 0.05 if fast else 0.02
+    kernel = build_kernel(spec)
+    profile = PibePipeline(kernel).profile(
+        lmbench_workload(ops_scale=ops_scale), iterations=1
+    )
+    configs = [PibeConfig.lax(d) for d in DEFENSES]
+
+    mono = min(
+        _sweep(PibePipeline(kernel), configs, profile, staged=False)
+        for _ in range(REPS)
+    )
+
+    cold = None
+    warm = None
+    warm_pipeline = None
+    warm_cache = None
+    for _ in range(REPS):
+        with tempfile.TemporaryDirectory(prefix="bench-build-") as tmp:
+            cache = DiskCache(Path(tmp))
+            cold_pipeline = PibePipeline(kernel, cache=cache)
+            t = _sweep(cold_pipeline, configs, profile, staged=True)
+            cold = t if cold is None else min(cold, t)
+            assert cold_pipeline.stats["prefix_builds"] > 0
+
+            warm_cache = DiskCache(Path(tmp))
+            warm_pipeline = PibePipeline(kernel, cache=warm_cache)
+            t = _sweep(warm_pipeline, configs, profile, staged=True)
+            warm = t if warm is None else min(warm, t)
+
+    # The warm sweep must be served from the persisted prefixes: disk
+    # hits on the "prefix" kind, zero prefix rebuilds.
+    prefix_stats = warm_cache.stats()["by_kind"].get("prefix", {})
+    assert prefix_stats.get("hits", 0) > 0, warm_cache.stats()
+    assert warm_pipeline.stats["prefix_disk_hits"] > 0, warm_pipeline.stats
+    assert warm_pipeline.stats["prefix_builds"] == 0, warm_pipeline.stats
+
+    record = {
+        "benchmark": "staged_variant_build",
+        "kernel": type(spec).__name__,
+        "defenses": [d.label() for d in DEFENSES],
+        "budget": {"icp": configs[0].icp_budget, "inline": configs[0].inline_budget},
+        "reps": REPS,
+        "monolithic_seconds": round(mono, 4),
+        "staged_cold_seconds": round(cold, 4),
+        "staged_warm_seconds": round(warm, 4),
+        "cold_speedup": round(mono / cold, 2),
+        "warm_speedup": round(mono / warm, 2),
+        "min_cold_speedup": MIN_COLD_SPEEDUP,
+        "pipeline_stats": dict(warm_pipeline.stats),
+        "prefix_cache": prefix_stats,
+    }
+    return record
+
+
+def _check_and_write(record: Dict[str, Any], strict: bool = None) -> None:
+    stamp(record, strict=strict)
+    write_record(RECORD_PATH, record)
+    print(f"\nstaged-build benchmark ({RECORD_PATH.name}):")
+    print(json.dumps(record, indent=2))
+    assert record["cold_speedup"] >= MIN_COLD_SPEEDUP, (
+        f"cold staged sweep only {record['cold_speedup']}x the monolithic "
+        f"sweep, bar {MIN_COLD_SPEEDUP}x"
+    )
+
+
+def test_staged_build_sweep():
+    fast = bool(os.environ.get("REPRO_BENCH_FAST"))
+    _check_and_write(run_build_bench(fast))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fast", action="store_true", help="small kernel, reduced profile"
+    )
+    parser.add_argument(
+        "--strict-git",
+        action="store_true",
+        help="refuse to record results from a dirty working tree",
+    )
+    args = parser.parse_args(argv)
+    record = run_build_bench(args.fast)
+    _check_and_write(record, strict=args.strict_git or None)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

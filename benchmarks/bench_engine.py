@@ -10,6 +10,8 @@ import json
 import time
 from pathlib import Path
 
+from _meta import stamp, write_record
+
 from repro.engine.compiled import ENGINE_VERSION, ENGINES, create_interpreter
 from repro.engine.trace import TraceSink
 from repro.kernel.generator import build_kernel
@@ -86,7 +88,8 @@ def test_engine_throughput():
         "compiled": compiled,
         "speedup": round(speedup, 2),
     }
-    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    stamp(record)
+    write_record(RECORD_PATH, record)
     print(f"\nengine micro-benchmark ({RECORD_PATH.name}):")
     print(json.dumps(record, indent=2))
 

@@ -11,6 +11,8 @@ import json
 import time
 from pathlib import Path
 
+from _meta import stamp, write_record
+
 from repro import faults
 from repro.core.config import PibeConfig
 from repro.evaluation.harness import EvalContext, EvalSettings, cell_label
@@ -111,7 +113,8 @@ def test_fault_recovery_walltime():
         "degraded": len(report.degraded),
         "max_recovery_ratio": MAX_RECOVERY_RATIO,
     }
-    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    stamp(record)
+    write_record(RECORD_PATH, record)
     print(f"\nfault-recovery benchmark ({RECORD_PATH.name}):")
     print(json.dumps(record, indent=2))
 

@@ -11,6 +11,8 @@ import json
 import time
 from pathlib import Path
 
+from _meta import stamp, write_record
+
 from repro.core.pipeline import PibePipeline
 from repro.kernel.generator import build_kernel
 from repro.kernel.spec import DEFAULT_SPEC
@@ -48,7 +50,8 @@ def test_lint_walltime_within_budget():
         "budget_seconds": BUDGET_SECONDS,
         "reference_full_eval_seconds": REFERENCE_FULL_EVAL_SECONDS,
     }
-    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    stamp(record)
+    write_record(RECORD_PATH, record)
     print(f"\nlint benchmark ({RECORD_PATH.name}):")
     print(json.dumps(record, indent=2))
 

@@ -7,28 +7,85 @@ Phase 2 (:meth:`PibePipeline.build_variant`): on a fresh copy of the
 linked module, lift the profile onto the IR, eliminate the hottest
 indirect branches (ICP, then the security-driven inliner), clean up, and
 harden every remaining indirect branch with the requested defenses.
+
+Phase 2 is *staged*: everything up to hardening — lowering, profile
+lifting, ICP, inlining, CFG cleanup, DCE — depends only on the baseline,
+the profile, and the optimization facets of the config (budgets,
+thresholds, jump-table legality), not on which defenses get stamped on
+top. That shared **optimized prefix** is built once per distinct
+:class:`PrefixKey`, memoized in memory and (when the pipeline has a
+:class:`~repro.evaluation.cache.DiskCache`) persisted to disk via the
+exact IR codec, and every variant at the same budget is produced by
+stamping the hardening pass onto a copy-on-write clone of the cached
+prefix. A defense sweep at one budget runs ICP + inlining once instead
+of once per defense combination.
 """
 
 from __future__ import annotations
 
+import contextlib
+import copy
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.config import PibeConfig
-from repro.hardening.harden import HardeningPass
-from repro.ir.clone import clone_module
+from repro.hardening.harden import HardenReport, HardeningPass
+from repro.ir.clone import clone_module, inline_serial_checkpoint
+from repro.ir.fingerprint import module_fingerprint
+from repro.ir.instruction import site_id_checkpoint
 from repro.ir.module import Module
+from repro.ir.serialize import module_from_dict, module_to_dict
 from repro.ir.validate import validate_module
-from repro.passes.default_inliner import DefaultInliner
-from repro.passes.icp import IndirectCallPromotion
-from repro.passes.inliner import PibeInliner
-from repro.passes.jumptables import LowerSwitches
-from repro.passes.lto import DeadFunctionElimination, SimplifyCFG
+from repro.passes.default_inliner import DefaultInliner, DefaultInlineReport
+from repro.passes.icp import ICPReport, IndirectCallPromotion, PromotionRecord
+from repro.passes.inline_cost import InlineCostCache
+from repro.passes.inliner import InlineReport, PibeInliner
+from repro.passes.jumptables import LowerSwitches, SwitchLoweringReport
+from repro.passes.lto import (
+    DCEReport,
+    DeadFunctionElimination,
+    SimplifyCFG,
+    SimplifyCFGReport,
+)
 from repro.passes.manager import ModulePass, PassManager
 from repro.engine.compiled import DEFAULT_ENGINE
 from repro.profiling.lifting import lift_profile
 from repro.profiling.profile_data import EdgeProfile
 from repro.workloads.base import Workload, profile_workload
+
+#: Bump to invalidate persisted prefix entries when pass behaviour changes.
+PREFIX_CACHE_VERSION = "prefix-v1"
+
+
+def _module_dict_sha(module_dict: Dict[str, Any]) -> str:
+    """Content hash of a serialized module dict.
+
+    Computed over the plain ``json.dumps`` text (no ``sort_keys`` — see
+    :mod:`repro.ir.serialize` on order sensitivity), which round-trips
+    byte-identically through ``json.load``, so the hash taken before
+    :meth:`DiskCache.put` and the one recomputed on the loaded payload
+    agree exactly when the entry is intact.
+    """
+    text = json.dumps(module_dict)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@contextlib.contextmanager
+def deterministic_build_ids():
+    """Snapshot/restore every global id the build engine mints (call-site
+    ids, inline label serials) around a block.
+
+    Two builds wrapped in separate ``deterministic_build_ids()`` blocks
+    allocate identical ids, making their output directly comparable —
+    the staged-vs-monolithic differential tests' backbone. The caveat of
+    :func:`repro.ir.instruction.site_id_checkpoint` applies: modules from
+    different checkpoints reuse ids, so never mix them under one profile.
+    """
+    with site_id_checkpoint(), inline_serial_checkpoint():
+        yield
 
 
 @dataclass
@@ -44,6 +101,117 @@ class BuildResult:
         return self.config.label()
 
 
+@dataclass(frozen=True)
+class PrefixKey:
+    """The optimization facets of a :class:`PibeConfig` — everything the
+    optimized prefix depends on, and nothing it doesn't.
+
+    Two configs with equal keys (and the same profile) share one prefix;
+    notably the defense *selection* is absent — only its side effect on
+    jump-table legality participates, because ``LowerSwitches`` runs
+    inside the prefix.
+    """
+
+    allow_jump_tables: bool
+    icp_budget: Optional[float]
+    inline_budget: Optional[float]
+    lax_heuristics: bool
+    caller_threshold: int
+    callee_threshold: int
+    use_default_inliner: bool
+    run_dce: bool
+
+    @classmethod
+    def from_config(cls, config: PibeConfig) -> "PrefixKey":
+        optimized = config.optimized
+        return cls(
+            allow_jump_tables=not config.defenses.disables_jump_tables,
+            icp_budget=config.icp_budget if optimized else None,
+            inline_budget=config.inline_budget if optimized else None,
+            lax_heuristics=config.lax_heuristics if optimized else False,
+            caller_threshold=config.caller_threshold,
+            callee_threshold=config.callee_threshold,
+            use_default_inliner=(
+                config.use_default_inliner if optimized else False
+            ),
+            run_dce=config.run_dce,
+        )
+
+
+@dataclass
+class PrefixEntry:
+    """One cached optimized prefix.
+
+    ``module`` is treated as immutable once cached: variants are stamped
+    on copy-on-write clones of it, never on the entry itself. It is
+    validated once, when built (or, for disk entries, implied by the
+    fingerprint matching a validated build) — stamped variants skip
+    re-validation because hardening only annotates instructions.
+    """
+
+    module: Module
+    reports: Dict[str, Any]
+    #: provenance of this entry: "built" | "memory" | "disk"
+    source: str = "built"
+    #: site-sensitive fingerprint, computed lazily (only persistence and
+    #: disk-load verification need it)
+    _fingerprint: Optional[str] = None
+
+    def fingerprint(self) -> str:
+        if self._fingerprint is None:
+            self._fingerprint = module_fingerprint(
+                self.module, include_sites=True
+            )
+        return self._fingerprint
+
+
+# -- pass-report (de)serialization ------------------------------------------------
+#
+# Prefix entries persist their pass reports next to the module so a
+# disk-warm build returns the same BuildResult.reports a cold one does.
+# Reports are flat dataclasses; the one nested structure (ICP's promotion
+# records) is rebuilt explicitly.
+
+_REPORT_CLASSES = {
+    cls.__name__: cls
+    for cls in (
+        SwitchLoweringReport,
+        ICPReport,
+        InlineReport,
+        DefaultInlineReport,
+        SimplifyCFGReport,
+        DCEReport,
+        HardenReport,
+    )
+}
+
+
+def encode_report(report: Any) -> Dict[str, Any]:
+    """Render one pass report as JSON-encodable data."""
+    cls_name = type(report).__name__
+    if cls_name not in _REPORT_CLASSES:
+        raise TypeError(f"unknown report type {cls_name}")
+    return {"__report__": cls_name, "data": dataclasses.asdict(report)}
+
+
+def decode_report(payload: Dict[str, Any]) -> Any:
+    """Inverse of :func:`encode_report`."""
+    cls = _REPORT_CLASSES[payload["__report__"]]
+    data = dict(payload["data"])
+    if cls is ICPReport:
+        data["records"] = [
+            PromotionRecord(
+                site_id=r["site_id"],
+                caller=r["caller"],
+                targets=tuple(r["targets"]),
+                promoted_weight=r["promoted_weight"],
+                site_weight=r["site_weight"],
+            )
+            for r in data.get("records", ())
+        ]
+    return cls(**data)
+
+
 class PibePipeline:
     """Profile-then-optimize driver over a linked baseline module.
 
@@ -51,11 +219,42 @@ class PibePipeline:
     copy, so one profile feeds arbitrarily many configurations (the
     evaluation sweeps budgets and defense combinations from a single
     profiling run, like the paper's workflow scripts).
+
+    Parameters
+    ----------
+    baseline:
+        The linked module every variant starts from. Must stay immutable
+        for the pipeline's lifetime (copy-on-write clones share its
+        functions).
+    cache:
+        Optional :class:`~repro.evaluation.cache.DiskCache`; when given,
+        optimized prefixes persist under the ``"prefix"`` kind so other
+        processes (parallel evaluation workers, later runs) skip the
+        ICP + inlining work entirely.
     """
 
-    def __init__(self, baseline: Module) -> None:
+    def __init__(self, baseline: Module, cache: Optional[Any] = None) -> None:
         validate_module(baseline)
         self.baseline = baseline
+        self.cache = cache
+        self._baseline_fp: Optional[str] = None
+        self._prefix_memo: Dict[Any, PrefixEntry] = {}
+        #: build-engine counters (surfaced by benchmarks and ``repro
+        #: cache stats``)
+        self.stats: Dict[str, int] = {
+            "staged_builds": 0,
+            "monolithic_builds": 0,
+            "prefix_builds": 0,
+            "prefix_memory_hits": 0,
+            "prefix_disk_hits": 0,
+        }
+
+    def _baseline_fingerprint(self) -> str:
+        if self._baseline_fp is None:
+            self._baseline_fp = module_fingerprint(
+                self.baseline, include_sites=True
+            )
+        return self._baseline_fp
 
     # -- phase 1: profiling -----------------------------------------------------
 
@@ -86,6 +285,7 @@ class PibePipeline:
         profile: Optional[EdgeProfile] = None,
         validate: bool = False,
         verify_each: bool = False,
+        staged: Optional[bool] = None,
     ) -> BuildResult:
         """Produce one kernel variant.
 
@@ -94,12 +294,24 @@ class PibePipeline:
         (slower; on for tests, off for benchmark sweeps). ``verify_each``
         additionally runs the full static-analysis rule set at every pass
         boundary, raising on error-severity findings.
+
+        ``staged`` selects the build engine: ``True`` stamps hardening
+        onto the shared optimized prefix (bit-identical output, one ICP +
+        inlining run per budget instead of per variant), ``False`` runs
+        the monolithic pass list from a fresh baseline clone. The default
+        stages whenever neither ``validate`` nor ``verify_each`` is set —
+        pass-boundary verification needs every pass to actually run.
         """
         if config.optimized and profile is None:
             raise ValueError(
                 f"config {config.label()!r} needs a profile for its "
                 "optimization budgets"
             )
+        if staged is None:
+            staged = not (validate or verify_each)
+        if staged and not (validate or verify_each):
+            return self._build_staged(config, profile)
+        self.stats["monolithic_builds"] += 1
         module = clone_module(self.baseline)
 
         passes: List[ModulePass] = [
@@ -109,22 +321,7 @@ class PibePipeline:
         ]
         if profile is not None and config.optimized:
             lift_profile(module, profile)
-            if config.icp_budget is not None:
-                passes.append(IndirectCallPromotion(budget=config.icp_budget))
-            if config.inline_budget is not None:
-                if config.use_default_inliner:
-                    passes.append(DefaultInliner(profile=profile))
-                else:
-                    passes.append(
-                        PibeInliner(
-                            profile,
-                            budget=config.inline_budget,
-                            caller_threshold=config.caller_threshold,
-                            callee_threshold=config.callee_threshold,
-                            lax_heuristics=config.lax_heuristics,
-                        )
-                    )
-            passes.append(SimplifyCFG())
+            self._add_optimization_passes(passes, config, profile)
         if config.run_dce:
             passes.append(DeadFunctionElimination())
         passes.append(HardeningPass(config.defenses))
@@ -140,3 +337,166 @@ class PibePipeline:
         if not validate:
             validate_module(module)
         return BuildResult(config=config, module=module, reports=reports)
+
+    @staticmethod
+    def _add_optimization_passes(
+        passes: List[ModulePass], config: PibeConfig, profile: EdgeProfile
+    ) -> None:
+        """Append the ICP / inline / cleanup passes for an optimized config
+        (identical list for the monolithic path and the prefix build)."""
+        if config.icp_budget is not None:
+            passes.append(IndirectCallPromotion(budget=config.icp_budget))
+        if config.inline_budget is not None:
+            # One cost cache serves the whole build; the inliner keeps it
+            # exact incrementally instead of invalidating per splice.
+            costs = InlineCostCache()
+            if config.use_default_inliner:
+                passes.append(DefaultInliner(profile=profile, costs=costs))
+            else:
+                passes.append(
+                    PibeInliner(
+                        profile,
+                        budget=config.inline_budget,
+                        caller_threshold=config.caller_threshold,
+                        callee_threshold=config.callee_threshold,
+                        lax_heuristics=config.lax_heuristics,
+                        costs=costs,
+                    )
+                )
+        passes.append(SimplifyCFG())
+
+    # -- staged engine ---------------------------------------------------------
+
+    def _build_staged(
+        self, config: PibeConfig, profile: Optional[EdgeProfile]
+    ) -> BuildResult:
+        """Stamp ``config``'s defenses onto the shared optimized prefix."""
+        self.stats["staged_builds"] += 1
+        prefix = self._optimized_prefix(config, profile)
+        module = clone_module(prefix.module, cow=True)
+        manager = PassManager(validate_after_each=False)
+        manager.add(HardeningPass(config.defenses))
+        harden_reports = manager.run(module)
+        # No per-variant validate_module: the prefix was validated when
+        # built, and hardening only sets instruction/module attributes —
+        # it cannot change the structure validation checks.
+        # Prefix reports are shared by every variant stamped from the
+        # entry; hand each BuildResult its own copy so downstream
+        # consumers can annotate them freely.
+        reports = copy.deepcopy(prefix.reports)
+        reports.update(harden_reports)
+        return BuildResult(config=config, module=module, reports=reports)
+
+    def _optimized_prefix(
+        self, config: PibeConfig, profile: Optional[EdgeProfile]
+    ) -> PrefixEntry:
+        """The shared pre-hardening module for ``config``'s optimization
+        facets: from the in-memory memo, else the disk cache, else built."""
+        key = PrefixKey.from_config(config)
+        digest = (
+            profile.digest()
+            if profile is not None and config.optimized
+            else None
+        )
+        memo_key: Tuple[Optional[str], PrefixKey] = (digest, key)
+        entry = self._prefix_memo.get(memo_key)
+        if entry is not None:
+            self.stats["prefix_memory_hits"] += 1
+            return entry
+
+        disk_key: Optional[str] = None
+        if self.cache is not None:
+            from repro.evaluation.cache import cache_key
+
+            disk_key = cache_key(
+                "prefix",
+                PREFIX_CACHE_VERSION,
+                self._baseline_fingerprint(),
+                digest,
+                key,
+            )
+            payload = self.cache.get("prefix", disk_key)
+            if payload is not None:
+                entry = self._prefix_from_payload(payload)
+                if entry is not None:
+                    self.stats["prefix_disk_hits"] += 1
+                    self._prefix_memo[memo_key] = entry
+                    return entry
+
+        entry = self._build_prefix(config, profile, key)
+        self.stats["prefix_builds"] += 1
+        self._prefix_memo[memo_key] = entry
+        if self.cache is not None and disk_key is not None:
+            try:
+                # No fingerprint in the payload: the content hash covers
+                # integrity, and PrefixEntry computes its fingerprint
+                # lazily — a module_fingerprint walk here would cost more
+                # than the serialization itself.
+                module_dict = module_to_dict(entry.module)
+                self.cache.put(
+                    "prefix",
+                    disk_key,
+                    {
+                        "module": module_dict,
+                        "module_sha": _module_dict_sha(module_dict),
+                        "reports": {
+                            name: encode_report(report)
+                            for name, report in entry.reports.items()
+                        },
+                    },
+                )
+            except TypeError:
+                # Unencodable metadata or report: keep the entry
+                # memory-only rather than persisting a lossy payload.
+                pass
+        return entry
+
+    def _build_prefix(
+        self,
+        config: PibeConfig,
+        profile: Optional[EdgeProfile],
+        key: PrefixKey,
+    ) -> PrefixEntry:
+        """Run the pre-hardening pass list once, on a COW baseline clone."""
+        module = clone_module(self.baseline, cow=True)
+        passes: List[ModulePass] = [
+            LowerSwitches(allow_jump_tables=key.allow_jump_tables)
+        ]
+        if profile is not None and config.optimized:
+            lift_profile(module, profile)
+            self._add_optimization_passes(passes, config, profile)
+        if key.run_dce:
+            passes.append(DeadFunctionElimination())
+        manager = PassManager(validate_after_each=False)
+        for pass_ in passes:
+            manager.add(pass_)
+        reports = manager.run(module)
+        validate_module(module)
+        return PrefixEntry(module=module, reports=reports, source="built")
+
+    def _prefix_from_payload(
+        self, payload: Dict[str, Any]
+    ) -> Optional[PrefixEntry]:
+        """Deserialize a persisted prefix; ``None`` (treated as a miss) on
+        any structural problem or content-hash mismatch.
+
+        Integrity is checked by re-hashing the serialized module dict
+        (``json.load``/``json.dumps`` round-trip identically for codec
+        output) rather than recomputing the module fingerprint of the
+        decoded IR — the fingerprint walk costs more than the decode
+        itself and would tax every warm load. The entry's fingerprint
+        stays lazy, exactly as on a freshly built prefix; differential
+        tests verify disk-loaded and built prefixes agree end to end.
+        """
+        try:
+            module_dict = payload["module"]
+            if _module_dict_sha(module_dict) != payload["module_sha"]:
+                return None
+            module = module_from_dict(module_dict)
+            reports = {
+                name: decode_report(report)
+                for name, report in payload["reports"].items()
+            }
+        except (KeyError, TypeError, ValueError):
+            return None
+        return PrefixEntry(module=module, reports=reports, source="disk")

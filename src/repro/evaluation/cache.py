@@ -82,6 +82,15 @@ class DiskCache:
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+        #: per-kind {"hits": n, "misses": n, "corrupt": n} breakdown;
+        #: CI smoke jobs assert on e.g. the "prefix" kind's hit count.
+        self.by_kind: Dict[str, Dict[str, int]] = {}
+
+    def _bump(self, kind: str, counter: str) -> None:
+        entry = self.by_kind.setdefault(
+            kind, {"hits": 0, "misses": 0, "corrupt": 0}
+        )
+        entry[counter] += 1
 
     def _path(self, kind: str, key: str) -> Path:
         return self.root / kind / f"{key}.json"
@@ -116,13 +125,17 @@ class DiskCache:
                 payload = json.load(fh)
         except OSError:
             self.misses += 1
+            self._bump(kind, "misses")
             return None
         except ValueError:
             self.corrupt += 1
             self.misses += 1
+            self._bump(kind, "corrupt")
+            self._bump(kind, "misses")
             self._quarantine(kind, key, path)
             return None
         self.hits += 1
+        self._bump(kind, "hits")
         return payload
 
     def put(self, kind: str, key: str, payload: Dict[str, Any]) -> None:
@@ -152,9 +165,35 @@ class DiskCache:
                 pass
             raise
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate counters plus the per-kind breakdown."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "corrupt": self.corrupt,
+            "by_kind": {k: dict(v) for k, v in self.by_kind.items()},
         }
+
+    def disk_usage(self) -> Dict[str, Dict[str, int]]:
+        """On-disk entry counts and byte totals per kind (for the CLI).
+
+        Unlike :meth:`stats` (this process's counters), this inspects the
+        directory, so it reflects entries written by other processes —
+        parallel evaluation workers, earlier runs.
+        """
+        usage: Dict[str, Dict[str, int]] = {}
+        if not self.root.is_dir():
+            return usage
+        for kind_dir in sorted(self.root.iterdir()):
+            if not kind_dir.is_dir():
+                continue
+            entries = 0
+            size = 0
+            for entry in kind_dir.glob("*.json"):
+                try:
+                    size += entry.stat().st_size
+                except OSError:
+                    continue
+                entries += 1
+            usage[kind_dir.name] = {"entries": entries, "bytes": size}
+        return usage

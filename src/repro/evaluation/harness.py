@@ -112,12 +112,16 @@ class EvalContext:
     def __init__(self, settings: Optional[EvalSettings] = None) -> None:
         self.settings = settings or EvalSettings()
         self.kernel = build_kernel(self.settings.spec)
-        self.pipeline = PibePipeline(self.kernel)
         self.cache: Optional[DiskCache] = (
             DiskCache(Path(self.settings.cache_dir))
             if self.settings.cache_dir
             else None
         )
+        # The pipeline shares the harness cache so staged variant builds
+        # persist their optimized prefixes: parallel workers and later
+        # runs stamp defenses onto disk-loaded prefixes instead of
+        # re-running ICP + inlining per variant.
+        self.pipeline = PibePipeline(self.kernel, cache=self.cache)
         self._profiles: Dict[str, EdgeProfile] = {}
         self._variants: Dict[str, BuildResult] = {}
         self._measurements: Dict[str, Dict[str, float]] = {}

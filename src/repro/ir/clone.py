@@ -11,9 +11,9 @@ was promoted from an indirect one) and one backward edge per execution.
 
 from __future__ import annotations
 
+import contextlib
 import copy
-import itertools
-from typing import Dict, List, NamedTuple
+from typing import Dict, Iterator, List, NamedTuple
 
 from repro.ir.basicblock import BasicBlock
 from repro.ir.function import Function
@@ -28,7 +28,30 @@ from repro.ir.types import (
     Opcode,
 )
 
-_inline_counter = itertools.count(1)
+#: Serial for the `inl{N}.` label prefix of spliced callee blocks. A plain
+#: int (not itertools.count) so :func:`inline_serial_checkpoint` can save
+#: and restore it — differential staged-vs-monolithic builds need both
+#: builds to mint identical labels.
+_inline_serial = 0
+
+
+def _next_inline_serial() -> int:
+    global _inline_serial
+    _inline_serial += 1
+    return _inline_serial
+
+
+@contextlib.contextmanager
+def inline_serial_checkpoint() -> Iterator[int]:
+    """Snapshot/restore the inline-label serial around a block, the label
+    counterpart of :func:`repro.ir.instruction.site_id_checkpoint` (use
+    both for bit-identical differential builds)."""
+    global _inline_serial
+    saved = _inline_serial
+    try:
+        yield saved
+    finally:
+        _inline_serial = saved
 
 
 def record_inlined_promotion(module: Module, inst: Instruction) -> None:
@@ -58,7 +81,7 @@ def record_inlined_promotion(module: Module, inst: Instruction) -> None:
     )
 
 
-def _clone_instruction_exact(inst: Instruction) -> Instruction:
+def clone_instruction_exact(inst: Instruction) -> Instruction:
     """Copy one instruction preserving its ``site_id``.
 
     Attribute values are copied one container level deep — the IR's
@@ -87,7 +110,78 @@ def _clone_instruction_exact(inst: Instruction) -> Instruction:
     return new
 
 
-def clone_module(module: Module) -> Module:
+def clone_function_exact(func: Function) -> Function:
+    """Deep-copy one function preserving its name, labels and site ids.
+
+    The building block of both eager module cloning and copy-on-write
+    materialization (:meth:`repro.ir.module.Module.mutable`). The
+    instruction copy is open-coded rather than delegated to
+    :func:`clone_instruction_exact` — hardening materializes nearly the
+    whole module under a dense defense config, making this the hottest
+    loop of a staged variant build, and the per-instruction call overhead
+    alone was a measurable fraction of stamp time.
+    """
+    cloned = Function(
+        func.name,
+        num_params=func.num_params,
+        attrs=set(func.attrs),
+        stack_frame_size=func.stack_frame_size,
+        subsystem=func.subsystem,
+    )
+    blocks = cloned.blocks
+    new_inst = Instruction.__new__
+    for label, block in func.blocks.items():
+        insts = []
+        for inst in block.instructions:
+            new = new_inst(Instruction)
+            new.opcode = inst.opcode
+            new.callee = inst.callee
+            new.targets = inst.targets
+            new.num_args = inst.num_args
+            new.site_id = inst.site_id
+            attrs = inst.attrs
+            if attrs:
+                copied = {}
+                for key, value in attrs.items():
+                    if type(value) is dict:
+                        value = dict(value)
+                    elif type(value) is list:
+                        value = list(value)
+                    copied[key] = value
+                new.attrs = copied
+            else:
+                new.attrs = {}
+            insts.append(new)
+        new_block = BasicBlock(label)
+        new_block.instructions = insts
+        blocks[label] = new_block
+    cloned.entry_label = func.entry_label
+    return cloned
+
+
+def clone_function_shell(func: Function) -> Function:
+    """Copy a function's skeleton, sharing its blocks and instructions.
+
+    The block-granular complement of :func:`clone_function_exact`, for
+    :meth:`repro.ir.module.Module.mutable_shell`: the returned function
+    owns its ``blocks`` dict (labels can be rebound to private blocks)
+    while the :class:`BasicBlock` objects themselves remain shared with
+    the source. The caller is responsible for copying a block before
+    mutating anything inside it.
+    """
+    cloned = Function(
+        func.name,
+        num_params=func.num_params,
+        attrs=set(func.attrs),
+        stack_frame_size=func.stack_frame_size,
+        subsystem=func.subsystem,
+    )
+    cloned.blocks.update(func.blocks)
+    cloned.entry_label = func.entry_label
+    return cloned
+
+
+def clone_module(module: Module, cow: bool = False) -> Module:
     """Fast whole-module deep clone preserving site ids.
 
     Equivalent to ``copy.deepcopy`` for the IR object graph but an order
@@ -96,24 +190,24 @@ def clone_module(module: Module) -> Module:
     deepcopy the single hottest operation of an evaluation sweep. Site
     ids survive verbatim so profiles collected against the original
     remain liftable onto the clone.
+
+    With ``cow=True`` the clone is *copy-on-write at function
+    granularity*: the returned module initially shares every
+    :class:`Function` object with ``module`` and records them as shared;
+    a function is deep-copied only when first materialized through
+    :meth:`Module.mutable`. Hardening and ICP touch a small fraction of
+    functions per variant, so a COW clone makes stamping a variant cost
+    proportional to what the variant actually changes. The source module
+    must be treated as immutable while clones share its functions (the
+    pipeline's baseline and cached prefix modules are).
     """
     new = Module(module.name)
-    for func in module.functions.values():
-        cloned = Function(
-            func.name,
-            num_params=func.num_params,
-            attrs=set(func.attrs),
-            stack_frame_size=func.stack_frame_size,
-            subsystem=func.subsystem,
-        )
-        blocks = cloned.blocks
-        for label, block in func.blocks.items():
-            blocks[label] = BasicBlock(
-                label,
-                [_clone_instruction_exact(i) for i in block.instructions],
-            )
-        cloned.entry_label = func.entry_label
-        new.functions[func.name] = cloned
+    if cow:
+        new.functions = dict(module.functions)
+        new._cow_shared = set(module.functions)
+    else:
+        for func in module.functions.values():
+            new.functions[func.name] = clone_function_exact(func)
     for name, table in module.fptr_tables.items():
         new.fptr_tables[name] = FunctionPointerTable(
             name, list(table.entries)
@@ -181,7 +275,7 @@ def inline_call(
     if not callee.blocks:
         raise ValueError(f"cannot inline empty function @{callee.name}")
 
-    serial = next(_inline_counter)
+    serial = _next_inline_serial()
     prefix = f"inl{serial}."
 
     # 1. Split the caller block: everything after the call moves to a

@@ -10,23 +10,21 @@ to IR call sites (Section 7).
 
 from __future__ import annotations
 
-import itertools
+import contextlib
 from typing import Any, Dict, Iterator, Optional, Tuple
 
 from repro.ir.types import CALLS, INDIRECT_BRANCHES, TERMINATORS, Opcode
 
-_site_counter: Iterator[int] = itertools.count(1)
+#: Highest site id handed out (or reserved) so far; the next fresh id is
+#: always ``_max_issued + 1``, so allocation is a pure function of this
+#: single integer — which is what makes :func:`site_id_checkpoint` sound.
 _max_issued = 0
 
 
 def _next_site_id() -> int:
     global _max_issued
-    value = next(_site_counter)
-    if value <= _max_issued:
-        # ids below the reservation mark were claimed by a parsed module
-        value = _max_issued + 1
-    _max_issued = value
-    return value
+    _max_issued += 1
+    return _max_issued
 
 
 def reserve_site_ids(up_to: int) -> None:
@@ -39,6 +37,36 @@ def reserve_site_ids(up_to: int) -> None:
     global _max_issued
     if up_to > _max_issued:
         _max_issued = up_to
+
+
+def site_id_state() -> int:
+    """Snapshot of the global site-id allocator (the highest issued id)."""
+    return _max_issued
+
+
+@contextlib.contextmanager
+def site_id_checkpoint() -> Iterator[int]:
+    """Run a block against a snapshotted site-id allocator, restoring it on
+    exit.
+
+    Fresh site ids are allocated from a process-global counter, so two
+    otherwise identical builds performed in one process normally receive
+    different ids for the instructions they create (ICP guards, inline
+    clones). Differential tests that require *bit-identical* output — the
+    staged-vs-monolithic build comparison — wrap each build in a
+    checkpoint so both allocate the same id sequence.
+
+    Only safe when the modules built inside separate checkpoints are never
+    mixed under one profile: restoring the counter re-issues ids, which is
+    exactly the point of the comparison but would alias sites if the
+    resulting modules shared a profile universe.
+    """
+    global _max_issued
+    saved = _max_issued
+    try:
+        yield saved
+    finally:
+        _max_issued = saved
 
 
 class Instruction:

@@ -57,6 +57,62 @@ class Module:
         #: Bumped by the pass manager after every pass — bump manually
         #: after mutating IR by hand.
         self.version = 0
+        #: names of functions still shared with a copy-on-write source
+        #: module (see ``clone_module(cow=True)``); empty for modules that
+        #: own all their functions. Shared functions are safe to read but
+        #: must be materialized via :meth:`mutable` before any mutation.
+        self._cow_shared: set = set()
+
+    # -- copy-on-write ---------------------------------------------------------
+
+    def mutable(self, name: str) -> Function:
+        """The function ``name``, guaranteed private to this module.
+
+        On a copy-on-write clone (``clone_module(cow=True)``) the first
+        ``mutable`` call for a function replaces the shared object with a
+        private deep copy (site ids preserved) and returns it; afterwards
+        — and on ordinary modules always — this is just ``functions[name]``.
+        Every pass that mutates a function goes through this accessor, so
+        the COW source (a cached optimized-prefix module, the baseline)
+        can never be corrupted by a variant build.
+        """
+        func = self.functions[name]
+        if name in self._cow_shared:
+            from repro.ir.clone import clone_function_exact
+
+            func = clone_function_exact(func)
+            self.functions[name] = func
+            self._cow_shared.discard(name)
+        return func
+
+    def mutable_shell(self, name: str) -> Function:
+        """Like :meth:`mutable`, but only the function *skeleton* is
+        copied — its :class:`BasicBlock` objects (and their instructions)
+        stay shared with the COW source.
+
+        For passes that stamp attributes onto a few instructions and do
+        their own block-level copy-on-write (the hardening pass): the
+        caller owns ``func.blocks`` (may rebind labels to fresh blocks)
+        but MUST NOT mutate the shared block/instruction objects
+        themselves. On an already-private function this is just
+        ``functions[name]``, same as :meth:`mutable`.
+        """
+        func = self.functions[name]
+        if name in self._cow_shared:
+            from repro.ir.clone import clone_function_shell
+
+            func = clone_function_shell(func)
+            self.functions[name] = func
+            self._cow_shared.discard(name)
+        return func
+
+    def is_cow_shared(self, name: str) -> bool:
+        """Whether ``name`` is still shared with this clone's COW source."""
+        return name in self._cow_shared
+
+    def cow_shared_count(self) -> int:
+        """Functions still shared with the COW source (0 on owned modules)."""
+        return len(self._cow_shared)
 
     def bump_version(self) -> int:
         """Mark the module as transformed; invalidates compiled programs."""

@@ -62,6 +62,7 @@ class DefaultInliner(ModulePass):
         cold_threshold: int = 45,
         hot_threshold: int = 90,
         caller_growth_limit: int = 2_400,
+        costs: Optional[InlineCostCache] = None,
     ) -> None:
         # LLVM's default inline threshold is 225 (scaled ~5x down to 45 for
         # the synthetic kernel's smaller functions); the paper notes the
@@ -71,11 +72,12 @@ class DefaultInliner(ModulePass):
         self.cold_threshold = cold_threshold
         self.hot_threshold = hot_threshold
         self.caller_growth_limit = caller_growth_limit
+        self.costs = costs if costs is not None else InlineCostCache()
 
     def run(self, module: Module) -> DefaultInlineReport:
         report = DefaultInlineReport()
         module.metadata.setdefault(METADATA_INLINED_PROMOTED, [])
-        costs = InlineCostCache()
+        costs = self.costs
         order = CallGraph(module).bottom_up_order()
 
         for caller_name in order:
@@ -108,6 +110,10 @@ class DefaultInliner(ModulePass):
                             continue
                         if costs.cost(caller) > self.caller_growth_limit:
                             continue
+                        # Materialize on copy-on-write modules; the exact
+                        # clone keeps block labels and indices valid.
+                        caller = module.mutable(caller.name)
+                        inst = caller.blocks[block.label].instructions[idx]
                         record_inlined_promotion(module, inst)
                         inline_call(caller, block.label, idx, callee)
                         costs.invalidate(caller.name)

@@ -193,10 +193,16 @@ class IndirectCallPromotion(ModulePass):
         report.total_targets = len(candidates)
 
         selected = self._select(candidates)
+        # Candidates carry their caller, so promotion never needs the old
+        # module-wide triple-nested scan per site: each site is located
+        # inside its (copy-on-write-materialized) caller only.
+        site_caller = {c[1]: c[3] for c in candidates}
         for site_id, targets in selected.items():
             if not targets:  # site capped out before selecting anything
                 continue
-            record = self._promote_site(module, site_id, targets)
+            record = self._promote_site(
+                module, site_id, targets, site_caller[site_id]
+            )
             if record is None:
                 continue
             report.records.append(record)
@@ -205,14 +211,14 @@ class IndirectCallPromotion(ModulePass):
             report.promoted_weight += record.promoted_weight
         return report
 
+    @staticmethod
     def _locate(
-        self, module: Module, site_id: int
-    ) -> Optional[Tuple[Function, BasicBlock, int]]:
-        for func in module:
-            for block in func.blocks.values():
-                for idx, inst in enumerate(block.instructions):
-                    if inst.site_id == site_id:
-                        return func, block, idx
+        func: Function, site_id: int
+    ) -> Optional[Tuple[BasicBlock, int]]:
+        for block in func.blocks.values():
+            for idx, inst in enumerate(block.instructions):
+                if inst.site_id == site_id:
+                    return block, idx
         return None
 
     def _promote_site(
@@ -220,11 +226,15 @@ class IndirectCallPromotion(ModulePass):
         module: Module,
         site_id: int,
         targets: Sequence[Tuple[str, int]],
+        caller: str,
     ) -> Optional[PromotionRecord]:
-        located = self._locate(module, site_id)
+        if caller not in module.functions:
+            return None
+        func = module.mutable(caller)
+        located = self._locate(func, site_id)
         if located is None:
             return None
-        func, block, idx = located
+        block, idx = located
         icall = block.instructions[idx]
         ground_truth: Dict[str, int] = icall.attrs.get(ATTR_TARGETS, {})
         is_vcall = bool(icall.attrs.get(ATTR_VCALL))

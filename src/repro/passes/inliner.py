@@ -46,7 +46,9 @@ from repro.ir.types import (
 from repro.passes.inline_cost import (
     DEFAULT_CALLEE_THRESHOLD,
     DEFAULT_CALLER_THRESHOLD,
+    STANDARD_INSTRUCTION_COST,
     InlineCostCache,
+    instruction_cost,
 )
 from repro.passes.manager import ModulePass
 from repro.profiling.profile_data import EdgeProfile
@@ -136,6 +138,7 @@ class PibeInliner(ModulePass):
         lax_heuristics: bool = False,
         lax_budget: float = 0.99,
         max_operations: int = 500_000,
+        costs: Optional[InlineCostCache] = None,
     ) -> None:
         if not 0.0 < budget <= 1.0:
             raise ValueError(f"budget must be in (0, 1], got {budget}")
@@ -146,6 +149,9 @@ class PibeInliner(ModulePass):
         self.lax_heuristics = lax_heuristics
         self.lax_budget = lax_budget
         self.max_operations = max_operations
+        #: cost cache shared with the rest of a build (the pipeline hands
+        #: one cache to whatever inliner it constructs); private otherwise.
+        self.costs = costs if costs is not None else InlineCostCache()
 
     # -- candidate gathering -------------------------------------------------
 
@@ -193,7 +199,7 @@ class PibeInliner(ModulePass):
         report.candidate_sites = len(candidates)
         report.candidate_weight = sum(w for w, _, _ in candidates)
 
-        costs = InlineCostCache()
+        costs = self.costs
         invocations: Dict[str, int] = defaultdict(
             int, dict(self.profile.invocations)
         )
@@ -203,6 +209,11 @@ class PibeInliner(ModulePass):
         ]
         heapq.heapify(heap)
         operations = 0
+        # site_id -> (block_label, idx) per caller, maintained incrementally
+        # across inline operations (see _reindex_after_inline). Replaces a
+        # per-pop linear scan over the caller's whole body, which dominated
+        # inliner time on large modules.
+        site_index: Dict[str, Dict[int, Tuple[str, int]]] = {}
 
         while heap and operations < self.max_operations:
             neg_weight, _, site_id, caller_name = heapq.heappop(heap)
@@ -211,7 +222,11 @@ class PibeInliner(ModulePass):
             caller = module.functions.get(caller_name)
             if caller is None:
                 continue
-            located = self._locate(caller, site_id)
+            index = site_index.get(caller_name)
+            if index is None:
+                index = self._build_index(caller)
+                site_index[caller_name] = index
+            located = index.get(site_id)
             if located is None:
                 continue  # site disappeared under a previous transformation
             block_label, idx = located
@@ -249,9 +264,24 @@ class PibeInliner(ModulePass):
                 self._note_block(report, caller)
                 continue
 
+            # Materialize the caller on copy-on-write modules before
+            # mutating it; the exact clone preserves labels and indices,
+            # so the site index stays valid across materialization.
+            caller = module.mutable(caller_name)
+            inst = caller.blocks[block_label].instructions[idx]
             record_inlined_promotion(module, inst)
             result = inline_call(caller, block_label, idx, callee)
-            costs.invalidate(caller_name)
+            # Exact incremental cost update: the call (5 + 5*args) is
+            # replaced by the callee's body plus one jump to the
+            # continuation; cloned rets become jumps at equal cost.
+            costs.add_delta(
+                caller_name,
+                costs.cost(callee)
+                - instruction_cost(inst)
+                + STANDARD_INSTRUCTION_COST,
+            )
+            index.pop(site_id, None)  # the call instruction is gone
+            self._reindex_after_inline(index, caller, block_label, result)
             report.inlined_sites += 1
             report.inlined_weight += weight
             report.returns_elided_sites += len(callee.returns())
@@ -293,6 +323,7 @@ class PibeInliner(ModulePass):
 
     @staticmethod
     def _locate(func: Function, site_id: int) -> Optional[Tuple[str, int]]:
+        """Linear-scan location (kept as the index's reference semantics)."""
         for block in func.blocks.values():
             for idx, inst in enumerate(block.instructions):
                 if inst.site_id == site_id:
@@ -300,13 +331,58 @@ class PibeInliner(ModulePass):
         return None
 
     @staticmethod
+    def _index_block(index: Dict[int, Tuple[str, int]], block) -> None:
+        label = block.label
+        for idx, inst in enumerate(block.instructions):
+            if inst.site_id is not None:
+                index[inst.site_id] = (label, idx)
+
+    @classmethod
+    def _build_index(cls, func: Function) -> Dict[int, Tuple[str, int]]:
+        """Full site_id -> (block_label, idx) map for one caller."""
+        index: Dict[int, Tuple[str, int]] = {}
+        for block in func.blocks.values():
+            cls._index_block(index, block)
+        return index
+
+    @classmethod
+    def _reindex_after_inline(
+        cls,
+        index: Dict[int, Tuple[str, int]],
+        caller: Function,
+        block_label: str,
+        result,
+    ) -> None:
+        """Incrementally repair the index after one ``inline_call``.
+
+        Exactly three groups of blocks changed: the truncated original
+        block (sites before the call keep their positions but are
+        rescanned for simplicity), the continuation holding the moved
+        tail (those sites' stale original-block entries are overwritten),
+        and the freshly cloned callee blocks (new sites are added). The
+        caller removes the consumed call's own entry before calling this.
+        """
+        cls._index_block(index, caller.blocks[block_label])
+        cls._index_block(index, caller.blocks[result.continuation_label])
+        for label in result.cloned_labels:
+            cls._index_block(index, caller.blocks[label])
+
+    @staticmethod
     def _inherit_counts(clone: Instruction, ratio: float) -> None:
-        """Scale a cloned call site's profile metadata by the edge ratio."""
+        """Scale a cloned call site's profile metadata by the edge ratio.
+
+        Counts round half-up rather than truncate: plain ``int()`` bled
+        profile weight on every inheritance step (a site inherited through
+        k levels lost up to k counts), breaking weight conservation for
+        exactly-covering budgets.
+        """
         if ATTR_EDGE_COUNT in clone.attrs:
-            clone.attrs[ATTR_EDGE_COUNT] = int(clone.attrs[ATTR_EDGE_COUNT] * ratio)
+            clone.attrs[ATTR_EDGE_COUNT] = int(
+                clone.attrs[ATTR_EDGE_COUNT] * ratio + 0.5
+            )
         if ATTR_VALUE_PROFILE in clone.attrs:
             clone.attrs[ATTR_VALUE_PROFILE] = [
-                (target, int(count * ratio))
+                (target, int(count * ratio + 0.5))
                 for target, count in clone.attrs[ATTR_VALUE_PROFILE]
             ]
 

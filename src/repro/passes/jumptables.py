@@ -48,8 +48,16 @@ class LowerSwitches(ModulePass):
 
     def run(self, module: Module) -> SwitchLoweringReport:
         report = SwitchLoweringReport()
-        for func in module:
-            self._lower_function(func, report)
+        for name in list(module.functions):
+            func = module.functions[name]
+            # Terminator-only prescan keeps copy-on-write clones shared
+            # for the (vast majority of) functions without a switch.
+            if any(
+                block.terminator is not None
+                and block.terminator.opcode == Opcode.SWITCH
+                for block in func.blocks.values()
+            ):
+                self._lower_function(module.mutable(name), report)
         return report
 
     def _lower_function(

@@ -49,6 +49,7 @@ class DeadFunctionElimination(ModulePass):
             if name not in reachable:
                 report.removed_instructions += module.functions[name].size()
                 del module.functions[name]
+                module._cow_shared.discard(name)
                 report.removed_functions += 1
         return report
 
@@ -65,7 +66,15 @@ class SimplifyCFG(ModulePass):
 
     def run(self, module: Module) -> SimplifyCFGReport:
         report = SimplifyCFGReport()
-        for func in module:
+        for name in list(module.functions):
+            func = module.functions[name]
+            if module.is_cow_shared(name):
+                # Read-only precheck so untouched functions stay shared;
+                # mergeable_pairs is non-empty exactly when _simplify
+                # would perform at least one merge.
+                if not mergeable_pairs(func):
+                    continue
+                func = module.mutable(name)
             report.merged_blocks += self._simplify(func)
         return report
 

@@ -11,7 +11,7 @@ passes consume.
 
 from __future__ import annotations
 
-from typing import Dict, List, NamedTuple
+from typing import List, NamedTuple
 
 from repro.ir.instruction import Instruction
 from repro.ir.module import Module
@@ -41,27 +41,33 @@ def lift_profile(module: Module, profile: EdgeProfile) -> LiftReport:
     skipped — the tolerance to code change the paper's identifier scheme
     provides.
     """
-    sites: Dict[int, Instruction] = {}
-    for func in module:
+    direct_annotated = 0
+    indirect_annotated = 0
+    for name in list(module.functions):
+        func = module.functions[name]
+        if module.is_cow_shared(name) and not any(
+            (inst.opcode == Opcode.CALL and inst.site_id in profile.direct)
+            or (
+                inst.opcode == Opcode.ICALL
+                and inst.site_id in profile.indirect
+            )
+            for inst in func.call_sites()
+        ):
+            continue  # cold function: stays shared with the COW source
+        func = module.mutable(name)
         for inst in func.call_sites():
             assert inst.site_id is not None
-            sites[inst.site_id] = inst
-
-    direct_annotated = 0
-    for site_id, count in profile.direct.items():
-        inst = sites.get(site_id)
-        if inst is None or inst.opcode != Opcode.CALL:
-            continue
-        inst.attrs[ATTR_EDGE_COUNT] = count
-        direct_annotated += 1
-
-    indirect_annotated = 0
-    for site_id in profile.indirect:
-        inst = sites.get(site_id)
-        if inst is None or inst.opcode != Opcode.ICALL:
-            continue
-        inst.attrs[ATTR_VALUE_PROFILE] = profile.value_profile(site_id)
-        indirect_annotated += 1
+            if inst.opcode == Opcode.CALL and inst.site_id in profile.direct:
+                inst.attrs[ATTR_EDGE_COUNT] = profile.direct[inst.site_id]
+                direct_annotated += 1
+            elif (
+                inst.opcode == Opcode.ICALL
+                and inst.site_id in profile.indirect
+            ):
+                inst.attrs[ATTR_VALUE_PROFILE] = profile.value_profile(
+                    inst.site_id
+                )
+                indirect_annotated += 1
 
     stale_direct = len(profile.direct) - direct_annotated
     stale_indirect = len(profile.indirect) - indirect_annotated
@@ -73,14 +79,22 @@ def lift_profile(module: Module, profile: EdgeProfile) -> LiftReport:
 def clear_profile_metadata(module: Module) -> int:
     """Strip lifted metadata (used when re-profiling); returns sites touched."""
     touched = 0
-    for inst in module.instructions():
-        removed = False
-        for key in (ATTR_EDGE_COUNT, ATTR_VALUE_PROFILE):
-            if key in inst.attrs:
-                del inst.attrs[key]
-                removed = True
-        if removed:
-            touched += 1
+    for name in list(module.functions):
+        func = module.functions[name]
+        if module.is_cow_shared(name) and not any(
+            ATTR_EDGE_COUNT in inst.attrs or ATTR_VALUE_PROFILE in inst.attrs
+            for inst in func.instructions()
+        ):
+            continue
+        func = module.mutable(name)
+        for inst in func.instructions():
+            removed = False
+            for key in (ATTR_EDGE_COUNT, ATTR_VALUE_PROFILE):
+                if key in inst.attrs:
+                    del inst.attrs[key]
+                    removed = True
+            if removed:
+                touched += 1
     return touched
 
 

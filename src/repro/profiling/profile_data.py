@@ -28,17 +28,22 @@ class EdgeProfile:
         )
         #: function name -> invocation count
         self.invocations: Dict[str, int] = defaultdict(int)
+        #: memoized content hash; recording/merging resets it
+        self._digest: str | None = None
 
     # -- recording ---------------------------------------------------------
 
     def record_direct(self, site_id: int, count: int = 1) -> None:
         self.direct[site_id] += count
+        self._digest = None
 
     def record_indirect(self, site_id: int, target: str, count: int = 1) -> None:
         self.indirect[site_id][target] += count
+        self._digest = None
 
     def record_invocation(self, func_name: str, count: int = 1) -> None:
         self.invocations[func_name] += count
+        self._digest = None
 
     # -- aggregation ----------------------------------------------------------
 
@@ -53,6 +58,7 @@ class EdgeProfile:
         for name, count in other.invocations.items():
             self.invocations[name] += count
         self.runs += max(other.runs, 1)
+        self._digest = None
         return self
 
     # -- queries ------------------------------------------------------------
@@ -122,6 +128,24 @@ class EdgeProfile:
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), sort_keys=True)
+
+    def digest(self) -> str:
+        """Stable content hash of this profile.
+
+        Cache keys (the staged build engine's optimized-prefix entries)
+        use the digest as the profile's identity: two profiles with the
+        same counts hash identically regardless of collection order.
+        Memoized; the recording/merge methods reset the memo. Direct
+        mutation of the count dicts bypasses the reset — use the record
+        methods when a digest may already have been taken.
+        """
+        if self._digest is None:
+            import hashlib
+
+            self._digest = hashlib.sha256(
+                self.to_json().encode("utf-8")
+            ).hexdigest()
+        return self._digest
 
     @classmethod
     def from_json(cls, text: str) -> "EdgeProfile":

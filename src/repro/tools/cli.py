@@ -370,6 +370,45 @@ def _stress_configs(n: int):
     return pool[:n]
 
 
+def cmd_cache(args) -> int:
+    """Inspect the persistent result cache on disk."""
+    from repro.evaluation.cache import CACHE_DIR_NAME, DiskCache
+
+    root = Path(args.cache_dir or CACHE_DIR_NAME)
+    cache = DiskCache(root)
+    usage = cache.disk_usage()
+    quarantined = 0
+    if cache.quarantine_dir().is_dir():
+        quarantined = sum(
+            1 for _ in cache.quarantine_dir().glob("*.json")
+        )
+        usage.pop(cache.quarantine_dir().name, None)
+    payload = {
+        "root": str(root),
+        "kinds": usage,
+        "total_entries": sum(u["entries"] for u in usage.values()),
+        "total_bytes": sum(u["bytes"] for u in usage.values()),
+        "quarantined": quarantined,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    if not root.is_dir():
+        print(f"no cache at {root}")
+        return 0
+    print(f"cache {root}")
+    print(f"{'kind':12s} {'entries':>8s} {'bytes':>12s}")
+    for kind, info in usage.items():
+        print(f"{kind:12s} {info['entries']:>8d} {info['bytes']:>12d}")
+    print(
+        f"{'total':12s} {payload['total_entries']:>8d} "
+        f"{payload['total_bytes']:>12d}"
+    )
+    if quarantined:
+        print(f"quarantined  {quarantined:>8d}")
+    return 0
+
+
 def cmd_faults(args) -> int:
     """Stress the evaluation harness under an injected fault plan."""
     import tempfile
@@ -548,6 +587,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_harness_args(p)
     p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("cache", help="inspect the persistent result cache")
+    cache_sub = p.add_subparsers(dest="action", required=True)
+    p = cache_sub.add_parser(
+        "stats", help="on-disk entry counts and sizes per kind"
+    )
+    p.add_argument(
+        "--cache-dir",
+        help="cache directory (default: .repro-cache)",
+    )
+    p.add_argument("--json", action="store_true", help="machine output")
+    p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser(
         "faults",

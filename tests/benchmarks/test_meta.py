@@ -1,0 +1,82 @@
+"""Bench-record hygiene: clean git hashes, dirty flags, strict mode and
+append-style record history."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(
+    0, str(Path(__file__).resolve().parents[2] / "benchmarks")
+)
+
+from _meta import (  # noqa: E402
+    STRICT_GIT_ENV,
+    DirtyTreeError,
+    git_metadata,
+    stamp,
+    strict_git_enabled,
+    write_record,
+)
+
+
+def test_git_metadata_hash_is_clean():
+    meta = git_metadata()
+    assert set(meta) == {"git", "dirty"}
+    assert isinstance(meta["dirty"], bool)
+    if meta["git"] is not None:
+        # never a mangled "<hash>-dirty" string
+        assert "-" not in meta["git"]
+        int(meta["git"], 16)  # short hashes are hex
+
+
+def test_stamp_adds_provenance(monkeypatch):
+    monkeypatch.delenv(STRICT_GIT_ENV, raising=False)
+    record = {"benchmark": "x"}
+    stamp(record)
+    assert "git" in record and "dirty" in record
+    assert "timestamp" in record
+
+
+def test_stamp_strict_refuses_dirty_tree(monkeypatch):
+    import _meta
+
+    monkeypatch.setattr(
+        _meta, "git_metadata", lambda: {"git": "abc1234", "dirty": True}
+    )
+    with pytest.raises(DirtyTreeError):
+        stamp({}, strict=True)
+    # non-strict: recorded with the flag set
+    record = stamp({}, strict=False)
+    assert record["git"] == "abc1234" and record["dirty"] is True
+
+
+def test_strict_env_switch(monkeypatch):
+    monkeypatch.delenv(STRICT_GIT_ENV, raising=False)
+    assert not strict_git_enabled()
+    monkeypatch.setenv(STRICT_GIT_ENV, "0")
+    assert not strict_git_enabled()
+    monkeypatch.setenv(STRICT_GIT_ENV, "1")
+    assert strict_git_enabled()
+
+
+def test_write_record_appends_history(tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    write_record(path, {"run": 1})
+    write_record(path, {"run": 2})
+    assert json.loads(path.read_text()) == [{"run": 1}, {"run": 2}]
+
+
+def test_write_record_upgrades_legacy_single_object(tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    path.write_text(json.dumps({"run": 0}))
+    write_record(path, {"run": 1})
+    assert json.loads(path.read_text()) == [{"run": 0}, {"run": 1}]
+
+
+def test_write_record_replaces_unreadable_file(tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    path.write_text("{corrupt")
+    write_record(path, {"run": 1})
+    assert json.loads(path.read_text()) == [{"run": 1}]

@@ -40,7 +40,12 @@ def test_put_get_roundtrip(tmp_path):
     assert cache.get("measure", key) is None
     cache.put("measure", key, {"null": 1.5})
     assert cache.get("measure", key) == {"null": 1.5}
-    assert cache.stats() == {"hits": 1, "misses": 1, "corrupt": 0}
+    assert cache.stats() == {
+        "hits": 1,
+        "misses": 1,
+        "corrupt": 0,
+        "by_kind": {"measure": {"hits": 1, "misses": 1, "corrupt": 0}},
+    }
 
 
 def test_corrupt_entry_is_quarantined(tmp_path):
@@ -51,14 +56,24 @@ def test_corrupt_entry_is_quarantined(tmp_path):
     path.write_text("{truncated", encoding="utf-8")
     # first lookup: counted as corrupt + miss, entry moved aside
     assert cache.get("measure", key) is None
-    assert cache.stats() == {"hits": 0, "misses": 1, "corrupt": 1}
+    assert cache.stats() == {
+        "hits": 0,
+        "misses": 1,
+        "corrupt": 1,
+        "by_kind": {"measure": {"hits": 0, "misses": 1, "corrupt": 1}},
+    }
     assert not path.exists()
     quarantined = list(cache.quarantine_dir().iterdir())
     assert [p.name for p in quarantined] == [f"measure-{key}.json"]
     assert quarantined[0].read_text(encoding="utf-8") == "{truncated"
     # second lookup: a plain miss, the corrupt file is not re-parsed
     assert cache.get("measure", key) is None
-    assert cache.stats() == {"hits": 0, "misses": 2, "corrupt": 1}
+    assert cache.stats() == {
+        "hits": 0,
+        "misses": 2,
+        "corrupt": 1,
+        "by_kind": {"measure": {"hits": 0, "misses": 2, "corrupt": 1}},
+    }
     # a fresh put repopulates the slot cleanly
     cache.put("measure", key, {"v": 2})
     assert cache.get("measure", key) == {"v": 2}
@@ -98,7 +113,8 @@ def test_warm_cache_skips_profiling_and_measurement(tmp_path):
     # a second in-process kernel build gets different site ids, so the
     # site-keyed cached profile is correctly NOT replayed against it...
     profile = warm.profile("lmbench")
-    assert warm.cache.stats() == {"hits": 1, "misses": 1, "corrupt": 0}
+    stats = warm.cache.stats()
+    assert (stats["hits"], stats["misses"], stats["corrupt"]) == (1, 1, 0)
     # ...though the id-independent content agrees
     assert profile.invocations == cold.profile("lmbench").invocations
 
@@ -148,3 +164,21 @@ def test_engines_share_no_cache_entries(tmp_path):
     second = reference.measure(config, BENCHES)
     assert reference.cache.stats()["hits"] == 0  # engine keyed separately
     assert first == second  # ...even though the results agree
+
+
+def test_disk_usage_reflects_other_writers(tmp_path):
+    writer = DiskCache(tmp_path)
+    writer.put("measure", "k1", {"cycles": 1})
+    writer.put("measure", "k2", {"cycles": 2})
+    writer.put("prefix", "p1", {"module": {}})
+
+    # a fresh handle (another process, conceptually) sees the same files
+    reader = DiskCache(tmp_path)
+    usage = reader.disk_usage()
+    assert usage["measure"]["entries"] == 2
+    assert usage["prefix"]["entries"] == 1
+    assert usage["measure"]["bytes"] > 0
+    assert reader.stats()["hits"] == 0  # disk_usage is not a cache access
+
+    # an empty root reports nothing rather than crashing
+    assert DiskCache(tmp_path / "nowhere").disk_usage() == {}

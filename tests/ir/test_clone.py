@@ -179,3 +179,70 @@ def test_clone_module_is_independent():
     assert original_first.attrs.get("targets") != {"poisoned": 1}
     clone.get("caller").entry.instructions.pop(0)
     assert module.get("caller").size() == clone.get("caller").size() + 1
+
+
+# -- copy-on-write cloning (the staged build engine's stamp substrate) --------
+
+
+def test_cow_clone_shares_functions():
+    module, _ = _simple_module()
+    clone = clone_module(module, cow=True)
+    assert clone.cow_shared_count() == 2
+    for func in module:
+        assert clone.get(func.name) is func
+        assert clone.is_cow_shared(func.name)
+    # an eager clone shares nothing
+    assert clone_module(module).cow_shared_count() == 0
+
+
+def test_cow_mutable_materializes_private_copy():
+    module, _ = _simple_module()
+    clone = clone_module(module, cow=True)
+    func = clone.mutable("caller")
+    assert func is not module.get("caller")
+    assert not clone.is_cow_shared("caller")
+    assert clone.is_cow_shared("callee")
+    # second call is a no-op returning the already-private copy
+    assert clone.mutable("caller") is func
+    # mutations stay private
+    func.entry.instructions.pop(0)
+    assert module.get("caller").size() == func.size() + 1
+
+
+def test_cow_mutable_shell_shares_blocks():
+    module, _ = _simple_module()
+    clone = clone_module(module, cow=True)
+    original = module.get("caller")
+    shell = clone.mutable_shell("caller")
+    assert shell is not original
+    assert not clone.is_cow_shared("caller")
+    # the shell owns its blocks *dict* but shares the block objects, so a
+    # stamp pays only for the blocks it actually rewrites
+    assert shell.blocks is not original.blocks
+    for label, block in original.blocks.items():
+        assert shell.blocks[label] is block
+    # swapping in a private block leaves the original untouched
+    from repro.ir.basicblock import BasicBlock
+    from repro.ir.clone import clone_instruction_exact
+
+    entry = shell.blocks[shell.entry_label]
+    insts = list(entry.instructions)
+    insts[0] = clone_instruction_exact(insts[0])
+    insts[0].attrs["defense"] = "poisoned"
+    shell.blocks[shell.entry_label] = BasicBlock(shell.entry_label, insts)
+    assert original.entry.instructions[0].attrs.get("defense") != "poisoned"
+
+
+def test_clone_instruction_exact_preserves_identity_fields():
+    module, call = _simple_module()
+    from repro.ir.clone import clone_instruction_exact
+
+    call.attrs["targets"] = {"a": 1}
+    copy_inst = clone_instruction_exact(call)
+    assert copy_inst is not call
+    assert copy_inst.site_id == call.site_id
+    assert copy_inst.opcode == call.opcode
+    assert copy_inst.attrs == call.attrs
+    # attrs dict is one-level private: tagging the copy spares the original
+    copy_inst.attrs["defense"] = "retpoline"
+    assert "defense" not in call.attrs

@@ -238,3 +238,87 @@ def test_report_candidate_accounting():
     # 90% budget: a (70%) then b (90%) reach the limit
     assert report.candidate_sites == 2
     assert report.candidate_weight == 90
+
+
+def test_inherit_counts_round_half_up():
+    """Plain int() truncation bled one count per inheritance level; the
+    regression: counts and value profiles round half-up."""
+    from repro.ir.types import ATTR_VALUE_PROFILE
+
+    caller = Function("f")
+    b = IRBuilder(caller)
+    inst = b.call("g")
+    inst.attrs[ATTR_EDGE_COUNT] = 5
+    inst.attrs[ATTR_VALUE_PROFILE] = [("t1", 3), ("t2", 1)]
+    PibeInliner._inherit_counts(inst, 0.5)
+    assert inst.attrs[ATTR_EDGE_COUNT] == 3  # 2.5 rounds up, not down to 2
+    assert inst.attrs[ATTR_VALUE_PROFILE] == [("t1", 2), ("t2", 1)]
+
+
+def test_inheritance_conserves_weight_across_clones():
+    """Two equal-ratio clones of an odd-count nested site must not lose
+    weight in aggregate (5 -> 3 + 3, never 2 + 2)."""
+    module = Module("m")
+    # leaf is too fat to inline, so the cloned sites survive inspection
+    module.add_function(build_leaf("leaf", work=400))
+    mid = Function("mid")
+    b = IRBuilder(mid)
+    nested = b.call("leaf", num_args=0)
+    b.ret()
+    module.add_function(mid)
+    caller = Function("caller")
+    b = IRBuilder(caller)
+    first = b.call("mid")
+    second = b.call("mid")
+    b.ret()
+    module.add_function(caller)
+
+    profile = EdgeProfile()
+    profile.record_direct(first.site_id, 10)
+    profile.record_direct(second.site_id, 10)
+    profile.record_direct(nested.site_id, 5)
+    profile.record_invocation("caller", 10)
+    profile.record_invocation("mid", 20)
+    profile.record_invocation("leaf", 5)
+    lift_profile(module, profile)
+
+    PibeInliner(profile, budget=1.0, callee_threshold=100).run(module)
+    validate_module(module)
+    cloned = [
+        inst
+        for inst in module.get("caller").call_sites()
+        if inst.callee == "leaf"
+    ]
+    # first inline: ratio 10/20 = 0.5, and 5 * 0.5 rounds UP to 3 (the
+    # truncating regression produced 2); second inline: mid's residual
+    # invocation count is 10, ratio 1.0, the clone keeps the full 5
+    assert [inst.attrs[ATTR_EDGE_COUNT] for inst in cloned] == [3, 5]
+    assert sum(inst.attrs[ATTR_EDGE_COUNT] for inst in cloned) >= 5
+
+
+def test_deep_inline_chain_keeps_index_consistent():
+    """A 5-deep call chain fully collapses: the incremental site index
+    must keep locating sites as blocks split, tails move to continuation
+    blocks and cloned callee bodies appear."""
+    module = Module("m")
+    names = [f"fn{i}" for i in range(5)]
+    profile = EdgeProfile()
+    module.add_function(build_leaf(names[-1], work=2))
+    for i in reversed(range(4)):
+        func = Function(names[i])
+        b = IRBuilder(func)
+        b.arith(2)
+        inst = b.call(names[i + 1], num_args=0)
+        b.arith(1)
+        b.ret()
+        module.add_function(func)
+        profile.record_direct(inst.site_id, 100)
+    for name in names:
+        profile.record_invocation(name, 100)
+    lift_profile(module, profile)
+
+    report = PibeInliner(profile, budget=1.0).run(module)
+    validate_module(module)
+    assert report.inlined_sites == 4
+    top = module.get("fn0")
+    assert not any(inst.opcode == Opcode.CALL for inst in top.instructions())

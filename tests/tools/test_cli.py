@@ -293,3 +293,42 @@ def test_faults_expect_failures_mismatch_fails(workdir, capsys):
         == 1
     )
     capsys.readouterr()
+
+
+def test_cache_stats_empty(tmp_path, capsys):
+    assert (
+        main(["cache", "stats", "--cache-dir", str(tmp_path / "missing")])
+        == 0
+    )
+    assert "no cache at" in capsys.readouterr().out
+
+
+def test_cache_stats_reports_kinds(tmp_path, capsys):
+    from repro.evaluation.cache import DiskCache
+
+    cache = DiskCache(tmp_path)
+    cache.put("measure", "a", {"cycles": 1})
+    cache.put("prefix", "b", {"module": {}})
+    assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "measure" in out and "prefix" in out and "total" in out
+
+
+def test_cache_stats_json_counts_quarantine(tmp_path, capsys):
+    from repro.evaluation.cache import DiskCache
+
+    cache = DiskCache(tmp_path)
+    cache.put("measure", "good", {"cycles": 1})
+    cache.put("measure", "bad", {"cycles": 2})
+    # corrupt one entry, then read it so it gets quarantined
+    bad_path = cache._path("measure", "bad")
+    bad_path.write_text("{not json")
+    assert cache.get("measure", "bad") is None
+
+    assert (
+        main(["cache", "stats", "--cache-dir", str(tmp_path), "--json"]) == 0
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["kinds"]["measure"]["entries"] == 1
+    assert payload["total_entries"] == 1
+    assert payload["quarantined"] == 1
