@@ -11,6 +11,11 @@ from repro.cpu.attacks import (
 )
 from repro.cpu.btb import BTB
 from repro.cpu.costs import DEFAULT_COSTS, NONTRANSIENT_COSTS, CostModel
+from repro.cpu.counting import (
+    CountingTimingModel,
+    CountSummary,
+    counting_cycles,
+)
 from repro.cpu.icache import ICache
 from repro.cpu.mob import MOB, LoadResult
 from repro.cpu.pht import PHT
@@ -23,6 +28,8 @@ __all__ = [
     "AttackOutcome",
     "BTB",
     "CostModel",
+    "CountSummary",
+    "CountingTimingModel",
     "DEFAULT_COSTS",
     "ICache",
     "LVIAttack",
@@ -35,5 +42,6 @@ __all__ = [
     "SpectreV2Attack",
     "TimingModel",
     "attack_surface",
+    "counting_cycles",
     "function_footprint_bytes",
 ]

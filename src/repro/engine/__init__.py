@@ -1,10 +1,13 @@
 """Trace-driven IR execution engines.
 
-Two tiers share one event contract: the tree-walking reference
-:class:`Interpreter` (the semantic oracle) and the precompiling
-:class:`CompiledInterpreter` (the production engine). Select via
-:func:`create_interpreter`'s ``engine=`` knob; event streams are
-identical per seed, so profiles and timings never depend on the choice.
+Three tiers share one behavioural contract: the tree-walking reference
+:class:`Interpreter` (the semantic oracle), the precompiling
+:class:`CompiledInterpreter` (exact event replay), and the superblock
+:class:`VectorizedInterpreter` (counting-mode batching for counting
+sinks, with automatic fallback to compiled replay for sinks that need
+the real event stream). Select via :func:`create_interpreter`'s
+``engine=`` knob; per-seed stochastic paths — and therefore event and
+count totals — are identical across all three.
 """
 
 from repro.engine.behavior import (
@@ -29,6 +32,11 @@ from repro.engine.compiled import (
 )
 from repro.engine.interpreter import ExecutionError, ExecutionLimits, Interpreter
 from repro.engine.trace import TraceRecorder, TraceSink
+from repro.engine.vectorized import (
+    VectorizedInterpreter,
+    VectorProgram,
+    vector_program,
+)
 
 __all__ = [
     "CompiledInterpreter",
@@ -42,6 +50,8 @@ __all__ = [
     "LoopState",
     "TraceRecorder",
     "TraceSink",
+    "VectorProgram",
+    "VectorizedInterpreter",
     "branch_taken",
     "compile_module",
     "compiled_program",
@@ -51,5 +61,6 @@ __all__ = [
     "guard_probabilities",
     "pick_index",
     "residual_distribution",
+    "vector_program",
     "weighted_choice",
 ]

@@ -46,7 +46,7 @@ from repro.ir.types import (
 #: Bumped whenever engine semantics change in a way that affects emitted
 #: event streams or measured numbers. Part of every disk-cache key, so a
 #: stale ``.repro-cache/`` can never serve results from older semantics.
-ENGINE_VERSION = "engine-v1"
+ENGINE_VERSION = "engine-v3"
 
 # Step kinds (first element of a step tuple).
 STEP_MIX = 0  # (0, arith, load, store, cmp, fence)
@@ -476,11 +476,16 @@ class CompiledInterpreter(Interpreter):
 
 
 #: Engine registry: name -> interpreter class. ``reference`` is the
-#: semantic oracle; ``compiled`` is the production engine.
+#: semantic oracle; ``compiled`` is the exact-replay production engine;
+#: ``vectorized`` (registered lazily by :mod:`repro.engine.vectorized`,
+#: which imports this module) is the counting-mode batch engine.
 ENGINES = {
     "reference": Interpreter,
     "compiled": CompiledInterpreter,
 }
+
+#: Engines selectable by name even before their module is imported.
+KNOWN_ENGINES = ("reference", "compiled", "vectorized")
 
 #: Engine used when callers do not specify one.
 DEFAULT_ENGINE = "compiled"
@@ -495,12 +500,18 @@ def create_interpreter(
     engine: str = DEFAULT_ENGINE,
 ) -> Interpreter:
     """Instantiate the selected execution engine over ``module``."""
-    try:
+    cls = ENGINES.get(engine)
+    if cls is None and engine == "vectorized":
+        # Deferred: vectorized builds on this module, so it registers
+        # itself into ENGINES on first import.
+        import repro.engine.vectorized  # noqa: F401
+
         cls = ENGINES[engine]
-    except KeyError:
+    if cls is None:
         raise ValueError(
-            f"unknown engine {engine!r}; choose from {sorted(ENGINES)}"
-        ) from None
+            f"unknown engine {engine!r}; choose from "
+            f"{sorted(set(ENGINES) | set(KNOWN_ENGINES))}"
+        )
     return cls(
         module,
         sinks,

@@ -77,9 +77,15 @@ class EvalSettings:
     profile_ops_scale: float = 1.0
     measure_ops_scale: float = 0.5
     seed: int = 7
-    #: Execution engine for profiling and measurement runs; the engines
-    #: produce identical event streams per seed, so results don't depend
-    #: on the choice — only wall time does.
+    #: Execution engine for profiling and measurement runs. ``reference``
+    #: and ``compiled`` produce identical event streams per seed, so their
+    #: results are interchangeable — only wall time differs. ``vectorized``
+    #: measures in *counting mode* (warm predictors, additive charges; see
+    #: :mod:`repro.cpu.counting`): per-seed event totals still match the
+    #: other engines exactly, but cycle totals follow the counting
+    #: semantics, so never mix engines within one comparison. Cache keys
+    #: include both ``ENGINE_VERSION`` and the engine name, which keeps
+    #: cached results from different semantics apart automatically.
     engine: str = DEFAULT_ENGINE
     #: Worker processes for :meth:`EvalContext.measure_many` (1 = inline).
     jobs: int = 1

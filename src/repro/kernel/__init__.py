@@ -2,13 +2,21 @@
 
 from repro.kernel.generator import KernelStats, build_kernel, kernel_stats
 from repro.kernel.helpers import Body, define, leaf, ops_table, table_dist
-from repro.kernel.spec import DEFAULT_SPEC, KernelSpec, SmallSpec
+from repro.kernel.spec import (
+    DEFAULT_SPEC,
+    SCALED_SPEC,
+    KernelSpec,
+    ScaledSpec,
+    SmallSpec,
+)
 
 __all__ = [
     "Body",
     "DEFAULT_SPEC",
     "KernelSpec",
     "KernelStats",
+    "SCALED_SPEC",
+    "ScaledSpec",
     "SmallSpec",
     "build_kernel",
     "define",

@@ -77,6 +77,28 @@ DEFAULT_SPEC = KernelSpec()
 
 
 @dataclass(frozen=True)
+class ScaledSpec(KernelSpec):
+    """A ~10× kernel (by function count) for engine-throughput work.
+
+    The default spec builds ~3k functions; this one builds ~31k — about
+    the function count of a distro kernel image — by multiplying the
+    cold driver bulk and boot code while keeping the hot-path shape
+    identical, so per-op dynamic behaviour matches the default kernel
+    and only the static scale (and the engine's working set) grows.
+    ``benchmarks/bench_engine.py`` runs its ≥10× speedup budget here.
+    """
+
+    num_drivers: int = 1200
+    num_boot_functions: int = 380
+    num_paravirt_calls: int = 36
+    num_asm_ijumps: int = 15
+
+
+#: The ~10×-scale specification used by the engine benchmarks.
+SCALED_SPEC = ScaledSpec()
+
+
+@dataclass(frozen=True)
 class SmallSpec(KernelSpec):
     """A reduced kernel for fast unit tests."""
 

@@ -157,14 +157,16 @@ def cmd_benchmark(args) -> int:
     """Measure suite latencies (and overheads vs a baseline image)."""
     module = _load_kernel(args)
     benches = SUITES[args.suite]
-    results = measure_suite(module, benches, ops_scale=args.ops_scale)
+    results = measure_suite(
+        module, benches, ops_scale=args.ops_scale, engine=args.engine
+    )
     measured = {name: r.cycles_per_op for name, r in results.items()}
 
     baseline = None
     if args.baseline:
         base_module = parse_module(Path(args.baseline).read_text())
         base_results = measure_suite(
-            base_module, benches, ops_scale=args.ops_scale
+            base_module, benches, ops_scale=args.ops_scale, engine=args.engine
         )
         baseline = {name: r.cycles_per_op for name, r in base_results.items()}
 
@@ -279,11 +281,29 @@ def _eval_settings(args) -> "EvalSettings":  # noqa: F821 — local import below
         overrides["cell_timeout"] = args.cell_timeout
     if getattr(args, "cache_dir", None):
         overrides["cache_dir"] = args.cache_dir
+    if getattr(args, "engine", None) is not None:
+        overrides["engine"] = args.engine
     return dataclasses.replace(settings, **overrides) if overrides else settings
+
+
+def _add_engine_arg(parser, default=None) -> None:
+    from repro.engine.compiled import KNOWN_ENGINES
+
+    parser.add_argument(
+        "--engine",
+        choices=KNOWN_ENGINES,
+        default=default,
+        help=(
+            "execution engine: reference (oracle), compiled (exact replay, "
+            "default), vectorized (counting-mode batching — fastest, "
+            "measures warm-predictor cycles)"
+        ),
+    )
 
 
 def _add_harness_args(parser) -> None:
     """Fault-tolerance / scale knobs shared by evaluate and faults."""
+    _add_engine_arg(parser)
     parser.add_argument(
         "-j", "--jobs", type=int, default=None,
         help="worker processes for parallel measurement (default: 1)",
@@ -528,6 +548,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--baseline", help="baseline kernel .ir for overheads")
     p.add_argument("--suite", choices=sorted(SUITES), default="lmbench")
     p.add_argument("--ops-scale", type=float, default=0.5)
+    _add_engine_arg(p, default="compiled")
     p.set_defaults(func=cmd_benchmark)
 
     p = sub.add_parser("attack", help="simulate transient attacks on an image")

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.cpu.costs import DEFAULT_COSTS, CostModel
+from repro.cpu.counting import CountingTimingModel
 from repro.cpu.timing import TimingModel
 from repro.engine.compiled import DEFAULT_ENGINE, create_interpreter
 from repro.engine.interpreter import ExecutionLimits, Interpreter
@@ -88,6 +89,29 @@ class BenchResult:
         return CLOCK_HZ / self.cycles_per_op if self.cycles else 0.0
 
 
+def timing_sink_for(
+    module: Module,
+    engine: str,
+    costs: CostModel = DEFAULT_COSTS,
+    model_icache: bool = True,
+):
+    """The cycle-accounting sink matching an engine's measurement mode.
+
+    The vectorized engine measures in *counting mode* (warm predictors,
+    purely additive charges — see :mod:`repro.cpu.counting`); pairing it
+    with the stateful :class:`TimingModel` would silently fall back to
+    event-by-event replay and forfeit the speedup. The reference and
+    compiled engines keep the stateful model. Counting-mode cycle totals
+    are a different (coarser) measurement semantics, so results from
+    different engines must never be mixed within one comparison — the
+    harness bakes ``engine`` into every cache key for exactly this
+    reason.
+    """
+    if engine == "vectorized":
+        return CountingTimingModel(module, costs=costs)
+    return TimingModel(module, costs=costs, model_icache=model_icache)
+
+
 def measure_benchmark(
     module: Module,
     bench: Benchmark,
@@ -98,7 +122,9 @@ def measure_benchmark(
     engine: str = DEFAULT_ENGINE,
 ) -> BenchResult:
     """Run one benchmark under the cycle model and report latency."""
-    timing = TimingModel(module, costs=costs, model_icache=model_icache)
+    timing = timing_sink_for(
+        module, engine, costs=costs, model_icache=model_icache
+    )
     interpreter = create_interpreter(module, [timing], seed=seed, engine=engine)
     count = bench.run(interpreter, ops=ops)
     return BenchResult(

@@ -88,6 +88,31 @@ PAPER_LATENCIES_US = {
 }
 
 
+def engine_workload(ops_scale: float = 1.0) -> Workload:
+    """The engine-throughput stress mix paired with ``ScaledSpec``.
+
+    A read/write-heavy blend of the hottest syscall paths (matching the
+    LMBench profile's weight distribution) used by
+    ``benchmarks/bench_engine.py`` to measure events/sec at the 10×
+    kernel scale. Kept here, next to the profiling workloads, so the
+    bench and any ad-hoc throughput experiment exercise the same mix.
+    """
+    counts = {
+        "read": 400,
+        "write": 400,
+        "stat": 150,
+        "open": 100,
+        "select_file": 60,
+        "mmap": 60,
+        "pipe": 100,
+    }
+    components = tuple(
+        (BY_NAME[name], max(1, int(round(ops * ops_scale))))
+        for name, ops in counts.items()
+    )
+    return Workload(name="engine-mix", components=components)
+
+
 def lmbench_workload(
     ops_scale: float = 1.0, time_budget_us: float = 120.0
 ) -> Workload:

@@ -16,10 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cpu.costs import DEFAULT_COSTS, CostModel
-from repro.cpu.timing import TimingModel
 from repro.engine.compiled import DEFAULT_ENGINE, create_interpreter
 from repro.ir.module import Module
-from repro.workloads.base import CLOCK_HZ, Benchmark
+from repro.workloads.base import CLOCK_HZ, Benchmark, timing_sink_for
 
 
 @dataclass(frozen=True)
@@ -124,7 +123,7 @@ def measure_throughput(
     engine: str = DEFAULT_ENGINE,
 ) -> ThroughputResult:
     """Run the app model and convert cycles to units/sec throughput."""
-    timing = TimingModel(module, costs=costs)
+    timing = timing_sink_for(module, engine, costs=costs)
     interpreter = create_interpreter(module, [timing], seed=seed, engine=engine)
     for _ in range(batches):
         app.batch.run(interpreter, ops=1)
