@@ -22,6 +22,7 @@ import datetime
 import json
 import os
 import subprocess
+import sys
 from pathlib import Path
 from typing import Any, Dict, Optional
 
@@ -95,7 +96,21 @@ def write_record(path: Path, record: Dict[str, Any]) -> None:
     Existing files are preserved as history (a legacy single-record
     object becomes the first list element); unreadable files are
     replaced rather than crashing the benchmark that produced the data.
+
+    Appending a *dirty* record (uncommitted working-tree changes at
+    measurement time) warns loudly: every ``BENCH_*.json`` is a budget
+    file a CI job asserts against, and a number that can't be attributed
+    to a commit poisons the trajectory. CI should run the benchmark
+    under ``REPRO_BENCH_STRICT_GIT=1`` so this never gets that far.
     """
+    if record.get("dirty"):
+        print(
+            f"\nWARNING: appending a DIRTY benchmark record to {path.name} — "
+            "this number cannot be attributed to a commit and the file's "
+            f"budget is CI-asserted. Re-run on a clean tree (or under "
+            f"{STRICT_GIT_ENV}=1 to refuse instead).\n",
+            file=sys.stderr,
+        )
     records = []
     if path.exists():
         try:

@@ -256,6 +256,24 @@ class PibePipeline:
             )
         return self._baseline_fp
 
+    def prefix_cache_info(self) -> Dict[str, Any]:
+        """Snapshot of the in-memory prefix cache for stats surfaces.
+
+        Deterministically ordered (sorted keys throughout) so the serve
+        ``stats`` endpoint and its tests can compare rendered JSON.
+        """
+        by_source: Dict[str, int] = {}
+        functions = 0
+        for entry in self._prefix_memo.values():
+            by_source[entry.source] = by_source.get(entry.source, 0) + 1
+            functions += len(entry.module.functions)
+        return {
+            "entries": len(self._prefix_memo),
+            "by_source": {k: by_source[k] for k in sorted(by_source)},
+            "resident_functions": functions,
+            "counters": {k: self.stats[k] for k in sorted(self.stats)},
+        }
+
     # -- phase 1: profiling -----------------------------------------------------
 
     def profile(

@@ -166,12 +166,18 @@ class DiskCache:
             raise
 
     def stats(self) -> Dict[str, Any]:
-        """Aggregate counters plus the per-kind breakdown."""
+        """Aggregate counters plus the per-kind breakdown.
+
+        Kinds are sorted (not insertion-ordered), so two processes that
+        touched the same kinds in different orders render identically —
+        the serve ``stats`` endpoint and snapshot tests string-compare
+        this.
+        """
         return {
             "hits": self.hits,
             "misses": self.misses,
             "corrupt": self.corrupt,
-            "by_kind": {k: dict(v) for k, v in self.by_kind.items()},
+            "by_kind": {k: dict(self.by_kind[k]) for k in sorted(self.by_kind)},
         }
 
     def disk_usage(self) -> Dict[str, Dict[str, int]]:

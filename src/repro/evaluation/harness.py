@@ -132,6 +132,50 @@ class EvalContext:
         self._variants: Dict[str, BuildResult] = {}
         self._measurements: Dict[str, Dict[str, float]] = {}
         self._fingerprints: Dict[bool, str] = {}
+        # Persistent worker pool: created on the first parallel
+        # measure_many and reused by every later call (the serve layer
+        # runs many batches against one context), torn down by close().
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_workers: int = 0
+        self._pool_plan: Optional["faults.FaultPlan"] = None
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool and retire the context.
+
+        Idempotent. After ``close()`` the caches remain readable (so a
+        final ``stats`` snapshot still works) but any attempt to profile
+        or measure raises :class:`RuntimeError`. Shutdown waits for the
+        workers, so when this returns no child process of the pool is
+        left running — the regression tests assert exactly that.
+        """
+        global _WORKER_CTX
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._shutdown_pool(self._pool, kill=False)
+            self._pool = None
+            self._pool_workers = 0
+            self._pool_plan = None
+        if _WORKER_CTX is self:
+            _WORKER_CTX = None
+
+    def __enter__(self) -> "EvalContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("EvalContext is closed")
 
     def _kernel_fingerprint(self, include_sites: bool) -> str:
         fp = self._fingerprints.get(include_sites)
@@ -154,6 +198,7 @@ class EvalContext:
         cached = self._profiles.get(workload_name)
         if cached is not None:
             return cached
+        self._check_open()
         s = self.settings
         disk_key = None
         if self.cache is not None:
@@ -245,6 +290,34 @@ class EvalContext:
             s.seed,
         )
 
+    def cached_measurement(
+        self,
+        config: PibeConfig,
+        benches: Sequence[Benchmark] = tuple(LMBENCH_BENCHMARKS),
+        workload_name: str = "lmbench",
+    ) -> Optional[Dict[str, float]]:
+        """A previously computed measurement, or ``None`` without
+        evaluating anything.
+
+        Checks the in-memory memo first, then the disk cache (promoting a
+        disk hit into memory). This is the cache-aware routing seam the
+        serve layer uses: requests answerable here are served inline on
+        the event loop, everything else is dispatched to the worker pool.
+        """
+        benches = tuple(benches)
+        key = self._measure_key(config, benches, workload_name)
+        cached = self._measurements.get(key)
+        if cached is not None:
+            return cached
+        disk_key = self._measure_disk_key(config, benches, workload_name)
+        if disk_key is not None:
+            entry = self.cache.get("measure", disk_key)
+            if entry is not None:
+                results = {name: float(v) for name, v in entry.items()}
+                self._measurements[key] = results
+                return results
+        return None
+
     def measure(
         self,
         config: PibeConfig,
@@ -257,6 +330,7 @@ class EvalContext:
         cached = self._measurements.get(key)
         if cached is not None:
             return cached
+        self._check_open()
         faults.fire("measure.cell", cell_label(config, workload_name))
         disk_key = self._measure_disk_key(config, benches, workload_name)
         if disk_key is not None:
@@ -313,6 +387,12 @@ class EvalContext:
         configs = list(configs)
         benches = tuple(benches)
         s = self.settings
+        if any(
+            self._measure_key(c, benches, workload_name)
+            not in self._measurements
+            for c in configs
+        ):
+            self._check_open()
         jobs = s.jobs if jobs is None else jobs
         max_retries = s.max_retries if max_retries is None else max_retries
         cell_timeout = s.cell_timeout if cell_timeout is None else cell_timeout
@@ -397,6 +477,36 @@ class EvalContext:
             initargs=(self.settings, plan),
         )
 
+    def _ensure_pool(
+        self, workers: int, plan: Optional["faults.FaultPlan"]
+    ) -> ProcessPoolExecutor:
+        """The persistent pool, (re)built when the shape no longer fits.
+
+        A pool sized for an earlier, larger batch is reused as-is (idle
+        workers are cheap; forking them again is not). A smaller one, or
+        one initialized under a different fault plan, is replaced.
+        """
+        if self._pool is not None and (
+            self._pool_workers < workers or self._pool_plan != plan
+        ):
+            self._shutdown_pool(self._pool, kill=False)
+            self._pool = None
+        if self._pool is None:
+            self._pool = self._new_pool(max(workers, 1), plan)
+            self._pool_workers = max(workers, 1)
+            self._pool_plan = plan
+        return self._pool
+
+    def _replace_pool(
+        self, plan: Optional["faults.FaultPlan"], kill: bool
+    ) -> ProcessPoolExecutor:
+        """Tear down a crashed/hung pool and stand up a fresh one."""
+        if self._pool is not None:
+            self._shutdown_pool(self._pool, kill=kill)
+        self._pool = self._new_pool(self._pool_workers, plan)
+        self._pool_plan = plan
+        return self._pool
+
     @staticmethod
     def _shutdown_pool(pool: ProcessPoolExecutor, kill: bool) -> None:
         """Tear down a pool; ``kill`` terminates workers (hang recovery)."""
@@ -422,7 +532,10 @@ class EvalContext:
         cell_timeout: Optional[float],
         report: FailureReport,
     ) -> None:
-        """Fan pending cells out over a worker pool, recovering per cell."""
+        """Fan pending cells out over the persistent pool, recovering per
+        cell. The pool outlives this call — the next batch reuses its
+        warm workers — and is only replaced here after a crash or hang
+        poisons it."""
         global _WORKER_CTX
         if any(configs[i].optimized for i in pending):
             # Profile once up front so every forked worker inherits it
@@ -433,8 +546,11 @@ class EvalContext:
         attempts: Dict[int, int] = {i: 0 for i in pending}
         last_kind: Dict[int, str] = {}
         degraded: List[int] = []
+        # Workers fork lazily at submit time, so the context must stay
+        # visible for the pool's whole lifetime (later batches may still
+        # grow the pool); close() clears it.
         _WORKER_CTX = self
-        pool = self._new_pool(workers, plan)
+        pool = self._ensure_pool(workers, plan)
         futures: Dict[Future, int] = {}
         deadlines: Dict[int, float] = {}
         try:
@@ -479,8 +595,7 @@ class EvalContext:
                         i for i, dl in deadlines.items() if dl <= now
                     }
                     victims = list(futures.values())
-                    self._shutdown_pool(pool, kill=True)
-                    pool = self._new_pool(workers, plan)
+                    pool = self._replace_pool(plan, kill=True)
                     futures.clear()
                     deadlines.clear()
                     for i in victims:
@@ -513,13 +628,17 @@ class EvalContext:
                         retry.append((i, KIND_CRASH))
                     futures.clear()
                     deadlines.clear()
-                    self._shutdown_pool(pool, kill=True)
-                    pool = self._new_pool(workers, plan)
+                    pool = self._replace_pool(plan, kill=True)
                 for i, kind in retry:
                     recycle(i, kind)
-        finally:
-            self._shutdown_pool(pool, kill=False)
-            _WORKER_CTX = None
+        except BaseException:
+            # Leave no half-drained pool behind an exception escaping the
+            # recovery machinery itself (KeyboardInterrupt, bugs): the
+            # persistent pool only survives a *clean* batch.
+            if self._pool is not None:
+                self._shutdown_pool(self._pool, kill=True)
+                self._pool = None
+            raise
         for i in degraded:
             # Last resort: run the cell inline (one attempt). A result a
             # worker cached to disk before dying is salvaged here for free.

@@ -1,0 +1,191 @@
+"""Synchronous client for the evaluation server.
+
+One :class:`ServeClient` wraps one connection; requests are issued
+sequentially (``request`` blocks until the matching response arrives).
+Concurrency comes from multiple clients — the load-generator benchmark
+runs one per worker thread, which also matches how real CLI users hit a
+shared server.
+
+Usage::
+
+    with ServeClient(unix="/tmp/repro.sock") as client:
+        client.ping()
+        values = client.measure(config, benches=["null", "read"])
+        print(client.stats()["server"]["counters"])
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, List, Optional
+
+from repro.core.config import PibeConfig
+from repro.serve import protocol
+
+#: Default TCP port (``repro serve`` without ``--port``); unregistered.
+DEFAULT_PORT = 8642
+
+
+class ServeError(RuntimeError):
+    """An error envelope from the server (or a transport failure)."""
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(f"[{kind}] {message}")
+        self.kind = kind
+        self.message = message
+
+
+class ServeClient:
+    """Blocking newline-delimited-JSON client.
+
+    Parameters mirror the server: give ``unix`` a socket path, or
+    ``host``/``port`` for TCP. The connection is opened lazily on the
+    first request (or explicitly via :meth:`connect`).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        unix: Optional[str] = None,
+        timeout: Optional[float] = 300.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.unix = unix
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._recv_file = None
+        self._next_id = 0
+
+    # -- connection management ----------------------------------------------
+
+    def connect(self) -> "ServeClient":
+        if self._sock is not None:
+            return self
+        if self.unix:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.unix)
+        else:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        self._sock = sock
+        self._recv_file = sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._recv_file is not None:
+            try:
+                self._recv_file.close()
+            except OSError:
+                pass
+            self._recv_file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request plumbing ---------------------------------------------------
+
+    def request(
+        self, op: str, params: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """Send one request and return its ``result`` (raises
+        :class:`ServeError` on an error envelope)."""
+        self.connect()
+        self._next_id += 1
+        request_id = self._next_id
+        self._sock.sendall(protocol.encode_request(request_id, op, params))
+        while True:
+            line = self._recv_file.readline()
+            if not line:
+                raise ServeError("transport", "server closed the connection")
+            try:
+                payload = json.loads(line)
+            except ValueError as exc:
+                raise ServeError("transport", f"undecodable response: {exc}")
+            if payload.get("id") != request_id:
+                # A response to a request this client never sent — with
+                # sequential issue that means a server bug; fail loudly.
+                raise ServeError(
+                    "transport", f"response id mismatch: {payload.get('id')!r}"
+                )
+            if not payload.get("ok"):
+                error = payload.get("error") or {}
+                raise ServeError(
+                    error.get("kind", "unknown"),
+                    error.get("message", "unspecified error"),
+                )
+            return payload.get("result") or {}
+
+    # -- convenience wrappers ------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request("ping")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("stats")
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request("shutdown")
+
+    def build(
+        self, config: PibeConfig, workload: str = "lmbench"
+    ) -> Dict[str, Any]:
+        return self.request(
+            "build",
+            {"config": protocol.config_to_dict(config), "workload": workload},
+        )
+
+    def measure(
+        self,
+        config: PibeConfig,
+        benches: Optional[List[str]] = None,
+        workload: str = "lmbench",
+    ) -> Dict[str, Any]:
+        params: Dict[str, Any] = {
+            "config": protocol.config_to_dict(config),
+            "workload": workload,
+        }
+        if benches is not None:
+            params["benches"] = list(benches)
+        return self.request("measure", params)
+
+    def measure_many(
+        self,
+        configs: List[PibeConfig],
+        benches: Optional[List[str]] = None,
+        workload: str = "lmbench",
+    ) -> Dict[str, Any]:
+        params: Dict[str, Any] = {
+            "configs": [protocol.config_to_dict(c) for c in configs],
+            "workload": workload,
+        }
+        if benches is not None:
+            params["benches"] = list(benches)
+        return self.request("measure_many", params)
+
+    def lint(
+        self,
+        config: PibeConfig,
+        workload: str = "lmbench",
+        rules: Optional[List[str]] = None,
+    ) -> Dict[str, Any]:
+        params: Dict[str, Any] = {
+            "config": protocol.config_to_dict(config),
+            "workload": workload,
+        }
+        if rules is not None:
+            params["rules"] = list(rules)
+        return self.request("lint", params)

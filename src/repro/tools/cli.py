@@ -405,13 +405,15 @@ def cmd_cache(args) -> int:
         usage.pop(cache.quarantine_dir().name, None)
     payload = {
         "root": str(root),
-        "kinds": usage,
+        "kinds": {kind: usage[kind] for kind in sorted(usage)},
         "total_entries": sum(u["entries"] for u in usage.values()),
         "total_bytes": sum(u["bytes"] for u in usage.values()),
         "quarantined": quarantined,
     }
     if args.json:
-        print(json.dumps(payload, indent=2))
+        # sort_keys so the output is byte-stable for a given cache state:
+        # the serve `stats` endpoint and snapshot tests string-compare it.
+        print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     if not root.is_dir():
         print(f"no cache at {root}")
@@ -494,6 +496,100 @@ def cmd_faults(args) -> int:
             return 1
         return 0
     return 0 if report.ok else 2
+
+
+def cmd_serve(args) -> int:
+    """Run the persistent evaluation server (until SIGINT or a client
+    ``shutdown`` request)."""
+    from repro.evaluation.cache import CACHE_DIR_NAME
+    from repro.serve.client import DEFAULT_PORT
+    from repro.serve.server import ReproServer, run_server
+
+    if getattr(args, "cache_dir", None) is None and not args.no_cache:
+        # A server without a disk cache forgets everything on restart;
+        # default to the standard cache root instead of nothing.
+        args.cache_dir = CACHE_DIR_NAME
+    settings = _eval_settings(args)
+    server = ReproServer(
+        settings,
+        host=args.host,
+        port=args.port if args.port is not None else DEFAULT_PORT,
+        unix_path=args.unix,
+    )
+    print(
+        f"repro serve: kernel {server.ctx.kernel.name} "
+        f"({type(settings.spec).__name__}), engine {settings.engine}, "
+        f"jobs {settings.jobs}, cache "
+        f"{settings.cache_dir or 'disabled'}"
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"listening on {server.address}")
+        if args.ready_file:
+            # CI handshake: the file appears only once the socket accepts.
+            Path(args.ready_file).write_text(server.address + "\n")
+        await server.serve_until_shutdown()
+
+    import asyncio
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.ctx.close()
+    print("server stopped")
+    return 0
+
+
+def _client_config(args) -> PibeConfig:
+    """A PibeConfig from the optimize-style client flags."""
+    return PibeConfig(
+        defenses=DEFENSE_CHOICES[args.defenses](),
+        icp_budget=args.icp_budget,
+        inline_budget=args.inline_budget,
+        lax_heuristics=args.lax,
+    )
+
+
+def cmd_client(args) -> int:
+    """One request against a running ``repro serve`` instance."""
+    from repro.serve.client import DEFAULT_PORT, ServeClient, ServeError
+
+    client = ServeClient(
+        host=args.host,
+        port=args.port if args.port is not None else DEFAULT_PORT,
+        unix=args.unix,
+        timeout=args.timeout,
+    )
+    benches = args.bench.split(",") if args.bench else None
+    try:
+        with client:
+            if args.op == "ping":
+                result = client.ping()
+            elif args.op == "stats":
+                result = client.stats()
+            elif args.op == "shutdown":
+                result = client.shutdown()
+            elif args.op == "build":
+                result = client.build(_client_config(args), args.workload)
+            elif args.op == "measure":
+                result = client.measure(
+                    _client_config(args), benches, args.workload
+                )
+            elif args.op == "lint":
+                result = client.lint(_client_config(args), args.workload)
+            else:  # pragma: no cover — argparse choices guard this
+                raise SystemExit(f"unknown op {args.op!r}")
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"cannot reach server: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
 
 
 # -- argument wiring ----------------------------------------------------------
@@ -646,6 +742,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("-o", "--output", help="FailureReport JSON path")
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the persistent evaluation server (hardening-as-a-service)",
+    )
+    p.add_argument("--fast", action="store_true", help="small kernel/scales")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port (default: 8642; ignored with --unix)",
+    )
+    p.add_argument("--unix", help="serve on a unix socket path instead of TCP")
+    p.add_argument(
+        "--ready-file",
+        help="write the listening address here once accepting (CI handshake)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="run without a disk cache (default: .repro-cache)",
+    )
+    _add_harness_args(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "client", help="send one request to a running `repro serve`"
+    )
+    p.add_argument(
+        "op",
+        choices=("ping", "stats", "shutdown", "build", "measure", "lint"),
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None)
+    p.add_argument("--unix", help="unix socket path of the server")
+    p.add_argument("--timeout", type=float, default=300.0)
+    p.add_argument(
+        "--defenses", choices=sorted(DEFENSE_CHOICES), default="all",
+        help="config for build/measure/lint ops",
+    )
+    p.add_argument("--icp-budget", type=float, default=None)
+    p.add_argument("--inline-budget", type=float, default=None)
+    p.add_argument("--lax", action="store_true")
+    p.add_argument(
+        "-w", "--workload", choices=("lmbench", "apache"), default="lmbench"
+    )
+    p.add_argument(
+        "--bench", help="comma-separated benchmark names (measure op)"
+    )
+    p.set_defaults(func=cmd_client)
 
     return parser
 

@@ -182,3 +182,95 @@ def test_disk_usage_reflects_other_writers(tmp_path):
 
     # an empty root reports nothing rather than crashing
     assert DiskCache(tmp_path / "nowhere").disk_usage() == {}
+
+
+# -- cross-process concurrency (the serve/CI sharing story) ------------------
+#
+# Module-level workers: ProcessPoolExecutor pickles the callable, and the
+# children must import it fresh.
+
+
+def _hammer_same_key(args):
+    """Write and read one key repeatedly; return observed payload values."""
+    root, key, worker_id, iterations = args
+    cache = DiskCache(root)
+    seen = set()
+    for i in range(iterations):
+        cache.put("measure", key, {"writer": worker_id, "round": i})
+        entry = cache.get("measure", key)
+        if entry is not None:  # a concurrent quarantine would yield None
+            assert set(entry) == {"writer", "round"}
+            seen.add(entry["writer"])
+    return {"seen": sorted(seen), "stats": cache.stats()}
+
+
+def _read_under_corruption(args):
+    """Race the quarantine path: alternate corrupting and reading."""
+    root, key, iterations = args
+    cache = DiskCache(root)
+    path = cache.root / "measure" / f"{key}.json"
+    outcomes = {"valid": 0, "miss": 0}
+    for i in range(iterations):
+        if i % 2:
+            try:
+                path.write_text("{torn write", encoding="utf-8")
+            except OSError:
+                pass
+        else:
+            cache.put("measure", key, {"v": i})
+        entry = cache.get("measure", key)
+        outcomes["valid" if entry is not None else "miss"] += 1
+    outcomes["stats"] = cache.stats()
+    return outcomes
+
+
+def test_concurrent_writers_same_key_race_free(tmp_path):
+    """Two processes hammering one key never tear it: the atomic
+    tempfile + rename publish means every read parses and carries a
+    complete payload from one writer or the other."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    key = cache_key("contended")
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        results = list(
+            pool.map(
+                _hammer_same_key,
+                [(str(tmp_path), key, wid, 150) for wid in (1, 2)],
+            )
+        )
+    for result in results:
+        # no reader ever saw a corrupt entry
+        assert result["stats"]["corrupt"] == 0
+    # the slot holds one complete, parseable payload at the end
+    final = DiskCache(tmp_path).get("measure", key)
+    assert final is not None and final["writer"] in (1, 2)
+
+
+def test_quarantine_under_contention(tmp_path):
+    """Concurrent readers of a corrupted entry each either quarantine it
+    or take a clean miss — never an exception — and the counters add up
+    to what each process observed."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    key = cache_key("corruptible")
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        results = list(
+            pool.map(
+                _read_under_corruption,
+                [(str(tmp_path), key, 100)] * 2,
+            )
+        )
+    for outcome in results:
+        stats = outcome["stats"]
+        # every lookup is accounted for exactly once
+        assert stats["hits"] + stats["misses"] == 100
+        assert outcome["valid"] + outcome["miss"] == 100
+        assert stats["corrupt"] <= stats["misses"]
+    assert sum(r["stats"]["corrupt"] for r in results) >= 1
+    # quarantined copies are preserved for inspection, names are unique
+    cache = DiskCache(tmp_path)
+    quarantined = list(cache.quarantine_dir().glob("*.json"))
+    assert quarantined, "no corrupt entry was preserved"
+    # and the slot itself recovers with a fresh put
+    cache.put("measure", key, {"v": "clean"})
+    assert cache.get("measure", key) == {"v": "clean"}

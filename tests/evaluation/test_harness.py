@@ -62,3 +62,94 @@ def test_jumpswitches_measurement(ctx):
 def test_fast_settings_reduce_scale():
     fast = EvalSettings.fast()
     assert fast.measure_ops_scale < EvalSettings().measure_ops_scale
+
+
+# -- lifecycle ---------------------------------------------------------------
+
+
+def _lifecycle_settings(jobs=2):
+    return EvalSettings(
+        spec=SmallSpec(),
+        profile_iterations=1,
+        profile_ops_scale=0.05,
+        measure_ops_scale=0.1,
+        jobs=jobs,
+    )
+
+
+def test_pool_persists_across_measure_many_calls():
+    benches = (BY_NAME["null"],)
+    with EvalContext(_lifecycle_settings()) as local:
+        local.measure_many(
+            [
+                PibeConfig.lto_baseline(),
+                PibeConfig.hardened(DefenseConfig.retpolines_only()),
+            ],
+            benches,
+        )
+        pool = local._pool
+        assert pool is not None
+        local.measure_many(
+            [
+                PibeConfig.hardened(DefenseConfig.lvi_only()),
+                PibeConfig.pibe_baseline(),
+            ],
+            benches,
+        )
+        assert local._pool is pool  # reused, not rebuilt per call
+
+
+def test_close_releases_worker_processes():
+    import multiprocessing
+    import time
+
+    before = set(multiprocessing.active_children())
+    local = EvalContext(_lifecycle_settings())
+    local.measure_many(
+        [
+            PibeConfig.lto_baseline(),
+            PibeConfig.hardened(DefenseConfig.retpolines_only()),
+        ],
+        (BY_NAME["null"],),
+    )
+    assert local._pool is not None  # the persistent pool is live
+    local.close()
+    assert local.closed
+    assert local._pool is None
+    # shutdown(wait=True) reaps the workers; give the OS a beat to
+    # deliver the joins, then demand no strays beyond what preexisted.
+    deadline = time.monotonic() + 10
+    while time.monotonic() < deadline:
+        leaked = set(multiprocessing.active_children()) - before
+        if not leaked:
+            break
+        time.sleep(0.05)
+    assert not leaked, f"leaked worker processes: {leaked}"
+    local.close()  # idempotent
+
+
+def test_closed_context_rejects_new_work_but_serves_memo():
+    benches = (BY_NAME["null"],)
+    config = PibeConfig.lto_baseline()
+    with EvalContext(_lifecycle_settings(jobs=1)) as local:
+        values = local.measure(config, benches)
+    # memoized results stay readable after close...
+    assert local.measure(config, benches) is values
+    assert local.cached_measurement(config, benches, "lmbench") == values
+    # ...but anything that would compute is refused
+    with pytest.raises(RuntimeError, match="closed"):
+        local.measure(PibeConfig.pibe_baseline(), benches)
+    with pytest.raises(RuntimeError, match="closed"):
+        local.profile("apache")
+    with pytest.raises(RuntimeError, match="closed"):
+        local.measure_many([PibeConfig.pibe_baseline()], benches)
+
+
+def test_cached_measurement_does_not_evaluate():
+    benches = (BY_NAME["null"],)
+    config = PibeConfig.lto_baseline()
+    with EvalContext(_lifecycle_settings(jobs=1)) as local:
+        assert local.cached_measurement(config, benches, "lmbench") is None
+        assert not local._measurements  # the probe computed nothing
+        values = local.measure(config, benches)
+        assert local.cached_measurement(config, benches, "lmbench") == values

@@ -332,3 +332,32 @@ def test_cache_stats_json_counts_quarantine(tmp_path, capsys):
     assert payload["kinds"]["measure"]["entries"] == 1
     assert payload["total_entries"] == 1
     assert payload["quarantined"] == 1
+
+
+def test_cache_stats_json_is_byte_stable(tmp_path, capsys):
+    """`repro cache stats --json` is a deterministic snapshot: repeated
+    invocations over the same cache state render identical bytes (sorted
+    keys, stable kind ordering), so CI jobs and docs can diff it."""
+    from repro.evaluation.cache import DiskCache
+
+    cache = DiskCache(tmp_path)
+    # populate kinds in non-sorted order; output must not depend on it
+    cache.put("prefix", "p", {"module": {}})
+    cache.put("measure", "m", {"cycles": 1})
+    cache.put("lint", "l", {"ok": True})
+
+    assert (
+        main(["cache", "stats", "--cache-dir", str(tmp_path), "--json"]) == 0
+    )
+    first = capsys.readouterr().out
+    assert (
+        main(["cache", "stats", "--cache-dir", str(tmp_path), "--json"]) == 0
+    )
+    second = capsys.readouterr().out
+    assert first == second
+
+    payload = json.loads(first)
+    assert list(payload["kinds"]) == ["lint", "measure", "prefix"]
+    # key order inside the document is sorted too (byte-stability, not
+    # just dict equality)
+    assert first == json.dumps(payload, indent=2, sort_keys=True) + "\n"
