@@ -1,10 +1,17 @@
-"""Static-analyzer wall-time benchmark.
+"""Static-analyzer wall-time benchmarks.
 
-Lints the full default kernel (cold, all rules, with profile-dependent
-flow checking) and records wall time to ``BENCH_lint.json`` at the repo
-root. The analyzer gates CI and runs at every pass boundary under
-``verify_each``, so it must stay cheap: the budget is 10% of the
-documented cold ``full_evaluation --fast`` wall time (4.3s).
+Two budget records appended to ``BENCH_lint.json`` at the repo root:
+
+- ``lint_walltime`` — cold full lint of the default kernel (all rules,
+  with profile-dependent flow checking). The analyzer gates CI and runs
+  at every pass boundary under ``verify_each``, so it must stay cheap:
+  the budget is 10% of the documented cold ``full_evaluation --fast``
+  wall time (4.3s).
+- ``lint_scaled_incremental`` — the ~31k-function :class:`ScaledSpec`
+  kernel through the incremental engine, cold (every chunk missing)
+  then warm (every chunk cached). Carries its own wall-clock budget
+  plus a floor on the warm/cold speedup; both are asserted here and
+  re-asserted by the CI lint job against the recorded numbers.
 """
 
 import json
@@ -14,9 +21,10 @@ from pathlib import Path
 from _meta import stamp, write_record
 
 from repro.core.pipeline import PibePipeline
+from repro.evaluation.cache import DiskCache
 from repro.kernel.generator import build_kernel
-from repro.kernel.spec import DEFAULT_SPEC
-from repro.static import all_rules, analyze_module
+from repro.kernel.spec import DEFAULT_SPEC, ScaledSpec
+from repro.static import all_rules, analyze_module, lint_module
 from repro.workloads.lmbench import lmbench_workload
 
 RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_lint.json"
@@ -25,6 +33,14 @@ RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_lint.json"
 #: CHANGES.md (PR 1); the analyzer must cost under 10% of it.
 REFERENCE_FULL_EVAL_SECONDS = 4.3
 BUDGET_SECONDS = REFERENCE_FULL_EVAL_SECONDS * 0.10
+
+#: Cold incremental full lint of the 31k-function scaled kernel
+#: (fingerprint + analyze + populate ~250 chunk entries), with headroom
+#: for noisy CI (measured ~5.1s).
+SCALED_COLD_BUDGET_SECONDS = 15.0
+#: A fully-warm incremental lint must beat the cold one by at least
+#: this factor (measured ~11x).
+MIN_WARM_SPEEDUP = 5.0
 
 
 def test_lint_walltime_within_budget():
@@ -57,4 +73,50 @@ def test_lint_walltime_within_budget():
 
     assert seconds < BUDGET_SECONDS, (
         f"analyzer took {seconds:.3f}s, budget {BUDGET_SECONDS:.3f}s"
+    )
+
+
+def test_scaled_incremental_lint_within_budget(tmp_path):
+    module = build_kernel(ScaledSpec())
+    cache = DiskCache(tmp_path / "lint-cache")
+
+    start = time.perf_counter()
+    cold = lint_module(module, cache=cache)
+    cold_seconds = time.perf_counter() - start
+    assert cold.stats["cache_misses"] == len(module.functions)
+    assert not cold.errors(), cold.to_text()
+
+    start = time.perf_counter()
+    warm = lint_module(module, cache=cache)
+    warm_seconds = time.perf_counter() - start
+    assert warm.stats["cache_hits"] == len(module.functions)
+    assert warm.stats["cache_misses"] == 0
+    assert warm.to_json() == cold.to_json()
+
+    speedup = cold_seconds / warm_seconds if warm_seconds else float("inf")
+    record = {
+        "benchmark": "lint_scaled_incremental",
+        "kernel": "ScaledSpec",
+        "functions": len(module),
+        "instructions": module.size(),
+        "chunks": cold.stats["chunks"],
+        "diagnostics": len(cold.diagnostics),
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "warm_speedup": round(speedup, 2),
+        "budget_cold_seconds": SCALED_COLD_BUDGET_SECONDS,
+        "min_warm_speedup": MIN_WARM_SPEEDUP,
+    }
+    stamp(record)
+    write_record(RECORD_PATH, record)
+    print(f"\nscaled incremental lint benchmark ({RECORD_PATH.name}):")
+    print(json.dumps(record, indent=2))
+
+    assert cold_seconds < SCALED_COLD_BUDGET_SECONDS, (
+        f"cold scaled lint took {cold_seconds:.3f}s, "
+        f"budget {SCALED_COLD_BUDGET_SECONDS:.3f}s"
+    )
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"warm lint only {speedup:.1f}x faster than cold "
+        f"(floor {MIN_WARM_SPEEDUP}x)"
     )

@@ -22,6 +22,12 @@ from repro.analysis.gadgets import (
     forward_edge_census,
     target_count_distribution,
 )
+from repro.analysis.pointsto import (
+    PointsToResult,
+    SiteTargets,
+    analyze_pointsto,
+    pointsto_inputs_digest,
+)
 from repro.analysis.robustness import (
     OverlapReport,
     icp_candidates,
@@ -37,6 +43,11 @@ from repro.analysis.sizes import (
     slab_size_bytes,
     text_size_bytes,
 )
+from repro.analysis.security import (
+    SecurityMetrics,
+    SiteResidual,
+    security_metrics,
+)
 from repro.analysis.stack import StackUsageTracker
 
 __all__ = [
@@ -51,8 +62,13 @@ __all__ = [
     "MEM_PAGE_BYTES",
     "ModuleDiff",
     "OverlapReport",
+    "PointsToResult",
+    "SecurityMetrics",
+    "SiteResidual",
+    "SiteTargets",
     "SizeReport",
     "StackUsageTracker",
+    "analyze_pointsto",
     "backward_edge_census",
     "candidate_stats",
     "collect_branch_stats",
@@ -65,6 +81,8 @@ __all__ = [
     "inline_candidates",
     "mem_size_bytes",
     "peak_stack_bytes",
+    "pointsto_inputs_digest",
+    "security_metrics",
     "size_report",
     "slab_size_bytes",
     "target_count_distribution",

@@ -1,0 +1,442 @@
+"""Andersen-style flow-insensitive function-pointer points-to analysis.
+
+The feasible-target rule (``PIBE2xx``) bounds every indirect call by a
+*global* census: any address-taken function with a matching signature
+may be called anywhere.  That is the FineIBT/coarse-CFI bound.  This
+module computes a strictly tighter, still sound, per-site bound by
+actually propagating function-pointer *values* through the IR:
+
+- **table loads** — an ``ICALL`` that declares its source table
+  (``!fptr_table``) can only dispatch to that table's entries, and the
+  table's entries flow into the containing function's pointer
+  environment;
+- **calls** — passing arguments forwards the caller's pointer
+  environment into the callee (both along direct edges and along
+  already-resolved indirect edges, interleaved with the fixpoint);
+- **returns** — a callee's pointer environment flows back to every
+  caller;
+- **moves** — the IR has no first-class pointer locals; intra-function
+  moves are subsumed by the per-function environment (flow-insensitive
+  join of everything the function can hold).
+
+Soundness anchors (the properties the hypothesis suite checks):
+
+- every site's feasible set contains its interpreter ground truth
+  (``!targets``) and every profile-observed target — the analysis may
+  *never* rule out an edge that actually executes;
+- with the address-taken census defined (the module declares pointer
+  tables), every feasible set is a subset of the census: the analysis
+  refines the PIBE2xx universe, it cannot invent targets outside it.
+
+Unknowns degrade to ⊤ (top), never to ∅: inline-asm functions can
+fabricate pointers, asm call sites dispatch values the IR cannot see —
+both force the affected sets to the census bound (or to "unknown" when
+no census exists).
+
+The expensive constraint solve only runs when a module contains an
+indirect call that does *not* declare its table; the generated kernels
+declare a table at every site, so linting them takes the O(sites)
+fast path.  Results are memoized per module object and invalidated by
+``module.version``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import weakref
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.ir.module import Module
+from repro.ir.types import (
+    ATTR_ASM_SITE,
+    ATTR_FPTR_TABLE,
+    ATTR_TARGETS,
+    ATTR_VALUE_PROFILE,
+    Opcode,
+)
+
+#: Modules larger than this with undeclared icall sites skip the
+#: whole-module constraint solve and take the census bound at those
+#: sites instead (sound, less precise). Keeps pathological inputs from
+#: turning lint quadratic; the generated kernels never hit this (every
+#: site declares its table).
+SOLVE_FUNCTION_LIMIT = 4096
+
+
+@dataclass(frozen=True)
+class SiteTargets:
+    """Resolved target information for one indirect call site."""
+
+    site_id: int
+    function: str
+    block: str
+    num_args: int
+    #: declared ``!fptr_table`` name, if any
+    table: Optional[str]
+    #: inline-asm site (``!asm``) — the IR cannot see its dispatch value
+    asm: bool
+    #: interpreter ground truth ∪ profile-observed targets (defined only)
+    truth: FrozenSet[str]
+    #: raw data-flow set before signature filtering; ``None`` = ⊤
+    flow: Optional[FrozenSet[str]]
+    #: final sound may-target set; ``None`` = unbounded (no census to
+    #: fall back on)
+    feasible: Optional[FrozenSet[str]]
+    #: True when flow hit ⊤ and ``feasible`` fell back to the census
+    census_fallback: bool
+
+    @property
+    def bounded(self) -> bool:
+        return self.feasible is not None
+
+
+@dataclass
+class PointsToResult:
+    """Whole-module analysis result, one :class:`SiteTargets` per ICALL."""
+
+    module_name: str
+    census: FrozenSet[str]
+    census_known: bool
+    sites: Dict[int, SiteTargets] = field(default_factory=dict)
+    #: functions that participated in the constraint solve (0 = every
+    #: site declared its table and the solve was skipped)
+    solved_functions: int = 0
+
+    def site(self, site_id: int) -> Optional[SiteTargets]:
+        return self.sites.get(site_id)
+
+    def feasible_targets(self, site_id: int) -> Optional[FrozenSet[str]]:
+        st = self.sites.get(site_id)
+        return st.feasible if st is not None else None
+
+    def digest(self) -> str:
+        """Content hash of every resolved site (stable across runs)."""
+        payload = {
+            "census": sorted(self.census),
+            "census_known": self.census_known,
+            "sites": [
+                [
+                    st.site_id,
+                    st.function,
+                    st.num_args,
+                    st.table,
+                    st.asm,
+                    sorted(st.truth),
+                    sorted(st.flow) if st.flow is not None else None,
+                    sorted(st.feasible) if st.feasible is not None else None,
+                    st.census_fallback,
+                ]
+                for _, st in sorted(self.sites.items())
+            ],
+        }
+        blob = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# -- per-module memoization ---------------------------------------------------
+
+_MEMO: "weakref.WeakKeyDictionary[Module, Tuple[int, PointsToResult]]" = (
+    weakref.WeakKeyDictionary()
+)
+_DIGEST_MEMO: "weakref.WeakKeyDictionary[Module, Tuple[int, str]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def analyze_pointsto(module: Module) -> PointsToResult:
+    """Memoized points-to analysis of ``module`` (see module docstring)."""
+    cached = _MEMO.get(module)
+    if cached is not None and cached[0] == module.version:
+        return cached[1]
+    result = _analyze(module)
+    try:
+        _MEMO[module] = (module.version, result)
+    except TypeError:  # pragma: no cover - unweakrefable module stand-ins
+        pass
+    return result
+
+
+def pointsto_inputs_digest(module: Module) -> str:
+    """Hash of everything the solver reads — defense-tag *insensitive*.
+
+    Hardening only stamps defense tags on branches; it does not move
+    pointers.  Keying lint caches on this digest therefore lets every
+    variant of one optimized prefix share points-to-derived cache
+    entries, and lets a fully-warm lint skip the solve entirely.
+    """
+    cached = _DIGEST_MEMO.get(module)
+    if cached is not None and cached[0] == module.version:
+        return cached[1]
+    sites = []
+    edges = []
+    for func in module:
+        for block in func.blocks.values():
+            for inst in block.instructions:
+                if inst.opcode == Opcode.ICALL:
+                    sites.append(
+                        [
+                            inst.site_id,
+                            func.name,
+                            inst.num_args,
+                            inst.attrs.get(ATTR_FPTR_TABLE),
+                            bool(inst.attrs.get(ATTR_ASM_SITE)),
+                            sorted((inst.attrs.get(ATTR_TARGETS) or {})),
+                            sorted(
+                                t
+                                for t, _ in (
+                                    inst.attrs.get(ATTR_VALUE_PROFILE) or []
+                                )
+                            ),
+                        ]
+                    )
+                elif inst.opcode == Opcode.CALL and inst.callee:
+                    edges.append([func.name, inst.callee, inst.num_args])
+    payload = {
+        "tables": {
+            name: sorted(t.entries)
+            for name, t in sorted(module.fptr_tables.items())
+        },
+        "functions": sorted(
+            (f.name, f.num_params, f.is_instrumentable) for f in module
+        ),
+        "sites": sorted(sites),
+        "edges": sorted(edges),
+    }
+    blob = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    try:
+        _DIGEST_MEMO[module] = (module.version, digest)
+    except TypeError:  # pragma: no cover
+        pass
+    return digest
+
+
+# -- the analysis -------------------------------------------------------------
+
+
+@dataclass
+class _Site:
+    inst: object
+    function: str
+    block: str
+
+
+def _collect_sites(module: Module) -> List[_Site]:
+    out: List[_Site] = []
+    for func in module:
+        for block in func.blocks.values():
+            for inst in block.instructions:
+                if inst.opcode == Opcode.ICALL:
+                    out.append(_Site(inst, func.name, block.label))
+    return out
+
+
+def _truth_targets(inst, module: Module) -> FrozenSet[str]:
+    """Ground-truth ∪ profile-observed targets that are defined."""
+    names: Set[str] = set()
+    for t in inst.attrs.get(ATTR_TARGETS) or {}:
+        if t in module:
+            names.add(t)
+    for t, _count in inst.attrs.get(ATTR_VALUE_PROFILE) or []:
+        if t in module:
+            names.add(t)
+    return frozenset(names)
+
+
+def _arity_filter(
+    names: FrozenSet[str], num_args: int, params: Dict[str, int]
+) -> FrozenSet[str]:
+    return frozenset(
+        n for n in names if params.get(n, num_args) == num_args
+    )
+
+
+def _analyze(module: Module) -> PointsToResult:
+    census = module.address_taken()
+    census_known = bool(module.fptr_tables)
+    params = {f.name: f.num_params for f in module}
+    table_sets = {
+        name: frozenset(e for e in t.entries if e in module)
+        for name, t in module.fptr_tables.items()
+    }
+    sites = _collect_sites(module)
+
+    # The constraint solve is only needed to bound sites that neither
+    # declare a table nor are asm (asm sites go straight to the census
+    # bound — the IR cannot see their dispatch value).
+    needs_solve = any(
+        s.inst.attrs.get(ATTR_FPTR_TABLE) not in table_sets
+        and not s.inst.attrs.get(ATTR_ASM_SITE)
+        for s in sites
+    )
+    holds: Dict[str, Optional[FrozenSet[str]]] = {}
+    solved = 0
+    if needs_solve and len(module) <= SOLVE_FUNCTION_LIMIT:
+        holds = _solve_holds(module, census, census_known, params, table_sets)
+        solved = len(holds)
+    elif needs_solve:
+        # Bail out: every undeclared site takes the census bound (⊤).
+        holds = {f.name: None for f in module}
+
+    result = PointsToResult(
+        module_name=module.name,
+        census=census,
+        census_known=census_known,
+        solved_functions=solved,
+    )
+    census_bound = census if census_known else None
+
+    for s in sites:
+        inst = s.inst
+        truth = _truth_targets(inst, module)
+        table_name = inst.attrs.get(ATTR_FPTR_TABLE)
+        asm = bool(inst.attrs.get(ATTR_ASM_SITE))
+        flow: Optional[FrozenSet[str]]
+        fallback = False
+        if table_name in table_sets:
+            # The site loads its pointer out of a declared table: the
+            # table's (defined) entries are the exact value domain.
+            flow = table_sets[table_name]
+        elif asm:
+            flow = None
+        else:
+            flow = holds.get(s.function)
+
+        if flow is not None:
+            feasible: Optional[FrozenSet[str]] = (
+                _arity_filter(flow, inst.num_args, params) | truth
+            )
+        elif census_bound is not None:
+            fallback = True
+            feasible = (
+                _arity_filter(census_bound, inst.num_args, params) | truth
+            )
+        else:
+            feasible = None  # unbounded: no flow facts, no census
+
+        result.sites[inst.site_id] = SiteTargets(
+            site_id=inst.site_id,
+            function=s.function,
+            block=s.block,
+            num_args=inst.num_args,
+            table=table_name if table_name in table_sets else None,
+            asm=asm,
+            truth=truth,
+            flow=flow,
+            feasible=feasible,
+            census_fallback=fallback,
+        )
+    return result
+
+
+def _solve_holds(
+    module: Module,
+    census: FrozenSet[str],
+    census_known: bool,
+    params: Dict[str, int],
+    table_sets: Dict[str, FrozenSet[str]],
+) -> Dict[str, Optional[FrozenSet[str]]]:
+    """Fixpoint over per-function pointer environments.
+
+    Two set-valued facts per function ``f``:
+
+    - ``arg[f]``  — pointers reaching ``f`` through its parameters;
+    - ``hold[f]`` — every pointer ``f`` can hold (args ∪ table loads ∪
+      callee returns ∪ ground-truth seeds).
+
+    ``None`` is ⊤.  Edges: ``arg[f] ⊆ hold[f]``; for every call edge
+    ``g → h``: ``hold[g] ⊆ arg[h]`` when the call passes arguments, and
+    ``hold[h] ⊆ hold[g]`` always (return-value flow).  Indirect call
+    edges resolve against the current solution and are re-derived every
+    round, so the callee set and the environments grow together to a
+    mutual fixpoint (standard Andersen dynamics).  Inline-asm functions
+    seed at ⊤.  Naive iteration is fine at the scale this path runs —
+    declared-table kernels never enter it.
+    """
+    TOP = None
+    arg: Dict[str, Optional[Set[str]]] = {}
+    hold: Dict[str, Optional[Set[str]]] = {}
+    for func in module:
+        if func.is_instrumentable:
+            arg[func.name] = set()
+            hold[func.name] = set()
+        else:
+            arg[func.name] = TOP
+            hold[func.name] = TOP
+
+    # Static seeds: table loads and ground-truth/profile targets.
+    calls: Dict[str, List[Tuple[str, int]]] = {f.name: [] for f in module}
+    icalls: Dict[str, List[object]] = {f.name: [] for f in module}
+    for func in module:
+        for block in func.blocks.values():
+            for inst in block.instructions:
+                if inst.opcode == Opcode.ICALL:
+                    icalls[func.name].append(inst)
+                    if hold[func.name] is TOP:
+                        continue
+                    t = inst.attrs.get(ATTR_FPTR_TABLE)
+                    if t in table_sets:
+                        hold[func.name].update(table_sets[t])
+                    hold[func.name].update(_truth_targets(inst, module))
+                elif inst.opcode == Opcode.CALL and inst.callee in params:
+                    calls[func.name].append((inst.callee, inst.num_args))
+
+    def union_into(
+        dst: Dict[str, Optional[Set[str]]], key: str, src: Optional[Set[str]]
+    ) -> bool:
+        cur = dst[key]
+        if cur is TOP:
+            return False
+        if src is TOP:
+            dst[key] = TOP
+            return True
+        if src is None or src <= cur:
+            return False
+        cur |= src
+        return True
+
+    def site_callees(owner: str, inst) -> Optional[Set[str]]:
+        """Current candidate callees of an icall (None = ⊤-driven)."""
+        t = inst.attrs.get(ATTR_FPTR_TABLE)
+        if t in table_sets:
+            cands: Optional[Set[str]] = set(table_sets[t])
+        elif inst.attrs.get(ATTR_ASM_SITE) or hold[owner] is TOP:
+            cands = set(census) if census_known else None
+        else:
+            cands = set(hold[owner])
+        truth = _truth_targets(inst, module)
+        if cands is None:
+            cands = set(truth)
+        else:
+            cands |= truth
+        return {
+            c
+            for c in cands
+            if c in params and params[c] == inst.num_args
+        }
+
+    changed = True
+    rounds = 0
+    while changed:
+        changed = False
+        rounds += 1
+        if rounds > 4 * (len(params) + 1):  # pragma: no cover - safety net
+            break
+        for func in module:
+            g = func.name
+            edges: List[Tuple[str, int]] = list(calls[g])
+            for inst in icalls[g]:
+                for h in site_callees(g, inst):
+                    edges.append((h, inst.num_args))
+            for h, num_args in edges:
+                if num_args > 0:
+                    changed |= union_into(arg, h, hold[g])
+                changed |= union_into(hold, g, hold[h])
+            changed |= union_into(hold, g, arg[g])
+
+    return {
+        name: (frozenset(v) if v is not TOP else None)
+        for name, v in hold.items()
+    }

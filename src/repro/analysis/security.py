@@ -1,0 +1,162 @@
+"""Residual indirect-target security metrics (FineIBT/PAC-style).
+
+PIBE's security argument — and the evaluation methodology of FineIBT
+(Gaidis et al.) and PAC-based kernel CFI (Yang et al.) — is the *size of
+the residual indirect-target set*: after profile-guided elimination and
+hardening, how many targets can each remaining indirect branch still
+reach?  This module turns the points-to analysis into those numbers:
+
+- per-site residual counts (the points-to feasible sets of
+  :mod:`repro.analysis.pointsto`), against two baselines:
+  the global address-taken census (coarse CFI / IBT) and the
+  arity-filtered census (type-based CFI, our PIBE2xx bound);
+- an AIR-style score (Average Indirect-target Reduction, Zhang & Sekar):
+  ``1 - mean_i(|S_i| / |census|)`` — the fraction of the address-taken
+  universe the average site can no longer reach;
+- a reduction factor vs the type-based bound, isolating what the
+  points-to refinement buys beyond signatures.
+
+The result is a plain dict-convertible record so the upcoming Pareto
+sweep can attach it to every variant next to cycles and size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.pointsto import PointsToResult, analyze_pointsto
+from repro.ir.module import Module
+
+
+@dataclass(frozen=True)
+class SiteResidual:
+    """Residual-target accounting for one indirect call site."""
+
+    site_id: int
+    function: str
+    #: |points-to feasible set|; None = unbounded (no census, flow ⊤)
+    residual: Optional[int]
+    #: |census ∩ arity| — the type-based (PIBE2xx) bound at this site
+    type_bound: int
+    #: |census| — the coarse address-taken bound
+    census_bound: int
+    #: number of profile/ground-truth-observed targets
+    observed: int
+
+
+@dataclass
+class SecurityMetrics:
+    """Per-variant residual-target metrics for the Pareto sweep."""
+
+    label: str
+    icall_sites: int
+    #: sites with a finite feasible set
+    bounded_sites: int
+    #: sites that degraded to the census fallback (⊤ flow)
+    fallback_sites: int
+    #: address-taken census size (0 when the module declares no tables)
+    census_size: int
+    #: Σ per-site residual counts (bounded sites only)
+    residual_total: int
+    #: Σ per-site type-based bounds
+    type_bound_total: int
+    residual_mean: float
+    residual_max: int
+    #: AIR-style score vs the census universe, in [0, 1]
+    air: float
+    #: 1 - residual_total / type_bound_total (points-to win over arity)
+    reduction_vs_type: float
+    sites: List[SiteResidual] = field(default_factory=list)
+
+    def to_dict(self, include_sites: bool = False) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "label": self.label,
+            "icall_sites": self.icall_sites,
+            "bounded_sites": self.bounded_sites,
+            "fallback_sites": self.fallback_sites,
+            "census_size": self.census_size,
+            "residual_total": self.residual_total,
+            "type_bound_total": self.type_bound_total,
+            "residual_mean": round(self.residual_mean, 4),
+            "residual_max": self.residual_max,
+            "air": round(self.air, 6),
+            "reduction_vs_type": round(self.reduction_vs_type, 6),
+        }
+        if include_sites:
+            out["sites"] = [
+                {
+                    "site_id": s.site_id,
+                    "function": s.function,
+                    "residual": s.residual,
+                    "type_bound": s.type_bound,
+                    "census_bound": s.census_bound,
+                    "observed": s.observed,
+                }
+                for s in sorted(self.sites, key=lambda s: s.site_id)
+            ]
+        return out
+
+
+def security_metrics(
+    module: Module,
+    result: Optional[PointsToResult] = None,
+    label: str = "",
+) -> SecurityMetrics:
+    """Compute residual-target metrics for ``module``.
+
+    ``result`` lets callers reuse an existing points-to solution (the
+    analyzer context's, a cached one); by default the memoized
+    per-module analysis is used.
+    """
+    pt = result if result is not None else analyze_pointsto(module)
+    params = {f.name: f.num_params for f in module}
+
+    sites: List[SiteResidual] = []
+    for site_id, st in sorted(pt.sites.items()):
+        type_bound = sum(
+            1 for t in pt.census if params.get(t) == st.num_args
+        )
+        sites.append(
+            SiteResidual(
+                site_id=site_id,
+                function=st.function,
+                residual=(
+                    len(st.feasible) if st.feasible is not None else None
+                ),
+                type_bound=type_bound,
+                census_bound=len(pt.census),
+                observed=len(st.truth),
+            )
+        )
+
+    bounded = [s for s in sites if s.residual is not None]
+    census_size = len(pt.census)
+    residual_total = sum(s.residual for s in bounded)  # type: ignore[misc]
+    type_total = sum(s.type_bound for s in bounded)
+    if bounded and census_size:
+        air = 1.0 - sum(
+            (s.residual or 0) / census_size for s in bounded
+        ) / len(bounded)
+    else:
+        air = 0.0
+    return SecurityMetrics(
+        label=label or module.name,
+        icall_sites=len(sites),
+        bounded_sites=len(bounded),
+        fallback_sites=sum(
+            1 for st in pt.sites.values() if st.census_fallback
+        ),
+        census_size=census_size,
+        residual_total=residual_total,
+        type_bound_total=type_total,
+        residual_mean=(
+            residual_total / len(bounded) if bounded else 0.0
+        ),
+        residual_max=max((s.residual or 0 for s in bounded), default=0),
+        air=max(0.0, min(1.0, air)),
+        reduction_vs_type=(
+            1.0 - residual_total / type_total if type_total else 0.0
+        ),
+        sites=sites,
+    )

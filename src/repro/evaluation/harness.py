@@ -131,6 +131,7 @@ class EvalContext:
         self._profiles: Dict[str, EdgeProfile] = {}
         self._variants: Dict[str, BuildResult] = {}
         self._measurements: Dict[str, Dict[str, float]] = {}
+        self._lints: Dict[str, object] = {}
         self._fingerprints: Dict[bool, str] = {}
         # Persistent worker pool: created on the first parallel
         # measure_many and reused by every later call (the serve layer
@@ -246,6 +247,99 @@ class EvalContext:
         build = self.pipeline.build_variant(config, profile)
         self._variants[key] = build
         return build
+
+    # -- lint ---------------------------------------------------------------
+
+    def lint(
+        self,
+        config: PibeConfig,
+        workload_name: str = "lmbench",
+        rules: Optional[Sequence[str]] = None,
+        jobs: Optional[int] = None,
+    ):
+        """Incrementally lint a built variant, sharding cache misses over
+        the persistent worker pool.
+
+        Reports are memoized like measurements, and the incremental
+        engine's disk cache (shared ``"lint"`` kind) makes even the
+        first lint of a *new* variant warm when it shares an optimized
+        prefix with an already-linted one — sweep variants differ only
+        in defense stamps, and the function-chunk keys are
+        content-addressed.
+        """
+        self._check_open()
+        rule_key = ",".join(rules) if rules else "*"
+        workload = workload_name if config.optimized else "-"
+        key = f"{config.label()}@{workload}|{rule_key}"
+        cached = self._lints.get(key)
+        if cached is not None:
+            return cached
+        from repro.static.incremental import lint_module
+
+        build = self.variant(config, workload_name)
+        profile = self.profile(workload_name) if config.optimized else None
+        jobs = self.settings.jobs if jobs is None else jobs
+        map_shards = (
+            self._lint_shards_mapper(config, workload_name)
+            if jobs > 1
+            else None
+        )
+        report = lint_module(
+            build.module,
+            rules=list(rules) if rules else None,
+            profile=profile,
+            cache=self.cache,
+            jobs=max(jobs, 1),
+            map_shards=map_shards,
+        )
+        self._lints[key] = report
+        return report
+
+    def _lint_shards_mapper(self, config: PibeConfig, workload_name: str):
+        """Shard executor over the persistent pool.
+
+        Workers resolve the variant through their own (fork-inherited or
+        rebuilt) context — deterministic build ids make the module, and
+        therefore every site id in the diagnostics, bit-identical to the
+        parent's.  A shard whose future is lost comes back ``None`` and
+        the incremental engine recomputes it inline; a broken pool is
+        replaced so later batches start healthy.
+        """
+
+        def mapper(shards):
+            global _WORKER_CTX
+            if config.optimized:
+                # Materialize profile + variant before workers fork so
+                # they inherit the memoized module instead of rebuilding.
+                self.profile(workload_name)
+            self.variant(config, workload_name)
+            plan = faults.active_plan()
+            _WORKER_CTX = self
+            pool = self._ensure_pool(min(len(shards), self._max_jobs()), plan)
+            futures = [
+                pool.submit(
+                    _lint_shard_cell, (config, workload_name, shard)
+                )
+                for shard in shards
+            ]
+            results = []
+            broken = False
+            for fut in futures:
+                try:
+                    results.append(fut.result())
+                except BrokenExecutor:
+                    results.append(None)
+                    broken = True
+                except Exception:  # noqa: BLE001 — recomputed inline
+                    results.append(None)
+            if broken:
+                self._replace_pool(plan, kill=True)
+            return results
+
+        return mapper
+
+    def _max_jobs(self) -> int:
+        return max(self.settings.jobs, 1)
 
     # -- measurements -------------------------------------------------------------
 
@@ -746,6 +840,26 @@ def _measure_cell(
     config, benches, workload_name = cell
     assert _WORKER_CTX is not None, "worker initialized without a context"
     return _WORKER_CTX.measure(config, benches, workload_name)
+
+
+def _lint_shard_cell(cell):
+    """Run one lint shard (rule-names × function-names) in a worker.
+
+    The worker resolves the variant through its own context: forked
+    workers inherit the parent's memoized build outright, spawned ones
+    rebuild it bit-identically (deterministic build ids), so diagnostics
+    — including site ids — match the parent's.
+    """
+    config, workload_name, shard = cell
+    assert _WORKER_CTX is not None, "worker initialized without a context"
+    from repro.static.incremental import run_shard
+
+    build = _WORKER_CTX.variant(config, workload_name)
+    profile = (
+        _WORKER_CTX.profile(workload_name) if config.optimized else None
+    )
+    rule_names, func_names = shard
+    return run_shard(build.module, profile, rule_names, func_names)
 
 
 @functools.lru_cache(maxsize=2)

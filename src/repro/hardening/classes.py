@@ -1,0 +1,138 @@
+"""Data-driven speculation-defense protection classes.
+
+The speculation-coverage rule used to hard-code the mapping from defense
+tags to the protection classes of the paper's taxonomy (``SPECTRE_V2_SAFE``
+/ ``RSB_SAFE`` / ``LVI_SAFE`` frozensets consulted through an if/elif
+ladder).  That made every new hardening backend — FineIBT, PAC-based
+kernel CFI — a rule edit.  This module turns the table into a registry
+keyed by defense tag:
+
+- the stock :class:`~repro.hardening.defenses.Defense` tags are seeded
+  from the same frozensets, so checker and lowering cannot drift;
+- a new backend calls :func:`register_defense_classes` with the attack
+  vectors its tag closes, and the speculation rule accepts the tag as an
+  alternative lowering wherever it covers every class the config
+  promises — no rule edit required;
+- :func:`registry_snapshot` is stable, canonical key material for the
+  incremental-lint cache (a registry change must invalidate cached
+  speculation diagnostics).
+
+Class names intentionally match the ``protects`` vocabulary of
+:mod:`repro.hardening.custom` (``spectre_v2`` / ``ret2spec`` / ``lvi``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from repro.hardening.defenses import (
+    LVI_SAFE,
+    RSB_SAFE,
+    SPECTRE_V2_SAFE,
+    DefenseConfig,
+)
+from repro.ir.types import Opcode
+
+#: Forward-edge BTB poisoning (Spectre V2).
+SPECTRE_V2 = "spectre_v2"
+#: Backward-edge RSB poisoning (Ret2spec).
+RET2SPEC = "ret2spec"
+#: Load value injection on the target load.
+LVI = "lvi"
+
+KNOWN_CLASSES = frozenset({SPECTRE_V2, RET2SPEC, LVI})
+
+
+def _seed_builtin() -> Dict[str, FrozenSet[str]]:
+    classes: Dict[str, set] = {}
+    for tag in SPECTRE_V2_SAFE:
+        classes.setdefault(tag, set()).add(SPECTRE_V2)
+    for tag in RSB_SAFE:
+        classes.setdefault(tag, set()).add(RET2SPEC)
+    for tag in LVI_SAFE:
+        classes.setdefault(tag, set()).add(LVI)
+    return {tag: frozenset(protects) for tag, protects in classes.items()}
+
+
+#: Stock tag -> protection classes, derived from the defense frozensets.
+_BUILTIN: Dict[str, FrozenSet[str]] = _seed_builtin()
+#: Backend extension tags registered at runtime.
+_EXTRA: Dict[str, FrozenSet[str]] = {}
+
+
+def register_defense_classes(tag: str, protects: Iterable[str]) -> None:
+    """Register (or update) an extension defense tag's protection classes.
+
+    Stock tags are immutable — their classes come from the lowering's own
+    frozensets and re-mapping them would let checker and code drift.
+    """
+    if tag in _BUILTIN:
+        raise ValueError(f"stock defense tag {tag!r} cannot be re-mapped")
+    protects = frozenset(protects)
+    unknown = protects - KNOWN_CLASSES
+    if unknown:
+        raise ValueError(
+            f"unknown protection class(es) {sorted(unknown)} for tag "
+            f"{tag!r}; known: {sorted(KNOWN_CLASSES)}"
+        )
+    _EXTRA[tag] = protects
+
+
+def unregister_defense_classes(tag: str) -> None:
+    """Remove an extension tag (stock tags cannot be removed)."""
+    _EXTRA.pop(tag, None)
+
+
+def clear_extension_classes() -> None:
+    """Drop every runtime-registered extension tag (test hygiene)."""
+    _EXTRA.clear()
+
+
+def is_class_registered(tag: str) -> bool:
+    """Whether ``tag`` appears in the registry (stock or extension)."""
+    return tag in _BUILTIN or tag in _EXTRA
+
+
+def defense_classes(tag: str) -> FrozenSet[str]:
+    """Protection classes ``tag`` provides (empty for unknown tags)."""
+    if tag in _EXTRA:
+        return _EXTRA[tag]
+    return _BUILTIN.get(tag, frozenset())
+
+
+def tags_for_class(cls: str) -> FrozenSet[str]:
+    """Every registered tag that protects ``cls``."""
+    return frozenset(
+        tag
+        for tag, protects in {**_BUILTIN, **_EXTRA}.items()
+        if cls in protects
+    )
+
+
+def required_classes(opcode: Opcode, config: DefenseConfig) -> List[str]:
+    """Protection classes ``config`` promises for a branch of ``opcode``.
+
+    This is the config side of the taxonomy: which attack vectors the
+    DefenseConfig claims to close on each edge kind.
+    """
+    required: List[str] = []
+    if opcode in (Opcode.ICALL, Opcode.IJUMP):
+        if config.retpolines:
+            required.append(SPECTRE_V2)
+        if config.lvi_cfi:
+            required.append(LVI)
+    elif opcode == Opcode.RET:
+        if config.ret_retpolines:
+            required.append(RET2SPEC)
+        if config.lvi_cfi:
+            required.append(LVI)
+    return required
+
+
+def registry_snapshot() -> Tuple[Tuple[str, Tuple[str, ...]], ...]:
+    """Canonical, sorted (tag, classes) pairs — cache-key material."""
+    merged = {**_BUILTIN, **_EXTRA}
+    return tuple(
+        (tag, tuple(sorted(protects)))
+        for tag, protects in sorted(merged.items())
+    )

@@ -43,6 +43,7 @@ from repro.ir.types import (
     ATTR_CASE_WEIGHTS,
     ATTR_EDGE_COUNT,
     ATTR_CLONED_FROM,
+    ATTR_FPTR_TABLE,
     ATTR_ICP_SITE,
     ATTR_P_TAKEN,
     ATTR_PROMOTED,
@@ -93,6 +94,7 @@ _ICP_SITE_RE = re.compile(r"!icp_site=(\d+)")
 _CLONED_FROM_RE = re.compile(r"!cloned_from=(\d+)")
 _VP_RE = re.compile(r"!vp=(\[.*?\])(?:\s|$|;)")
 _DEFENSE_RE = re.compile(r"!defense=([\w]+)")
+_FPTR_TABLE_RE = re.compile(r"!table=([\w.]+)")
 
 _SIMPLE_OPCODES = {
     "arith": Opcode.ARITH,
@@ -184,6 +186,9 @@ def _parse_instruction_body(text: str, line_no: int) -> Instruction:
             inst.attrs[ATTR_VCALL] = True
         if "!asm" in trailer:
             inst.attrs[ATTR_ASM_SITE] = True
+        table = _FPTR_TABLE_RE.search(trailer)
+        if table:
+            inst.attrs[ATTR_FPTR_TABLE] = table.group(1)
         return inst
 
     match = _BR_RE.match(text)

@@ -13,6 +13,7 @@ from repro.ir.types import (
     ATTR_CASE_WEIGHTS,
     ATTR_CLONED_FROM,
     ATTR_EDGE_COUNT,
+    ATTR_FPTR_TABLE,
     ATTR_ICP_SITE,
     ATTR_P_TAKEN,
     ATTR_PROMOTED,
@@ -45,6 +46,8 @@ def format_instruction(inst: Instruction) -> str:
             text += " !vcall"
         if inst.attrs.get(ATTR_ASM_SITE):
             text += " !asm"
+        if inst.attrs.get(ATTR_FPTR_TABLE):
+            text += f" !table={inst.attrs[ATTR_FPTR_TABLE]}"
         vp = inst.attrs.get(ATTR_VALUE_PROFILE)
         if vp:
             text += f" !vp={vp}"

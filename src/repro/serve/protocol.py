@@ -185,6 +185,17 @@ def build_key(config: PibeConfig, workload: str) -> str:
     return cache_key("serve.build", config_to_dict(config), workload)
 
 
+def lint_key(
+    config: PibeConfig, workload: str, rules: Optional[List[str]]
+) -> str:
+    return cache_key(
+        "serve.lint",
+        config_to_dict(config),
+        workload,
+        sorted(rules) if rules else None,
+    )
+
+
 # -- framing -----------------------------------------------------------------
 
 

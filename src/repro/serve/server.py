@@ -528,27 +528,46 @@ class ReproServer:
         rules = request.params.get("rules")
         if rules is not None and not isinstance(rules, list):
             raise ProtocolError("'rules' must be a list of rule names")
-        return await asyncio.get_running_loop().run_in_executor(
-            self._eval_pool,
-            partial(self._lint_inline, config, workload, rules),
-        )
+        # Single-flight: concurrent identical lints (sweep drivers batch
+        # one lint per variant) coalesce onto one incremental run.
+        key = protocol.lint_key(config, workload, rules)
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            self.counters["single_flight_hits"] += 1
+            return dict(await asyncio.shield(inflight))
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future" = loop.create_future()
+        self._inflight[key] = future
+        try:
+            result = await loop.run_in_executor(
+                self._eval_pool,
+                partial(self._lint_inline, config, workload, rules),
+            )
+        except Exception as exc:
+            if not future.done():
+                future.set_exception(exc)
+                future.exception()
+            raise
+        else:
+            future.set_result(result)
+            return dict(result)
+        finally:
+            self._inflight.pop(key, None)
 
     def _lint_inline(
         self, config, workload: str, rules: Optional[List[str]]
     ) -> Dict[str, Any]:
-        """Runs on the eval thread: lint a (memoized) variant."""
+        """Runs on the eval thread: incrementally lint a (memoized)
+        variant.  Sweep variants share an optimized prefix, so their
+        function-chunk cache entries overlap heavily and most lints run
+        warm; stats are surfaced so clients can see the hit rate."""
         import json as _json
 
-        from repro.static import analyze_module
-
-        build = self.ctx.variant(config, workload)
-        profile = self.ctx.profile(workload) if config.optimized else None
-        report = analyze_module(
-            build.module, rules=rules or None, profile=profile
-        )
+        report = self.ctx.lint(config, workload, rules=rules or None)
         return {
             "label": config.label(),
             "report": _json.loads(report.to_json()),
+            "stats": dict(report.stats or {}),
         }
 
     async def _op_stats(self, request: Request) -> Dict[str, Any]:

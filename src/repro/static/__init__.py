@@ -26,13 +26,23 @@ from repro.static.analyzer import (
     analyze_module,
     assert_clean,
 )
+from repro.static.baseline import (
+    BASELINE_FILENAME,
+    load_baseline,
+    new_diagnostics,
+    write_baseline,
+)
 from repro.static.diagnostics import Diagnostic, DiagnosticReport, Severity
+from repro.static.incremental import LINT_CACHE_VERSION, lint_module
 from repro.static.registry import Rule, all_rules, get_rule, select_rules
+from repro.static.sarif import to_sarif, to_sarif_json
 
 __all__ = [
     "AnalysisContext",
+    "BASELINE_FILENAME",
     "Diagnostic",
     "DiagnosticReport",
+    "LINT_CACHE_VERSION",
     "Rule",
     "Severity",
     "StaticAnalysisError",
@@ -41,5 +51,11 @@ __all__ = [
     "analyze_module",
     "assert_clean",
     "get_rule",
+    "lint_module",
+    "load_baseline",
+    "new_diagnostics",
     "select_rules",
+    "to_sarif",
+    "to_sarif_json",
+    "write_baseline",
 ]

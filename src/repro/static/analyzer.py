@@ -57,6 +57,15 @@ class AnalysisContext:
         self._num_params: Optional[Dict[str, int]] = None
 
     @property
+    def pointsto(self):
+        """Andersen points-to solution for the module (lazy + memoized
+        per module object, so repeated contexts over one module share
+        the solve)."""
+        from repro.analysis.pointsto import analyze_pointsto
+
+        return analyze_pointsto(self.module)
+
+    @property
     def has_fptr_tables(self) -> bool:
         """Whether the module declares any function-pointer tables.
 
@@ -104,7 +113,7 @@ class StaticAnalyzer:
                 continue
             report.rules.append(rule.name)
             report.extend(list(rule.run(module, ctx)))
-        return report
+        return report.sort()
 
 
 def _by_name(name: str) -> Rule:

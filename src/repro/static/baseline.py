@@ -1,0 +1,121 @@
+"""Baseline / suppression files: gate CI on *new* diagnostics only.
+
+A baseline records the accepted findings of a known state of the tree
+(``.repro-lint-baseline.json`` at the repo root).  CI lints, subtracts
+the baseline, and fails only on findings that are not accounted for —
+so turning on a new rule (or tightening an old one) over a large tree
+does not require fixing every historical finding first.
+
+Matching is by *identity multiset*: ``(code, function, block, message)``
+counts.  Site ids are deliberately excluded — they come from a global
+allocator and shift whenever unrelated code is rebuilt, which would
+invalidate every baseline entry on every kernel regeneration.  For the
+same reason numbers inside messages (several rules quote site ids or
+counts in prose) are masked to ``#`` before matching; the multiset
+counts keep distinct same-shape findings separate.  A baseline entry
+suppresses at most ``count`` findings of its identity; extra
+occurrences surface as new.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.static.diagnostics import Diagnostic, DiagnosticReport
+
+BASELINE_VERSION = 1
+#: conventional file name at the repository root
+BASELINE_FILENAME = ".repro-lint-baseline.json"
+
+_Identity = Tuple[str, str, str, str]
+
+_NUMBERS = re.compile(r"\d+")
+
+
+def _identity(diag: Diagnostic) -> _Identity:
+    # Block labels of ICP-generated chains embed the site id
+    # ("icp123.d0"), so they are masked alongside the message.
+    return (
+        diag.code,
+        diag.function or "",
+        _NUMBERS.sub("#", diag.block or ""),
+        _NUMBERS.sub("#", diag.message),
+    )
+
+
+def baseline_from_report(report: DiagnosticReport) -> Dict[str, object]:
+    """Build a baseline document accepting every finding in ``report``."""
+    counts = Counter(_identity(d) for d in report.diagnostics)
+    return {
+        "version": BASELINE_VERSION,
+        "module": report.module_name,
+        "suppressions": [
+            {
+                "code": code,
+                "function": function,
+                "block": block,
+                "message": message,
+                "count": count,
+            }
+            for (code, function, block, message), count in sorted(
+                counts.items()
+            )
+        ],
+    }
+
+
+def write_baseline(path: Path, report: DiagnosticReport) -> None:
+    doc = baseline_from_report(report)
+    path.write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def load_baseline(path: Path) -> Counter:
+    """Load a baseline into an identity-multiset counter.
+
+    A missing file is an empty baseline (everything is new) — the
+    convenient semantics for bootstrapping a repo without one.
+    """
+    if not path.exists():
+        return Counter()
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    version = doc.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported lint baseline version {version!r} in {path} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    counts: Counter = Counter()
+    for entry in doc.get("suppressions", []):
+        identity = (
+            str(entry["code"]),
+            str(entry.get("function", "")),
+            # Mask here too so hand-edited baselines with literal
+            # numbers still match.
+            _NUMBERS.sub("#", str(entry.get("block", ""))),
+            _NUMBERS.sub("#", str(entry["message"])),
+        )
+        counts[identity] += int(entry.get("count", 1))
+    return counts
+
+
+def new_diagnostics(
+    report: DiagnosticReport, baseline: Counter
+) -> List[Diagnostic]:
+    """Findings in ``report`` not covered by ``baseline``, in canonical
+    order.  Each suppression absorbs up to its ``count`` occurrences of
+    its identity; the overflow is new."""
+    remaining = Counter(baseline)
+    fresh: List[Diagnostic] = []
+    for diag in sorted(report.diagnostics, key=Diagnostic.sort_key):
+        identity = _identity(diag)
+        if remaining[identity] > 0:
+            remaining[identity] -= 1
+        else:
+            fresh.append(diag)
+    return fresh

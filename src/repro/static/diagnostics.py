@@ -84,6 +84,35 @@ class Diagnostic:
             out["site_id"] = self.site_id
         return out
 
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "Diagnostic":
+        """Inverse of :meth:`to_dict` (used by the lint disk cache)."""
+        return cls(
+            code=str(record["code"]),
+            severity=Severity[str(record["severity"]).upper()],
+            message=str(record["message"]),
+            rule=str(record.get("rule", "")),
+            function=record.get("function"),  # type: ignore[arg-type]
+            block=record.get("block"),  # type: ignore[arg-type]
+            site_id=record.get("site_id"),  # type: ignore[arg-type]
+        )
+
+    def sort_key(self) -> tuple:
+        """Canonical emission order: code, then location, then text.
+
+        Every report is sorted by this key before rendering or
+        serialization, so output is deterministic regardless of rule
+        execution order, sharding, or cache-hit interleaving.
+        """
+        return (
+            self.code,
+            self.function or "",
+            self.block or "",
+            self.site_id if self.site_id is not None else -1,
+            self.message,
+            self.rule,
+        )
+
 
 @dataclass
 class DiagnosticReport:
@@ -93,6 +122,11 @@ class DiagnosticReport:
     #: names of the rules that ran (even if they found nothing)
     rules: List[str] = field(default_factory=list)
     diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: incremental-lint execution stats (cache_hits / cache_misses /
+    #: shards / functions); ``None`` for plain ``analyze_module`` runs.
+    #: Deliberately excluded from :meth:`to_json` — two runs with
+    #: different cache temperatures must serialize identically.
+    stats: Optional[Dict[str, int]] = None
 
     def add(self, diag: Diagnostic) -> None:
         self.diagnostics.append(diag)
@@ -125,6 +159,11 @@ class DiagnosticReport:
             out[str(d.severity)] += 1
         return out
 
+    def sort(self) -> "DiagnosticReport":
+        """Impose the canonical diagnostic order (in place, returns self)."""
+        self.diagnostics.sort(key=Diagnostic.sort_key)
+        return self
+
     def __bool__(self) -> bool:
         return bool(self.diagnostics)
 
@@ -154,10 +193,14 @@ class DiagnosticReport:
         return "\n".join(lines + [summary])
 
     def to_json(self, indent: Optional[int] = 2) -> str:
+        """Byte-stable JSON: keys sorted, diagnostics in canonical order."""
         record = {
             "module": self.module_name,
             "rules": list(self.rules),
             "counts": self.counts(),
-            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "diagnostics": [
+                d.to_dict()
+                for d in sorted(self.diagnostics, key=Diagnostic.sort_key)
+            ],
         }
-        return json.dumps(record, indent=indent)
+        return json.dumps(record, indent=indent, sort_keys=True)

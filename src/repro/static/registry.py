@@ -24,7 +24,13 @@ class Rule:
     Subclasses set :attr:`name`, :attr:`codes` (every diagnostic code the
     rule may emit, mapped to a short summary — the rule catalog in
     ``docs/static_analysis.md`` is generated from these) and implement
-    :meth:`run`, yielding :class:`Diagnostic` records.
+    :meth:`check_function` and/or :meth:`check_module`, yielding
+    :class:`Diagnostic` records.  The split is what makes incremental
+    lint possible: per-function findings are cached keyed on the
+    function's fingerprint, so a rule must route every finding that can
+    be recomputed from one function (plus :meth:`cache_env` facts) through
+    :meth:`check_function` and keep genuinely cross-function reasoning in
+    :meth:`check_module`.
     """
 
     #: unique kebab-case rule name
@@ -35,11 +41,60 @@ class Rule:
     codes: Dict[str, str] = {}
     #: rules that consume the edge profile are skipped when none is given
     requires_profile: bool = False
+    #: bumped whenever the rule's logic changes — part of every lint
+    #: cache key, so stale cached diagnostics can never survive a
+    #: rule edit
+    version: int = 1
 
     def run(
         self, module: Module, ctx: "AnalysisContext"
     ) -> Iterable[Diagnostic]:
-        raise NotImplementedError
+        """All findings: every function's, then the module-scoped ones."""
+        for func in module:
+            yield from self.check_function(func, module, ctx)
+        yield from self.check_module(module, ctx)
+
+    def check_function(
+        self, func, module: Module, ctx: "AnalysisContext"
+    ) -> Iterable[Diagnostic]:
+        """Findings derivable from one function + :meth:`cache_env`."""
+        return ()
+
+    def check_module(
+        self, module: Module, ctx: "AnalysisContext"
+    ) -> Iterable[Diagnostic]:
+        """Findings that need the whole module at once (never cached)."""
+        return ()
+
+    @property
+    def function_scoped(self) -> bool:
+        """Whether this rule has a cacheable per-function component.
+
+        True only for rules using the stock :meth:`run` driver with an
+        overridden :meth:`check_function`; a rule that overrides
+        :meth:`run` itself is opaque to the incremental engine and runs
+        whole-module every time.
+        """
+        cls = type(self)
+        return (
+            cls.run is Rule.run
+            and cls.check_function is not Rule.check_function
+        )
+
+    def cache_env(self, module: Module, ctx: "AnalysisContext") -> object:
+        """Module-level facts :meth:`check_function` findings depend on.
+
+        Canonicalized into every per-function cache key for this rule:
+        when the environment changes, every cached entry keyed under the
+        old environment is dead.  The default is maximally conservative —
+        the whole-module fingerprint — which is always sound but caches
+        nothing across edits; rules override it with the narrow facts
+        they actually read (table contents, signature map, defense
+        metadata, ...).
+        """
+        from repro.ir.fingerprint import module_fingerprint
+
+        return module_fingerprint(module)
 
     def diag(
         self,

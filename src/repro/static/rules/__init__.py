@@ -3,6 +3,7 @@
 from repro.static.rules import (  # noqa: F401  (import-for-effect)
     flow,
     guards,
+    pointsto,
     speculation,
     structural,
     targets,

@@ -61,7 +61,11 @@ class FlowConservationRule(Rule):
         "PIBE406": "target promoted/accounted more than once at one site",
     }
 
-    def run(self, module: Module, ctx) -> Iterable[Diagnostic]:
+    # Aggregates promoted/clone/fallback artifacts across *all* functions
+    # by origin site id, so it is genuinely module-scoped: a clone in one
+    # function changes another site's accounting.  Never cached
+    # per-function (``check_module`` runs inline on every lint).
+    def check_module(self, module: Module, ctx) -> Iterable[Diagnostic]:
         profile = ctx.profile
         assert profile is not None  # analyzer gates on requires_profile
 

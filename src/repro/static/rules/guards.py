@@ -98,9 +98,12 @@ class GuardChainRule(Rule):
         "PIBE307": "fallback icall retains a value profile",
     }
 
-    def run(self, module, ctx) -> Iterable[Diagnostic]:
-        for func in module:
-            yield from self._check_function(func)
+    def check_function(self, func: Function, module, ctx) -> Iterable[Diagnostic]:
+        return self._check_function(func)
+
+    def cache_env(self, module, ctx) -> object:
+        # The Listing-2 shape check is purely function-local.
+        return ()
 
     def _check_function(self, func: Function) -> Iterable[Diagnostic]:
         preds = _pred_edges(func)

@@ -1,0 +1,130 @@
+"""Points-to target refinement diagnostics (``PIBE6xx``).
+
+Consumes the Andersen-style analysis in :mod:`repro.analysis.pointsto`
+to flag where a site's *guard* (the set of targets the hardened kernel
+would still admit) is broader than what can actually flow there:
+
+- ``PIBE601`` — a declared-table entry that is undefined or whose arity
+  mismatches a site dispatching through the table: the entry can never
+  execute from that site, yet every table-confined guard pays for it
+  (an unreachable target widening the residual set);
+- ``PIBE602`` — an ICP-promoted direct call whose callee is outside the
+  feasible set of its (table-declared) origin site: the guard compares
+  against a pointer value the data flow proves can never reach the site
+  (an over-broad, dead guard arm).  Undeclared origin sites are skipped
+  — their post-ICP flow covers only the residual targets, which would
+  indict every legitimately promoted arm;
+- ``PIBE603`` — an indirect call that neither declares its table nor is
+  inline-asm, whose data-flow set degraded to ⊤: the analysis had to
+  fall back to the global census, so this site's bound is no tighter
+  than PIBE2xx's (a note; declaring the table restores precision).
+
+All severities stay below ERROR: these are precision findings, not
+soundness violations, so ``PassManager(verify_each=)`` boundaries
+(which fail on errors) are unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.pointsto import pointsto_inputs_digest
+from repro.ir.module import Module
+from repro.ir.types import ATTR_ICP_SITE, ATTR_PROMOTED, Opcode
+from repro.static.diagnostics import Diagnostic, Severity
+from repro.static.registry import Rule, register
+
+
+@register
+class PointsToTargetsRule(Rule):
+    name = "pointsto-targets"
+    description = (
+        "per-site feasible-target sets refined by points-to data flow"
+    )
+    codes = {
+        "PIBE601": "declared-table entry is unreachable from a site",
+        "PIBE602": "promoted call guards a flow-infeasible target",
+        "PIBE603": "undeclared icall degraded to the census bound",
+    }
+
+    def check_function(self, func, module: Module, ctx) -> Iterable[Diagnostic]:
+        pt = ctx.pointsto
+        warn = Severity.WARNING
+        for block in func.blocks.values():
+            for inst in block.instructions:
+                if inst.opcode == Opcode.ICALL:
+                    st = pt.site(inst.site_id)
+                    if st is None:
+                        continue
+                    loc = dict(
+                        function=func.name,
+                        block=block.label,
+                        site_id=inst.site_id,
+                    )
+                    if st.table is not None:
+                        table = module.fptr_tables[st.table]
+                        for entry in table.entries:
+                            reason = None
+                            if entry not in module:
+                                reason = "is undefined"
+                            else:
+                                p = module.get(entry).num_params
+                                if p != inst.num_args:
+                                    reason = (
+                                        f"takes {p} params but the site "
+                                        f"passes {inst.num_args} args"
+                                    )
+                            if reason is not None:
+                                yield self.diag(
+                                    "PIBE601",
+                                    warn,
+                                    f"table {st.table!r} entry @{entry} "
+                                    f"{reason}; it can never dispatch "
+                                    "here yet widens the guard",
+                                    **loc,
+                                )
+                    elif not st.asm and st.census_fallback:
+                        yield self.diag(
+                            "PIBE603",
+                            Severity.NOTE,
+                            "icall declares no fptr table and its "
+                            "data-flow set degraded to the census "
+                            "bound; declaring the table would tighten "
+                            f"{len(st.feasible or ())} residual "
+                            "targets",
+                            **loc,
+                        )
+                elif (
+                    inst.opcode == Opcode.CALL
+                    and inst.attrs.get(ATTR_PROMOTED)
+                    and ATTR_ICP_SITE in inst.attrs
+                ):
+                    origin = inst.attrs[ATTR_ICP_SITE]
+                    st = pt.site(origin)
+                    # Only judge arms of sites that declare their table:
+                    # the table is ICP-invariant, whereas an undeclared
+                    # fallback's flow reflects the *residual* targets
+                    # only and would flag every legitimately promoted
+                    # arm.
+                    if st is None or st.table is None or st.feasible is None:
+                        continue
+                    callee = inst.callee
+                    if callee is not None and callee not in st.feasible:
+                        yield self.diag(
+                            "PIBE602",
+                            warn,
+                            f"promoted call guards @{callee}, which "
+                            "points-to analysis proves can never flow "
+                            f"to origin site {origin} (over-broad "
+                            "guard arm)",
+                            function=func.name,
+                            block=block.label,
+                            site_id=inst.site_id,
+                        )
+
+    def cache_env(self, module: Module, ctx) -> object:
+        # Per-function findings read the whole-module points-to solution;
+        # its input digest (tables, signatures, sites, call edges —
+        # defense-tag insensitive) is exactly the cross-function state
+        # they depend on.
+        return pointsto_inputs_digest(module)

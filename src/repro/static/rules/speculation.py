@@ -3,24 +3,29 @@
 Makes the paper's Tables 8-12 coverage claims *statically checkable*:
 after hardening, every residual indirect branch must carry exactly the
 defense tag its :class:`~repro.hardening.defenses.DefenseConfig`
-promises — and that tag must belong to the protection class
-(``SPECTRE_V2_SAFE`` / ``RSB_SAFE`` / ``LVI_SAFE``) covering the attack
-vectors the config claims to close. Exempt branches (inline-asm
-functions and sites, boot-only returns, target-less asm ijumps) must
-stay *untagged*: a tag there would claim protection the lowering cannot
-actually emit.
+promises — and that tag must belong to every protection class
+(``spectre_v2`` / ``ret2spec`` / ``lvi``) covering the attack vectors
+the config claims to close. Exempt branches (inline-asm functions and
+sites, boot-only returns, target-less asm ijumps) must stay *untagged*:
+a tag there would claim protection the lowering cannot actually emit.
 
 Eligibility comes from :mod:`repro.hardening.coverage` — the same
 predicates the hardening passes use, so checker and transformation
-cannot drift. Registered custom defenses
-(:mod:`repro.hardening.custom`) are accepted in place of the stock tag
-on modules a custom pass has processed.
+cannot drift.  The tag → protection-class table is *data*, not code:
+:mod:`repro.hardening.classes` seeds it from the stock defense
+frozensets and lets new backends (FineIBT, PAC) register their tags at
+runtime; a registered extension tag is accepted in place of the stock
+tag wherever it covers every class the config promises.  Registered
+custom defenses (:mod:`repro.hardening.custom`) are accepted in place
+of the stock tag on modules a custom pass has processed.
 """
 
 from __future__ import annotations
 
 from typing import Iterable
 
+from repro.hardening import classes as defense_classes_registry
+from repro.hardening.classes import defense_classes, required_classes
 from repro.hardening.coverage import (
     applied_config,
     branch_exempt,
@@ -28,12 +33,7 @@ from repro.hardening.coverage import (
     expected_defense,
 )
 from repro.hardening.custom import registered_defense
-from repro.hardening.defenses import (
-    LVI_SAFE,
-    RSB_SAFE,
-    SPECTRE_V2_SAFE,
-    Defense,
-)
+from repro.hardening.defenses import Defense
 from repro.ir.module import Module
 from repro.ir.types import INDIRECT_BRANCHES, Opcode
 from repro.static.diagnostics import Diagnostic, Severity
@@ -63,108 +63,133 @@ class SpeculationCoverageRule(Rule):
         "PIBE506": "unknown defense tag (not stock, not registered custom)",
         "PIBE507": "promised tag is outside its protection class",
     }
+    version = 2  # tag -> class table moved to repro.hardening.classes
 
-    def run(self, module: Module, ctx) -> Iterable[Diagnostic]:
+    def check_function(self, func, module: Module, ctx) -> Iterable[Diagnostic]:
         config = applied_config(module)
         allow_custom = custom_hardened(module)
         err = Severity.ERROR
 
-        for func in module:
-            for block in func.blocks.values():
-                for inst in block.instructions:
-                    if inst.opcode not in INDIRECT_BRANCHES:
+        for block in func.blocks.values():
+            for inst in block.instructions:
+                if inst.opcode not in INDIRECT_BRANCHES:
+                    continue
+                loc = dict(
+                    function=func.name,
+                    block=block.label,
+                    site_id=inst.site_id,
+                )
+                tag = inst.defense
+                expected = expected_defense(func, inst, config)
+
+                if (
+                    tag is not None
+                    and tag not in _STOCK_TAGS
+                    and not defense_classes_registry.is_class_registered(tag)
+                ):
+                    if registered_defense(tag) is None:
+                        yield self.diag(
+                            "PIBE506",
+                            err,
+                            f"{inst.opcode.value} carries unknown "
+                            f"defense tag {tag!r}",
+                            **loc,
+                        )
+                    elif branch_exempt(func, inst):
+                        yield self.diag(
+                            "PIBE505",
+                            err,
+                            f"exempt {inst.opcode.value} carries "
+                            f"custom defense tag {tag!r}",
+                            **loc,
+                        )
+                    # custom tag on an eligible branch: accepted
+                    continue
+
+                if expected is None:
+                    if tag is not None:
+                        yield self.diag(
+                            "PIBE505",
+                            err,
+                            f"{inst.opcode.value} is exempt or "
+                            "undefended under config "
+                            f"{config.label()!r} but carries tag "
+                            f"{tag!r}",
+                            **loc,
+                        )
+                    continue
+
+                if tag is None:
+                    if allow_custom:
+                        # A custom pass replaced the stock lowering;
+                        # whether it covers this edge kind is its
+                        # registration's business, not the stock
+                        # config's promise.
                         continue
-                    loc = dict(
-                        function=func.name,
-                        block=block.label,
-                        site_id=inst.site_id,
+                    yield self.diag(
+                        _UNPROTECTED_CODE[inst.opcode],
+                        err,
+                        f"{inst.opcode.value} is unprotected but "
+                        f"config {config.label()!r} promises "
+                        f"{expected.value!r}",
+                        **loc,
                     )
-                    tag = inst.defense
-                    expected = expected_defense(func, inst, config)
+                    continue
 
-                    if tag is not None and tag not in _STOCK_TAGS:
-                        if registered_defense(tag) is None:
-                            yield self.diag(
-                                "PIBE506",
-                                err,
-                                f"{inst.opcode.value} carries unknown "
-                                f"defense tag {tag!r}",
-                                **loc,
-                            )
-                        elif branch_exempt(func, inst):
-                            yield self.diag(
-                                "PIBE505",
-                                err,
-                                f"exempt {inst.opcode.value} carries "
-                                f"custom defense tag {tag!r}",
-                                **loc,
-                            )
-                        # custom tag on an eligible branch: accepted
-                        continue
+                required = required_classes(inst.opcode, config)
 
-                    if expected is None:
-                        if tag is not None:
-                            yield self.diag(
-                                "PIBE505",
-                                err,
-                                f"{inst.opcode.value} is exempt or "
-                                "undefended under config "
-                                f"{config.label()!r} but carries tag "
-                                f"{tag!r}",
-                                **loc,
-                            )
-                        continue
-
-                    if tag is None:
-                        if allow_custom:
-                            # A custom pass replaced the stock lowering;
-                            # whether it covers this edge kind is its
-                            # registration's business, not the stock
-                            # config's promise.
-                            continue
-                        yield self.diag(
-                            _UNPROTECTED_CODE[inst.opcode],
-                            err,
-                            f"{inst.opcode.value} is unprotected but "
-                            f"config {config.label()!r} promises "
-                            f"{expected.value!r}",
-                            **loc,
+                if tag != expected.value:
+                    # A registered extension backend (FineIBT/PAC) is an
+                    # acceptable alternative lowering iff its registered
+                    # classes cover everything the config promises here;
+                    # the gaps, if any, are class findings (PIBE507) —
+                    # sharper than a generic wrong-tag error.
+                    if tag not in _STOCK_TAGS:
+                        yield from self._check_class(
+                            inst, tag, required, config, loc
                         )
                         continue
+                    yield self.diag(
+                        "PIBE504",
+                        err,
+                        f"{inst.opcode.value} tagged {tag!r} but "
+                        f"config {config.label()!r} promises "
+                        f"{expected.value!r}",
+                        **loc,
+                    )
+                    continue
 
-                    if tag != expected.value:
-                        yield self.diag(
-                            "PIBE504",
-                            err,
-                            f"{inst.opcode.value} tagged {tag!r} but "
-                            f"config {config.label()!r} promises "
-                            f"{expected.value!r}",
-                            **loc,
-                        )
-                        continue
+                yield from self._check_class(inst, tag, required, config, loc)
 
-                    yield from self._check_class(inst, tag, config, loc)
+    def cache_env(self, module: Module, ctx) -> object:
+        # Coverage depends on the module's applied defense config, the
+        # custom-hardening marker, the custom-defense registry, and the
+        # tag -> protection-class table.
+        from repro.hardening.coverage import CUSTOM_METADATA_KEY, METADATA_KEY
+        from repro.hardening.custom import _REGISTRY as custom_registry
 
-    def _check_class(self, inst, tag, config, loc) -> Iterable[Diagnostic]:
+        return {
+            "config": repr(module.metadata.get(METADATA_KEY)),
+            "custom_marker": repr(module.metadata.get(CUSTOM_METADATA_KEY)),
+            "custom_registry": sorted(
+                (name, d.kind, tuple(sorted(d.protects)))
+                for name, d in custom_registry.items()
+            ),
+            "classes": defense_classes_registry.registry_snapshot(),
+        }
+
+    def _check_class(
+        self, inst, tag, required, config, loc
+    ) -> Iterable[Diagnostic]:
         """The promised tag must sit in every protection class the
         config claims for this edge (taxonomy self-consistency)."""
-        required = []
-        if inst.opcode in (Opcode.ICALL, Opcode.IJUMP):
-            if config.retpolines:
-                required.append(("SPECTRE_V2_SAFE", SPECTRE_V2_SAFE))
-            if config.lvi_cfi:
-                required.append(("LVI_SAFE", LVI_SAFE))
-        elif inst.opcode == Opcode.RET:
-            if config.ret_retpolines:
-                required.append(("RSB_SAFE", RSB_SAFE))
-            if config.lvi_cfi:
-                required.append(("LVI_SAFE", LVI_SAFE))
-        for class_name, members in required:
-            if tag not in members:
+        provided = defense_classes(tag)
+        for class_name in required:
+            if class_name not in provided:
                 yield self.diag(
                     "PIBE507",
                     Severity.ERROR,
-                    f"tag {tag!r} is not in {class_name} although "
-                    f"config {config.label()!r} requires it",
+                    f"tag {tag!r} does not protect {class_name!r} "
+                    f"although config {config.label()!r} requires it",
                     **loc,
                 )

@@ -41,10 +41,22 @@ class StructuralRule(Rule):
         "PIBE112": "syscall handler is undefined",
     }
 
-    def run(self, module: Module, ctx) -> Iterable[Diagnostic]:
-        for func in module:
-            yield from self.function_diagnostics(func, module)
-        yield from self.module_diagnostics(module)
+    def check_function(self, func: Function, module: Module, ctx) -> Iterable[Diagnostic]:
+        return self.function_diagnostics(func, module)
+
+    def check_module(self, module: Module, ctx) -> Iterable[Diagnostic]:
+        return self.module_diagnostics(module)
+
+    def cache_env(self, module: Module, ctx) -> object:
+        # Function checks consult only module *membership* (undefined
+        # callees / icall targets) and block-local shape. Pre-hashed:
+        # a 31k-name list through generic canonicalization costs more
+        # than the checks themselves.
+        import hashlib
+
+        return hashlib.sha256(
+            "\n".join(sorted(module.functions)).encode("utf-8")
+        ).hexdigest()
 
     # Split out so ``ir.validate`` can reuse the exact same pieces.
 

@@ -47,48 +47,60 @@ class FeasibleTargetsRule(Rule):
         "PIBE206": "promoted direct call targets an infeasible function",
     }
 
-    def run(self, module: Module, ctx) -> Iterable[Diagnostic]:
+    def check_function(self, func, module: Module, ctx) -> Iterable[Diagnostic]:
         census_known = ctx.has_fptr_tables
         census = ctx.address_taken if census_known else frozenset()
         err = Severity.ERROR
 
-        for func in module:
-            for block in func.blocks.values():
-                for inst in block.instructions:
-                    if inst.opcode == Opcode.ICALL:
-                        yield from self._check_icall(
-                            inst, func, block, module, ctx, census, census_known
+        for block in func.blocks.values():
+            for inst in block.instructions:
+                if inst.opcode == Opcode.ICALL:
+                    yield from self._check_icall(
+                        inst, func, block, module, ctx, census, census_known
+                    )
+                elif (
+                    inst.opcode == Opcode.CALL
+                    and inst.attrs.get(ATTR_PROMOTED)
+                    and ATTR_ICP_SITE in inst.attrs
+                ):
+                    t = inst.callee
+                    if t is None or t not in module:
+                        continue  # structural PIBE104/105 territory
+                    params = ctx.num_params(t)
+                    if params is not None and params != inst.num_args:
+                        yield self.diag(
+                            "PIBE206",
+                            err,
+                            f"promoted call to @{t} passes "
+                            f"{inst.num_args} args but @{t} takes "
+                            f"{params} params",
+                            function=func.name,
+                            block=block.label,
+                            site_id=inst.site_id,
                         )
-                    elif (
-                        inst.opcode == Opcode.CALL
-                        and inst.attrs.get(ATTR_PROMOTED)
-                        and ATTR_ICP_SITE in inst.attrs
-                    ):
-                        t = inst.callee
-                        if t is None or t not in module:
-                            continue  # structural PIBE104/105 territory
-                        params = ctx.num_params(t)
-                        if params is not None and params != inst.num_args:
-                            yield self.diag(
-                                "PIBE206",
-                                err,
-                                f"promoted call to @{t} passes "
-                                f"{inst.num_args} args but @{t} takes "
-                                f"{params} params",
-                                function=func.name,
-                                block=block.label,
-                                site_id=inst.site_id,
-                            )
-                        elif census_known and t not in census:
-                            yield self.diag(
-                                "PIBE206",
-                                err,
-                                f"promoted call targets @{t}, which is "
-                                "never address-taken",
-                                function=func.name,
-                                block=block.label,
-                                site_id=inst.site_id,
-                            )
+                    elif census_known and t not in census:
+                        yield self.diag(
+                            "PIBE206",
+                            err,
+                            f"promoted call targets @{t}, which is "
+                            "never address-taken",
+                            function=func.name,
+                            block=block.label,
+                            site_id=inst.site_id,
+                        )
+
+    def cache_env(self, module: Module, ctx) -> object:
+        # Feasibility = census (table contents) + signature map; a change
+        # to either invalidates every cached finding of this rule.
+        # Pre-hashed — the raw map is ~31k entries on scaled kernels.
+        import hashlib
+
+        digest = hashlib.sha256()
+        for name, table in sorted(module.fptr_tables.items()):
+            digest.update(f"table {name} {sorted(table.entries)}\n".encode())
+        for name, params in sorted((f.name, f.num_params) for f in module):
+            digest.update(f"sig {name} {params}\n".encode())
+        return digest.hexdigest()
 
     def _check_icall(
         self, inst, func, block, module, ctx, census, census_known

@@ -1,0 +1,128 @@
+"""SARIF 2.1.0 export for analyzer reports.
+
+SARIF (Static Analysis Results Interchange Format) is what CI systems
+ingest for code-scanning annotations.  The mapping:
+
+- each registered rule becomes a ``tool.driver.rules`` reporting
+  descriptor per diagnostic *code* (codes are the stable contract;
+  rule names become the descriptor's ``name``);
+- each diagnostic becomes a ``result`` with ``ruleId`` = code and
+  ``level`` mapped note/warning/error;
+- IR locations (function / block / site id) have no file/line to point
+  at, so they are emitted as ``logicalLocations`` (kind ``function`` /
+  ``block``) plus a synthetic ``physicalLocation`` against the module
+  pseudo-URI, keeping strict consumers happy.
+
+Output is deterministic: results are emitted in the report's canonical
+diagnostic order, rule descriptors sorted by code, keys sorted.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.static.diagnostics import Diagnostic, DiagnosticReport, Severity
+from repro.static.registry import all_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVEL = {
+    Severity.NOTE: "note",
+    Severity.WARNING: "warning",
+    Severity.ERROR: "error",
+}
+
+
+def _rule_descriptors(rule_names: Sequence[str]) -> List[Dict[str, Any]]:
+    descriptors = []
+    for rule in all_rules():
+        if rule_names and rule.name not in rule_names:
+            continue
+        for code, summary in rule.codes.items():
+            descriptors.append(
+                {
+                    "id": code,
+                    "name": rule.name,
+                    "shortDescription": {"text": summary},
+                    "fullDescription": {"text": rule.description},
+                    "properties": {"ruleVersion": rule.version},
+                }
+            )
+    return sorted(descriptors, key=lambda d: d["id"])
+
+
+def _result(diag: Diagnostic, module_uri: str) -> Dict[str, Any]:
+    logical: List[Dict[str, Any]] = []
+    if diag.function is not None:
+        logical.append(
+            {"name": diag.function, "kind": "function"}
+        )
+    if diag.block is not None:
+        logical.append(
+            {
+                "name": diag.block,
+                "fullyQualifiedName": f"{diag.function}:{diag.block}",
+                "kind": "block",
+            }
+        )
+    location: Dict[str, Any] = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": module_uri},
+        }
+    }
+    if logical:
+        location["logicalLocations"] = logical
+    result: Dict[str, Any] = {
+        "ruleId": diag.code,
+        "level": _LEVEL[diag.severity],
+        "message": {"text": diag.message},
+        "locations": [location],
+        "properties": {"rule": diag.rule},
+    }
+    if diag.site_id is not None:
+        result["properties"]["siteId"] = diag.site_id
+    return result
+
+
+def to_sarif(
+    report: DiagnosticReport, tool_version: Optional[str] = None
+) -> Dict[str, Any]:
+    """Render ``report`` as a SARIF 2.1.0 log object."""
+    module_uri = f"ir://{report.module_name or 'module'}"
+    driver: Dict[str, Any] = {
+        "name": "repro-lint",
+        "informationUri": "https://github.com/pibe-repro/repro",
+        "rules": _rule_descriptors(report.rules),
+    }
+    if tool_version is not None:
+        driver["version"] = tool_version
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {"driver": driver},
+                "results": [
+                    _result(d, module_uri)
+                    for d in sorted(
+                        report.diagnostics, key=Diagnostic.sort_key
+                    )
+                ],
+                "columnKind": "unicodeCodePoints",
+            }
+        ],
+    }
+
+
+def to_sarif_json(
+    report: DiagnosticReport, tool_version: Optional[str] = None
+) -> str:
+    """Byte-stable SARIF JSON (sorted keys, canonical result order)."""
+    return json.dumps(
+        to_sarif(report, tool_version=tool_version), indent=2, sort_keys=True
+    )

@@ -203,7 +203,15 @@ def cmd_attack(args) -> int:
 
 def cmd_lint(args) -> int:
     """Run the static CFI analyzer over an image and report diagnostics."""
-    from repro.static import Severity, all_rules, analyze_module
+    from repro.static import (
+        Severity,
+        all_rules,
+        lint_module,
+        load_baseline,
+        new_diagnostics,
+        to_sarif_json,
+        write_baseline,
+    )
 
     if args.list_rules:
         for rule in all_rules():
@@ -216,17 +224,63 @@ def cmd_lint(args) -> int:
     profile = None
     if args.profile:
         profile = EdgeProfile.from_json(Path(args.profile).read_text())
-    report = analyze_module(module, rules=args.rules or None, profile=profile)
+    cache = None
+    if args.cache_dir:
+        from repro.evaluation.cache import DiskCache
+
+        cache = DiskCache(Path(args.cache_dir))
+    report = lint_module(
+        module,
+        rules=args.rules or None,
+        profile=profile,
+        cache=cache,
+        jobs=args.jobs or 1,
+    )
+    if args.stats and report.stats:
+        pairs = " ".join(f"{k}={v}" for k, v in sorted(report.stats.items()))
+        print(f"lint stats: {pairs}", file=sys.stderr)
 
     if args.format == "json":
         _write_or_print(report.to_json(), args.output)
+    elif args.format == "sarif":
+        _write_or_print(to_sarif_json(report), args.output)
     else:
         _write_or_print(report.to_text(), args.output)
+
+    if args.write_baseline:
+        write_baseline(Path(args.write_baseline), report)
+        print(f"wrote baseline {args.write_baseline}", file=sys.stderr)
 
     if args.fail_on == "never":
         return 0
     threshold = Severity.ERROR if args.fail_on == "error" else Severity.WARNING
+    if args.baseline:
+        fresh = new_diagnostics(report, load_baseline(Path(args.baseline)))
+        gated = [d for d in fresh if d.severity >= threshold]
+        if gated:
+            print(
+                f"{len(gated)} new finding(s) not in baseline "
+                f"{args.baseline}:",
+                file=sys.stderr,
+            )
+            for diag in gated:
+                print(f"  {diag.render()}", file=sys.stderr)
+            return 1
+        return 0
     return 1 if report.at_least(threshold) else 0
+
+
+def cmd_security(args) -> int:
+    """Residual indirect-target metrics (points-to security report)."""
+    from repro.analysis.security import security_metrics
+
+    module = _load_kernel(args)
+    metrics = security_metrics(module)
+    text = json.dumps(
+        metrics.to_dict(include_sites=args.sites), indent=2, sort_keys=True
+    )
+    _write_or_print(text, args.output)
+    return 0
 
 
 def cmd_hotspots(args) -> int:
@@ -660,7 +714,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("lint", help="static CFI analysis of a kernel image")
     _add_kernel_args(p)
     p.add_argument("-p", "--profile", help="profile JSON from `profile`")
-    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text"
+    )
     p.add_argument(
         "-r",
         "--rules",
@@ -676,8 +732,40 @@ def build_parser() -> argparse.ArgumentParser:
         default="error",
         help="exit non-zero when findings at/above this severity exist",
     )
+    p.add_argument(
+        "-j", "--jobs", type=int, default=None,
+        help="worker processes for sharded rule evaluation",
+    )
+    p.add_argument(
+        "--cache-dir",
+        help="incremental lint cache directory (e.g. .repro-cache)",
+    )
+    p.add_argument(
+        "--baseline",
+        help="suppression file: fail only on findings not in it",
+    )
+    p.add_argument(
+        "--write-baseline",
+        help="write a baseline accepting every current finding",
+    )
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print cache-hit/shard statistics to stderr",
+    )
     p.add_argument("-o", "--output", help="report file (default: stdout)")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "security",
+        help="residual indirect-target metrics (points-to analysis)",
+    )
+    _add_kernel_args(p)
+    p.add_argument(
+        "--sites", action="store_true", help="include per-site residuals"
+    )
+    p.add_argument("-o", "--output", help="report file (default: stdout)")
+    p.set_defaults(func=cmd_security)
 
     p = sub.add_parser("hotspots", help="per-function cycle attribution")
     _add_kernel_args(p)

@@ -1,0 +1,170 @@
+"""Points-to solver behavior: table fast path, asm/census fallback,
+constraint solve, memoization and input digests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.pointsto import (
+    analyze_pointsto,
+    pointsto_inputs_digest,
+)
+from repro.ir.builder import IRBuilder, build_leaf
+from repro.ir.function import Function
+from repro.ir.module import FunctionPointerTable, Module
+from repro.ir.types import ATTR_DEFENSE
+
+
+def _module_with_table(num_args=1):
+    module = Module("pt")
+    for name in ("a", "b", "c"):
+        module.add_function(build_leaf(name, num_params=1))
+    module.add_fptr_table(FunctionPointerTable("ops", ["a", "b", "c"]))
+    caller = Function("caller")
+    b = IRBuilder(caller)
+    icall = b.icall({"a": 5, "b": 1}, num_args=num_args, fptr_table="ops")
+    b.ret()
+    module.add_function(caller)
+    return module, icall
+
+
+def test_declared_table_site_takes_table_entries():
+    module, icall = _module_with_table()
+    pt = analyze_pointsto(module)
+    st = pt.site(icall.site_id)
+    assert st is not None
+    assert st.table == "ops"
+    assert st.flow == frozenset({"a", "b", "c"})
+    assert st.feasible == frozenset({"a", "b", "c"})
+    assert not st.census_fallback
+    # Every declared-table site is resolved without the constraint solve.
+    assert pt.solved_functions == 0
+
+
+def test_truth_backstop_survives_arity_filter():
+    # Site passes 3 args; every table entry takes 1 param, so the arity
+    # filter would empty the flow set — but the observed targets must
+    # stay (soundness: never drop an edge that executed).
+    module, icall = _module_with_table(num_args=3)
+    pt = analyze_pointsto(module)
+    st = pt.site(icall.site_id)
+    assert st.truth == frozenset({"a", "b"})
+    assert st.feasible == frozenset({"a", "b"})
+
+
+def test_asm_site_falls_back_to_census():
+    module = Module("pt-asm")
+    for name in ("a", "b"):
+        module.add_function(build_leaf(name, num_params=1))
+    module.add_fptr_table(FunctionPointerTable("ops", ["a", "b"]))
+    caller = Function("caller")
+    b = IRBuilder(caller)
+    icall = b.icall({"a": 1}, num_args=1, asm=True)
+    b.ret()
+    module.add_function(caller)
+    pt = analyze_pointsto(module)
+    st = pt.site(icall.site_id)
+    assert st.asm and st.flow is None
+    assert st.census_fallback
+    assert st.feasible == frozenset({"a", "b"})
+
+
+def test_no_census_no_table_is_unbounded():
+    module = Module("pt-top")
+    module.add_function(build_leaf("a", num_params=1))
+    caller = Function("caller")
+    b = IRBuilder(caller)
+    icall = b.icall({"a": 1}, num_args=1, asm=True)
+    b.ret()
+    module.add_function(caller)
+    pt = analyze_pointsto(module)
+    st = pt.site(icall.site_id)
+    assert not pt.census_known
+    assert st.feasible is None and not st.bounded
+
+
+def test_solve_bounds_undeclared_site_via_table_load():
+    # loader loads pointers out of "ops" (declared site) and calls
+    # dispatch, which then icalls WITHOUT declaring a table.  The solve
+    # must carry the table values through the call edge.
+    module = Module("pt-solve")
+    for name in ("a", "b"):
+        module.add_function(build_leaf(name, num_params=1))
+    module.add_function(build_leaf("unrelated", num_params=1))
+    module.add_fptr_table(FunctionPointerTable("ops", ["a", "b"]))
+
+    dispatch = Function("dispatch", num_params=1)
+    b = IRBuilder(dispatch)
+    inner = b.icall({"a": 3}, num_args=1)
+    b.ret()
+    module.add_function(dispatch)
+
+    loader = Function("loader")
+    b = IRBuilder(loader)
+    b.icall({"a": 2}, num_args=1, fptr_table="ops")
+    b.call("dispatch", num_args=1)
+    b.ret()
+    module.add_function(loader)
+
+    pt = analyze_pointsto(module)
+    st = pt.site(inner.site_id)
+    assert pt.solved_functions > 0
+    assert st.flow is not None
+    assert st.feasible is not None
+    assert st.feasible <= pt.census
+    assert "a" in st.feasible
+    # The solve must not leak unrelated address-taken functions in: the
+    # only pointers reaching dispatch are ops entries.
+    assert "unrelated" not in st.feasible
+
+
+def test_memoized_per_module_version():
+    module, _ = _module_with_table()
+    first = analyze_pointsto(module)
+    assert analyze_pointsto(module) is first
+    module.bump_version()
+    assert analyze_pointsto(module) is not first
+
+
+def test_inputs_digest_defense_tag_insensitive():
+    module, icall = _module_with_table()
+    before = pointsto_inputs_digest(module)
+    icall.attrs[ATTR_DEFENSE] = "retpoline"
+    module.bump_version()
+    assert pointsto_inputs_digest(module) == before
+    # ...but moving actual pointer structure changes it.
+    module.add_fptr_table(FunctionPointerTable("extra", ["a"]))
+    module.bump_version()
+    assert pointsto_inputs_digest(module) != before
+
+
+def test_kernel_strictly_tighter_than_census():
+    from repro.kernel.generator import build_kernel
+    from repro.kernel.spec import SmallSpec
+
+    module = build_kernel(SmallSpec())
+    pt = analyze_pointsto(module)
+    assert pt.census_known and pt.sites
+    for st in pt.sites.values():
+        assert st.bounded
+        assert st.truth <= st.feasible
+        assert st.feasible <= pt.census
+        assert len(st.feasible) < len(pt.census)
+
+
+@pytest.mark.parametrize("num_args", [0, 1, 2])
+def test_arity_filter_respects_site_signature(num_args):
+    module = Module("pt-arity")
+    module.add_function(build_leaf("one", num_params=1))
+    module.add_function(build_leaf("two", num_params=2))
+    module.add_fptr_table(FunctionPointerTable("ops", ["one", "two"]))
+    caller = Function("caller")
+    b = IRBuilder(caller)
+    icall = b.icall({}, num_args=num_args, fptr_table="ops")
+    b.ret()
+    module.add_function(caller)
+    pt = analyze_pointsto(module)
+    expected = {
+        n for n in ("one", "two") if module.get(n).num_params == num_args
+    }
+    assert pt.site(icall.site_id).feasible == frozenset(expected)

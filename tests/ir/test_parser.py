@@ -115,6 +115,25 @@ def test_roundtrip_preserves_structure():
     assert r_br.attrs[ATTR_TRIP] == 2
 
 
+def test_roundtrip_preserves_table_declaration():
+    from repro.ir.module import FunctionPointerTable
+    from repro.ir.types import ATTR_FPTR_TABLE
+
+    module = Module("rt-table")
+    module.add_function(build_leaf("leaf", work=1))
+    module.add_fptr_table(FunctionPointerTable("ops", ["leaf"]))
+    func = Function("f", num_params=0)
+    b = IRBuilder(func)
+    b.icall({"leaf": 3}, num_args=1, fptr_table="ops")
+    b.ret()
+    module.add_function(func)
+
+    restored = _roundtrip(module)
+    validate_module(restored)
+    r_icall = restored.get("f").entry.instructions[0]
+    assert r_icall.attrs[ATTR_FPTR_TABLE] == "ops"
+
+
 def test_roundtrip_small_kernel_sizes(small_kernel):
     restored = _roundtrip(small_kernel)
     validate_module(restored)

@@ -69,6 +69,40 @@ def deterministic_modules(draw, max_functions=6, deterministic_icalls=True):
 
 
 @st.composite
+def tabled_modules(draw, max_functions=6):
+    """A deterministic module whose icall target sets are registered as
+    function-pointer tables — some declared at their sites, some not.
+
+    With tables present the address-taken census is active, so points-to
+    properties (feasible ⊆ census, truth ⊆ feasible) are non-vacuous;
+    the undeclared sites exercise the constraint solve.
+    """
+    from repro.ir.module import FunctionPointerTable
+    from repro.ir.types import ATTR_FPTR_TABLE, ATTR_TARGETS, Opcode
+
+    module = draw(
+        deterministic_modules(
+            max_functions=max_functions, deterministic_icalls=False
+        )
+    )
+    count = 0
+    for func in module:
+        for block in func.blocks.values():
+            for inst in block.instructions:
+                if inst.opcode != Opcode.ICALL:
+                    continue
+                targets = sorted(inst.attrs.get(ATTR_TARGETS) or {})
+                if not targets:
+                    continue
+                count += 1
+                name = f"tbl{count}"
+                module.add_fptr_table(FunctionPointerTable(name, targets))
+                if draw(st.booleans()):
+                    inst.attrs[ATTR_FPTR_TABLE] = name
+    return module
+
+
+@st.composite
 def edge_profiles(draw):
     """Random edge profiles for serialization/merge properties."""
     from repro.profiling.profile_data import EdgeProfile

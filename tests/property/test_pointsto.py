@@ -1,0 +1,114 @@
+"""Points-to soundness properties over random modules × defense configs.
+
+The two anchors from :mod:`repro.analysis.pointsto`:
+
+- **refinement** — with a census defined, every site's feasible set is a
+  subset of the address-taken census (the analysis refines the PIBE2xx
+  universe, never invents targets);
+- **soundness** — no dynamically-observed indirect edge is ever ruled
+  out: everything the interpreter actually dispatched at a site is in
+  that site's feasible set, before and after hardening.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.pointsto import analyze_pointsto
+from repro.engine.interpreter import Interpreter
+from repro.hardening.defenses import DefenseConfig
+from repro.hardening.harden import HardeningPass
+from repro.profiling.profiler import KernelProfiler
+
+from .strategies import tabled_modules
+
+_SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_CONFIGS = st.sampled_from(
+    [
+        DefenseConfig.none(),
+        DefenseConfig.retpolines_only(),
+        DefenseConfig.ret_retpolines_only(),
+        DefenseConfig.lvi_only(),
+        DefenseConfig.all_defenses(),
+    ]
+)
+
+
+def _observed_edges(module):
+    """(site -> targets) the interpreter actually dispatched."""
+    profiler = KernelProfiler()
+    Interpreter(module, [profiler], seed=0).run_function("fn0", times=2)
+    profile = profiler.finish()
+    return {
+        site: set(targets)
+        for site, targets in profile.indirect.items()
+        if targets
+    }
+
+
+@given(module=tabled_modules(), defenses=_CONFIGS)
+@_SETTINGS
+def test_feasible_refines_census_and_keeps_truth(module, defenses):
+    HardeningPass(defenses).run(module)
+    pt = analyze_pointsto(module)
+    for st_ in pt.sites.values():
+        # Soundness backstop: ground truth survives every filter.
+        assert st_.truth <= (st_.feasible or st_.truth)
+        if pt.census_known:
+            assert st_.feasible is not None
+            assert st_.feasible <= pt.census
+
+
+@given(module=tabled_modules(), defenses=_CONFIGS)
+@_SETTINGS
+def test_observed_targets_never_ruled_out(module, defenses):
+    observed = _observed_edges(copy.deepcopy(module))
+    HardeningPass(defenses).run(module)
+    pt = analyze_pointsto(module)
+    for site, targets in observed.items():
+        st_ = pt.site(site)
+        assert st_ is not None, f"site {site} disappeared from analysis"
+        if st_.feasible is None:
+            continue  # unbounded is trivially sound
+        missing = targets - st_.feasible
+        assert not missing, (
+            f"points-to ruled out executed edge(s) {sorted(missing)} "
+            f"at site {site}"
+        )
+
+
+@given(module=tabled_modules())
+@_SETTINGS
+def test_declared_sites_bounded_by_their_table(module):
+    from repro.ir.types import ATTR_FPTR_TABLE, Opcode
+
+    pt = analyze_pointsto(module)
+    for func in module:
+        for block in func.blocks.values():
+            for inst in block.instructions:
+                if inst.opcode != Opcode.ICALL:
+                    continue
+                table = inst.attrs.get(ATTR_FPTR_TABLE)
+                if table is None:
+                    continue
+                st_ = pt.site(inst.site_id)
+                entries = set(module.fptr_tables[table].entries)
+                assert st_.feasible is not None
+                assert st_.feasible <= entries | st_.truth
+
+
+@given(module=tabled_modules(), defenses=_CONFIGS)
+@_SETTINGS
+def test_hardening_does_not_change_pointsto(module, defenses):
+    before = analyze_pointsto(module).digest()
+    HardeningPass(defenses).run(module)
+    after = analyze_pointsto(module).digest()
+    assert before == after

@@ -171,6 +171,11 @@ def test_build_and_lint_endpoints(client):
     lint = client.lint(config)
     assert lint["label"] == config.label()
     assert "report" in lint
+    # The incremental path surfaces its cache/shard accounting.
+    assert "stats" in lint and lint["stats"]["functions"] > 0
+    # Linting the same variant again is memoized in the harness.
+    again = client.lint(config)
+    assert again["report"] == lint["report"]
 
 
 def test_stats_endpoint_shape(client):

@@ -1,0 +1,143 @@
+"""Incremental + parallel lint: equivalence with the direct analyzer,
+chunk-level invalidation, rule-environment invalidation, sharding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.cache import DiskCache
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.kernel.generator import build_kernel
+from repro.kernel.spec import SmallSpec
+from repro.static import analyze_module, lint_module
+from repro.static.incremental import build_shards, lint_fingerprints, run_shard
+
+
+@pytest.fixture
+def kernel():
+    return build_kernel(SmallSpec())
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return DiskCache(tmp_path / "cache")
+
+
+def test_uncached_lint_matches_analyze(kernel):
+    direct = analyze_module(kernel)
+    report = lint_module(kernel)
+    assert report.to_json() == direct.to_json()
+    assert report.stats["functions"] == len(kernel.functions)
+    assert report.stats["chunks"] == 0  # no cache attached
+
+
+def test_cold_then_warm_hits_everything(kernel, cache):
+    cold = lint_module(kernel, cache=cache)
+    assert cold.stats["cache_misses"] == len(kernel.functions)
+    assert cold.stats["cache_hits"] == 0
+    warm = lint_module(kernel, cache=cache)
+    assert warm.stats["cache_hits"] == len(kernel.functions)
+    assert warm.stats["cache_misses"] == 0
+    assert warm.to_json() == cold.to_json()
+
+
+def test_version_bump_without_edit_still_hits(kernel, cache):
+    lint_module(kernel, cache=cache)
+    kernel.bump_version()
+    warm = lint_module(kernel, cache=cache)
+    assert warm.stats["cache_misses"] == 0
+
+
+def test_editing_one_function_invalidates_only_its_chunk(kernel, cache):
+    lint_module(kernel, cache=cache)
+    name = sorted(kernel.functions)[0]
+    func = kernel.get(name)
+    block = next(iter(func.blocks.values()))
+    block.instructions[0].num_args += 0  # touch nothing yet: still warm
+    kernel.bump_version()
+    assert lint_module(kernel, cache=cache).stats["cache_misses"] == 0
+
+    # A real edit changes the fingerprint -> exactly one chunk misses.
+    func.stack_frame_size += 8
+    kernel.bump_version()
+    report = lint_module(kernel, cache=cache)
+    from repro.static.incremental import CHUNK_SIZE
+
+    assert 0 < report.stats["cache_misses"] <= CHUNK_SIZE
+    assert report.to_json() == analyze_module(kernel).to_json()
+
+
+def test_table_edit_invalidates_whole_cache(kernel, cache):
+    lint_module(kernel, cache=cache)
+    table = next(iter(kernel.fptr_tables.values()))
+    table.entries.append("nonexistent_fn")
+    kernel.bump_version()
+    report = lint_module(kernel, cache=cache)
+    # Table contents feed the targets/pointsto rule environments, so the
+    # signature digest changes and every chunk misses.
+    assert report.stats["cache_misses"] == len(kernel.functions)
+    assert report.to_json() == analyze_module(kernel).to_json()
+
+
+def test_rule_selection_has_distinct_cache_namespace(kernel, cache):
+    lint_module(kernel, cache=cache)
+    scoped = lint_module(kernel, rules=["PIBE3"], cache=cache)
+    assert scoped.stats["cache_misses"] == len(kernel.functions)
+    assert scoped.to_json() == analyze_module(kernel, rules=["PIBE3"]).to_json()
+
+
+def test_parallel_lint_matches_inline(kernel, cache):
+    parallel = lint_module(kernel, cache=cache, jobs=4)
+    assert parallel.stats["shards"] >= 0  # fork may be unavailable
+    direct = analyze_module(kernel)
+    assert parallel.to_json() == direct.to_json()
+
+
+def test_lost_shard_recomputed_inline(kernel):
+    calls = {"n": 0}
+
+    def flaky_mapper(shards):
+        calls["n"] += 1
+        # Lose every other shard; lint must recompute them inline.
+        return [
+            run_shard(kernel, None, *shard) if i % 2 == 0 else None
+            for i, shard in enumerate(shards)
+        ]
+
+    report = lint_module(kernel, jobs=4, map_shards=flaky_mapper)
+    assert calls["n"] == 1
+    assert report.to_json() == analyze_module(kernel).to_json()
+
+
+def test_build_shards_covers_everything():
+    rules = ("r1", "r2", "r3")
+    funcs = tuple(f"f{i}" for i in range(100))
+    shards = build_shards(rules, funcs, jobs=4)
+    seen = set()
+    for rule_names, func_names in shards:
+        for r in rule_names:
+            for f in func_names:
+                assert (r, f) not in seen
+                seen.add((r, f))
+    assert seen == {(r, f) for r in rules for f in funcs}
+
+
+def test_fingerprints_memoized_per_version(kernel):
+    first = lint_fingerprints(kernel)
+    assert lint_fingerprints(kernel) is first
+    kernel.bump_version()
+    assert lint_fingerprints(kernel) is not first
+
+
+def test_empty_module_lints(cache):
+    from repro.ir.module import Module
+
+    module = Module("empty")
+    func = Function("only")
+    b = IRBuilder(func)
+    b.ret()
+    module.add_function(func)
+    report = lint_module(module, cache=cache)
+    assert report.stats["functions"] == 1
+    assert report.to_json() == analyze_module(module).to_json()

@@ -1,0 +1,133 @@
+"""PIBE6xx: points-to refinement diagnostics."""
+
+from __future__ import annotations
+
+from repro.ir.builder import IRBuilder, build_leaf
+from repro.ir.function import Function
+from repro.ir.module import FunctionPointerTable, Module
+from repro.static import analyze_module
+
+from tests.static.conftest import promoted_calls
+
+
+def codes(report):
+    return [d.code for d in report.diagnostics]
+
+
+def test_clean_chain_has_no_pointsto_findings(chain):
+    module, profile, _ = chain
+    report = analyze_module(module, profile=profile)
+    assert not report.by_code("PIBE6")
+
+
+def test_undefined_table_entry_is_pibe601():
+    module, profile = _declared_promoted()
+    module.fptr_tables["ops"].entries.append("ghost")
+    module.bump_version()
+    report = analyze_module(module, profile=profile)
+    found = report.by_code("PIBE601")
+    assert found and "@ghost" in found[0].message
+    assert "undefined" in found[0].message
+
+
+def test_arity_mismatched_entry_is_pibe601():
+    module, profile = _declared_promoted()
+    module.add_function(build_leaf("fat", num_params=3))
+    module.fptr_tables["ops"].entries.append("fat")
+    module.bump_version()
+    report = analyze_module(module, profile=profile)
+    found = report.by_code("PIBE601")
+    assert found
+    assert "takes 3 params" in found[0].message
+
+
+def _declared_promoted():
+    """Like the ``chain`` fixture but the icall declares its table —
+    the precondition for judging promoted guard arms (PIBE602)."""
+    from repro.passes.icp import IndirectCallPromotion
+    from repro.profiling.lifting import lift_profile
+    from repro.profiling.profile_data import EdgeProfile
+
+    observed = {"a": 70, "b": 20, "c": 10}
+    module = Module("declared-chain")
+    for target in observed:
+        module.add_function(build_leaf(target, work=2))
+    module.add_fptr_table(FunctionPointerTable("ops", sorted(observed)))
+    caller = Function("caller")
+    b = IRBuilder(caller)
+    icall = b.icall(dict(observed), num_args=1, fptr_table="ops")
+    b.ret()
+    module.add_function(caller)
+    profile = EdgeProfile()
+    for target, count in observed.items():
+        profile.record_indirect(icall.site_id, target, count)
+    lift_profile(module, profile)
+    IndirectCallPromotion(budget=0.9).run(module)
+    return module, profile
+
+
+def test_declared_site_promoted_arms_are_clean():
+    module, profile = _declared_promoted()
+    report = analyze_module(module, profile=profile)
+    assert not report.by_code("PIBE6")
+
+
+def test_flow_infeasible_promoted_callee_is_pibe602():
+    module, profile = _declared_promoted()
+    # Redirect one guard arm at a defined function that never flows
+    # through the "ops" table: the guard compares against a value the
+    # data flow proves impossible.
+    module.add_function(build_leaf("stray", num_params=1))
+    promoted = promoted_calls(module)
+    assert promoted
+    promoted[0].callee = "stray"
+    module.bump_version()
+    report = analyze_module(module, profile=profile)
+    found = report.by_code("PIBE602")
+    assert found and "@stray" in found[0].message
+
+
+def test_undeclared_origin_site_arms_not_flagged(chain):
+    # The fixture's icall never declared a table; its fallback flow is
+    # residual-only, so promoted arms must NOT be judged against it.
+    module, profile, _ = chain
+    report = analyze_module(module, profile=profile)
+    assert not report.by_code("PIBE602")
+
+
+def test_census_fallback_note_is_pibe603():
+    module = Module("undeclared")
+    for name in ("a", "b"):
+        module.add_function(build_leaf(name, num_params=1))
+    module.add_fptr_table(FunctionPointerTable("ops", ["a", "b"]))
+    # An inline-asm helper poisons the solve for its callers: caller's
+    # environment hits ⊤ and the undeclared site takes the census bound.
+    from repro.ir.types import FunctionAttr
+
+    asm = Function("asmhelper", attrs={FunctionAttr.INLINE_ASM})
+    b = IRBuilder(asm)
+    b.arith(1)
+    b.ret()
+    module.add_function(asm)
+    caller = Function("caller")
+    b = IRBuilder(caller)
+    b.call("asmhelper")
+    b.icall({"a": 1}, num_args=1)
+    b.ret()
+    module.add_function(caller)
+    report = analyze_module(module)
+    found = report.by_code("PIBE603")
+    assert found
+    assert found[0].severity.name == "NOTE"
+
+
+def test_pointsto_findings_are_not_errors():
+    module, profile = _declared_promoted()
+    module.fptr_tables["ops"].entries.append("ghost")
+    module.bump_version()
+    report = analyze_module(module, profile=profile)
+    from repro.static import Severity
+
+    assert report.by_code("PIBE6")
+    for diag in report.by_code("PIBE6"):
+        assert diag.severity < Severity.ERROR
