@@ -56,10 +56,26 @@ def git_metadata() -> Dict[str, Any]:
     The hash never carries a ``-dirty`` suffix; local modifications are
     reported in the separate ``dirty`` flag. Outside a git checkout both
     degrade gracefully (``None`` / ``False``).
+
+    Modified ``BENCH_*.json`` record files do not count as dirt: they are
+    benchmark *outputs*, so a multi-record benchmark run does not poison
+    its own later records' attribution by appending its earlier ones.
     """
     head = _git("rev-parse", "--short", "HEAD")
     status = _git("status", "--porcelain") if head is not None else None
-    return {"git": head, "dirty": bool(status)}
+
+    def _path(line: str) -> str:
+        # "XY path" (or "XY old -> new" for renames); token-split rather
+        # than fixed offsets — _git() strips leading whitespace.
+        parts = line.strip().split(None, 1)
+        return parts[-1].split(" -> ")[-1].strip('"')
+
+    lines = [
+        line
+        for line in (status or "").splitlines()
+        if line.strip() and not Path(_path(line)).name.startswith("BENCH_")
+    ]
+    return {"git": head, "dirty": bool(lines)}
 
 
 def strict_git_enabled() -> bool:

@@ -31,6 +31,26 @@ def test_git_metadata_hash_is_clean():
         int(meta["git"], 16)  # short hashes are hex
 
 
+def test_git_metadata_ignores_bench_record_files(monkeypatch):
+    import _meta
+
+    def fake_git(*args):
+        if args[0] == "rev-parse":
+            return "abc1234"
+        return " M BENCH_lint.json\n M benchmarks/BENCH_x.json"
+
+    monkeypatch.setattr(_meta, "_git", fake_git)
+    assert git_metadata() == {"git": "abc1234", "dirty": False}
+
+    def fake_git_dirty(*args):
+        if args[0] == "rev-parse":
+            return "abc1234"
+        return " M BENCH_lint.json\n M src/repro/ir/module.py"
+
+    monkeypatch.setattr(_meta, "_git", fake_git_dirty)
+    assert git_metadata() == {"git": "abc1234", "dirty": True}
+
+
 def test_stamp_adds_provenance(monkeypatch):
     monkeypatch.delenv(STRICT_GIT_ENV, raising=False)
     record = {"benchmark": "x"}
