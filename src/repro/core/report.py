@@ -29,8 +29,24 @@ def geomean_ratio(ratios: Iterable[float]) -> float:
 
 def geomean_overhead(overheads: Iterable[float]) -> float:
     """Geometric-mean overhead, the paper's summary statistic: computed
-    over ``1 + overhead`` ratios then shifted back."""
-    return geomean_ratio(1.0 + o for o in overheads) - 1.0
+    over ``1 + overhead`` ratios then shifted back.
+
+    Guarded for the degenerate inputs a perturbed sweep cell can
+    produce: an empty sequence (every benchmark of the cell failed) and
+    overheads at or below ``-1.0`` (a non-positive measurement slipped
+    through), which would otherwise surface as a confusing
+    "non-positive ratio" error deep inside :func:`geomean_ratio`.
+    """
+    values = list(overheads)
+    if not values:
+        raise ValueError("geomean_overhead of empty sequence")
+    bad = [o for o in values if o <= -1.0]
+    if bad:
+        raise ValueError(
+            f"overhead(s) {bad} are <= -100%; the underlying measurement "
+            "is non-positive, which cannot enter a geometric mean"
+        )
+    return geomean_ratio(1.0 + o for o in values) - 1.0
 
 
 @dataclass

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from decimal import Decimal
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
@@ -39,13 +40,43 @@ class Table:
             lines.append(f"* {note}")
         return "\n".join(lines)
 
+    def to_markdown(self) -> str:
+        """GitHub-flavored markdown rendering (pipe table + notes)."""
+
+        def escape(cell: str) -> str:
+            return cell.replace("|", "\\|")
+
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(escape(h) for h in self.headers) + " |")
+        lines.append("|" + "|".join(" --- " for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(escape(c) for c in row) + " |")
+        if self.notes:
+            lines.append("")
+            lines.extend(f"*{note}*" for note in self.notes)
+        return "\n".join(lines)
+
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.to_text()
 
 
 def fmt_budget(budget: float) -> str:
-    """Format an optimization budget: 0.99 -> '99%', 0.999999 -> '99.9999%'."""
-    text = f"{budget * 100:.6f}".rstrip("0").rstrip(".")
+    """Format an optimization budget: 0.99 -> '99%', 0.999999 -> '99.9999%'.
+
+    Collision-safe: distinct float inputs always render to distinct
+    labels. The old ``{:.6f}``-and-strip formatting silently merged
+    budgets differing past the sixth percent digit — a float-artifact
+    grid point like ``0.99999999999`` and a genuine ``0.999999999990001``
+    both became the same label, so dense sweep grids (and their CSV rows,
+    which are keyed by label) could collide. Shifting the decimal point
+    on ``repr(budget)`` with exact :class:`~decimal.Decimal` arithmetic
+    keeps the shortest-round-trip property of ``repr``: the label is the
+    exact percentage of the shortest decimal that parses back to
+    ``budget``, so label equality implies float equality.
+    """
+    text = format(Decimal(repr(budget)) * 100, "f")
+    if "." in text:
+        text = text.rstrip("0").rstrip(".")
     return text + "%"
 
 

@@ -115,9 +115,19 @@ class EvalSettings:
 class EvalContext:
     """Caches the kernel, profiles, built variants and measurements."""
 
-    def __init__(self, settings: Optional[EvalSettings] = None) -> None:
+    def __init__(
+        self,
+        settings: Optional[EvalSettings] = None,
+        kernel: Optional["Module"] = None,
+    ) -> None:
+        """``kernel`` lets callers share one built kernel across contexts
+        whose settings differ only in seed/scale knobs (the sweep engine
+        runs one context per seed replica); it must be the module
+        :func:`build_kernel` would produce for ``settings.spec``."""
         self.settings = settings or EvalSettings()
-        self.kernel = build_kernel(self.settings.spec)
+        self.kernel = kernel if kernel is not None else build_kernel(
+            self.settings.spec
+        )
         self.cache: Optional[DiskCache] = (
             DiskCache(Path(self.settings.cache_dir))
             if self.settings.cache_dir

@@ -1,0 +1,55 @@
+"""Order statistics shared by the serve layer and the sweep engine.
+
+One correct nearest-rank implementation, used everywhere a percentile is
+reported: the server's latency histograms (p50/p99) and the sweep
+engine's per-cell seed aggregation (median/IQR). Nearest-rank is chosen
+over interpolating definitions because every reported value is then an
+*actual sample* — a latency that really occurred, an overhead that was
+really measured — which keeps reports byte-stable and explainable.
+
+The nearest-rank percentile of a sorted sample ``x_1 <= ... <= x_n`` at
+fraction ``f`` is ``x_ceil(f*n)`` (1-indexed), i.e. the smallest sample
+such that at least ``f*n`` samples are <= it. The 0-indexed form is
+``sorted[ceil(f*n) - 1]`` — note the ``- 1``: indexing ``sorted[int(f*n)]``
+overstates the percentile by one rank whenever ``f*n`` lands on an
+integer (p50 of an even-length window would return the *upper* middle
+sample, p99 of a 100-sample window the maximum).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+
+def nearest_rank(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted, non-empty sequence.
+
+    ``fraction`` is in ``[0, 1]``; out-of-range ranks clamp to the first
+    and last sample.
+    """
+    if not sorted_values:
+        raise ValueError("nearest_rank of an empty sequence")
+    rank = math.ceil(fraction * len(sorted_values)) - 1
+    return sorted_values[min(len(sorted_values) - 1, max(0, rank))]
+
+
+def median(values: Sequence[float]) -> float:
+    """Nearest-rank median (the lower-middle sample for even ``n``)."""
+    return nearest_rank(sorted(values), 0.50)
+
+
+def quartiles(values: Sequence[float]) -> Dict[str, float]:
+    """Nearest-rank q1/median/q3 of ``values`` (unsorted accepted)."""
+    ordered = sorted(values)
+    return {
+        "q1": nearest_rank(ordered, 0.25),
+        "median": nearest_rank(ordered, 0.50),
+        "q3": nearest_rank(ordered, 0.75),
+    }
+
+
+def iqr(values: Sequence[float]) -> float:
+    """Interquartile range (q3 - q1, nearest-rank)."""
+    q = quartiles(values)
+    return q["q3"] - q["q1"]

@@ -5,6 +5,12 @@ grid of optimization budgets — the tool a user reaches for when picking a
 budget for their own workload (the paper's Section 5.2 notes no single
 threshold is uniformly optimal across kernel paths, which is exactly what
 the per-bench columns of the sweep expose).
+
+This is the 1-D slice of the full grid engine: for multi-defense /
+multi-workload / multi-seed sweeps with Pareto and crossover analysis,
+see :mod:`repro.evaluation.sweepengine`, whose cell dedup this wrapper
+shares (duplicate budgets — or a swept budget colliding with the
+unoptimized reference config — are measured once and fanned back out).
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from repro.core.config import PibeConfig
 from repro.core.report import build_overhead_report
 from repro.evaluation.formatting import Table, fmt_budget, pct
 from repro.evaluation.harness import EvalContext
+from repro.evaluation.sweepengine import measure_deduped
 from repro.hardening.defenses import DefenseConfig
 from repro.workloads.base import Benchmark
 from repro.workloads.lmbench import LMBENCH_BENCHMARKS
@@ -36,6 +43,9 @@ class SweepResult:
     defenses_label: str
     baseline_geomean: float  # unoptimized overhead for reference
     points: List[SweepPoint] = field(default_factory=list)
+    #: unique measurement cells that actually ran (after dedup); a sweep
+    #: with duplicate budgets has fewer cells than points + references
+    cells_evaluated: int = 0
 
     def geomeans(self) -> Dict[float, float]:
         return {p.budget: p.geomean for p in self.points}
@@ -67,6 +77,12 @@ def budget_sweep(
     The grid points are independent measurement cells, so the sweep goes
     through :meth:`EvalContext.measure_many` — with ``jobs > 1`` (or
     ``EvalSettings.jobs``) they run in parallel worker processes.
+    Semantically equal cells (repeated budgets in ``budgets``, a swept
+    config equal to a reference) are measured once via
+    :func:`~repro.evaluation.sweepengine.measure_deduped` and the shared
+    result fanned back out, so every requested budget still gets its
+    :class:`SweepPoint`; :attr:`SweepResult.cells_evaluated` records how
+    many unique cells actually ran.
     """
     benches = tuple(benches) if benches is not None else tuple(LMBENCH_BENCHMARKS)
     budget_configs = [
@@ -83,11 +99,14 @@ def budget_sweep(
         PibeConfig.hardened(defenses),
         *budget_configs,
     ]
-    measured = ctx.measure_many(configs, benches, jobs=jobs)
+    deduped = measure_deduped(ctx, configs, benches, jobs=jobs)
+    measured = deduped.results
     lto = measured[0]
     unopt = build_overhead_report("unopt", lto, measured[1]).geomean
     result = SweepResult(
-        defenses_label=defenses.label(), baseline_geomean=unopt
+        defenses_label=defenses.label(),
+        baseline_geomean=unopt,
+        cells_evaluated=deduped.cells_evaluated,
     )
     for budget, config, values in zip(budgets, budget_configs, measured[2:]):
         report = build_overhead_report(config.label(), lto, values)

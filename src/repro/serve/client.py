@@ -176,6 +176,16 @@ class ServeClient:
             params["benches"] = list(benches)
         return self.request("measure_many", params)
 
+    def security(
+        self, config: PibeConfig, workload: str = "lmbench"
+    ) -> Dict[str, Any]:
+        """Residual-target security metrics of one variant (the sweep
+        engine's security axis in connect mode)."""
+        return self.request(
+            "security",
+            {"config": protocol.config_to_dict(config), "workload": workload},
+        )
+
     def lint(
         self,
         config: PibeConfig,

@@ -45,7 +45,16 @@ ERROR_EXCEPTION = "exception"
 ERROR_SHUTDOWN = "shutdown"
 
 #: Operations the server understands.
-OPS = ("ping", "build", "measure", "measure_many", "lint", "stats", "shutdown")
+OPS = (
+    "ping",
+    "build",
+    "measure",
+    "measure_many",
+    "lint",
+    "security",
+    "stats",
+    "shutdown",
+)
 
 
 class ProtocolError(ValueError):
@@ -194,6 +203,10 @@ def lint_key(
         workload,
         sorted(rules) if rules else None,
     )
+
+
+def security_key(config: PibeConfig, workload: str) -> str:
+    return cache_key("serve.security", config_to_dict(config), workload)
 
 
 # -- framing -----------------------------------------------------------------

@@ -46,6 +46,7 @@ from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.evaluation.failures import CellFailure
 from repro.evaluation.harness import EvalContext, EvalSettings
+from repro.evaluation.stats import nearest_rank
 from repro.serve import protocol
 from repro.serve.protocol import ProtocolError, Request
 from repro.workloads.base import Benchmark
@@ -56,14 +57,6 @@ MAX_LINE_BYTES = 8 * 1024 * 1024
 
 #: Latency samples retained per endpoint for the histogram.
 HISTOGRAM_WINDOW = 10_000
-
-
-def _percentile(sorted_values: List[float], fraction: float) -> float:
-    """Nearest-rank percentile of an already-sorted, non-empty list."""
-    rank = min(
-        len(sorted_values) - 1, max(0, int(fraction * len(sorted_values)))
-    )
-    return sorted_values[rank]
 
 
 @dataclass
@@ -90,8 +83,8 @@ class EndpointStats:
             "count": self.count,
             "errors": self.errors,
             "mean_ms": round(sum(window) / len(window), 3),
-            "p50_ms": round(_percentile(window, 0.50), 3),
-            "p99_ms": round(_percentile(window, 0.99), 3),
+            "p50_ms": round(nearest_rank(window, 0.50), 3),
+            "p99_ms": round(nearest_rank(window, 0.99), 3),
         }
 
 
@@ -568,6 +561,54 @@ class ReproServer:
             "label": config.label(),
             "report": _json.loads(report.to_json()),
             "stats": dict(report.stats or {}),
+        }
+
+    async def _op_security(self, request: Request) -> Dict[str, Any]:
+        config = protocol.config_from_dict(request.params.get("config", {}))
+        workload = protocol.workload_from_params(request.params)
+        # Single-flight like build/lint: a sweep client asks for the
+        # metrics of every grid variant, and concurrent identical
+        # requests must cost one analysis of one memoized build.
+        key = protocol.security_key(config, workload)
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            self.counters["single_flight_hits"] += 1
+            return dict(await asyncio.shield(inflight))
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future" = loop.create_future()
+        self._inflight[key] = future
+        try:
+            result = await loop.run_in_executor(
+                self._eval_pool,
+                partial(self._security_inline, config, workload),
+            )
+        except Exception as exc:
+            if not future.done():
+                future.set_exception(exc)
+                future.exception()
+            raise
+        else:
+            future.set_result(result)
+            return dict(result)
+        finally:
+            self._inflight.pop(key, None)
+
+    def _security_inline(self, config, workload: str) -> Dict[str, Any]:
+        """Runs on the eval thread: residual-target metrics of a
+        (memoized) variant — the security axis of sweep Pareto plots."""
+        from repro.analysis.security import security_metrics
+
+        build = self.ctx.variant(config, workload)
+        metrics = security_metrics(build.module, label=config.label())
+        return {
+            "label": config.label(),
+            "workload": workload,
+            "metrics": {
+                "air": metrics.air,
+                "residual_total": metrics.residual_total,
+                "residual_mean": metrics.residual_mean,
+            },
+            "detail": metrics.to_dict(),
         }
 
     async def _op_stats(self, request: Request) -> Dict[str, Any]:

@@ -607,6 +607,72 @@ def _client_config(args) -> PibeConfig:
     )
 
 
+def cmd_sweep(args) -> int:
+    """Full-grid sweep: (budget x defense x workload x scale) cells with
+    seed repetition, Pareto frontier and defense crossover analysis."""
+    import dataclasses
+
+    from repro.evaluation.sweepengine import (
+        grid_from_spec,
+        resolve_benches,
+        run_sweep,
+        run_sweep_connected,
+    )
+
+    def log(message: str) -> None:
+        print(message, file=sys.stderr)
+
+    try:
+        grid = grid_from_spec(args.grid)
+        if args.seeds is not None:
+            grid = dataclasses.replace(grid, seeds=args.seeds)
+        benches = args.bench.split(",") if args.bench else None
+        if not args.connect:
+            bench_objs = resolve_benches(benches)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    log(f"sweep grid: {grid.describe()}")
+
+    if args.connect:
+        from repro.serve.client import DEFAULT_PORT, ServeClient, ServeError
+
+        address = args.connect
+        if "/" in address:
+            client = ServeClient(unix=address)
+        else:
+            host, _, port = address.partition(":")
+            client = ServeClient(
+                host=host or "127.0.0.1",
+                port=int(port) if port else DEFAULT_PORT,
+            )
+        try:
+            with client:
+                result = run_sweep_connected(
+                    grid, client, benches=benches, log=log
+                )
+        except ServeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        except OSError as exc:
+            print(f"cannot reach server at {address}: {exc}", file=sys.stderr)
+            return 1
+    else:
+        settings = _eval_settings(args)
+        result = run_sweep(
+            grid, settings, benches=bench_objs, jobs=args.jobs, log=log
+        )
+
+    # Accounting goes to stderr only: the report/CSV artifacts must be
+    # byte-identical between a cold and a warm run of the same grid.
+    log("sweep stats: " + json.dumps(result.stats, sort_keys=True))
+    if args.csv:
+        Path(args.csv).write_text(result.to_csv())
+        log(f"wrote {args.csv}")
+    _write_or_print(result.render_report(args.format), args.output)
+    return 0
+
+
 def cmd_client(args) -> int:
     """One request against a running ``repro serve`` instance."""
     from repro.serve.client import DEFAULT_PORT, ServeClient, ServeError
@@ -634,6 +700,8 @@ def cmd_client(args) -> int:
                 )
             elif args.op == "lint":
                 result = client.lint(_client_config(args), args.workload)
+            elif args.op == "security":
+                result = client.security(_client_config(args), args.workload)
             else:  # pragma: no cover — argparse choices guard this
                 raise SystemExit(f"unknown op {args.op!r}")
     except ServeError as exc:
@@ -854,11 +922,53 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
+        "sweep",
+        help="full-grid sweep with Pareto frontier and crossover analysis",
+    )
+    p.add_argument(
+        "--grid", default="fast",
+        help=(
+            "grid preset (fast/default/paper), JSON file, or inline JSON "
+            "(fields: budgets, defenses, workloads, scales, seeds, "
+            "seed_base, lax)"
+        ),
+    )
+    p.add_argument(
+        "--seeds", type=int, default=None,
+        help="override the grid's seed replica count",
+    )
+    p.add_argument(
+        "--format", choices=("text", "markdown"), default="text",
+        help="report rendering",
+    )
+    p.add_argument(
+        "--connect",
+        help=(
+            "sweep against a running `repro serve` (host:port or unix "
+            "socket path) instead of a local harness; the server's "
+            "kernel/seed replace the grid's scales/seeds dimensions"
+        ),
+    )
+    p.add_argument(
+        "--csv", help="also write the per-cell grid as CSV to this path"
+    )
+    p.add_argument(
+        "--bench", help="comma-separated benchmark names (default: all)"
+    )
+    p.add_argument("--fast", action="store_true", help="reduced ops scales")
+    _add_harness_args(p)
+    p.add_argument("-o", "--output", help="report file (default: stdout)")
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
         "client", help="send one request to a running `repro serve`"
     )
     p.add_argument(
         "op",
-        choices=("ping", "stats", "shutdown", "build", "measure", "lint"),
+        choices=(
+            "ping", "stats", "shutdown", "build", "measure", "lint",
+            "security",
+        ),
     )
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=None)

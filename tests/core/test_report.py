@@ -60,3 +60,22 @@ def test_build_overhead_report_order():
 def test_format_percent():
     assert format_percent(0.123) == "12.3%"
     assert format_percent(-0.05, digits=0) == "-5%"
+
+
+def test_geomean_overhead_rejects_empty():
+    from repro.core.report import geomean_overhead
+
+    with pytest.raises(ValueError, match="empty"):
+        geomean_overhead([])
+
+
+def test_geomean_overhead_rejects_sub_negative_one():
+    # An overhead <= -100% means the underlying measurement was
+    # non-positive; the guard names the offending values instead of
+    # surfacing a "non-positive ratio" error from geomean_ratio.
+    from repro.core.report import geomean_overhead
+
+    with pytest.raises(ValueError, match=r"-1\.5"):
+        geomean_overhead([0.1, -1.5])
+    with pytest.raises(ValueError, match="-1.0"):
+        geomean_overhead([-1.0])

@@ -37,3 +37,53 @@ def test_cell_formatters():
     assert pct(0.01, signed=True) == "+1.0%"
     assert ticks(20.7) == "21"
     assert us(3700.0) == "1.000"  # 3700 cycles at 3.7 GHz = 1 us
+
+
+def test_fmt_budget_paper_labels():
+    from repro.evaluation.formatting import fmt_budget
+
+    assert fmt_budget(0.99) == "99%"
+    assert fmt_budget(0.999999) == "99.9999%"
+    assert fmt_budget(0.5) == "50%"
+    assert fmt_budget(1.0) == "100%"
+
+
+def test_fmt_budget_no_collision_past_six_digits():
+    # The old {:.6f}-based formatting merged these two labels.
+    from repro.evaluation.formatting import fmt_budget
+
+    a, b = 0.99999999999, 0.999999999990001
+    assert a != b
+    assert fmt_budget(a) != fmt_budget(b)
+
+
+def test_fmt_budget_injective_on_floats():
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    from repro.evaluation.formatting import fmt_budget
+
+    @given(
+        st.floats(min_value=1e-9, max_value=1.0, allow_nan=False),
+        st.floats(min_value=1e-9, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=300)
+    def check(a, b):
+        if a != b:
+            assert fmt_budget(a) != fmt_budget(b)
+        else:
+            assert fmt_budget(a) == fmt_budget(b)
+
+    check()
+
+
+def test_markdown_rendering():
+    table = Table("Demo", ["name", "value"], notes=["a note"])
+    table.add_row("pipe|cell", "1")
+    md = table.to_markdown()
+    lines = md.splitlines()
+    assert lines[0] == "### Demo"
+    assert lines[2] == "| name | value |"
+    assert lines[3] == "| --- | --- |"
+    assert "pipe\\|cell" in lines[4]
+    assert lines[-1] == "*a note*"

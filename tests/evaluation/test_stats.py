@@ -1,0 +1,81 @@
+"""Nearest-rank order statistics: the shared percentile helper.
+
+These are regression tests for the server's former ``_percentile``,
+which indexed ``sorted[int(f * n)]`` and so overstated the percentile
+by one rank whenever ``f * n`` landed on an integer — p50 of an
+even-length window returned the upper middle sample, p99 of a
+100-sample window returned the maximum.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evaluation.stats import iqr, median, nearest_rank, quartiles
+
+
+def test_even_window_median_is_lower_middle():
+    # int(0.5 * 4) == 2 would pick 3; nearest-rank picks 2.
+    assert nearest_rank([1, 2, 3, 4], 0.50) == 2
+
+
+def test_p99_of_100_samples_is_99th_not_max():
+    window = list(range(1, 101))  # 1..100, sorted
+    # int(0.99 * 100) == 99 indexed the maximum; ceil(99) - 1 = 98.
+    assert nearest_rank(window, 0.99) == 99
+    assert nearest_rank(window, 1.00) == 100
+
+
+def test_fraction_edges_clamp():
+    assert nearest_rank([5.0], 0.0) == 5.0
+    assert nearest_rank([5.0], 1.0) == 5.0
+    assert nearest_rank([1.0, 2.0], 0.0) == 1.0
+
+
+def test_empty_sequence_rejected():
+    with pytest.raises(ValueError):
+        nearest_rank([], 0.5)
+
+
+def test_two_seed_aggregation_shape():
+    # The sweep engine's default fast grid uses 2 seeds: median and q1
+    # are the lower sample, q3 the upper, IQR their spread.
+    q = quartiles([0.07, 0.03])
+    assert q == {"q1": 0.03, "median": 0.03, "q3": 0.07}
+    assert median([0.07, 0.03]) == 0.03
+    assert iqr([0.07, 0.03]) == pytest.approx(0.04)
+
+
+def test_quartiles_hand_fixture():
+    q = quartiles([4.0, 1.0, 3.0, 2.0, 5.0])
+    assert q == {"q1": 2.0, "median": 3.0, "q3": 4.0}
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                          width=32), min_size=1, max_size=50),
+       st.floats(min_value=0.0, max_value=1.0))
+def test_nearest_rank_returns_actual_sample(values, fraction):
+    ordered = sorted(values)
+    result = nearest_rank(ordered, fraction)
+    assert result in ordered
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                          width=32), min_size=1, max_size=50))
+def test_rank_monotone_in_fraction(values):
+    ordered = sorted(values)
+    samples = [nearest_rank(ordered, f / 10.0) for f in range(11)]
+    assert samples == sorted(samples)
+
+
+def test_server_snapshot_uses_nearest_rank():
+    # EndpointStats integration: an even window's p50 must be the lower
+    # middle sample (the pre-fix code returned the upper one).
+    from repro.serve.server import EndpointStats
+
+    stats = EndpointStats()
+    for seconds in (0.010, 0.020, 0.030, 0.040):
+        stats.record(seconds, ok=True)
+    snap = stats.snapshot()
+    assert snap["p50_ms"] == pytest.approx(20.0)
+    assert snap["p99_ms"] == pytest.approx(40.0)

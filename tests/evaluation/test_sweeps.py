@@ -61,3 +61,20 @@ def test_sweep_points_carry_per_bench_overheads(ctx):
         benches=benches,
     )
     assert set(result.points[0].overheads) == {"read", "pipe"}
+
+
+def test_sweep_dedups_repeated_budgets(ctx):
+    benches = [BY_NAME["read"], BY_NAME["write"]]
+    result = budget_sweep(
+        ctx,
+        DefenseConfig.retpolines_only(),
+        budgets=(0.99, 0.99, 0.999),
+        benches=benches,
+    )
+    # Every requested budget still gets a point...
+    assert [p.budget for p in result.points] == [0.99, 0.99, 0.999]
+    assert result.points[0].geomean == result.points[1].geomean
+    assert result.points[0].overheads == result.points[1].overheads
+    # ...but the duplicate cell ran once: lto baseline + unoptimized
+    # reference + 2 unique budgets, not the 5 requested configs.
+    assert result.cells_evaluated == 4

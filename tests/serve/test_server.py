@@ -231,3 +231,41 @@ def test_malformed_line_gets_error_envelope(served):
         raw.close()
     assert reply["ok"] is False
     assert reply["error"]["kind"] == protocol.ERROR_BAD_REQUEST
+
+
+def test_security_endpoint(client):
+    """The sweep engine's security axis in connect mode: residual-target
+    metrics of a (memoized) server-side variant."""
+    config = PibeConfig.hardened(
+        DefenseConfig.retpolines_only(), icp_budget=0.99, inline_budget=0.99
+    )
+    result = client.security(config)
+    assert result["label"] == config.label()
+    assert result["workload"] == "lmbench"
+    metrics = result["metrics"]
+    assert 0.0 < metrics["air"] <= 1.0
+    assert metrics["residual_total"] >= 0
+    assert metrics["residual_mean"] >= 0.0
+    # the detail dict rounds for display; the metrics block is exact
+    assert result["detail"]["air"] == pytest.approx(metrics["air"], abs=1e-6)
+    # repeated request: deterministic, served from the memoized variant
+    assert client.security(config) == result
+    # and matches the inline analysis of the same variant exactly
+    with EvalContext(_settings()) as ctx:
+        from repro.analysis.security import security_metrics
+
+        inline = security_metrics(
+            ctx.variant(config, "lmbench").module, label=config.label()
+        )
+    assert metrics["air"] == inline.air
+    assert metrics["residual_total"] == inline.residual_total
+
+
+def test_security_endpoint_bad_workload(client):
+    config = PibeConfig.pibe_baseline()
+    with pytest.raises(ServeError) as exc:
+        client.request(
+            "security",
+            {"config": protocol.config_to_dict(config), "workload": "nope"},
+        )
+    assert exc.value.kind == protocol.ERROR_BAD_REQUEST
