@@ -112,6 +112,32 @@ class DiskCache:
             except OSError:
                 pass
 
+    def has(self, kind: str, key: str) -> bool:
+        """Whether an entry exists on disk, without reading it.
+
+        Used by content-addressed writers (prefix chunks) to skip
+        re-serializing payloads another entry already stored. Does not
+        touch the hit/miss counters — it is not a lookup.
+        """
+        return self._path(kind, key).is_file()
+
+    def quarantine_entry(self, kind: str, key: str) -> bool:
+        """Quarantine an entry whose *payload* a caller found corrupt.
+
+        :meth:`get` only catches entries that fail to parse as JSON;
+        callers that validate content hashes or decode structured payloads
+        (the prefix codec) report semantic corruption here so the bad
+        entry is moved aside and counted exactly like a parse failure.
+        Returns whether an entry existed to quarantine.
+        """
+        path = self._path(kind, key)
+        if not path.is_file():
+            return False
+        self.corrupt += 1
+        self._bump(kind, "corrupt")
+        self._quarantine(kind, key, path)
+        return True
+
     def get(self, kind: str, key: str) -> Optional[Dict[str, Any]]:
         """Return the stored payload, or ``None`` on a miss.
 
@@ -138,13 +164,25 @@ class DiskCache:
         self._bump(kind, "hits")
         return payload
 
-    def put(self, kind: str, key: str, payload: Dict[str, Any]) -> None:
-        """Store ``payload`` atomically (temp file + rename)."""
+    def put(
+        self,
+        kind: str,
+        key: str,
+        payload: Dict[str, Any],
+        text: Optional[str] = None,
+    ) -> None:
+        """Store ``payload`` atomically (temp file + rename).
+
+        ``text`` optionally supplies the payload's ``json.dumps``
+        rendering when the caller already produced it (content-addressed
+        writers hash the text first), skipping a second encode.
+        """
         path = self._path(kind, key)
         path.parent.mkdir(parents=True, exist_ok=True)
         # Preserve payload key order: measurement dicts keep benchmark
         # order, so warm runs render identically to cold.
-        text = json.dumps(payload)
+        if text is None:
+            text = json.dumps(payload)
         spec = faults.fire("cache.put", kind)
         if spec is not None:
             if spec.mode == "truncate":

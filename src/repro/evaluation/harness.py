@@ -101,6 +101,11 @@ class EvalSettings:
     #: Base of the exponential backoff between retries of one cell
     #: (``retry_backoff * 2**(attempt - 1)`` seconds).
     retry_backoff: float = 0.05
+    #: Build optimized prefixes through the incremental decision/apply
+    #: engine (delta derivation from a shared per-profile basis). Off
+    #: forces every prefix through the cold pass stack — the benchmark
+    #: baseline arm; outputs are bit-identical either way.
+    incremental_prefixes: bool = True
 
     @classmethod
     def fast(cls) -> "EvalSettings":
@@ -137,7 +142,11 @@ class EvalContext:
         # persist their optimized prefixes: parallel workers and later
         # runs stamp defenses onto disk-loaded prefixes instead of
         # re-running ICP + inlining per variant.
-        self.pipeline = PibePipeline(self.kernel, cache=self.cache)
+        self.pipeline = PibePipeline(
+            self.kernel,
+            cache=self.cache,
+            incremental=self.settings.incremental_prefixes,
+        )
         self._profiles: Dict[str, EdgeProfile] = {}
         self._variants: Dict[str, BuildResult] = {}
         self._measurements: Dict[str, Dict[str, float]] = {}
@@ -257,6 +266,109 @@ class EvalContext:
         build = self.pipeline.build_variant(config, profile)
         self._variants[key] = build
         return build
+
+    def prewarm_prefixes(
+        self,
+        configs: Sequence[PibeConfig],
+        workload_name: str = "lmbench",
+        jobs: Optional[int] = None,
+    ) -> int:
+        """Build the distinct cold optimized prefixes of ``configs`` in
+        parallel, ahead of measurement.
+
+        A sweep grid's configs collapse to a handful of
+        :class:`~repro.core.pipeline.PrefixKey` values (defense stamps
+        share prefixes), and each cold prefix is an independent build —
+        so workers fan them out and hand results back through the disk
+        cache's ``"prefix"`` kind, where the serial measurement path
+        loads them as disk hits. Budget ladders sharing one decision
+        basis (same profile, same jump-table legality) are sliced
+        contiguously so a single worker derives the whole ladder from
+        one basis instead of each worker rebuilding it.
+
+        Returns the number of prefixes dispatched. Requires the disk
+        cache (it is the hand-back channel) and ``jobs > 1``; otherwise
+        a no-op — prefixes then build lazily inline, exactly as before.
+        Worker failures are absorbed: an unwarmed prefix just builds
+        inline later.
+        """
+        global _WORKER_CTX
+        self._check_open()
+        jobs = self.settings.jobs if jobs is None else jobs
+        if self.cache is None or jobs <= 1:
+            return 0
+        from repro.core.pipeline import PrefixKey
+
+        # Materialize the profile before workers fork so they inherit it.
+        profile = self.profile(workload_name)
+        seen = set()
+        cold: Dict[bool, List[Tuple[PrefixKey, PibeConfig]]] = {}
+        for config in configs:
+            if not config.optimized:
+                continue
+            key = PrefixKey.from_config(config)
+            if key in seen:
+                continue
+            seen.add(key)
+            if self.pipeline.prefix_state(config, profile) != "cold":
+                continue
+            cold.setdefault(key.allow_jump_tables, []).append((key, config))
+        if not cold:
+            return 0
+        # One slice = one worker's run up a budget ladder, grouped by
+        # decision-basis axis (jump-table legality). Apply cost climbs
+        # steeply with budget (a budget's decisions cover the profile
+        # tail), so budgets are dealt longest-processing-time: highest
+        # cost first, each onto the lightest slice — the top budget gets
+        # a slice to itself instead of dragging a ladder behind it.
+        def ladder_key(kc):
+            return (
+                kc[0].icp_budget if kc[0].icp_budget is not None else -1.0,
+                kc[0].inline_budget
+                if kc[0].inline_budget is not None
+                else -1.0,
+                kc[0].lax_heuristics,
+            )
+
+        def cost(kc):
+            budget = max(ladder_key(kc)[0], ladder_key(kc)[1], 0.0)
+            return 1.0 + 1.0 / max(1e-9, 1.0 - min(budget, 1.0))
+
+        slices: List[Tuple[PibeConfig, ...]] = []
+        per_group = max(1, jobs // len(cold))
+        for axis in sorted(cold):
+            group = sorted(cold[axis], key=ladder_key, reverse=True)
+            bins: List[List[Tuple[Any, PibeConfig]]] = [
+                [] for _ in range(min(per_group, len(group)))
+            ]
+            loads = [0.0] * len(bins)
+            for kc in group:
+                lightest = loads.index(min(loads))
+                bins[lightest].append(kc)
+                loads[lightest] += cost(kc)
+            slices.extend(
+                tuple(config for _, config in sorted(b, key=ladder_key))
+                for b in bins
+            )
+        plan = faults.active_plan()
+        _WORKER_CTX = self
+        pool = self._ensure_pool(min(len(slices), max(jobs, 1)), plan)
+        futures = [
+            pool.submit(_prewarm_prefix_cell, (chunk, workload_name))
+            for chunk in slices
+        ]
+        warmed = 0
+        broken = False
+        for fut in futures:
+            try:
+                warmed += fut.result()
+            except BrokenExecutor:
+                broken = True
+            except Exception:  # noqa: BLE001 — cold build happens inline
+                pass
+        if broken:
+            self._replace_pool(plan, kill=True)
+        return warmed
 
     # -- lint ---------------------------------------------------------------
 
@@ -850,6 +962,22 @@ def _measure_cell(
     config, benches, workload_name = cell
     assert _WORKER_CTX is not None, "worker initialized without a context"
     return _WORKER_CTX.measure(config, benches, workload_name)
+
+
+def _prewarm_prefix_cell(cell: Tuple[Tuple[PibeConfig, ...], str]) -> int:
+    """Build one contiguous slice of cold prefixes in a worker.
+
+    The worker's pipeline persists each prefix to the shared disk cache;
+    the parent (and its other workers) then load them as disk hits.
+    Slices walk a budget ladder in order, so the worker's incremental
+    engine derives each prefix from the decision basis it just built.
+    """
+    configs, workload_name = cell
+    assert _WORKER_CTX is not None, "worker initialized without a context"
+    profile = _WORKER_CTX.profile(workload_name)
+    for config in configs:
+        _WORKER_CTX.pipeline.warm_prefix(config, profile)
+    return len(configs)
 
 
 def _lint_shard_cell(cell):

@@ -588,6 +588,8 @@ def run_sweep(
     jobs: Optional[int] = None,
     log: Optional[Callable[[str], None]] = None,
     kernels: Optional[Dict[str, "Module"]] = None,  # noqa: F821
+    prewarm: bool = True,
+    security: bool = True,
 ) -> SweepRunResult:
     """Measure the grid locally and return the aggregated result.
 
@@ -595,6 +597,16 @@ def run_sweep(
     one scale share the built kernel, and every context shares
     ``settings.cache_dir``, so staged prefixes and measurements persist
     across replicas and across repeated runs (the warm path).
+
+    With ``prewarm`` (and a disk cache plus ``jobs > 1``), each workload
+    group's distinct cold optimized prefixes are built in parallel ahead
+    of measurement via :meth:`EvalContext.prewarm_prefixes`, so the
+    serial build_variant path inside the measurement fan-out finds them
+    as disk hits instead of serializing the cold builds.
+
+    ``security=False`` skips the residual-target security attachment
+    (which rebuilds every seed-0 variant in this process for analysis) —
+    for overhead-only sweeps and build-phase benchmarks.
 
     ``kernels`` optionally maps scale names to prebuilt modules. Kernel
     generation allocates site ids from a process-global counter, so a
@@ -651,6 +663,16 @@ def run_sweep(
                             keys.append(
                                 (scale, workload, defense.label(), budget)
                             )
+                    if prewarm:
+                        warmed = ctx.prewarm_prefixes(
+                            configs, workload, jobs=jobs
+                        )
+                        if warmed:
+                            say(
+                                f"scale={scale} seed={seed} "
+                                f"workload={workload}: prewarmed "
+                                f"{warmed} prefix(es)"
+                            )
                     deduped = measure_deduped(
                         ctx, configs, benches, workload, jobs=jobs
                     )
@@ -669,7 +691,7 @@ def run_sweep(
                                 cell.defense, baseline, values
                             ).geomean
                         )
-                if replica == 0:
+                if replica == 0 and security:
                     _attach_security(ctx, grid, scale, cells, say)
                 for key, value in ctx.pipeline.stats.items():
                     pipeline_stats[key] = pipeline_stats.get(key, 0) + value

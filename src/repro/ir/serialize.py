@@ -29,7 +29,7 @@ sensitive, and plain ``json.dumps`` preserves that order.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Iterable, Optional, Tuple
 
 from repro.ir.basicblock import BasicBlock
 from repro.ir.function import Function
@@ -180,6 +180,110 @@ def module_to_dict(module: Module) -> Dict[str, Any]:
         "syscalls": dict(module.syscalls),
         "metadata": _encode_metadata(module.metadata),
     }
+
+
+def module_header_to_dict(module: Module) -> Dict[str, Any]:
+    """The chunked codec's header half: everything in
+    :func:`module_to_dict` except the function bodies, plus the explicit
+    function order (chunks group functions by sorted name, so
+    concatenating them would scramble module iteration order)."""
+    return {
+        "serial_version": SERIAL_VERSION,
+        "name": module.name,
+        "function_order": list(module.functions),
+        "fptr_tables": [
+            {"name": t.name, "entries": list(t.entries)}
+            for t in module.fptr_tables.values()
+        ],
+        "syscalls": dict(module.syscalls),
+        "metadata": _encode_metadata(module.metadata),
+    }
+
+
+def functions_to_chunk(
+    funcs: Iterable[Function],
+    dict_memo: Optional[Dict[int, Dict[str, Any]]] = None,
+) -> Dict[str, Any]:
+    """Render a group of functions as one chunk payload.
+
+    ``dict_memo`` (keyed by ``id(func)``) reuses per-function dicts
+    across calls — budget-ladder prefixes share untouched functions as
+    identical objects, so each serializes once no matter how many
+    entries (or chunk groupings) reference it. The caller must keep the
+    functions alive for the memo's lifetime so ids cannot be recycled.
+    """
+    if dict_memo is None:
+        dicts = [_function_to_dict(f) for f in funcs]
+    else:
+        dicts = []
+        for func in funcs:
+            cached = dict_memo.get(id(func))
+            if cached is None:
+                cached = _function_to_dict(func)
+                dict_memo[id(func)] = cached
+            dicts.append(cached)
+    return {
+        "serial_version": SERIAL_VERSION,
+        "functions": dicts,
+    }
+
+
+def functions_from_chunk(
+    data: Dict[str, Any]
+) -> Tuple[Dict[str, Function], int]:
+    """Decode one chunk payload into ``{name: Function}`` plus the maximum
+    site id it contains (callers reserve the global allocator once over
+    all chunks, mirroring :func:`module_from_dict`).
+
+    Raises ``ValueError`` on a layout-version mismatch.
+    """
+    version = data.get("serial_version")
+    if version != SERIAL_VERSION:
+        raise ValueError(
+            f"serialized chunk layout {version!r} != {SERIAL_VERSION!r}"
+        )
+    functions: Dict[str, Function] = {}
+    max_site = 0
+    for func_data in data.get("functions", ()):
+        func = _function_from_dict(func_data)
+        functions[func.name] = func
+        for block in func.blocks.values():
+            for inst in block.instructions:
+                site = inst.site_id
+                if site is not None and site > max_site:
+                    max_site = site
+    return functions, max_site
+
+
+def module_from_header(
+    header: Dict[str, Any], functions: Dict[str, Function]
+) -> Module:
+    """Assemble a module from a chunked-codec header and decoded bodies.
+
+    ``functions`` may contain extras (shared decoded chunks hold whole
+    name windows); only the header's ``function_order`` is consulted.
+    Site-id reservation is the caller's job — the decoded chunks already
+    reported their maxima. Raises ``ValueError`` on version mismatch or a
+    body missing from ``functions``.
+    """
+    version = header.get("serial_version")
+    if version != SERIAL_VERSION:
+        raise ValueError(
+            f"serialized module layout {version!r} != {SERIAL_VERSION!r}"
+        )
+    module = Module(header.get("name", "module"))
+    for name in header.get("function_order", ()):
+        func = functions.get(name)
+        if func is None:
+            raise ValueError(f"chunked module is missing function {name!r}")
+        module.functions[name] = func
+    for table in header.get("fptr_tables", ()):
+        module.fptr_tables[table["name"]] = FunctionPointerTable(
+            table["name"], list(table.get("entries", ()))
+        )
+    module.syscalls = dict(header.get("syscalls", {}))
+    module.metadata = _decode_metadata(header.get("metadata", {}))
+    return module
 
 
 def module_from_dict(data: Dict[str, Any]) -> Module:

@@ -7,14 +7,23 @@ profiling weight*: within a caller, sites are visited in program order, so
 earlier cold inlining can consume the caller's growth budget and inhibit
 more beneficial hot inlining — the instability PIBE's hottest-first queue
 avoids.
+
+Like :class:`repro.passes.inliner.PibeInliner`, the policy is written
+once against an abstract world: :meth:`DefaultInliner.run` drives it over
+the real module (the classic single-phase behaviour) and
+:meth:`DefaultInliner.plan` drives it over a
+:class:`~repro.passes.decisions.VirtualSpace`, emitting an ordered step
+trace replayed by
+:func:`repro.passes.inliner.apply_inline_steps`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterator, List, NamedTuple, Optional
 
 from repro.ir.clone import inline_call, record_inlined_promotion
+from repro.ir.instruction import Instruction
 from repro.ir.module import Module
 from repro.ir.types import (
     ATTR_EDGE_COUNT,
@@ -23,6 +32,12 @@ from repro.ir.types import (
     Opcode,
 )
 from repro.ir.callgraph import CallGraph
+from repro.passes.decisions import (
+    InlinePlan,
+    InlineStep,
+    VirtualSite,
+    VirtualSpace,
+)
 from repro.passes.inline_cost import InlineCostCache
 from repro.passes.manager import ModulePass
 from repro.profiling.profile_data import EdgeProfile
@@ -75,53 +90,185 @@ class DefaultInliner(ModulePass):
         self.costs = costs if costs is not None else InlineCostCache()
 
     def run(self, module: Module) -> DefaultInlineReport:
-        report = DefaultInlineReport()
-        module.metadata.setdefault(METADATA_INLINED_PROMOTED, [])
-        costs = self.costs
         order = CallGraph(module).bottom_up_order()
+        return self._drive(_RealDefaultWorld(module, self.costs), order)
+
+    def plan(self, module: Module, space: VirtualSpace) -> InlinePlan:
+        """Decision phase against ``space``; ``module`` (the real pre-inline
+        module) only supplies the bottom-up order, exactly as ``run``
+        computes it at pass entry."""
+        order = CallGraph(module).bottom_up_order()
+        world = _VirtualDefaultWorld(space)
+        report = self._drive(world, order)
+        return InlinePlan(steps=world.steps, report=report)
+
+    def apply_plan(
+        self, module: Module, plan: InlinePlan
+    ) -> DefaultInlineReport:
+        from repro.passes.inliner import apply_inline_steps
+
+        apply_inline_steps(module, plan.steps)
+        return plan.report
+
+    def _drive(
+        self, world: "_DefaultWorld", order: List[str]
+    ) -> DefaultInlineReport:
+        report = DefaultInlineReport()
+        world.prepare()
 
         for caller_name in order:
-            caller = module.functions.get(caller_name)
-            if caller is None or caller.has_attr(FunctionAttr.OPTNONE):
+            if not world.has_function(caller_name) or world.is_optnone(
+                caller_name
+            ):
                 continue
             # Visit sites in program order (repeatedly, since inlining
             # introduces new sites mid-block).
             progress = True
             while progress:
                 progress = False
-                for block in list(caller.blocks.values()):
-                    for idx, inst in enumerate(block.instructions):
-                        if inst.opcode != Opcode.CALL:
-                            continue
-                        callee = module.functions.get(inst.callee or "")
-                        if (
-                            callee is None
-                            or callee.name == caller.name
-                            or not callee.is_inlinable
-                            or callee.is_recursive()
-                        ):
-                            continue
-                        report.visited_sites += 1
-                        weight = inst.attrs.get(ATTR_EDGE_COUNT, 0)
-                        threshold = (
-                            self.hot_threshold if weight > 0 else self.cold_threshold
-                        )
-                        if costs.cost(callee) > threshold:
-                            continue
-                        if costs.cost(caller) > self.caller_growth_limit:
-                            continue
-                        # Materialize on copy-on-write modules; the exact
-                        # clone keeps block labels and indices valid.
-                        caller = module.mutable(caller.name)
-                        inst = caller.blocks[block.label].instructions[idx]
-                        record_inlined_promotion(module, inst)
-                        inline_call(caller, block.label, idx, callee)
-                        costs.invalidate(caller.name)
-                        report.inlined_sites += 1
-                        report.inlined_weight += weight
-                        report.returns_elided_sites += len(callee.returns())
-                        progress = True
-                        break
-                    if progress:
-                        break
+                for site in world.scan_calls(caller_name):
+                    callee_name = world.site_callee(site) or ""
+                    if (
+                        not world.has_function(callee_name)
+                        or callee_name == caller_name
+                        or not world.is_inlinable(callee_name)
+                        or world.is_recursive(callee_name)
+                    ):
+                        continue
+                    report.visited_sites += 1
+                    weight = world.site_weight(site)
+                    threshold = (
+                        self.hot_threshold if weight > 0 else self.cold_threshold
+                    )
+                    if world.cost(callee_name) > threshold:
+                        continue
+                    if world.cost(caller_name) > self.caller_growth_limit:
+                        continue
+                    world.splice(caller_name, site, callee_name)
+                    report.inlined_sites += 1
+                    report.inlined_weight += weight
+                    report.returns_elided_sites += world.returns_count(
+                        callee_name
+                    )
+                    progress = True
+                    break
         return report
+
+
+class _DefaultSite(NamedTuple):
+    block_label: str
+    idx: int
+    inst: Instruction
+
+
+class _DefaultWorld:
+    """Interface both default-inliner worlds implement (documentation)."""
+
+
+class _RealDefaultWorld(_DefaultWorld):
+    def __init__(self, module: Module, costs: InlineCostCache) -> None:
+        self.module = module
+        self.costs = costs
+
+    def prepare(self) -> None:
+        self.module.metadata.setdefault(METADATA_INLINED_PROMOTED, [])
+
+    def has_function(self, name: str) -> bool:
+        return name in self.module.functions
+
+    def is_optnone(self, name: str) -> bool:
+        return self.module.functions[name].has_attr(FunctionAttr.OPTNONE)
+
+    def is_inlinable(self, name: str) -> bool:
+        return self.module.functions[name].is_inlinable
+
+    def is_recursive(self, name: str) -> bool:
+        return self.module.functions[name].is_recursive()
+
+    def returns_count(self, name: str) -> int:
+        return len(self.module.functions[name].returns())
+
+    def cost(self, name: str) -> int:
+        return self.costs.cost(self.module.functions[name])
+
+    def scan_calls(self, caller_name: str) -> Iterator[_DefaultSite]:
+        caller = self.module.functions[caller_name]
+        for block in list(caller.blocks.values()):
+            for idx, inst in enumerate(block.instructions):
+                if inst.opcode != Opcode.CALL:
+                    continue
+                yield _DefaultSite(block.label, idx, inst)
+
+    def site_callee(self, site: _DefaultSite) -> Optional[str]:
+        return site.inst.callee
+
+    def site_weight(self, site: _DefaultSite) -> int:
+        return site.inst.attrs.get(ATTR_EDGE_COUNT, 0)
+
+    def splice(
+        self, caller_name: str, site: _DefaultSite, callee_name: str
+    ) -> None:
+        callee = self.module.functions[callee_name]
+        # Materialize on copy-on-write modules; the exact clone keeps
+        # block labels and indices valid.
+        caller = self.module.mutable(caller_name)
+        inst = caller.blocks[site.block_label].instructions[site.idx]
+        record_inlined_promotion(self.module, inst)
+        inline_call(caller, site.block_label, site.idx, callee)
+        self.costs.invalidate(caller_name)
+
+
+class _VirtualDefaultWorld(_DefaultWorld):
+    def __init__(self, space: VirtualSpace) -> None:
+        self.space = space
+        self.steps: List[InlineStep] = []
+
+    def prepare(self) -> None:
+        pass  # provenance metadata is stamped by apply_inline_steps
+
+    def has_function(self, name: str) -> bool:
+        return self.space.has_function(name)
+
+    def is_optnone(self, name: str) -> bool:
+        return self.space.seed(name).is_optnone
+
+    def is_inlinable(self, name: str) -> bool:
+        return self.space.seed(name).is_inlinable
+
+    def is_recursive(self, name: str) -> bool:
+        return self.space.is_recursive(name)
+
+    def returns_count(self, name: str) -> int:
+        return self.space.seed(name).returns_count
+
+    def cost(self, name: str) -> int:
+        return self.space.cost(name)
+
+    def scan_calls(self, caller_name: str) -> Iterator[VirtualSite]:
+        vf = self.space.function(caller_name)
+        if vf is None:
+            return
+        for block in list(vf.blocks):
+            for site in block:
+                if site.opcode != Opcode.CALL:
+                    continue
+                yield site
+
+    def site_callee(self, site: VirtualSite) -> Optional[str]:
+        return site.callee
+
+    def site_weight(self, site: VirtualSite) -> int:
+        return site.weight
+
+    def splice(
+        self, caller_name: str, site: VirtualSite, callee_name: str
+    ) -> None:
+        step = InlineStep(
+            caller=caller_name,
+            vid=site.vid,
+            callee=callee_name,
+            weight=site.weight,
+        )
+        _, pairs = self.space.splice(caller_name, site, callee_name)
+        step.clones = pairs
+        self.steps.append(step)

@@ -56,6 +56,39 @@ class PromotionRecord:
 
 
 @dataclass
+class PromotionDecision:
+    """One planned promotion: which site gets which targets, in order."""
+
+    site_id: int
+    caller: str
+    targets: List[Tuple[str, int]]
+
+
+@dataclass
+class ICPPlan:
+    """The decision half of the pass: everything :meth:`~IndirectCallPromotion.run`
+    would do to the module, expressed without touching any IR.
+
+    Planning is a pure function of the candidate list (profile weights and
+    site ids), so a plan computed against one copy-on-write clone of a
+    module applies to any other clone sharing the same pre-ICP functions —
+    the delta prefix engine's lever for re-planning a budget ladder without
+    re-gathering anything.
+    """
+
+    budget: float
+    total_weight: int = 0
+    total_sites: int = 0
+    total_targets: int = 0
+    decisions: List[PromotionDecision] = field(default_factory=list)
+
+    @property
+    def touched_callers(self) -> frozenset:
+        """Functions the apply phase will materialize and rewrite."""
+        return frozenset(d.caller for d in self.decisions)
+
+
+@dataclass
 class ICPReport:
     """Statistics for Tables 4, 8, 10 and 11."""
 
@@ -180,18 +213,27 @@ class IndirectCallPromotion(ModulePass):
             cumulative += count
         return selected
 
-    # -- transformation ------------------------------------------------------
+    # -- decision phase ------------------------------------------------------
 
-    def run(self, module: Module) -> ICPReport:
-        candidates = self._gather_candidates(module)
-        report = ICPReport(budget=self.budget)
-        report.module_icalls_before = sum(
-            1 for _ in module.indirect_call_sites()
+    def plan(
+        self,
+        module: Module,
+        candidates: Optional[List[Tuple[int, int, str, str]]] = None,
+    ) -> ICPPlan:
+        """Rank and select promotions without mutating any IR.
+
+        ``candidates`` short-circuits the module scan when the caller has
+        already gathered them (the delta prefix engine gathers once per
+        profile and re-plans per budget).
+        """
+        if candidates is None:
+            candidates = self._gather_candidates(module)
+        plan = ICPPlan(
+            budget=self.budget,
+            total_weight=sum(c[0] for c in candidates),
+            total_sites=len({c[1] for c in candidates}),
+            total_targets=len(candidates),
         )
-        report.total_weight = sum(c[0] for c in candidates)
-        report.total_sites = len({c[1] for c in candidates})
-        report.total_targets = len(candidates)
-
         selected = self._select(candidates)
         # Candidates carry their caller, so promotion never needs the old
         # module-wide triple-nested scan per site: each site is located
@@ -200,8 +242,41 @@ class IndirectCallPromotion(ModulePass):
         for site_id, targets in selected.items():
             if not targets:  # site capped out before selecting anything
                 continue
+            plan.decisions.append(
+                PromotionDecision(
+                    site_id=site_id,
+                    caller=site_caller[site_id],
+                    targets=list(targets),
+                )
+            )
+        return plan
+
+    # -- transformation ------------------------------------------------------
+
+    def apply_plan(
+        self,
+        module: Module,
+        plan: ICPPlan,
+        icalls_before: Optional[int] = None,
+    ) -> ICPReport:
+        """Transform the module per ``plan`` and return the usual report.
+
+        ``icalls_before`` skips the static ICALL census when the caller
+        knows it already (it depends only on the pre-ICP module, which the
+        delta engine shares across budgets).
+        """
+        report = ICPReport(budget=plan.budget)
+        report.module_icalls_before = (
+            icalls_before
+            if icalls_before is not None
+            else sum(1 for _ in module.indirect_call_sites())
+        )
+        report.total_weight = plan.total_weight
+        report.total_sites = plan.total_sites
+        report.total_targets = plan.total_targets
+        for decision in plan.decisions:
             record = self._promote_site(
-                module, site_id, targets, site_caller[site_id]
+                module, decision.site_id, decision.targets, decision.caller
             )
             if record is None:
                 continue
@@ -210,6 +285,9 @@ class IndirectCallPromotion(ModulePass):
             report.promoted_targets += len(record.targets)
             report.promoted_weight += record.promoted_weight
         return report
+
+    def run(self, module: Module) -> ICPReport:
+        return self.apply_plan(module, self.plan(module))
 
     @staticmethod
     def _locate(

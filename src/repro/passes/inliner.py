@@ -30,7 +30,7 @@ import heapq
 import itertools
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.ir.function import Function
 from repro.ir.instruction import Instruction
@@ -42,6 +42,12 @@ from repro.ir.types import (
     METADATA_INLINED_PROMOTED,
     FunctionAttr,
     Opcode,
+)
+from repro.passes.decisions import (
+    InlinePlan,
+    InlineStep,
+    VirtualSite,
+    VirtualSpace,
 )
 from repro.passes.inline_cost import (
     DEFAULT_CALLEE_THRESHOLD,
@@ -170,15 +176,34 @@ class PibeInliner(ModulePass):
         return sites
 
     # -- main driver -----------------------------------------------------------
+    #
+    # The greedy policy is written once, against an abstract *world* (see
+    # _RealInlineWorld / _VirtualInlineWorld below). run() drives it over
+    # the real module — semantically identical to the historical direct
+    # implementation — while plan() drives it over a VirtualSpace and
+    # records an InlineStep trace for later replay.
 
     def run(self, module: Module) -> InlineReport:
+        return self._drive(_RealInlineWorld(module, self.costs))
+
+    def plan(self, space: VirtualSpace) -> InlinePlan:
+        """Decision phase: run the policy against ``space`` without
+        touching any IR, returning the ordered step trace + report."""
+        world = _VirtualInlineWorld(space)
+        report = self._drive(world)
+        return InlinePlan(steps=world.steps, report=report)
+
+    def apply_plan(self, module: Module, plan: InlinePlan) -> InlineReport:
+        """Apply phase: replay ``plan`` onto the real module."""
+        apply_inline_steps(module, plan.steps)
+        return plan.report
+
+    def _drive(self, world: "_InlineWorld") -> InlineReport:
         report = InlineReport(budget=self.budget)
         # Mark inlining provenance as available even if nothing gets
         # inlined (the static flow analysis keys on the entry's presence).
-        module.metadata.setdefault(METADATA_INLINED_PROMOTED, [])
-        sites = sorted(
-            self._profiled_sites(module), key=lambda s: (-s[0], s[1])
-        )
+        world.prepare()
+        sites = sorted(world.profiled_sites(), key=lambda s: (-s[0], s[1]))
         report.total_profiled_sites = len(sites)
         report.total_profiled_weight = sum(w for w, _, _ in sites)
 
@@ -199,7 +224,6 @@ class PibeInliner(ModulePass):
         report.candidate_sites = len(candidates)
         report.candidate_weight = sum(w for w, _, _ in candidates)
 
-        costs = self.costs
         invocations: Dict[str, int] = defaultdict(
             int, dict(self.profile.invocations)
         )
@@ -209,110 +233,81 @@ class PibeInliner(ModulePass):
         ]
         heapq.heapify(heap)
         operations = 0
-        # site_id -> (block_label, idx) per caller, maintained incrementally
-        # across inline operations (see _reindex_after_inline). Replaces a
-        # per-pop linear scan over the caller's whole body, which dominated
-        # inliner time on large modules.
-        site_index: Dict[str, Dict[int, Tuple[str, int]]] = {}
 
         while heap and operations < self.max_operations:
             neg_weight, _, site_id, caller_name = heapq.heappop(heap)
             weight = -neg_weight
             operations += 1
-            caller = module.functions.get(caller_name)
-            if caller is None:
-                continue
-            index = site_index.get(caller_name)
-            if index is None:
-                index = self._build_index(caller)
-                site_index[caller_name] = index
-            located = index.get(site_id)
+            located = world.locate(caller_name, site_id)
             if located is None:
                 continue  # site disappeared under a previous transformation
-            block_label, idx = located
-            inst = caller.blocks[block_label].instructions[idx]
-            callee_name = inst.callee
+            callee_name = world.site_callee(located)
             assert callee_name is not None
-            callee = module.functions.get(callee_name)
 
             lax = self.lax_heuristics and weight >= lax_cutoff_weight > 0
 
             # -- "other" blockers (optnone / noinline / recursion / asm) --
             if (
-                callee is None
+                not world.has_function(callee_name)
                 or callee_name == caller_name
-                or not callee.is_inlinable
-                or caller.has_attr(FunctionAttr.OPTNONE)
-                or callee.is_recursive()
+                or not world.is_inlinable(callee_name)
+                or world.is_optnone(caller_name)
+                or world.is_recursive(callee_name)
             ):
                 report.blocked_other_weight += weight
                 report.blocked_other_sites += 1
-                self._note_block(report, caller)
+                self._count_block(report, world.subsystem(caller_name))
                 continue
 
             # -- Rule 2: caller complexity -------------------------------
-            if not lax and costs.cost(caller) > self.caller_threshold:
+            if not lax and world.cost(caller_name) > self.caller_threshold:
                 report.blocked_rule2_weight += weight
                 report.blocked_rule2_sites += 1
-                self._note_block(report, caller)
+                self._count_block(report, world.subsystem(caller_name))
                 continue
 
             # -- Rule 3: callee complexity -------------------------------
-            if not lax and costs.cost(callee) > self.callee_threshold:
+            if not lax and world.cost(callee_name) > self.callee_threshold:
                 report.blocked_rule3_weight += weight
                 report.blocked_rule3_sites += 1
-                self._note_block(report, caller)
+                self._count_block(report, world.subsystem(caller_name))
                 continue
 
-            # Materialize the caller on copy-on-write modules before
-            # mutating it; the exact clone preserves labels and indices,
-            # so the site index stays valid across materialization.
-            caller = module.mutable(caller_name)
-            inst = caller.blocks[block_label].instructions[idx]
-            record_inlined_promotion(module, inst)
-            result = inline_call(caller, block_label, idx, callee)
-            # Exact incremental cost update: the call (5 + 5*args) is
-            # replaced by the callee's body plus one jump to the
-            # continuation; cloned rets become jumps at equal cost.
-            costs.add_delta(
-                caller_name,
-                costs.cost(callee)
-                - instruction_cost(inst)
-                + STANDARD_INSTRUCTION_COST,
-            )
-            index.pop(site_id, None)  # the call instruction is gone
-            self._reindex_after_inline(index, caller, block_label, result)
+            clones = world.splice(caller_name, located, callee_name)
             report.inlined_sites += 1
             report.inlined_weight += weight
-            report.returns_elided_sites += len(callee.returns())
+            report.returns_elided_sites += world.returns_count(callee_name)
             report.returns_elided_weight += weight
 
             # Constant-ratio inheritance for the callee's own call sites.
             callee_invocations = max(invocations.get(callee_name, 0), weight, 1)
             ratio = weight / callee_invocations
-            for clones in result.new_call_sites.values():
-                for clone in clones:
-                    self._inherit_counts(clone, ratio)
+            world.note_ratio(weight, callee_invocations, ratio)
+            for clone in clones:
+                world.inherit(clone, ratio)
+                if (
+                    world.clone_is_call(clone)
+                    and world.clone_weight(clone) >= max(cutoff_weight, 1)
+                ):
+                    # Clones whose callee can never be inlined would be
+                    # re-blocked on every pop, double-counting blocked
+                    # weight; their original site was already accounted.
+                    clone_callee_name = world.clone_callee(clone) or ""
                     if (
-                        clone.opcode == Opcode.CALL
-                        and clone.attrs.get(ATTR_EDGE_COUNT, 0) >= max(cutoff_weight, 1)
+                        not world.has_function(clone_callee_name)
+                        or not world.is_inlinable(clone_callee_name)
+                        or world.is_recursive(clone_callee_name)
                     ):
-                        # Clones whose callee can never be inlined would be
-                        # re-blocked on every pop, double-counting blocked
-                        # weight; their original site was already accounted.
-                        clone_callee = module.functions.get(clone.callee or "")
-                        if (
-                            clone_callee is None
-                            or not clone_callee.is_inlinable
-                            or clone_callee.is_recursive()
-                        ):
-                            continue
-                        assert clone.site_id is not None
-                        new_weight = clone.attrs[ATTR_EDGE_COUNT]
-                        heapq.heappush(
-                            heap,
-                            (-new_weight, next(counter), clone.site_id, caller_name),
-                        )
+                        continue
+                    heapq.heappush(
+                        heap,
+                        (
+                            -world.clone_weight(clone),
+                            next(counter),
+                            world.clone_ref(clone),
+                            caller_name,
+                        ),
+                    )
             invocations[callee_name] = max(
                 invocations.get(callee_name, 0) - weight, 0
             )
@@ -387,8 +382,248 @@ class PibeInliner(ModulePass):
             ]
 
     @staticmethod
-    def _note_block(report: InlineReport, caller: Function) -> None:
-        key = caller.subsystem or "unknown"
+    def _count_block(report: InlineReport, subsystem: Optional[str]) -> None:
+        key = subsystem or "unknown"
         report.blocked_by_subsystem[key] = (
             report.blocked_by_subsystem.get(key, 0) + 1
         )
+
+
+class _RealSite(NamedTuple):
+    """A located call site in the real module (pre-materialization view)."""
+
+    block_label: str
+    idx: int
+    inst: Instruction
+
+
+class _InlineWorld:
+    """Interface both inline worlds implement (documentation only)."""
+
+
+class _RealInlineWorld(_InlineWorld):
+    """Drives the policy directly against the module — the classic
+    single-phase behaviour, splice-for-splice identical to the historical
+    inline ``run()`` implementation."""
+
+    def __init__(self, module: Module, costs: InlineCostCache) -> None:
+        self.module = module
+        self.costs = costs
+        # site_id -> (block_label, idx) per caller, maintained incrementally
+        # across inline operations (see _reindex_after_inline). Replaces a
+        # per-pop linear scan over the caller's whole body, which dominated
+        # inliner time on large modules.
+        self._site_index: Dict[str, Dict[int, Tuple[str, int]]] = {}
+
+    def prepare(self) -> None:
+        self.module.metadata.setdefault(METADATA_INLINED_PROMOTED, [])
+
+    def profiled_sites(self) -> List[Tuple[int, int, str]]:
+        return PibeInliner._profiled_sites(self.module)
+
+    def locate(self, caller_name: str, site_id: int) -> Optional[_RealSite]:
+        caller = self.module.functions.get(caller_name)
+        if caller is None:
+            return None
+        index = self._site_index.get(caller_name)
+        if index is None:
+            index = PibeInliner._build_index(caller)
+            self._site_index[caller_name] = index
+        located = index.get(site_id)
+        if located is None:
+            return None
+        block_label, idx = located
+        return _RealSite(
+            block_label, idx, caller.blocks[block_label].instructions[idx]
+        )
+
+    def site_callee(self, site: _RealSite) -> Optional[str]:
+        return site.inst.callee
+
+    def has_function(self, name: str) -> bool:
+        return name in self.module.functions
+
+    def is_inlinable(self, name: str) -> bool:
+        return self.module.functions[name].is_inlinable
+
+    def is_optnone(self, name: str) -> bool:
+        return self.module.functions[name].has_attr(FunctionAttr.OPTNONE)
+
+    def is_recursive(self, name: str) -> bool:
+        return self.module.functions[name].is_recursive()
+
+    def subsystem(self, name: str) -> Optional[str]:
+        return self.module.functions[name].subsystem
+
+    def returns_count(self, name: str) -> int:
+        return len(self.module.functions[name].returns())
+
+    def cost(self, name: str) -> int:
+        return self.costs.cost(self.module.functions[name])
+
+    def splice(
+        self, caller_name: str, site: _RealSite, callee_name: str
+    ) -> List[Instruction]:
+        callee = self.module.functions[callee_name]
+        # Materialize the caller on copy-on-write modules before
+        # mutating it; the exact clone preserves labels and indices,
+        # so the site index stays valid across materialization.
+        caller = self.module.mutable(caller_name)
+        inst = caller.blocks[site.block_label].instructions[site.idx]
+        record_inlined_promotion(self.module, inst)
+        result = inline_call(caller, site.block_label, site.idx, callee)
+        # Exact incremental cost update: the call (5 + 5*args) is
+        # replaced by the callee's body plus one jump to the
+        # continuation; cloned rets become jumps at equal cost.
+        self.costs.add_delta(
+            caller_name,
+            self.costs.cost(callee)
+            - instruction_cost(inst)
+            + STANDARD_INSTRUCTION_COST,
+        )
+        index = self._site_index[caller_name]
+        index.pop(inst.site_id, None)  # the call instruction is gone
+        PibeInliner._reindex_after_inline(
+            index, caller, site.block_label, result
+        )
+        return [
+            clone
+            for clones in result.new_call_sites.values()
+            for clone in clones
+        ]
+
+    def note_ratio(
+        self, weight: int, callee_invocations: int, ratio: float
+    ) -> None:
+        pass  # the real world scales clones directly via inherit()
+
+    def inherit(self, clone: Instruction, ratio: float) -> None:
+        PibeInliner._inherit_counts(clone, ratio)
+
+    def clone_is_call(self, clone: Instruction) -> bool:
+        return clone.opcode == Opcode.CALL
+
+    def clone_weight(self, clone: Instruction) -> int:
+        return clone.attrs.get(ATTR_EDGE_COUNT, 0)
+
+    def clone_callee(self, clone: Instruction) -> Optional[str]:
+        return clone.callee
+
+    def clone_ref(self, clone: Instruction) -> int:
+        assert clone.site_id is not None
+        return clone.site_id
+
+
+class _VirtualInlineWorld(_InlineWorld):
+    """Drives the policy against a :class:`VirtualSpace`, recording the
+    ordered :class:`InlineStep` trace instead of mutating IR."""
+
+    def __init__(self, space: VirtualSpace) -> None:
+        self.space = space
+        self.steps: List[InlineStep] = []
+        self._current: Optional[InlineStep] = None
+
+    def prepare(self) -> None:
+        pass  # provenance metadata is stamped by apply_inline_steps
+
+    def profiled_sites(self) -> List[Tuple[int, int, str]]:
+        return self.space.profiled_sites()
+
+    def locate(self, caller_name: str, vid: int) -> Optional[VirtualSite]:
+        return self.space.locate(caller_name, vid)
+
+    def site_callee(self, site: VirtualSite) -> Optional[str]:
+        return site.callee
+
+    def has_function(self, name: str) -> bool:
+        return self.space.has_function(name)
+
+    def is_inlinable(self, name: str) -> bool:
+        return self.space.seed(name).is_inlinable
+
+    def is_optnone(self, name: str) -> bool:
+        return self.space.seed(name).is_optnone
+
+    def is_recursive(self, name: str) -> bool:
+        return self.space.is_recursive(name)
+
+    def subsystem(self, name: str) -> Optional[str]:
+        return self.space.seed(name).subsystem
+
+    def returns_count(self, name: str) -> int:
+        return self.space.seed(name).returns_count
+
+    def cost(self, name: str) -> int:
+        return self.space.cost(name)
+
+    def splice(
+        self, caller_name: str, site: VirtualSite, callee_name: str
+    ) -> List[VirtualSite]:
+        step = InlineStep(caller=caller_name, vid=site.vid, callee=callee_name)
+        clones, pairs = self.space.splice(caller_name, site, callee_name)
+        step.clones = pairs
+        self.steps.append(step)
+        self._current = step
+        return clones
+
+    def note_ratio(
+        self, weight: int, callee_invocations: int, ratio: float
+    ) -> None:
+        assert self._current is not None
+        self._current.weight = weight
+        self._current.invocations = callee_invocations
+        self._current.ratio = ratio
+
+    def inherit(self, clone: VirtualSite, ratio: float) -> None:
+        if clone.has_weight:
+            clone.weight = int(clone.weight * ratio + 0.5)
+
+    def clone_is_call(self, clone: VirtualSite) -> bool:
+        return clone.opcode == Opcode.CALL
+
+    def clone_weight(self, clone: VirtualSite) -> int:
+        return clone.weight
+
+    def clone_callee(self, clone: VirtualSite) -> Optional[str]:
+        return clone.callee
+
+    def clone_ref(self, clone: VirtualSite) -> int:
+        return clone.vid
+
+
+def apply_inline_steps(
+    module: Module, steps: Sequence[InlineStep]
+) -> None:
+    """Replay a planned inline trace onto the real module.
+
+    Splices run in exact plan order with the same ``inline_call``
+    machinery the single-phase pass uses, so global site ids and inline
+    label serials are minted in the identical sequence — the output is
+    bit-identical to driving the policy on the module directly. Negative
+    (virtual clone) ids resolve through ``InlineResult.new_call_sites``
+    as the real clones come into existence.
+    """
+    module.metadata.setdefault(METADATA_INLINED_PROMOTED, [])
+    vid_to_real: Dict[int, int] = {}
+    indexes: Dict[str, Dict[int, Tuple[str, int]]] = {}
+    for step in steps:
+        caller = module.mutable(step.caller)
+        index = indexes.get(step.caller)
+        if index is None:
+            index = PibeInliner._build_index(caller)
+            indexes[step.caller] = index
+        sid = step.vid if step.vid >= 0 else vid_to_real[step.vid]
+        block_label, idx = index[sid]
+        inst = caller.blocks[block_label].instructions[idx]
+        callee = module.functions[step.callee]
+        record_inlined_promotion(module, inst)
+        result = inline_call(caller, block_label, idx, callee)
+        index.pop(sid, None)
+        PibeInliner._reindex_after_inline(index, caller, block_label, result)
+        if step.ratio is not None:
+            for clones in result.new_call_sites.values():
+                for clone in clones:
+                    PibeInliner._inherit_counts(clone, step.ratio)
+        for clone_vid, src_vid in step.clones:
+            src_sid = src_vid if src_vid >= 0 else vid_to_real[src_vid]
+            vid_to_real[clone_vid] = result.new_call_sites[src_sid][0].site_id

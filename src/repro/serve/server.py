@@ -153,6 +153,7 @@ class ReproServer:
             "single_flight_hits": 0,
             "cells_evaluated": 0,
             "batches": 0,
+            "prefixes_prewarmed": 0,
             "errors": 0,
         }
 
@@ -361,6 +362,20 @@ class ReproServer:
             )
         return values, False
 
+    def _measure_batch(self, configs, benches, workload: str):
+        """One dispatcher round's evaluation (runs on the eval thread).
+
+        The distinct cold optimized prefixes of the batch are prewarmed
+        across the worker pool first, so the serial build_variant path
+        inside ``measure_many`` loads them as disk hits instead of
+        building each cold prefix in sequence. A no-op without a disk
+        cache or with ``jobs <= 1``.
+        """
+        self.counters["prefixes_prewarmed"] += self.ctx.prewarm_prefixes(
+            configs, workload
+        )
+        return self.ctx.measure_many(configs, benches, workload)
+
     async def _dispatch_loop(self) -> None:
         """Drain queued cells in rounds, one ``measure_many`` per
         compatible (benches, workload) group.
@@ -387,7 +402,7 @@ class ReproServer:
                     result = await loop.run_in_executor(
                         self._eval_pool,
                         partial(
-                            self.ctx.measure_many,
+                            self._measure_batch,
                             [c.config for c in cells],
                             cells[0].benches,
                             cells[0].workload,

@@ -660,7 +660,12 @@ def cmd_sweep(args) -> int:
     else:
         settings = _eval_settings(args)
         result = run_sweep(
-            grid, settings, benches=bench_objs, jobs=args.jobs, log=log
+            grid,
+            settings,
+            benches=bench_objs,
+            jobs=args.jobs,
+            log=log,
+            prewarm=not args.no_prewarm,
         )
 
     # Accounting goes to stderr only: the report/CSV artifacts must be
@@ -956,6 +961,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--bench", help="comma-separated benchmark names (default: all)"
     )
     p.add_argument("--fast", action="store_true", help="reduced ops scales")
+    p.add_argument(
+        "--no-prewarm", action="store_true",
+        help=(
+            "skip the parallel prefix prewarm before each workload group "
+            "(cold optimized prefixes then build lazily inline)"
+        ),
+    )
     _add_harness_args(p)
     p.add_argument("-o", "--output", help="report file (default: stdout)")
     p.set_defaults(func=cmd_sweep)

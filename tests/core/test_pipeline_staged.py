@@ -192,14 +192,18 @@ def test_tampered_prefix_payload_is_rebuilt(
 
     (entry,) = (tmp_path / "prefix").glob("*.json")
     payload = json.loads(entry.read_text())
-    payload["module"]["functions"][0]["frame"] += 1  # sha now stale
+    payload["header"]["function_order"].reverse()  # payload_sha now stale
     entry.write_text(json.dumps(payload))
 
     warm_pipeline = PibePipeline(small_kernel, cache=cache)
     warm = _build(warm_pipeline, config, small_profile, staged=True)
-    # content hash mismatch -> treated as a miss, prefix rebuilt
+    # content hash mismatch -> treated as a miss, prefix rebuilt; the
+    # corrupt header is quarantined and counted, like any corrupt entry
     assert warm_pipeline.stats["prefix_disk_hits"] == 0
     assert warm_pipeline.stats["prefix_builds"] == 1
+    assert warm_pipeline.stats["prefix_decode_failures"] == 1
+    # the tampered header was moved aside (the slot now holds the rebuild)
+    assert (cache.quarantine_dir() / f"prefix-{entry.stem}.json").exists()
     assert _fingerprint(warm.module) == _fingerprint(cold.module)
 
 

@@ -1,0 +1,283 @@
+"""Delta prefix engine: budget ladders derived from a shared decision
+basis must be bit-identical to cold builds, chunked persistence must
+dedup across entries and quarantine corrupt chunks, and the prewarm path
+must hand prefixes over through the disk cache."""
+
+import json
+
+import pytest
+
+from repro.core.config import PibeConfig
+from repro.core.pipeline import (
+    PibePipeline,
+    deterministic_build_ids,
+)
+from repro.evaluation.cache import DiskCache
+from repro.evaluation.harness import EvalContext, EvalSettings
+from repro.hardening.defenses import DefenseConfig
+from repro.ir.fingerprint import module_fingerprint
+from repro.ir.printer import format_module
+from repro.ir.validate import validate_module
+from repro.kernel.spec import SmallSpec
+
+#: Budget ladder: the one-profile-many-budgets workflow the delta
+#: engine exists for.
+LADDER = (0.5, 0.9, 0.999999)
+
+
+def _fp(module) -> str:
+    return module_fingerprint(module, include_sites=True)
+
+
+def _build(pipeline, config, profile):
+    with deterministic_build_ids():
+        return pipeline.build_variant(config, profile, staged=True)
+
+
+def _ladder_configs(defenses, **overrides):
+    return [
+        PibeConfig(
+            defenses=defenses,
+            icp_budget=budget,
+            inline_budget=budget,
+            **overrides,
+        )
+        for budget in LADDER
+    ]
+
+
+# -- delta == cold bit-identity ------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "defenses",
+    # none keeps jump tables, retpolines disables them: both decision
+    # basis axes.
+    [DefenseConfig.none(), DefenseConfig.retpolines_only()],
+    ids=lambda d: d.label(),
+)
+def test_delta_ladder_bit_identical_to_cold(
+    small_kernel, small_profile, defenses
+):
+    delta = PibePipeline(small_kernel)
+    cold = PibePipeline(small_kernel, incremental=False)
+    for config in _ladder_configs(defenses, lax_heuristics=True):
+        d = _build(delta, config, small_profile)
+        c = _build(cold, config, small_profile)
+        validate_module(d.module)
+        assert _fp(d.module) == _fp(c.module)
+        assert format_module(d.module) == format_module(c.module)
+        assert json.dumps(
+            d.reports, default=repr, sort_keys=True
+        ) == json.dumps(c.reports, default=repr, sort_keys=True)
+    assert delta.stats["prefix_delta_builds"] == len(LADDER)
+    assert cold.stats["prefix_delta_builds"] == 0
+    assert cold.stats["prefix_builds"] == len(LADDER)
+
+
+def test_delta_default_inliner_bit_identical(small_kernel, small_profile):
+    delta = PibePipeline(small_kernel)
+    cold = PibePipeline(small_kernel, incremental=False)
+    configs = _ladder_configs(
+        DefenseConfig.all_defenses(), use_default_inliner=True
+    )
+    for config in configs:
+        d = _build(delta, config, small_profile)
+        c = _build(cold, config, small_profile)
+        assert _fp(d.module) == _fp(c.module)
+        assert format_module(d.module) == format_module(c.module)
+    assert delta.stats["prefix_delta_builds"] == len(LADDER)
+
+
+def test_delta_strict_heuristics_bit_identical(small_kernel, small_profile):
+    delta = PibePipeline(small_kernel)
+    cold = PibePipeline(small_kernel, incremental=False)
+    config = PibeConfig.hardened(
+        DefenseConfig.all_defenses(), icp_budget=0.99, inline_budget=0.99
+    )
+    d = _build(delta, config, small_profile)
+    c = _build(cold, config, small_profile)
+    assert _fp(d.module) == _fp(c.module)
+    assert format_module(d.module) == format_module(c.module)
+
+
+def test_ladder_shares_one_decision_basis(small_kernel, small_profile):
+    pipeline = PibePipeline(small_kernel)
+    for config in _ladder_configs(DefenseConfig.none(), lax_heuristics=True):
+        _build(pipeline, config, small_profile)
+    assert len(pipeline._basis_memo) == 1
+    # the other jump-table axis gets its own basis
+    _build(
+        pipeline,
+        _ladder_configs(DefenseConfig.retpolines_only(), lax_heuristics=True)[
+            0
+        ],
+        small_profile,
+    )
+    assert len(pipeline._basis_memo) == 2
+
+
+# -- resident-function accounting (COW sharing) -------------------------------
+
+
+def test_prefix_cache_info_counts_unique_functions(
+    small_kernel, small_profile
+):
+    pipeline = PibePipeline(small_kernel)
+    for config in _ladder_configs(DefenseConfig.none(), lax_heuristics=True):
+        _build(pipeline, config, small_profile)
+    info = pipeline.prefix_cache_info()
+    assert info["entries"] == len(LADDER)
+    naive = sum(
+        len(entry.module.functions)
+        for entry in pipeline._prefix_memo.values()
+    )
+    unique = len(
+        {
+            id(func)
+            for entry in pipeline._prefix_memo.values()
+            for func in entry.module.functions.values()
+        }
+    )
+    assert info["resident_functions"] == unique
+    # deltas share every untouched Function across the ladder, so the
+    # unique count must sit well below the per-entry sum
+    assert info["resident_functions"] < naive
+
+
+# -- chunked persistence -------------------------------------------------------
+
+
+def test_ladder_chunks_dedup_on_disk(tmp_path, small_kernel, small_profile):
+    cache = DiskCache(tmp_path)
+    pipeline = PibePipeline(small_kernel, cache=cache)
+    configs = _ladder_configs(
+        DefenseConfig.all_defenses(), lax_heuristics=True
+    )
+    for config in configs:
+        _build(pipeline, config, small_profile)
+    headers = list((tmp_path / "prefix").glob("*.json"))
+    assert len(headers) == len(LADDER)
+    group_refs = 0
+    for header in headers:
+        group_refs += len(json.loads(header.read_text())["groups"])
+    chunk_files = len(list((tmp_path / "prefix-chunk").glob("*.json")))
+    # content-addressed chunks: untouched windows are shared between
+    # ladder entries, so distinct files < total group references
+    assert 0 < chunk_files < group_refs
+
+
+def test_warm_ladder_shares_decoded_chunks(
+    tmp_path, small_kernel, small_profile
+):
+    cache = DiskCache(tmp_path)
+    configs = _ladder_configs(
+        DefenseConfig.all_defenses(), lax_heuristics=True
+    )
+    cold = PibePipeline(small_kernel, cache=cache)
+    cold_builds = [_build(cold, c, small_profile) for c in configs]
+
+    warm = PibePipeline(small_kernel, cache=cache)
+    for config, cold_build in zip(configs, cold_builds):
+        warm_build = _build(warm, config, small_profile)
+        assert _fp(warm_build.module) == _fp(cold_build.module)
+    assert warm.stats["prefix_disk_hits"] == len(LADDER)
+    assert warm.stats["prefix_builds"] == 0
+    # chunks shared between entries decode once and are served from the
+    # in-process memo afterwards
+    assert warm.stats["prefix_chunks_reused"] > 0
+
+
+def test_tampered_chunk_is_quarantined_and_rebuilt(
+    tmp_path, small_kernel, small_profile
+):
+    cache = DiskCache(tmp_path)
+    config = PibeConfig.lax(DefenseConfig.all_defenses())
+    cold_pipeline = PibePipeline(small_kernel, cache=cache)
+    cold = _build(cold_pipeline, config, small_profile)
+
+    chunks = sorted((tmp_path / "prefix-chunk").glob("*.json"))
+    victim = chunks[0]
+    payload = json.loads(victim.read_text())
+    payload["functions"] = payload["functions"][::-1]  # sha now stale
+    victim.write_text(json.dumps(payload))
+
+    warm_pipeline = PibePipeline(small_kernel, cache=cache)
+    warm = _build(warm_pipeline, config, small_profile)
+    assert warm_pipeline.stats["prefix_disk_hits"] == 0
+    assert warm_pipeline.stats["prefix_builds"] == 1
+    assert warm_pipeline.stats["prefix_decode_failures"] == 1
+    assert (
+        cache.quarantine_dir() / f"prefix-chunk-{victim.stem}.json"
+    ).exists()
+    assert _fp(warm.module) == _fp(cold.module)
+
+
+# -- prefix state + prewarming -------------------------------------------------
+
+
+def test_prefix_state_transitions(tmp_path, small_kernel, small_profile):
+    cache = DiskCache(tmp_path)
+    config = PibeConfig.lax(DefenseConfig.all_defenses())
+    pipeline = PibePipeline(small_kernel, cache=cache)
+    assert pipeline.prefix_state(config, small_profile) == "cold"
+    pipeline.warm_prefix(config, small_profile)
+    assert pipeline.prefix_state(config, small_profile) == "memory"
+    fresh = PibePipeline(small_kernel, cache=cache)
+    assert fresh.prefix_state(config, small_profile) == "disk"
+    # unoptimized configs have no prefix work to warm
+    no_opt = PibeConfig.hardened(DefenseConfig.retpolines_only())
+    pipeline.warm_prefix(no_opt, None)
+    assert pipeline.stats["prefix_builds"] == 1
+
+
+def test_prewarm_prefixes_hands_over_via_disk(tmp_path):
+    settings = EvalSettings(
+        spec=SmallSpec(),
+        profile_iterations=1,
+        profile_ops_scale=0.05,
+        measure_ops_scale=0.05,
+        jobs=2,
+        cache_dir=str(tmp_path / "cache"),
+    )
+    configs = [PibeConfig.lto_baseline()] + _ladder_configs(
+        DefenseConfig.retpolines_only(), lax_heuristics=True
+    )
+    with EvalContext(settings) as ctx:
+        warmed = ctx.prewarm_prefixes(configs, "lmbench", jobs=2)
+        assert warmed == len(LADDER)
+        profile = ctx.profile("lmbench")
+        for config in configs[1:]:
+            assert ctx.pipeline.prefix_state(config, profile) == "disk"
+        # everything warm: a second prewarm dispatches nothing
+        assert ctx.prewarm_prefixes(configs, "lmbench", jobs=2) == 0
+        build = ctx.variant(configs[1], "lmbench")
+        validate_module(build.module)
+        assert ctx.pipeline.stats["prefix_disk_hits"] == 1
+        assert ctx.pipeline.stats["prefix_builds"] == 0
+
+
+def test_prewarm_noop_without_cache_or_jobs(small_kernel):
+    settings = EvalSettings(spec=SmallSpec(), jobs=1)
+    configs = _ladder_configs(
+        DefenseConfig.retpolines_only(), lax_heuristics=True
+    )
+    with EvalContext(settings, kernel=small_kernel) as ctx:
+        assert ctx.prewarm_prefixes(configs, "lmbench", jobs=1) == 0
+        assert ctx.prewarm_prefixes(configs, "lmbench", jobs=4) == 0  # no cache
+
+
+def test_incremental_prefixes_setting_wires_through(small_kernel):
+    on = EvalContext(
+        EvalSettings(spec=SmallSpec()), kernel=small_kernel
+    )
+    off = EvalContext(
+        EvalSettings(spec=SmallSpec(), incremental_prefixes=False),
+        kernel=small_kernel,
+    )
+    try:
+        assert on.pipeline.incremental
+        assert not off.pipeline.incremental
+    finally:
+        on.close()
+        off.close()

@@ -188,6 +188,7 @@ def test_stats_endpoint_shape(client):
         "connections",
         "errors",
         "inline_hits",
+        "prefixes_prewarmed",
         "requests",
         "single_flight_hits",
     }
